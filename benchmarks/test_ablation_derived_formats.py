@@ -1,0 +1,108 @@
+"""Ablation — derived formats (CSC / BCSR) as probe candidates.
+
+Design question: the paper names CSC and BCSR as derivable formats but
+never evaluates them.  Do they ever win the SMO probe?  Expected
+shape (the OSKI folklore): BCSR wins when the matrix has dense
+sub-blocks (its fill ratio is high); CSC never wins the SMO access
+pattern (row extraction is a full scan); on generic scattered sparsity
+the basic five remain optimal.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.core import AutoTuner
+from repro.data.synthetic import uniform_rows_matrix
+from repro.formats import format_class
+from repro.perf.timers import benchmark as time_fn
+
+CANDIDATES = ["CSR", "COO", "ELL", "BCSR", "CSC"]
+
+
+def block_sparse_matrix(
+    n_blocks_side: int = 48, block: int = 8, occupancy: float = 0.08,
+    seed: int = 0,
+):
+    """A matrix of dense ``block x block`` tiles at sparse positions —
+    BCSR's home turf."""
+    rng = np.random.default_rng(seed)
+    size = n_blocks_side * block
+    rows_list, cols_list = [], []
+    for bi in range(n_blocks_side):
+        cols_occ = rng.random(n_blocks_side) < occupancy
+        cols_occ[rng.integers(n_blocks_side)] = True  # no empty rows
+        for bj in np.nonzero(cols_occ)[0]:
+            r, c = np.meshgrid(
+                np.arange(block), np.arange(block), indexing="ij"
+            )
+            rows_list.append((bi * block + r).ravel())
+            cols_list.append((bj * block + c).ravel())
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    values = 0.1 + rng.random(rows.shape[0])
+    return rows, cols, values, (size, size)
+
+
+def _smo_kernel_seconds(matrix, n=6, repeats=3) -> float:
+    """Row extraction + SMSV (the SMO pattern), median."""
+    rng = np.random.default_rng(1)
+    ids = [int(i) for i in rng.integers(0, matrix.shape[0], size=n)]
+
+    def run():
+        for i in ids:
+            matrix.smsv(matrix.row(i))
+
+    return time_fn(run, repeats=repeats, warmup=1).median / n
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    # workload 1: block-structured (BCSR's case)
+    blocky = block_sparse_matrix()
+    # workload 2: scattered uniform sparsity (generic case)
+    scattered = uniform_rows_matrix(384, 384, 24, seed=0)
+    for label, (rows, cols, vals, shape) in (
+        ("block-structured", blocky),
+        ("scattered", scattered),
+    ):
+        per = {}
+        for fmt in CANDIDATES:
+            kwargs = {"block_shape": (8, 8)} if fmt == "BCSR" else {}
+            m = format_class(fmt).from_coo(rows, cols, vals, shape, **kwargs)
+            per[fmt] = _smo_kernel_seconds(m)
+        out[label] = per
+    return out
+
+
+def test_ablation_derived_formats(results, benchmark, record_rows):
+    rows, cols, vals, shape = block_sparse_matrix()
+    m = format_class("BCSR").from_coo(
+        rows, cols, vals, shape, block_shape=(8, 8)
+    )
+    v = m.row(0)
+    benchmark(lambda: m.smsv(v))
+
+    lines = []
+    for label, per in results.items():
+        best = min(per, key=per.get)
+        lines.append(
+            f"{label:16s} best={best:5s}  "
+            + "  ".join(f"{f}={t * 1e6:8.1f}us" for f, t in per.items())
+        )
+    print_series("Ablation: derived formats under the SMO probe", "", lines)
+    record_rows(
+        "ablation_derived",
+        {k: {f: t * 1e6 for f, t in v.items()} for k, v in results.items()},
+    )
+
+    blocky = results["block-structured"]
+    scattered = results["scattered"]
+    # BCSR must be competitive on its home turf (within 1.5x of the
+    # winner) and CSR must beat CSC everywhere (row-scan cost).
+    assert blocky["BCSR"] <= min(blocky.values()) * 1.5
+    assert blocky["CSC"] > blocky["CSR"]
+    assert scattered["CSC"] > scattered["CSR"]
+    # On scattered data plain CSR-class formats win; BCSR pays padding.
+    assert min(scattered, key=scattered.get) in ("CSR", "COO", "ELL")

@@ -1,0 +1,92 @@
+"""Ablation — scheduler strategy: rules vs cost vs probe vs hybrid.
+
+Design question (DESIGN.md §5): how much of the adaptive gain does each
+decision mechanism capture, and what does each cost to run?  Metric:
+regret = time(pick) / time(measured oracle) per Table V dataset, plus
+the wall cost of making the decision itself.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_series, smsv_seconds_per_format
+from repro.core import LayoutScheduler
+from repro.core.scheduler import STRATEGIES
+from repro.data import load_dataset
+
+DATASETS = ("adult", "aloi", "mnist", "sector", "trefethen", "gisette")
+
+
+@pytest.fixture(scope="module")
+def regrets():
+    oracle_times = {}
+    for name in DATASETS:
+        ds = load_dataset(name, seed=0)
+        oracle_times[name] = smsv_seconds_per_format(
+            ds.rows, ds.cols, ds.values, ds.shape
+        )
+
+    table = {}
+    for strategy in STRATEGIES:
+        per_ds = {}
+        decision_cost = 0.0
+        for name in DATASETS:
+            ds = load_dataset(name, seed=0)
+            sched = LayoutScheduler(strategy)
+            t0 = time.perf_counter()
+            pick = sched.decide_from_coo(
+                ds.rows, ds.cols, ds.values, ds.shape
+            ).fmt
+            decision_cost += time.perf_counter() - t0
+            times = oracle_times[name]
+            per_ds[name] = times[pick] / min(times.values())
+        geo = 1.0
+        for r in per_ds.values():
+            geo *= r
+        geo **= 1.0 / len(per_ds)
+        table[strategy] = dict(
+            per_ds=per_ds,
+            geomean_regret=geo,
+            decision_seconds=decision_cost / len(DATASETS),
+        )
+    return table
+
+
+def test_ablation_scheduler_strategies(regrets, benchmark, record_rows):
+    ds = load_dataset("aloi", seed=0)
+    benchmark.pedantic(
+        lambda: LayoutScheduler("cost").decide_from_coo(
+            ds.rows, ds.cols, ds.values, ds.shape
+        ),
+        rounds=5,
+        iterations=1,
+    )
+
+    rows = [
+        f"{s:8s} geomean-regret {r['geomean_regret']:5.2f}x   "
+        f"decision cost {r['decision_seconds'] * 1e3:8.2f} ms"
+        for s, r in regrets.items()
+    ]
+    print_series("Ablation: scheduler strategy vs oracle", "", rows)
+    record_rows(
+        "ablation_scheduler",
+        {s: r["geomean_regret"] for s, r in regrets.items()},
+    )
+
+    # Probing measures the real substrate: lowest regret of all.
+    probe = regrets["probe"]["geomean_regret"]
+    for s, r in regrets.items():
+        assert r["geomean_regret"] >= probe - 1e-9 or s == "probe"
+    assert probe < 1.3
+    # Model-based strategies must still capture most of the gain
+    # (bounded regret), at negligible decision cost.
+    for s in ("rules", "cost"):
+        assert regrets[s]["geomean_regret"] < 4.0
+        assert regrets[s]["decision_seconds"] < regrets["probe"][
+            "decision_seconds"
+        ]
+    # Hybrid sits between cost and probe in regret.
+    assert regrets["hybrid"]["geomean_regret"] <= (
+        regrets["cost"]["geomean_regret"] + 1e-9
+    )

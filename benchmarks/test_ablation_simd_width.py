@@ -1,0 +1,64 @@
+"""Ablation — SIMD width W and the CSR/COO decision boundary.
+
+Design question (DESIGN.md §5): the Fig. 4 crossover depends on the
+machine's vector width.  Sweep W in {4, 8, 16} on the vector-machine
+model and locate the vdim at which COO overtakes CSR; wider SIMD should
+move the crossover *down* (more lanes idle sooner), which is why the
+paper's many-core Phi (W=8 doubles) favours COO more than a narrow SSE
+machine would.
+"""
+
+import dataclasses
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.data.synthetic import matrix_with_vdim
+from repro.formats import COOMatrix, CSRMatrix
+from repro.hardware import VectorMachine, get_machine
+
+VDIMS = (0.0, 25.0, 100.0, 225.0, 400.0, 625.0, 900.0, 1600.0)
+M, N, ADIM = 2048, 4096, 40
+
+
+def _crossover(width: int) -> float:
+    base = get_machine("knc")
+    machine = dataclasses.replace(base, simd_width=width)
+    vm = VectorMachine(machine)
+    for vdim in VDIMS:
+        rows, cols, vals, shape = matrix_with_vdim(
+            M, N, adim=ADIM, vdim=vdim, seed=3
+        )
+        csr = vm.count(CSRMatrix.from_coo(rows, cols, vals, shape)).seconds
+        coo = vm.count(COOMatrix.from_coo(rows, cols, vals, shape)).seconds
+        if csr > coo:
+            return vdim
+    return float("inf")
+
+
+@pytest.fixture(scope="module")
+def crossovers():
+    return {w: _crossover(w) for w in (4, 8, 16)}
+
+
+def test_ablation_simd_width(crossovers, benchmark, record_rows):
+    rows_, cols_, vals_, shape_ = matrix_with_vdim(
+        M, N, adim=ADIM, vdim=400.0, seed=3
+    )
+    csr = CSRMatrix.from_coo(rows_, cols_, vals_, shape_)
+    vm = VectorMachine(get_machine("knc"))
+    benchmark(lambda: vm.count(csr))
+
+    rows = [
+        f"W={w:3d}   COO overtakes CSR at vdim ~ {v}"
+        for w, v in crossovers.items()
+    ]
+    print_series("Ablation: SIMD width vs CSR/COO crossover", "", rows)
+    record_rows("ablation_simd_crossover", crossovers)
+
+    # Wider SIMD -> earlier crossover (monotone non-increasing).
+    vals = [crossovers[w] for w in (4, 8, 16)]
+    assert vals[0] >= vals[1] >= vals[2]
+    # At the paper's W=8 the crossover lies between aloi (85) and
+    # mnist (1594) — the Table VI selections.
+    assert 85.0 < crossovers[8] <= 1594.0

@@ -1,0 +1,77 @@
+"""Figure 2 — DIA performance vs number of diagonals.
+
+Paper: matrices with M = N = nnz = 4096 and ndig in {2, 4, ..., 4096},
+stored in DIA; the more diagonals, the worse the performance (each
+diagonal of the 4096-diagonal matrix holds one element padded with 4095
+zeros).  Baseline: the 4096-diagonal (worst) case.
+
+Regenerated twice: measured NumPy DIA SMSV over a feasible sweep, and
+the SIMD vector-machine model over the paper's full sweep.  Asserted
+shape: speedup over the worst case decreases monotonically with ndig,
+with a large total range.
+"""
+
+import pytest
+
+from benchmarks.conftest import measure_smsv_seconds, print_series
+from repro.data.synthetic import matrix_with_ndig
+from repro.formats import DIAMatrix
+from repro.hardware import VectorMachine, get_machine
+
+M = N = NNZ = 4096
+MEASURED_SWEEP = (2, 8, 32, 128, 512)
+MODEL_SWEEP = (2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+
+def _dia(ndig: int) -> DIAMatrix:
+    rows, cols, vals, shape = matrix_with_ndig(M, N, NNZ, ndig, seed=0)
+    return DIAMatrix.from_coo(rows, cols, vals, shape)
+
+
+@pytest.fixture(scope="module")
+def measured_times():
+    return {nd: measure_smsv_seconds(_dia(nd)) for nd in MEASURED_SWEEP}
+
+
+def test_fig2_regenerate(measured_times, benchmark, record_rows):
+    m = _dia(MEASURED_SWEEP[0])
+    v = m.row(1)
+    benchmark(lambda: m.smsv(v))
+
+    worst = max(measured_times.values())
+    rows = [
+        f"ndig={nd:5d}   measured {t * 1e6:9.1f} us   "
+        f"speedup-vs-worst-measured {worst / t:7.2f}x"
+        for nd, t in measured_times.items()
+    ]
+    vm = VectorMachine(get_machine("ivybridge"))
+    model = {nd: vm.count(_dia(nd)).seconds for nd in MODEL_SWEEP}
+    mworst = max(model.values())
+    rows.append("--- SIMD model, full paper sweep (baseline ndig=4096) ---")
+    rows += [
+        f"ndig={nd:5d}   model speedup {mworst / t:9.2f}x"
+        for nd, t in model.items()
+    ]
+    print_series("Fig. 2: DIA speedup vs ndig (M=N=nnz=4096)", "", rows)
+    record_rows("fig2_measured_us", {k: v * 1e6 for k, v in measured_times.items()})
+    record_rows("fig2_model_speedup", {k: mworst / v for k, v in model.items()})
+
+    times = [measured_times[nd] for nd in MEASURED_SWEEP]
+    assert times == sorted(times), "more diagonals must be slower"
+    assert times[-1] / times[0] > 5
+    model_times = [model[nd] for nd in MODEL_SWEEP]
+    assert model_times == sorted(model_times)
+
+
+def test_fig2_monotone_measured(measured_times):
+    times = [measured_times[nd] for nd in MEASURED_SWEEP]
+    assert times == sorted(times), "more diagonals must be slower"
+    assert times[-1] / times[0] > 5
+
+
+def test_fig2_model_full_range():
+    vm = VectorMachine(get_machine("ivybridge"))
+    t2 = vm.count(_dia(2)).seconds
+    t4096 = vm.count(_dia(4096)).seconds
+    # One element per diagonal vs 2048 per diagonal: ~3 orders.
+    assert t4096 / t2 > 100

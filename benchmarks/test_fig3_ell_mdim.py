@@ -1,0 +1,80 @@
+"""Figure 3 — ELL performance vs maximum row length.
+
+Paper: matrices with M = N = 4096, nnz = 8192 and mdim in
+{1, 2, ..., 4096} stored in ELL; higher mdim = more padding = worse
+performance (mat2 stores 4096x2, mat4096 stores 4096x4096).  The paper
+also observes performance decreasing as vdim increases along the same
+sweep.  Baseline: the worst (highest-mdim) case.
+"""
+
+import pytest
+
+from benchmarks.conftest import measure_smsv_seconds, print_series
+from repro.data.synthetic import matrix_with_mdim
+from repro.features import extract_profile
+from repro.formats import ELLMatrix
+from repro.hardware import VectorMachine, get_machine
+
+M = N = 4096
+NNZ = 8192
+MEASURED_SWEEP = (2, 8, 32, 128, 512)
+MODEL_SWEEP = (2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+
+def _ell(mdim: int) -> ELLMatrix:
+    rows, cols, vals, shape = matrix_with_mdim(M, N, NNZ, mdim, seed=0)
+    return ELLMatrix.from_coo(rows, cols, vals, shape)
+
+
+@pytest.fixture(scope="module")
+def measured_times():
+    return {md: measure_smsv_seconds(_ell(md)) for md in MEASURED_SWEEP}
+
+
+def test_fig3_regenerate(measured_times, benchmark, record_rows):
+    m = _ell(MEASURED_SWEEP[0])
+    v = m.row(1)
+    benchmark(lambda: m.smsv(v))
+
+    worst = max(measured_times.values())
+    rows = []
+    for md in MEASURED_SWEEP:
+        p = extract_profile(_ell(md))
+        rows.append(
+            f"mdim={md:5d}  vdim={p.vdim:10.1f}  measured "
+            f"{measured_times[md] * 1e6:9.1f} us  speedup-vs-worst-measured "
+            f"{worst / measured_times[md]:7.2f}x"
+        )
+    vm = VectorMachine(get_machine("ivybridge"))
+    model = {md: vm.count(_ell(md)).seconds for md in MODEL_SWEEP}
+    mworst = max(model.values())
+    rows.append("--- SIMD model, full paper sweep (baseline mdim=4096) ---")
+    rows += [
+        f"mdim={md:5d}   model speedup {mworst / t:9.2f}x"
+        for md, t in model.items()
+    ]
+    print_series("Fig. 3: ELL speedup vs mdim (M=N=4096, nnz=8192)", "", rows)
+    record_rows("fig3_measured_us", {k: v * 1e6 for k, v in measured_times.items()})
+
+    times = [measured_times[md] for md in MEASURED_SWEEP]
+    assert times == sorted(times), "higher mdim must be slower"
+    assert times[-1] / times[0] > 5
+    model_times = [model[md] for md in MODEL_SWEEP]
+    assert model_times == sorted(model_times)
+
+
+def test_fig3_monotone_measured(measured_times):
+    times = [measured_times[md] for md in MEASURED_SWEEP]
+    assert times == sorted(times), "higher mdim must be slower"
+    assert times[-1] / times[0] > 5
+
+
+def test_fig3_vdim_grows_along_sweep():
+    # The paper's secondary observation: the same sweep raises vdim.
+    vdims = [extract_profile(_ell(md)).vdim for md in (2, 32, 512)]
+    assert vdims == sorted(vdims)
+
+
+def test_fig3_model_full_range():
+    vm = VectorMachine(get_machine("ivybridge"))
+    assert vm.count(_ell(4096)).seconds / vm.count(_ell(2)).seconds > 100

@@ -1,0 +1,78 @@
+"""Figure 4 — COO-over-CSR speedup grows with vdim.
+
+Paper: "the speedup of COO over CSR is increasing as vdim is growing"
+because irregular row lengths under-utilise fixed-width SIMD in CSR
+while COO's flat element stream is immune.
+
+NumPy's own CSR kernel is lane-oblivious, so the lane effect is
+regenerated with the SIMD vector-machine model (exact per-group lane
+accounting; see DESIGN.md substitution table); the measured NumPy
+times are printed alongside as the substrate reference.  Asserted
+shape: the modelled COO/CSR speedup is monotone increasing in vdim and
+crosses 1.0 (CSR wins at low vdim / aloi, COO wins at high vdim /
+mnist — the paper's Table VI selections).
+"""
+
+import pytest
+
+from benchmarks.conftest import measure_smsv_seconds, print_series
+from repro.data.synthetic import matrix_with_vdim
+from repro.formats import COOMatrix, CSRMatrix
+from repro.hardware import VectorMachine, get_machine
+
+M, N, ADIM = 2048, 4096, 40
+VDIM_SWEEP = (0.0, 25.0, 100.0, 400.0, 900.0, 1600.0)
+
+
+def _pair(vdim: float):
+    rows, cols, vals, shape = matrix_with_vdim(
+        M, N, adim=ADIM, vdim=vdim, seed=3
+    )
+    return (
+        CSRMatrix.from_coo(rows, cols, vals, shape),
+        COOMatrix.from_coo(rows, cols, vals, shape),
+    )
+
+
+@pytest.fixture(scope="module")
+def series():
+    vm = VectorMachine(get_machine("knc"))  # the paper's Phi, W = 8
+    model = {}
+    measured = {}
+    for vdim in VDIM_SWEEP:
+        csr, coo = _pair(vdim)
+        model[vdim] = vm.count(csr).seconds / vm.count(coo).seconds
+        measured[vdim] = measure_smsv_seconds(csr) / measure_smsv_seconds(coo)
+    return model, measured
+
+
+def test_fig4_regenerate(series, benchmark, record_rows):
+    model, measured = series
+    csr, _ = _pair(VDIM_SWEEP[-1])
+    v = csr.row(0)
+    benchmark(lambda: csr.smsv(v))
+
+    rows = [
+        f"vdim={vdim:7.0f}   COO-over-CSR (SIMD model) {model[vdim]:6.3f}x"
+        f"   (measured NumPy ref {measured[vdim]:6.3f}x)"
+        for vdim in VDIM_SWEEP
+    ]
+    print_series(
+        "Fig. 4: COO/CSR speedup vs vdim (adim=40, W=8)", "", rows
+    )
+    record_rows("fig4_model_speedup", model)
+
+    speedups = [model[v] for v in VDIM_SWEEP]
+    assert speedups == sorted(speedups), "speedup must grow with vdim"
+    assert speedups[0] < 1.0, "CSR must win at vdim=0 (the aloi side)"
+    assert speedups[-1] > 1.0, "COO must win at high vdim (the mnist side)"
+
+
+def test_fig4_crossover_between_aloi_and_mnist():
+    # Table V: aloi vdim=85 (CSR selected), mnist vdim=1594 (COO
+    # selected); the model's crossover must sit between them.
+    vm = VectorMachine(get_machine("knc"))
+    csr_a, coo_a = _pair(85.0)
+    csr_m, coo_m = _pair(1594.0)
+    assert vm.count(csr_a).seconds < vm.count(coo_a).seconds
+    assert vm.count(csr_m).seconds > vm.count(coo_m).seconds

@@ -1,0 +1,64 @@
+"""Figure 6 — price per speedup for 0.8 CIFAR-10 accuracy by method.
+
+Paper: $/speedup with the 8-core CPU as the 1.0x baseline; the Tesla
+P100 is the most efficient platform, the 8-core CPU the least efficient
+among untuned platforms, and tuning improves the DGX's efficiency from
+$1,039 to $223 per unit speedup.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.hardware.pricing import best_value, format_table
+from repro.tuning import reproduce_table7
+from repro.tuning.table7 import as_price_points
+
+PAPER_PRICE_PER_SPEEDUP = {
+    "Intel Caffe on 8-core CPUs": 1_571,
+    "Intel Caffe on KNL": 813,
+    "Intel Caffe on Haswell": 493,
+    "Nvidia Caffe on Tesla P100 GPU": 196,
+    "Nvidia Caffe on DGX station": 1_039,
+    "Tune B on DGX station": 963,
+    "Tune eta on DGX station": 371,
+    "Tune mu on DGX station": 223,
+}
+
+
+@pytest.fixture(scope="module")
+def points():
+    return as_price_points(reproduce_table7())
+
+
+def test_fig6_regenerate(points, benchmark, record_rows):
+    benchmark(lambda: as_price_points(reproduce_table7()))
+
+    print_series("Fig. 6: price per speedup", "", [format_table(points)])
+    record_rows(
+        "fig6_price_per_speedup",
+        {p.method: p.price_per_speedup for p in points},
+    )
+
+    by = {p.method: p for p in points}
+    # Every bar within 12% of the paper.
+    for method, paper in PAPER_PRICE_PER_SPEEDUP.items():
+        assert by[method].price_per_speedup == pytest.approx(
+            paper, rel=0.12
+        ), method
+    # P100 most efficient overall (paper Section V-C).
+    assert "P100" in best_value(points).method
+    # 8-core CPU least efficient among the five untuned platforms.
+    platforms = [p for p in points if "Tune" not in p.method]
+    assert "8-core" in max(
+        platforms, key=lambda p: p.price_per_speedup
+    ).method
+
+
+def test_fig6_tuning_improves_dgx_efficiency(points):
+    by = {p.method: p for p in points}
+    assert (
+        by["Tune mu on DGX station"].price_per_speedup
+        < by["Tune eta on DGX station"].price_per_speedup
+        < by["Tune B on DGX station"].price_per_speedup
+        < by["Nvidia Caffe on DGX station"].price_per_speedup
+    )

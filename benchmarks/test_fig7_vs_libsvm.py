@@ -1,0 +1,103 @@
+"""Figure 7 — speedups of the adaptive system over parallel LIBSVM.
+
+Paper: HPC-SVM (the adaptive system) vs parallel LIBSVM on the same Ivy
+Bridge CPUs across the real-world datasets: 1.2-16.5x, 4x on average;
+against its own fixed-CSR implementation the adaptive gain is 1.3x on
+average (i.e. most of the LIBSVM gap is kernel quality, the rest is
+layout).
+
+Regenerated with full SMO training (capped iterations) of AdaptiveSVC
+vs the LIBSVM-style baseline on Table V clones, measured wall time.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.baselines import FixedFormatSVC, LibSVMStyleSVC
+from repro.core import AutoTuner, LayoutScheduler
+from repro.svm import AdaptiveSVC
+
+DATASETS = ("adult", "aloi", "mnist", "trefethen", "connect-4", "gisette")
+MAX_ITER = 500  # real SMO runs thousands of iterations; 500 keeps the
+M_CAP = 800  # probe overhead realistically amortised yet the bench fast
+
+
+def _adaptive_scheduler() -> LayoutScheduler:
+    """Probe-based scheduling with a cheap probe (1 repeat, row
+    sample) — the configuration a runtime system would actually use,
+    where the decision cost is a small fraction of training."""
+    return LayoutScheduler(
+        "probe",
+        tuner=AutoTuner(probe_rows=512, repeats=1, smsv_per_probe=2),
+    )
+
+
+def _train_seconds(clf, X, y) -> float:
+    t0 = time.perf_counter()
+    clf.fit(X, y)
+    return time.perf_counter() - t0
+
+
+@pytest.fixture(scope="module")
+def speedups():
+    from repro.data import load_dataset
+
+    adaptive_vs_libsvm = {}
+    adaptive_vs_own_csr = {}
+    for name in DATASETS:
+        ds = load_dataset(name, seed=0, m_override=M_CAP)
+        X = ds.in_format("CSR")
+        y = ds.y[: X.shape[0]]
+        kw = dict(C=1.0, tol=1e-3, max_iter=MAX_ITER)
+        t_lib = _train_seconds(LibSVMStyleSVC("linear", **kw), X, y)
+        t_csr = _train_seconds(FixedFormatSVC("CSR", "linear", **kw), X, y)
+        t_ada = _train_seconds(
+            AdaptiveSVC("linear", scheduler=_adaptive_scheduler(), **kw),
+            X,
+            y,
+        )
+        adaptive_vs_libsvm[name] = t_lib / t_ada
+        adaptive_vs_own_csr[name] = t_csr / t_ada
+    return adaptive_vs_libsvm, adaptive_vs_own_csr
+
+
+def test_fig7_regenerate(speedups, benchmark, record_rows):
+    vs_libsvm, vs_csr = speedups
+
+    from repro.data import load_dataset
+
+    ds = load_dataset("adult", seed=0, m_override=300)
+    X = ds.in_format("CSR")
+    y = ds.y[:300]
+    benchmark.pedantic(
+        lambda: AdaptiveSVC(
+            "linear", C=1.0, max_iter=30, scheduler=_adaptive_scheduler()
+        ).fit(X, y),
+        rounds=3,
+        iterations=1,
+    )
+
+    rows = [
+        f"{name:12s} adaptive-over-LIBSVM {vs_libsvm[name]:6.2f}x   "
+        f"adaptive-over-own-CSR {vs_csr[name]:6.2f}x"
+        for name in DATASETS
+    ]
+    geo = 1.0
+    for v in vs_libsvm.values():
+        geo *= v
+    geo **= 1.0 / len(vs_libsvm)
+    rows.append(f"{'geomean':12s} adaptive-over-LIBSVM {geo:6.2f}x")
+    print_series("Fig. 7: adaptive vs parallel LIBSVM (measured)", "", rows)
+    record_rows("fig7_vs_libsvm", vs_libsvm)
+    record_rows("fig7_vs_own_csr", vs_csr)
+
+    # Shape: adaptive beats the LIBSVM-style baseline everywhere, and
+    # the average gain over the baseline exceeds the gain over the
+    # own-CSR implementation (kernel quality + layout > layout alone).
+    assert all(v > 1.0 for v in vs_libsvm.values())
+    mean_lib = sum(vs_libsvm.values()) / len(vs_libsvm)
+    mean_csr = sum(vs_csr.values()) / len(vs_csr)
+    assert mean_lib > mean_csr
+    assert mean_lib > 1.5  # the paper reports 4x on average

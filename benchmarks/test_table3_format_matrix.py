@@ -1,0 +1,95 @@
+"""Table III — full dataset x format speedup matrix.
+
+Paper: speedups (normalised to the slowest format) for adult / aloi /
+mnist / gisette / trefethen; best-over-worst spreads of 3.73x - 14.3x.
+
+Regenerated with measured SMSV times on the Table V clones and, in
+parallel, with the SIMD vector-machine model (the paper's Ivy Bridge /
+Phi architecture effects); the model matrix is the one compared against
+the paper's numbers in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    normalise_to_slowest,
+    print_series,
+    smsv_seconds_per_format,
+)
+from repro.data import load_dataset
+from repro.formats import FORMAT_NAMES, format_class
+from repro.hardware import VectorMachine, get_machine
+
+DATASETS = ("adult", "aloi", "mnist", "gisette", "trefethen")
+
+#: Paper Table III, for the printed side-by-side comparison.
+PAPER_TABLE_III = {
+    "adult": {"ELL": 14, "CSR": 13, "COO": 8.6, "DEN": 13, "DIA": 1.0},
+    "aloi": {"ELL": 2.8, "CSR": 6.6, "COO": 1.0, "DEN": 3.8, "DIA": 1.7},
+    "mnist": {"ELL": 1.0, "CSR": 4.8, "COO": 5.1, "DEN": 1.5, "DIA": 1.1},
+    "gisette": {"ELL": 1.9, "CSR": 1.9, "COO": 1.2, "DEN": 3.7, "DIA": 1.0},
+    "trefethen": {"ELL": 3.1, "CSR": 3.6, "COO": 3.9, "DEN": 1.0, "DIA": 4.1},
+}
+
+
+@pytest.fixture(scope="module")
+def matrices():
+    measured = {}
+    modelled = {}
+    vm = VectorMachine(get_machine("ivybridge"))
+    for name in DATASETS:
+        ds = load_dataset(name, seed=0)
+        times = smsv_seconds_per_format(ds.rows, ds.cols, ds.values, ds.shape)
+        measured[name] = normalise_to_slowest(times)
+        mtimes = {
+            f: vm.count(
+                format_class(f).from_coo(ds.rows, ds.cols, ds.values, ds.shape)
+            ).seconds
+            for f in FORMAT_NAMES
+        }
+        modelled[name] = normalise_to_slowest(mtimes)
+    return measured, modelled
+
+
+def test_table3_regenerate(matrices, benchmark, record_rows):
+    measured, modelled = matrices
+    ds = load_dataset("mnist", seed=0)
+    m = ds.in_format("COO")
+    v = m.row(0)
+    benchmark(lambda: m.smsv(v))
+
+    header = f"{'dataset':10s} " + " ".join(f"{f:>21s}" for f in FORMAT_NAMES)
+    rows = []
+    for name in DATASETS:
+        cells = []
+        for f in FORMAT_NAMES:
+            cells.append(
+                f"m{measured[name][f]:5.1f}/s{modelled[name][f]:5.1f}"
+                f"/p{PAPER_TABLE_III[name][f]:5.1f}"
+            )
+        rows.append(f"{name:10s} " + " ".join(f"{c:>21s}" for c in cells))
+    rows.append("(m = measured NumPy, s = SIMD model, p = paper)")
+    print_series("Table III: format speedup matrix", header, rows)
+    record_rows("table3_measured", measured)
+    record_rows("table3_modelled", modelled)
+
+    # Shape assertions on the SIMD model (the architecture the paper
+    # measured): the worst format per dataset agrees with the paper for
+    # the structurally-forced cases.
+    assert min(modelled["adult"], key=modelled["adult"].get) == "DIA"
+    assert min(modelled["trefethen"], key=modelled["trefethen"].get) == "DEN"
+    assert min(modelled["gisette"], key=modelled["gisette"].get) == "DIA"
+    # mnist: high vdim keeps COO competitive with CSR (paper has them
+    # nearly tied at 5.1 vs 4.8; note aloi and mnist have almost equal
+    # cv(dim), so no lane-utilisation model can reproduce the paper's
+    # *opposite* COO/CSR orderings on both — see EXPERIMENTS.md).
+    assert modelled["mnist"]["COO"] > modelled["mnist"]["CSR"] * 0.8
+    # ...while both sit far above the worst format.
+    assert modelled["mnist"]["COO"] > 3.0
+    # spreads are material everywhere (paper: 3.7x - 14.3x; gisette is
+    # fully dense, so every format does the same flops there and only
+    # storage/index overheads separate them — a smaller but still real
+    # spread).
+    for name in DATASETS:
+        floor = 1.5 if name == "gisette" else 3.0
+        assert max(modelled[name].values()) >= floor, name

@@ -1,0 +1,135 @@
+"""Table VI — effects of the adaptive system.
+
+Paper: for nine datasets, the worst format, the adaptive system's
+selection, and the average & max speedup of the selection over the
+other formats (1.7x - 16.2x average 6.8x; max up to 39.6x).
+
+Regenerated on the Table V clones with measured SMSV times: for every
+dataset, measure all five formats, record the scheduler's pick, and
+compute the pick's average speedup over the other four formats and its
+max speedup over the worst format.  Asserted shape: the adaptive pick
+is never the worst format, its regret vs the measured oracle is small,
+and the average-of-averages is materially above 1.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series, smsv_seconds_per_format
+from repro.core import LayoutScheduler
+from repro.data import load_dataset
+
+DATASETS = (
+    "adult",
+    "breast_cancer",
+    "aloi",
+    "gisette",
+    "mnist",
+    "sector",
+    "leukemia",
+    "connect-4",
+    "trefethen",
+)
+
+PAPER_SELECTIONS = {
+    "adult": ("DIA", "ELL"),
+    "breast_cancer": ("ELL", "CSR"),
+    "aloi": ("COO", "CSR"),
+    "gisette": ("DIA", "DEN"),
+    "mnist": ("ELL", "COO"),
+    "sector": ("DEN", "COO"),
+    "leukemia": ("ELL", "DEN"),
+    "connect-4": ("COO", "DEN"),
+    "trefethen": ("DEN", "DIA"),
+}
+
+
+@pytest.fixture(scope="module")
+def adaptive_results():
+    sched = LayoutScheduler("probe")
+    results = {}
+    for name in DATASETS:
+        ds = load_dataset(name, seed=0)
+        times = smsv_seconds_per_format(ds.rows, ds.cols, ds.values, ds.shape)
+        pick = sched.decide_from_coo(
+            ds.rows, ds.cols, ds.values, ds.shape
+        ).fmt
+        worst = max(times, key=times.get)
+        oracle = min(times, key=times.get)
+        others = [t for f, t in times.items() if f != pick]
+        avg_speedup = sum(t / times[pick] for t in others) / len(others)
+        max_speedup = times[worst] / times[pick]
+        regret = times[pick] / times[oracle]
+        results[name] = dict(
+            pick=pick,
+            worst=worst,
+            oracle=oracle,
+            avg=avg_speedup,
+            max=max_speedup,
+            regret=regret,
+        )
+    return results
+
+
+def test_table6_regenerate(adaptive_results, benchmark, record_rows):
+    ds = load_dataset("adult", seed=0)
+    sched = LayoutScheduler("probe")
+    benchmark.pedantic(
+        lambda: LayoutScheduler("probe").decide_from_coo(
+            ds.rows, ds.cols, ds.values, ds.shape
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+    rows = []
+    for name, r in adaptive_results.items():
+        pw, ps = PAPER_SELECTIONS[name]
+        rows.append(
+            f"{name:14s} worst={r['worst']:4s} pick={r['pick']:4s} "
+            f"oracle={r['oracle']:4s} avg={r['avg']:6.2f}x "
+            f"max={r['max']:6.2f}x regret={r['regret']:5.2f} "
+            f"(paper: worst={pw} pick={ps})"
+        )
+    avgs = [r["avg"] for r in adaptive_results.values()]
+    rows.append(
+        f"{'average':14s} avg-of-avg={sum(avgs) / len(avgs):6.2f}x "
+        f"(paper: 6.8x)"
+    )
+    print_series("Table VI: adaptive system effects (measured)", "", rows)
+    record_rows(
+        "table6",
+        {
+            k: {kk: vv for kk, vv in v.items()}
+            for k, v in adaptive_results.items()
+        },
+    )
+
+    for name, r in adaptive_results.items():
+        # The adaptive pick is never the worst format...
+        assert r["pick"] != r["worst"], name
+        # ...and is within 2.2x of the measured oracle (probing on a
+        # row sample of a skewed matrix can miss narrowly).
+        assert r["regret"] < 2.2, (name, r)
+    # Material average gain over non-adaptive choices.
+    assert sum(avgs) / len(avgs) > 2.0
+
+
+def test_table6_adaptive_beats_every_fixed_policy(adaptive_results):
+    # The headline argument against LIBSVM/GPUSVM: any *fixed* format
+    # loses to the adaptive picks in aggregate (geomean across
+    # datasets of time ratios > 1 for every fixed policy).
+    from repro.formats import FORMAT_NAMES
+
+    sched_times = {}
+    for name in DATASETS:
+        ds = load_dataset(name, seed=0)
+        sched_times[name] = smsv_seconds_per_format(
+            ds.rows, ds.cols, ds.values, ds.shape
+        )
+    for fixed in FORMAT_NAMES:
+        geo = 1.0
+        for name, times in sched_times.items():
+            pick = adaptive_results[name]["pick"]
+            geo *= times[fixed] / times[pick]
+        geo **= 1.0 / len(sched_times)
+        assert geo >= 1.0, f"fixed {fixed} policy beat the adaptive system"

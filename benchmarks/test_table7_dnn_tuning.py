@@ -1,0 +1,69 @@
+"""Table VII — time and speedup for reaching 0.8 CIFAR-10 accuracy.
+
+Paper: eight rows (five platforms at Caffe defaults + three incremental
+DGX tuning stages) with B, eta, mu, iterations, epochs, time, price,
+speedup and price/speedup.
+
+Regenerated from the calibrated convergence model x per-machine
+iteration-time model; every column is asserted against the paper within
+tolerance.  A measured mini-scale tuning run (real training on the
+synthetic CIFAR-10) accompanies it in ``examples/dnn_tuning.py``.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.tuning import reproduce_table7
+from repro.tuning.table7 import format_rows
+
+#: Table VII verbatim: (B, eta, mu, iterations, time s, speedup, $/spd).
+PAPER = {
+    "Intel Caffe on 8-core CPUs": (100, 0.001, 0.90, 60000, 29427, 1, 1571),
+    "Intel Caffe on KNL": (100, 0.001, 0.90, 60000, 4922, 6, 813),
+    "Intel Caffe on Haswell": (100, 0.001, 0.90, 60000, 1997, 15, 493),
+    "Nvidia Caffe on Tesla P100 GPU": (100, 0.001, 0.90, 60000, 503, 59, 196),
+    "Nvidia Caffe on DGX station": (100, 0.001, 0.90, 60000, 387, 76, 1039),
+    "Tune B on DGX station": (512, 0.001, 0.90, 30000, 361, 82, 963),
+    "Tune eta on DGX station": (512, 0.003, 0.90, 12000, 138, 213, 371),
+    "Tune mu on DGX station": (512, 0.003, 0.95, 7000, 83, 355, 223),
+}
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return reproduce_table7()
+
+
+def test_table7_regenerate(rows, benchmark, record_rows):
+    benchmark(reproduce_table7)
+
+    print_series("Table VII (regenerated)", "", [format_rows(rows)])
+    record_rows(
+        "table7",
+        {r.method: (r.batch_size, r.lr, r.momentum, r.iterations, r.seconds)
+         for r in rows},
+    )
+
+    assert len(rows) == 8
+    for r in rows:
+        b, lr, mu, iters, secs, speedup, pps = PAPER[r.method]
+        # Hyper-parameters the tuner must *choose* identically.
+        assert r.batch_size == b, r.method
+        assert r.lr == pytest.approx(lr), r.method
+        assert r.momentum == pytest.approx(mu, abs=0.011), r.method
+        # Derived quantities within 10%.
+        assert r.iterations == pytest.approx(iters, rel=0.01), r.method
+        assert r.seconds == pytest.approx(secs, rel=0.10), r.method
+        assert r.speedup == pytest.approx(speedup, rel=0.12), r.method
+        assert r.price_per_speedup == pytest.approx(pps, rel=0.12), r.method
+
+
+def test_table7_epochs_column(rows):
+    # Paper epochs: 120 for untuned rows, then 307* / 123 / 72.
+    # (*the printed 387 in the paper is inconsistent with its own
+    # iterations x B / n_train = 307; we match the arithmetic.)
+    by = {r.method: r for r in rows}
+    assert by["Intel Caffe on 8-core CPUs"].epochs == pytest.approx(120)
+    assert by["Tune B on DGX station"].epochs == pytest.approx(307, rel=0.01)
+    assert by["Tune eta on DGX station"].epochs == pytest.approx(123, rel=0.01)
+    assert by["Tune mu on DGX station"].epochs == pytest.approx(72, rel=0.01)

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Tour of the adaptive system over the paper's Table V datasets.
+
+For every dataset clone: extract the profile, show what each decision
+strategy picks, measure all five formats, and report the adaptive
+speedup over the worst format — a miniature, live regeneration of the
+paper's Table VI.
+
+Runs in ~half a minute::
+
+    python examples/adaptive_svm_tour.py
+"""
+
+from repro.core import AutoTuner, CostModel, LayoutScheduler
+from repro.core.rules import rule_based_choice
+from repro.data import dataset_names, load_dataset
+
+
+def main() -> None:
+    cost_model = CostModel()
+    tuner = AutoTuner(probe_rows=1024, repeats=2, smsv_per_probe=2)
+
+    header = (
+        f"{'dataset':14s} {'rules':>6s} {'cost':>6s} {'probe':>6s} "
+        f"{'worst':>6s} {'adaptive speedup vs worst':>26s}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for name in dataset_names():
+        ds = load_dataset(name, seed=0)
+        p = ds.profile
+
+        by_rules = rule_based_choice(p).fmt
+        by_cost = cost_model.best(p)
+        probed = tuner.probe(ds.rows, ds.cols, ds.values, ds.shape)
+        by_probe = probed[0].fmt
+        worst = probed[-1].fmt
+        speedup = probed[-1].median_seconds / probed[0].median_seconds
+
+        print(
+            f"{name:14s} {by_rules:>6s} {by_cost:>6s} {by_probe:>6s} "
+            f"{worst:>6s} {speedup:>25.1f}x"
+        )
+
+    print(
+        "\nEach row: what the three decision mechanisms pick for the "
+        "dataset, the measured worst format, and the measured gain of "
+        "the probed pick over that worst format (paper: 1.7-16.3x, "
+        "6.8x average)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Re-fit the analytic cost model's constants on the running machine.
+
+The scheduler's cost model predicts per-format SMSV cost from the nine
+profile parameters using per-format calibration constants
+(:class:`repro.core.cost_model.ArchCalibration`).  The shipped defaults
+were fitted on this library's NumPy kernels; this script shows the
+refit procedure for a new machine:
+
+1. generate probe matrices spanning the structural space,
+2. measure every format's SMSV on each,
+3. least-squares fit the per-element costs (overheads held at their
+   structural defaults),
+4. report prediction quality before/after.
+
+Run::
+
+    python examples/calibrate_cost_model.py
+"""
+
+import numpy as np
+
+from repro.core.cost_model import ArchCalibration, CostModel
+from repro.data.synthetic import (
+    matrix_with_mdim,
+    matrix_with_ndig,
+    matrix_with_vdim,
+    uniform_rows_matrix,
+)
+from repro.features import profile_from_coo
+from repro.formats import FORMAT_NAMES, format_class
+from repro.perf.timers import benchmark
+
+
+def probe_suite():
+    """A structurally diverse set of probe matrices."""
+    suite = [
+        uniform_rows_matrix(1024, 2048, 16, seed=1),
+        uniform_rows_matrix(512, 256, 128, seed=2),  # fairly dense
+        matrix_with_vdim(1024, 2048, adim=30, vdim=400.0, seed=3),
+        matrix_with_mdim(1024, 2048, 4096, 256, seed=4),
+        matrix_with_ndig(1024, 1024, 4096, 8, seed=5),
+        matrix_with_ndig(1024, 1024, 4096, 256, seed=6),
+    ]
+    return suite
+
+
+def measure(triples):
+    rows, cols, vals, shape = triples
+    profile = profile_from_coo(rows, cols, shape, validated=True)
+    times = {}
+    for fmt in FORMAT_NAMES:
+        m = format_class(fmt).from_coo(rows, cols, vals, shape)
+        v = m.row(0)
+        times[fmt] = benchmark(lambda: m.smsv(v), repeats=3, warmup=1).median
+    return profile, times
+
+
+def fit(measurements):
+    """Per-format least squares: time ~ c_fmt * effective_elements."""
+    base = CostModel(ArchCalibration())
+    fitted = {}
+    for fmt in FORMAT_NAMES:
+        xs = np.array(
+            [base.effective_elements(fmt, p) for p, _ in measurements]
+        )
+        ys = np.array([t[fmt] for _, t in measurements])
+        # closed-form 1-D least squares through the origin
+        fitted[fmt] = float((xs @ ys) / (xs @ xs))
+    # normalise so CSR = 1.0 (relative costs are what the ranking uses)
+    ref = fitted["CSR"]
+    return {k: v / ref for k, v in fitted.items()}
+
+
+def regret(model: CostModel, measurements) -> float:
+    """Geomean time-ratio of the model's pick vs the measured best."""
+    g = 1.0
+    for p, times in measurements:
+        pick = model.best(p)
+        g *= times[pick] / min(times.values())
+    return g ** (1.0 / len(measurements))
+
+
+def main() -> None:
+    print("Measuring probe suite (a few seconds)...")
+    measurements = [measure(t) for t in probe_suite()]
+
+    default_model = CostModel(ArchCalibration())
+    print(
+        f"default calibration: geomean regret "
+        f"{regret(default_model, measurements):.3f}x"
+    )
+
+    fitted_costs = fit(measurements)
+    print("fitted per-element costs (relative to CSR):")
+    for fmt, c in fitted_costs.items():
+        print(f"  {fmt:4s} {c:7.3f}")
+
+    cal = ArchCalibration(cost_per_element=fitted_costs)
+    fitted_model = CostModel(cal)
+    print(
+        f"fitted calibration:  geomean regret "
+        f"{regret(fitted_model, measurements):.3f}x"
+    )
+    print(
+        "\nPass the fitted ArchCalibration to LayoutScheduler("
+        "calibration=...) to use it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Distributed training, both halves of the paper in one script.
+
+1. **Divide-and-conquer SVM** (CA-SVM + this paper's scheduler): the
+   training set is k-means partitioned, every shard gets its *own*
+   layout decision, shards train in parallel, prediction routes by
+   nearest centroid.
+2. **Data-parallel DNN** (Section IV-B): a 4-worker replica group
+   trains the CNN with gradient allreduce; the script reports the
+   communication volume the allreduce would cost — the term that
+   limited the naive DGX port to 1.3x.
+
+Run::
+
+    python examples/distributed_training.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import LayoutScheduler
+from repro.data import load_dataset, synthetic_cifar10
+from repro.dnn import DataParallelTrainer, Trainer, cifar10_small
+from repro.svm import SVC, DivideAndConquerSVC
+
+
+def dc_svm() -> None:
+    print("=" * 68)
+    print("Divide-and-conquer SVM with per-shard layout scheduling")
+    print("=" * 68)
+    ds = load_dataset("adult", seed=0)
+    X = ds.in_format("CSR")
+    y = ds.y
+
+    t0 = time.perf_counter()
+    global_svm = SVC("linear", C=1.0, max_iter=4000).fit(X, y)
+    t_global = time.perf_counter() - t0
+    acc_global = global_svm.score(X, y)
+
+    t0 = time.perf_counter()
+    dc = DivideAndConquerSVC(
+        "linear",
+        n_partitions=4,
+        C=1.0,
+        max_iter=4000,
+        scheduler=LayoutScheduler("cost"),
+        n_workers=4,
+        seed=0,
+    ).fit(X, y)
+    t_dc = time.perf_counter() - t0
+    acc_dc = dc.score(X, y)
+
+    print(f"global SVM : acc={acc_global:.3f}  time={t_global:.2f}s")
+    print(f"DC-SVM (P=4): acc={acc_dc:.3f}  time={t_dc:.2f}s")
+    print(f"shard sizes : {dc.shard_sizes_}")
+    print(f"shard layouts (independent decisions): {dc.layouts_}")
+    print()
+
+
+def data_parallel_dnn() -> None:
+    print("=" * 68)
+    print("Data-parallel DNN training (divide the data, replicate W)")
+    print("=" * 68)
+    data = synthetic_cifar10(600, 150, seed=0, flip_prob=0.0)
+
+    serial_net = cifar10_small(seed=0)
+    t0 = time.perf_counter()
+    Trainer(
+        serial_net, batch_size=100, lr=0.01, momentum=0.9,
+        target_accuracy=0.999, max_epochs=3,
+    ).fit(data)
+    t_serial = time.perf_counter() - t0
+    acc_serial = serial_net.accuracy(
+        data.x_test.astype(np.float64), data.y_test
+    )
+
+    par_net = cifar10_small(seed=0)
+    dp = DataParallelTrainer(
+        par_net, n_replicas=4, batch_size=100, lr=0.01, momentum=0.9,
+        concurrent=True,
+    )
+    t0 = time.perf_counter()
+    for epoch in range(1, 4):
+        dp.train_epoch(data, epoch)
+    t_par = time.perf_counter() - t0
+    acc_par = par_net.accuracy(data.x_test.astype(np.float64), data.y_test)
+
+    print(f"serial      : acc={acc_serial:.3f}  time={t_serial:.2f}s")
+    print(f"4 workers   : acc={acc_par:.3f}  time={t_par:.2f}s")
+    print(
+        f"allreduce   : {dp.comm.total_bytes / 1e6:.2f} MB over "
+        f"{dp.comm.steps} steps "
+        f"({dp.comm.bytes_per_step / 1e3:.1f} KB/step)"
+    )
+    print(
+        f"  at NVLink 80 GB/s that costs "
+        f"{dp.modelled_comm_seconds(80.0) * 1e3:.2f} ms total — the "
+        f"overhead term behind the DGX's 5.2 ms iteration overhead."
+    )
+
+
+def main() -> None:
+    dc_svm()
+    data_parallel_dnn()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""DNN auto-tuning, two ways (the paper's Section IV).
+
+1. *Modelled*: the calibrated convergence x hardware models regenerate
+   Table VII — the full 8-row table with the DGX1/2/3 tuning stages.
+2. *Measured*: the same staged tuning procedure, run for real on the
+   NumPy CNN and the synthetic CIFAR-10 (small spaces so it finishes in
+   a couple of minutes), showing the identical trade-offs live:
+   batch size vs throughput, learning rate vs convergence.
+
+Run::
+
+    python examples/dnn_tuning.py            # modelled only (seconds)
+    python examples/dnn_tuning.py --measured # + real training (minutes)
+"""
+
+import sys
+
+from repro.data import synthetic_cifar10
+from repro.dnn import Trainer, cifar10_small
+from repro.tuning import reproduce_table7
+from repro.tuning.table7 import format_rows
+
+
+def modelled() -> None:
+    print("=" * 70)
+    print("Table VII regenerated from the calibrated models")
+    print("=" * 70)
+    print(format_rows(reproduce_table7()))
+    print()
+
+
+def measured() -> None:
+    print("=" * 70)
+    print("Measured staged tuning on the synthetic CIFAR-10 (mini-scale)")
+    print("=" * 70)
+    data = synthetic_cifar10(1200, 300, seed=0)
+    target = 0.75
+
+    def time_to_target(batch, lr, momentum):
+        run = Trainer(
+            cifar10_small(seed=0),
+            batch_size=batch,
+            lr=lr,
+            momentum=momentum,
+            target_accuracy=target,
+            max_epochs=25,
+            seed=0,
+        ).fit(data)
+        secs = run.seconds_to_target if run.reached_target else float("inf")
+        return secs, run
+
+    # Stage 1: batch size at default lr/momentum.
+    stage1 = {}
+    for batch in (25, 50, 150):
+        secs, run = time_to_target(batch, 0.005, 0.90)
+        stage1[batch] = secs
+        print(
+            f"  B={batch:4d} eta=0.005 mu=0.90 -> "
+            f"{'%.1fs' % secs if secs != float('inf') else 'no convergence'}"
+            f" (epochs={run.epochs_to_target})"
+        )
+    best_b = min(stage1, key=stage1.get)
+    print(f"  stage 1 picks B={best_b}\n")
+
+    # Stage 2: learning rate at the chosen batch.
+    stage2 = {}
+    for lr in (0.002, 0.005, 0.01):
+        secs, run = time_to_target(best_b, lr, 0.90)
+        stage2[lr] = secs
+        print(
+            f"  B={best_b:4d} eta={lr:.3f} mu=0.90 -> "
+            f"{'%.1fs' % secs if secs != float('inf') else 'no convergence'}"
+        )
+    best_lr = min(stage2, key=stage2.get)
+    print(f"  stage 2 picks eta={best_lr}\n")
+
+    # Stage 3: momentum.
+    stage3 = {}
+    for mu in (0.0, 0.90, 0.95):
+        secs, run = time_to_target(best_b, best_lr, mu)
+        stage3[mu] = secs
+        print(
+            f"  B={best_b:4d} eta={best_lr:.3f} mu={mu:.2f} -> "
+            f"{'%.1fs' % secs if secs != float('inf') else 'no convergence'}"
+        )
+    best_mu = min(stage3, key=stage3.get)
+    print(
+        f"  stage 3 picks mu={best_mu}; total measured speedup "
+        f"{stage1[max(stage1, key=stage1.get)] / stage3[best_mu]:.1f}x "
+        f"over the worst stage-1 setting"
+    )
+
+
+def main() -> None:
+    modelled()
+    if "--measured" in sys.argv:
+        measured()
+    else:
+        print("(pass --measured to also run the real mini-scale tuning)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Explore how matrix structure drives format performance (Figs. 2-4).
+
+Sweeps the three structural parameters the paper isolates — number of
+diagonals (DIA), maximum row length (ELL), and row-length variance
+(CSR vs COO) — and prints measured and modelled timings side by side.
+
+Run::
+
+    python examples/format_explorer.py
+"""
+
+from repro.data.synthetic import (
+    matrix_with_mdim,
+    matrix_with_ndig,
+    matrix_with_vdim,
+)
+from repro.formats import COOMatrix, CSRMatrix, DIAMatrix, ELLMatrix
+from repro.hardware import VectorMachine, get_machine
+from repro.perf.timers import benchmark
+
+
+def _measure(matrix, n=3) -> float:
+    v = matrix.row(0)
+    return benchmark(lambda: matrix.smsv(v), repeats=n, warmup=1).median
+
+
+def main() -> None:
+    vm = VectorMachine(get_machine("ivybridge"))
+
+    print("Fig. 2 — DIA vs number of diagonals (M=N=nnz=2048)")
+    for ndig in (2, 8, 32, 128, 512):
+        m = DIAMatrix.from_coo(*matrix_with_ndig(2048, 2048, 2048, ndig))
+        print(
+            f"  ndig={ndig:5d}  measured {_measure(m) * 1e6:9.1f} us   "
+            f"model {vm.count(m).seconds * 1e6:9.1f} us"
+        )
+
+    print("\nFig. 3 — ELL vs max row length (M=N=2048, nnz=4096)")
+    for mdim in (2, 8, 32, 128, 512):
+        m = ELLMatrix.from_coo(*matrix_with_mdim(2048, 2048, 4096, mdim))
+        print(
+            f"  mdim={mdim:5d}  measured {_measure(m) * 1e6:9.1f} us   "
+            f"model {vm.count(m).seconds * 1e6:9.1f} us"
+        )
+
+    print("\nFig. 4 — CSR vs COO as row-length variance grows (adim=40)")
+    vm8 = VectorMachine(get_machine("knc"))
+    for vdim in (0.0, 100.0, 400.0, 1600.0):
+        triples = matrix_with_vdim(2048, 4096, adim=40, vdim=vdim, seed=3)
+        csr = CSRMatrix.from_coo(*triples)
+        coo = COOMatrix.from_coo(*triples)
+        ratio = vm8.count(csr).seconds / vm8.count(coo).seconds
+        winner = "COO" if ratio > 1 else "CSR"
+        print(
+            f"  vdim={vdim:7.0f}  COO-over-CSR (SIMD model) "
+            f"{ratio:5.2f}x  -> {winner} wins"
+        )
+
+    print(
+        "\nTakeaway: each format has one structural parameter that "
+        "makes or breaks it — which is why a runtime scheduler beats "
+        "any fixed choice."
+    )
+
+
+if __name__ == "__main__":
+    main()

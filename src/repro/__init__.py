@@ -1,0 +1,71 @@
+"""repro — Runtime Data Layout Scheduling for Machine Learning Datasets.
+
+A from-scratch reproduction of You & Demmel (ICPP 2017): a runtime
+system that picks the right sparse/dense storage format (DEN / CSR /
+COO / ELL / DIA) for SMO-based SVM training, plus the paper's DNN
+auto-tuning (batch size / learning rate / momentum) and
+price-per-speedup hardware selection.
+
+Quick start::
+
+    import numpy as np
+    from repro import AdaptiveSVC, schedule_layout, from_dense
+
+    X = np.random.default_rng(0).random((500, 40))
+    y = np.where(X @ np.ones(40) > 20, 1.0, -1.0)
+
+    clf = AdaptiveSVC("gaussian", gamma=0.1).fit(X, y)
+    print(clf.chosen_format, clf.score(X, y))
+
+Package map (see DESIGN.md for the full inventory):
+
+- :mod:`repro.formats` — the five storage formats and their kernels
+- :mod:`repro.features` — the nine Table IV dataset parameters
+- :mod:`repro.core` — the layout scheduler (rules / cost model / probe)
+- :mod:`repro.svm` — SMO, SVC, AdaptiveSVC
+- :mod:`repro.baselines` — LIBSVM-style and GPUSVM-style fixed layouts
+- :mod:`repro.dnn` — NumPy CNN framework + trainer
+- :mod:`repro.tuning` — B/eta/mu auto-tuning and Table VII pipeline
+- :mod:`repro.hardware` — machine catalog, roofline, SIMD model, pricing
+- :mod:`repro.data` — synthetic generators, Table V clones, CIFAR stand-in
+- :mod:`repro.perf` / :mod:`repro.parallel` — measurement and threading
+"""
+
+from repro.core import LayoutScheduler, schedule_layout
+from repro.features import DatasetProfile, extract_profile
+from repro.formats import (
+    COOMatrix,
+    CSRMatrix,
+    DenseMatrix,
+    DIAMatrix,
+    ELLMatrix,
+    FORMAT_NAMES,
+    MatrixFormat,
+    SparseVector,
+    convert,
+    from_dense,
+)
+from repro.svm import SVC, AdaptiveSVC, MulticlassSVC
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "LayoutScheduler",
+    "schedule_layout",
+    "DatasetProfile",
+    "extract_profile",
+    "MatrixFormat",
+    "SparseVector",
+    "DenseMatrix",
+    "CSRMatrix",
+    "COOMatrix",
+    "ELLMatrix",
+    "DIAMatrix",
+    "FORMAT_NAMES",
+    "convert",
+    "from_dense",
+    "SVC",
+    "MulticlassSVC",
+    "AdaptiveSVC",
+]

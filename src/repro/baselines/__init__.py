@@ -1,0 +1,25 @@
+"""Comparison baselines from the paper's evaluation.
+
+- :class:`LibSVMStyleSVC` — emulates *parallel LIBSVM*: CSR hardcoded
+  for every dataset, no kernel-row cache, and a deliberately
+  scalar-style (block-looped) CSR kernel standing in for LIBSVM's
+  non-vectorised C row loop.  The paper reports its own fixed-CSR code
+  is ~3x faster than LIBSVM's CSR path; the block-looped kernel
+  reproduces a gap of that order on this substrate.
+- :class:`GPUSVMStyleSVC` — emulates *GPUSVM*: DEN hardcoded for every
+  dataset (dense storage regardless of sparsity), trading memory for
+  regular access exactly as Catanzaro's implementation does.
+- :class:`FixedFormatSVC` — the general fixed-layout SVC both of the
+  above specialise; also the "non-adaptive case" used as the worst-
+  format baseline in Table VI.
+"""
+
+from repro.baselines.fixed import FixedFormatSVC, GPUSVMStyleSVC
+from repro.baselines.libsvm_style import LibSVMStyleSVC, rowloop_csr_matvec
+
+__all__ = [
+    "FixedFormatSVC",
+    "GPUSVMStyleSVC",
+    "LibSVMStyleSVC",
+    "rowloop_csr_matvec",
+]

@@ -1,0 +1,203 @@
+"""Command-line interface.
+
+``python -m repro <command>``:
+
+========  ==========================================================
+profile   print the nine Table IV parameters of a LIBSVM file
+schedule  decide (and explain) the storage format for a LIBSVM file
+train     train an adaptive SVM on a LIBSVM file and report accuracy
+datasets  list the built-in Table V dataset clones
+table7    print the regenerated Table VII
+machines  list the hardware catalog (Table VII platforms + prices)
+========  ==========================================================
+
+Every command is a thin shell over the public API, so scripts can do
+the same four lines in Python; the CLI exists for quick inspection of
+files on disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.data import read_libsvm
+    from repro.features import profile_from_coo
+
+    (rows, cols, _vals, shape), _y = read_libsvm(
+        args.file, n_features=args.n_features
+    )
+    p = profile_from_coo(rows, cols, shape, validated=True)
+    print(p)
+    for name, value in p.as_dict().items():
+        print(f"  {name:8s} = {value}")
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    from repro.core import LayoutScheduler, explain
+    from repro.data import read_libsvm
+
+    (rows, cols, vals, shape), _y = read_libsvm(
+        args.file, n_features=args.n_features
+    )
+    sched = LayoutScheduler(args.strategy)
+    decision = sched.decide_from_coo(rows, cols, vals, shape)
+    print(f"format   : {decision.fmt}")
+    print(f"strategy : {decision.strategy}")
+    print(f"reason   : {decision.reason}")
+    if args.explain:
+        print()
+        print(explain(decision.profile))
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.core import LayoutScheduler
+    from repro.data import read_libsvm
+    from repro.svm import AdaptiveSVC
+
+    (rows, cols, vals, shape), y = read_libsvm(
+        args.file, n_features=args.n_features
+    )
+    classes = np.unique(y)
+    if classes.shape[0] != 2:
+        print(
+            f"error: need a binary problem, found {classes.shape[0]} "
+            f"classes",
+            file=sys.stderr,
+        )
+        return 2
+    # map arbitrary binary labels to ±1
+    y_pm = np.where(y == classes[1], 1.0, -1.0)
+    from repro.formats import format_class
+
+    X = format_class("CSR").from_coo(rows, cols, vals, shape)
+    clf = AdaptiveSVC(
+        args.kernel,
+        C=args.C,
+        max_iter=args.max_iter,
+        scheduler=LayoutScheduler(args.strategy),
+        **({"gamma": args.gamma} if args.kernel in ("gaussian", "rbf") else {}),
+    )
+    t0 = time.perf_counter()
+    clf.fit(X, y_pm)
+    elapsed = time.perf_counter() - t0
+    print(f"format      : {clf.chosen_format}")
+    print(f"iterations  : {clf.result_.iterations}")
+    print(f"converged   : {clf.result_.converged}")
+    print(f"support     : {clf.n_support}")
+    print(f"train acc   : {clf.score(X, y_pm):.4f}")
+    print(f"train time  : {elapsed:.2f} s")
+    return 0
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    from repro.data import DATASET_SPECS
+
+    header = (
+        f"{'name':14s} {'application':12s} {'M':>9s} {'N':>7s} "
+        f"{'density':>8s} {'scaled':>7s}"
+    )
+    print(header)
+    for name, spec in DATASET_SPECS.items():
+        p = spec.paper
+        print(
+            f"{name:14s} {spec.application:12s} {p.m:9d} {p.n:7d} "
+            f"{p.density:8.3f} {'yes' if spec.scaled else 'no':>7s}"
+        )
+    return 0
+
+
+def _cmd_table7(_args: argparse.Namespace) -> int:
+    from repro.tuning import reproduce_table7
+    from repro.tuning.table7 import format_rows
+
+    print(format_rows(reproduce_table7()))
+    return 0
+
+
+def _cmd_machines(_args: argparse.Namespace) -> int:
+    from repro.hardware import MACHINES
+
+    print(
+        f"{'name':10s} {'cores':>6s} {'peak Gf/s':>10s} {'BW GB/s':>8s} "
+        f"{'price $':>9s}  description"
+    )
+    for name, m in MACHINES.items():
+        print(
+            f"{name:10s} {m.cores:6d} {m.peak_gflops:10.0f} "
+            f"{m.bandwidth_gbs:8.0f} {m.price_usd:9,.0f}  {m.long_name}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Runtime data layout scheduling for ML datasets "
+        "(You & Demmel, ICPP 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("profile", help="nine-parameter profile of a LIBSVM file")
+    p.add_argument("file")
+    p.add_argument("--n-features", type=int, default=None)
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("schedule", help="decide the storage format")
+    p.add_argument("file")
+    p.add_argument("--n-features", type=int, default=None)
+    p.add_argument(
+        "--strategy",
+        choices=("rules", "cost", "probe", "hybrid"),
+        default="hybrid",
+    )
+    p.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the full decision rationale (profile, rule trace, "
+        "cost-model ranking)",
+    )
+    p.set_defaults(func=_cmd_schedule)
+
+    p = sub.add_parser("train", help="train an adaptive SVM")
+    p.add_argument("file")
+    p.add_argument("--n-features", type=int, default=None)
+    p.add_argument("--kernel", default="linear")
+    p.add_argument("--gamma", type=float, default=0.1)
+    p.add_argument("--C", type=float, default=1.0)
+    p.add_argument("--max-iter", type=int, default=10_000)
+    p.add_argument(
+        "--strategy",
+        choices=("rules", "cost", "probe", "hybrid"),
+        default="hybrid",
+    )
+    p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser("datasets", help="list Table V dataset clones")
+    p.set_defaults(func=_cmd_datasets)
+
+    p = sub.add_parser("table7", help="print the regenerated Table VII")
+    p.set_defaults(func=_cmd_table7)
+
+    p = sub.add_parser("machines", help="list the hardware catalog")
+    p.set_defaults(func=_cmd_machines)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

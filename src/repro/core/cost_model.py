@@ -1,0 +1,223 @@
+"""Analytic per-format cost model (Eq. (7) made executable).
+
+The paper explains every format performance gap through two quantities:
+the *effective element count* a format's kernel must process (padding
+included) and the *effective bandwidth* its access pattern achieves.
+This module derives both from a :class:`~repro.features.profile.
+DatasetProfile` alone — no data access — so the scheduler can rank
+formats in microseconds.
+
+Effective element counts (values + indices, per SMSV):
+
+=======  =====================================================
+DEN      ``M * N``                       (no indices)
+CSR      ``sum_i ceil(dim_i / W) * W``   (SIMD row padding) + row ptrs
+COO      ``nnz``                         (x3 streams)
+ELL      ``M * mdim``                    (global row padding)
+DIA      ``ndig * min(M, N)``            (diagonal padding)
+=======  =====================================================
+
+The CSR padding term is where ``vdim`` enters: with row lengths of mean
+``adim`` and variance ``vdim`` the expected SIMD waste per row is close
+to ``(W-1)/2`` once rows are irregular, and an additional lane-imbalance
+penalty proportional to the coefficient of variation models the
+fixed-width-SIMD effect of Fig. 4.  COO has no such term: all non-zeros
+sit in one flat stream (the paper's stated reason COO overtakes CSR at
+high ``vdim``).
+
+Calibration constants default to values fitted on this library's NumPy
+kernels (see ``ArchCalibration.numpy_default``); ``ArchCalibration.
+fit()`` re-fits them on the running machine with micro-probes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.features.profile import DatasetProfile
+from repro.formats.base import FORMAT_NAMES
+
+
+@dataclass(frozen=True)
+class ArchCalibration:
+    """Per-format machine constants used by the cost model.
+
+    Attributes
+    ----------
+    simd_width:
+        Vector lane count ``W`` (8 = AVX-512 doubles, the paper's Phi).
+    cost_per_element:
+        Relative time to process one stored element, per format.  DEN is
+        cheapest (pure streaming, BLAS); COO pays for three streams and
+        an atomic-style scatter; DIA and ELL stream regularly.
+    row_overhead:
+        Fixed cost per matrix row (CSR's pointer chase / loop control).
+    diag_overhead:
+        Fixed cost per diagonal (DIA's per-diagonal setup).
+    csr_imbalance:
+        Strength of the CSR lane-imbalance penalty ``1 + c * cv_dim``.
+    """
+
+    simd_width: int = 8
+    cost_per_element: Dict[str, float] = field(
+        default_factory=lambda: {
+            "DEN": 0.35,
+            "CSR": 1.0,
+            "COO": 1.35,
+            "ELL": 0.9,
+            "DIA": 0.55,  # values only, contiguous x: no index stream
+        }
+    )
+    row_overhead: Dict[str, float] = field(
+        default_factory=lambda: {
+            "DEN": 0.1,
+            "CSR": 1.0,
+            "COO": 0.0,
+            "ELL": 0.2,
+            "DIA": 0.0,
+        }
+    )
+    diag_overhead: float = 180.0
+    csr_imbalance: float = 0.35
+    #: Absolute-spread term: wide row-length distributions leave whole
+    #: vector registers idle regardless of the mean (the raw-vdim
+    #: dependence Fig. 4 plots).  Multiplies ``sqrt(vdim) / W``.
+    csr_spread: float = 0.05
+
+    @classmethod
+    def numpy_default(cls) -> "ArchCalibration":
+        """Constants fitted on this library's vectorised NumPy kernels.
+
+        Fitted by regressing measured per-element SMSV time of each
+        kernel over the Fig. 2/3/4 synthetic families (see
+        ``examples/calibrate_cost_model.py`` for the refit procedure).
+        """
+        return cls()
+
+    def with_simd_width(self, w: int) -> "ArchCalibration":
+        if w < 1:
+            raise ValueError("simd_width must be >= 1")
+        return replace(self, simd_width=w)
+
+
+@dataclass(frozen=True)
+class FormatCost:
+    """Predicted cost breakdown of one format for one profile."""
+
+    fmt: str
+    elements: float  #: effective stored elements processed per SMSV
+    overhead: float  #: per-row / per-diagonal fixed costs
+    cost: float  #: total model cost (arbitrary units, comparable)
+
+    def __lt__(self, other: "FormatCost") -> bool:
+        return self.cost < other.cost
+
+
+class CostModel:
+    """Ranks formats for a dataset profile using the analytic model."""
+
+    def __init__(self, calibration: Optional[ArchCalibration] = None) -> None:
+        self.calibration = calibration or ArchCalibration.numpy_default()
+
+    # -- effective element counts --------------------------------------
+    def effective_elements(self, fmt: str, p: DatasetProfile) -> float:
+        """Stored elements the format's SMSV kernel must process."""
+        fmt = fmt.upper()
+        if fmt == "DEN":
+            return float(p.m) * p.n
+        if fmt == "COO":
+            return float(p.nnz)
+        if fmt == "ELL":
+            return float(p.m) * p.mdim
+        if fmt == "DIA":
+            return float(p.ndig) * min(p.m, p.n)
+        if fmt == "CSR":
+            w = self.calibration.simd_width
+            if p.m == 0:
+                return 0.0
+            # Expected ceil-padding: exact when rows are uniform,
+            # (W-1)/2 per row otherwise.
+            if p.vdim == 0.0 and float(p.adim).is_integer():
+                padded_per_row = w * math.ceil(p.adim / w)
+            else:
+                padded_per_row = p.adim + (w - 1) / 2.0
+            padded = p.m * padded_per_row
+            # Lane imbalance grows with row-length variation — the
+            # Fig. 4 effect.  Two terms: relative (cv) and absolute
+            # spread in units of vector registers (sqrt(vdim) / W).
+            imbalance = (
+                1.0
+                + self.calibration.csr_imbalance * p.cv_dim
+                + self.calibration.csr_spread * math.sqrt(p.vdim) / w
+            )
+            return padded * imbalance
+        raise ValueError(f"unknown format {fmt!r}")
+
+    def cost(self, fmt: str, p: DatasetProfile) -> FormatCost:
+        """Model cost of one SMSV in ``fmt`` for profile ``p``."""
+        fmt = fmt.upper()
+        cal = self.calibration
+        elements = self.effective_elements(fmt, p)
+        per_elem = cal.cost_per_element[fmt]
+        overhead = cal.row_overhead[fmt] * p.m
+        if fmt == "DIA":
+            overhead += cal.diag_overhead * p.ndig
+        total = elements * per_elem + overhead
+        return FormatCost(fmt=fmt, elements=elements, overhead=overhead, cost=total)
+
+    def rank(
+        self,
+        p: DatasetProfile,
+        candidates: Optional[Iterable[str]] = None,
+    ) -> List[FormatCost]:
+        """All candidate costs, cheapest first."""
+        names = list(candidates) if candidates is not None else list(FORMAT_NAMES)
+        return sorted(self.cost(f, p) for f in names)
+
+    def best(
+        self,
+        p: DatasetProfile,
+        candidates: Optional[Iterable[str]] = None,
+    ) -> str:
+        return self.rank(p, candidates)[0].fmt
+
+    def shortlist(
+        self, p: DatasetProfile, k: int = 2
+    ) -> List[str]:
+        """The ``k`` cheapest formats — what the hybrid strategy probes."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        return [c.fmt for c in self.rank(p)[:k]]
+
+    # -- conversion accounting -----------------------------------------
+    def conversion_cost(self, p: DatasetProfile, target: str) -> float:
+        """Model cost of converting the input into ``target`` format.
+
+        One pass over the nnz (sort-dominated, modelled linear with a
+        constant) plus writing the target's storage.  The scheduler
+        amortises this against the per-iteration savings: SMO runs
+        thousands of iterations, so conversion is nearly always worth
+        it — but the accounting keeps the decision honest for tiny
+        iteration budgets.
+        """
+        build = 4.0 * p.nnz
+        write = self.effective_elements(target, p)
+        return build + write
+
+    def worthwhile(
+        self,
+        p: DatasetProfile,
+        current: str,
+        target: str,
+        iterations: int,
+    ) -> bool:
+        """Is converting from ``current`` to ``target`` net-positive for
+        an SMO run of ``iterations`` steps (2 SMSVs per step)?"""
+        if iterations < 0:
+            raise ValueError("iterations must be non-negative")
+        saving = (
+            self.cost(current, p).cost - self.cost(target, p).cost
+        ) * 2.0 * iterations
+        return saving > self.conversion_cost(p, target)

@@ -1,0 +1,311 @@
+"""The layout scheduler facade.
+
+Combines the three decision mechanisms into one entry point:
+
+========  =============================================================
+Strategy  Behaviour
+========  =============================================================
+rules     decision list only (microseconds, fully predictable)
+cost      analytic cost model only (microseconds, machine-calibrated)
+probe     measure every format on a row sample (milliseconds, exact)
+hybrid    cost model shortlists top-k, probe decides among them
+========  =============================================================
+
+Decisions are cached by a quantised profile key, so repeated training
+runs on similarly-shaped data skip re-deciding — the "runtime" in
+runtime scheduling stays cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.autotune import AutoTuner
+from repro.core.cost_model import ArchCalibration, CostModel
+from repro.core.rules import RuleThresholds, rule_based_choice
+from repro.features.extract import extract_profile, profile_from_coo
+from repro.features.profile import DatasetProfile
+from repro.formats.base import MatrixFormat
+from repro.formats.convert import convert, format_class
+
+STRATEGIES = ("rules", "cost", "probe", "hybrid")
+
+
+@dataclass(frozen=True)
+class Decision:
+    """A scheduling decision with its audit trail."""
+
+    fmt: str
+    strategy: str
+    reason: str
+    profile: DatasetProfile
+    cached: bool = False
+
+
+def _quantise(x: float) -> float:
+    """Round to ~1.5 significant figures for cache keying: two matrices
+    whose statistics agree this coarsely get the same decision."""
+    if x == 0.0:
+        return 0.0
+    import math
+
+    exp = math.floor(math.log10(abs(x)))
+    return round(x / 10**exp, 1) * 10**exp
+
+
+class DecisionCache:
+    """Profile-keyed memo of past decisions."""
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._store: Dict[Tuple, str] = {}
+
+    @staticmethod
+    def key(p: DatasetProfile) -> Tuple:
+        return tuple(_quantise(v) for v in p.as_vector())
+
+    def get(self, p: DatasetProfile) -> Optional[str]:
+        return self._store.get(self.key(p))
+
+    def put(self, p: DatasetProfile, fmt: str) -> None:
+        if len(self._store) >= self.maxsize:
+            # FIFO eviction: oldest insertion order (dicts preserve it).
+            self._store.pop(next(iter(self._store)))
+        self._store[self.key(p)] = fmt
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        self._store.clear()
+
+
+class LayoutScheduler:
+    """Runtime data-layout scheduler (the paper's adaptive system).
+
+    Parameters
+    ----------
+    strategy:
+        One of ``rules`` / ``cost`` / ``probe`` / ``hybrid``.
+    calibration:
+        Machine constants for the cost model.
+    thresholds:
+        Decision-list boundaries for the rules strategy.
+    tuner:
+        Probe configuration for the probe/hybrid strategies.
+    shortlist:
+        How many model-ranked candidates the hybrid strategy probes.
+    cache:
+        Optional shared decision cache.
+    candidates:
+        Formats the *probe* strategy measures (default: the paper's
+        five).  Extended formats (CSC, BCSR) may be included here —
+        their fitness depends on structure the nine-parameter profile
+        does not capture (column stats, block fill), so only empirical
+        probing can rank them; the rules/cost strategies always decide
+        among the five basic formats.
+    """
+
+    def __init__(
+        self,
+        strategy: str = "hybrid",
+        *,
+        calibration: Optional[ArchCalibration] = None,
+        thresholds: Optional[RuleThresholds] = None,
+        tuner: Optional[AutoTuner] = None,
+        shortlist: int = 2,
+        cache: Optional[DecisionCache] = None,
+        candidates: Optional[Tuple[str, ...]] = None,
+    ) -> None:
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
+        if shortlist < 1:
+            raise ValueError("shortlist must be >= 1")
+        if candidates is not None:
+            if not candidates:
+                raise ValueError("candidates must be non-empty")
+            for c in candidates:
+                format_class(c)  # validate eagerly
+            if strategy in ("rules", "cost"):
+                raise ValueError(
+                    "extended candidates require the probe or hybrid "
+                    "strategy (profile-based strategies only rank the "
+                    "five basic formats)"
+                )
+        self.strategy = strategy
+        self.cost_model = CostModel(calibration)
+        self.thresholds = thresholds or RuleThresholds()
+        self.tuner = tuner or AutoTuner()
+        self.shortlist = shortlist
+        self.cache = cache if cache is not None else DecisionCache()
+        self.candidates = tuple(candidates) if candidates else None
+
+    # -- deciding -------------------------------------------------------
+    def decide_from_coo(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: np.ndarray,
+        shape: Tuple[int, int],
+    ) -> Decision:
+        """Decide the layout for a matrix given as COO triples."""
+        profile = profile_from_coo(rows, cols, shape)
+        cached = self.cache.get(profile)
+        if cached is not None:
+            return Decision(
+                fmt=cached,
+                strategy=self.strategy,
+                reason="cached decision for an equivalent profile",
+                profile=profile,
+                cached=True,
+            )
+
+        if self.strategy == "rules":
+            rd = rule_based_choice(profile, self.thresholds)
+            decision = Decision(
+                fmt=rd.fmt,
+                strategy="rules",
+                reason=f"rule '{rd.rule}': {rd.reason}",
+                profile=profile,
+            )
+        elif self.strategy == "cost":
+            ranked = self.cost_model.rank(profile)
+            decision = Decision(
+                fmt=ranked[0].fmt,
+                strategy="cost",
+                reason=(
+                    f"model cost {ranked[0].cost:.3g} vs runner-up "
+                    f"{ranked[1].fmt} at {ranked[1].cost:.3g}"
+                ),
+                profile=profile,
+            )
+        elif self.strategy == "probe":
+            results = self.tuner.probe(
+                rows, cols, values, shape, self.candidates
+            )
+            decision = Decision(
+                fmt=results[0].fmt,
+                strategy="probe",
+                reason=(
+                    f"measured {results[0].median_seconds * 1e6:.1f} us/SMSV "
+                    f"on {results[0].probe_rows} probe rows"
+                ),
+                profile=profile,
+            )
+        else:  # hybrid
+            short = self.cost_model.shortlist(profile, self.shortlist)
+            if self.candidates:
+                # extended candidates join the probe round directly
+                short = list(
+                    dict.fromkeys(
+                        short
+                        + [c for c in self.candidates if c not in short]
+                    )
+                )
+            if len(short) == 1:
+                decision = Decision(
+                    fmt=short[0],
+                    strategy="hybrid",
+                    reason="cost model shortlist of one",
+                    profile=profile,
+                )
+            else:
+                results = self.tuner.probe(rows, cols, values, shape, short)
+                decision = Decision(
+                    fmt=results[0].fmt,
+                    strategy="hybrid",
+                    reason=(
+                        f"probed model shortlist {short}; "
+                        f"{results[0].fmt} measured fastest"
+                    ),
+                    profile=profile,
+                )
+
+        self.cache.put(profile, decision.fmt)
+        return decision
+
+    def decide(self, matrix: MatrixFormat) -> Decision:
+        """Decide the layout for an already-stored matrix."""
+        rows, cols, values = matrix.to_coo()
+        return self.decide_from_coo(rows, cols, values, matrix.shape)
+
+    # -- applying -------------------------------------------------------
+    def apply(
+        self,
+        matrix: MatrixFormat,
+        *,
+        iterations_hint: Optional[int] = None,
+    ) -> Tuple[MatrixFormat, Decision]:
+        """Decide and convert; returns ``(matrix_in_best_format, why)``.
+
+        Parameters
+        ----------
+        iterations_hint:
+            Expected SMO iteration count for the upcoming training run.
+            When given, the conversion is performed only if the cost
+            model says the per-iteration savings amortise the one-off
+            conversion cost over that many iterations (2 SMSVs each) —
+            the accounting that keeps *runtime* scheduling net-positive
+            even for very short runs.  ``None`` (default) always
+            converts, matching the paper's setting where training runs
+            thousands of iterations.
+        """
+        decision = self.decide(matrix)
+        from repro.formats.base import FORMAT_NAMES
+
+        hint_applicable = (
+            iterations_hint is not None
+            and decision.fmt != matrix.name
+            # the amortisation model only covers the five basic formats
+            and matrix.name in FORMAT_NAMES
+            and decision.fmt in FORMAT_NAMES
+        )
+        if hint_applicable and not self.cost_model.worthwhile(
+            decision.profile, matrix.name, decision.fmt, iterations_hint
+        ):
+            decision = Decision(
+                fmt=matrix.name,
+                strategy=decision.strategy,
+                reason=(
+                    f"{decision.fmt} predicted fastest, but converting "
+                    f"from {matrix.name} would not amortise over "
+                    f"{iterations_hint} iterations; staying put"
+                ),
+                profile=decision.profile,
+                cached=decision.cached,
+            )
+            return matrix, decision
+        return convert(matrix, decision.fmt), decision
+
+    def apply_coo(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: np.ndarray,
+        shape: Tuple[int, int],
+    ) -> Tuple[MatrixFormat, Decision]:
+        """Decide from triples and build the chosen format directly."""
+        decision = self.decide_from_coo(rows, cols, values, shape)
+        cls = format_class(decision.fmt)
+        return cls.from_coo(rows, cols, values, shape), decision
+
+
+def schedule_layout(
+    matrix: MatrixFormat, strategy: str = "hybrid"
+) -> Tuple[MatrixFormat, Decision]:
+    """One-call convenience: re-lay out ``matrix`` optimally.
+
+    >>> from repro.formats import from_dense
+    >>> import numpy as np
+    >>> M, why = schedule_layout(from_dense(np.eye(64)))
+    >>> why.fmt in ("DIA", "ELL", "CSR", "COO", "DEN")
+    True
+    """
+    return LayoutScheduler(strategy).apply(matrix)

@@ -1,0 +1,130 @@
+"""LIBSVM text-format reader and writer.
+
+The Table V datasets ship in LIBSVM's sparse text format::
+
+    <label> <index>:<value> <index>:<value> ...
+
+with 1-based feature indices.  The reader returns canonical COO triples
+plus labels; the writer round-trips them.  This is the interchange point
+for users who want to run the scheduler on their own (real) datasets.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.data.synthetic import CooTriples
+
+PathLike = Union[str, Path]
+
+
+def read_libsvm(
+    source: Union[PathLike, io.TextIOBase],
+    *,
+    n_features: Optional[int] = None,
+) -> Tuple[CooTriples, np.ndarray]:
+    """Parse a LIBSVM file into ``((rows, cols, values, shape), y)``.
+
+    Parameters
+    ----------
+    source:
+        Path or open text stream.
+    n_features:
+        Force the column count (otherwise the max seen index is used —
+        the paper's definition of N, "maximum feature index of all
+        samples").
+
+    Raises
+    ------
+    ValueError
+        On malformed lines, non-numeric fields, or non-positive feature
+        indices.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as fh:
+            return read_libsvm(fh, n_features=n_features)
+
+    rows_list = []
+    cols_list = []
+    vals_list = []
+    labels = []
+    row = 0
+    for lineno, line in enumerate(source, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        try:
+            labels.append(float(parts[0]))
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: label {parts[0]!r} is not numeric"
+            ) from None
+        prev_idx = 0
+        for tok in parts[1:]:
+            try:
+                idx_s, val_s = tok.split(":", 1)
+                idx = int(idx_s)
+                val = float(val_s)
+            except ValueError:
+                raise ValueError(
+                    f"line {lineno}: malformed feature token {tok!r}"
+                ) from None
+            if idx < 1:
+                raise ValueError(
+                    f"line {lineno}: feature index {idx} must be >= 1"
+                )
+            if idx <= prev_idx:
+                raise ValueError(
+                    f"line {lineno}: feature indices must be increasing"
+                )
+            prev_idx = idx
+            if val != 0.0:
+                rows_list.append(row)
+                cols_list.append(idx - 1)
+                vals_list.append(val)
+        row += 1
+
+    rows = np.asarray(rows_list, dtype=np.int64)
+    cols = np.asarray(cols_list, dtype=np.int64)
+    values = np.asarray(vals_list, dtype=np.float64)
+    max_seen = int(cols.max()) + 1 if cols.size else 0
+    n = n_features if n_features is not None else max_seen
+    if n < max_seen:
+        raise ValueError(
+            f"n_features={n} smaller than max feature index {max_seen}"
+        )
+    y = np.asarray(labels, dtype=np.float64)
+    return (rows, cols, values, (row, n)), y
+
+
+def write_libsvm(
+    target: Union[PathLike, io.TextIOBase],
+    triples: CooTriples,
+    y: np.ndarray,
+) -> None:
+    """Write COO triples + labels in LIBSVM format (1-based indices)."""
+    rows, cols, values, (m, _n) = triples
+    y = np.asarray(y)
+    if y.shape != (m,):
+        raise ValueError("labels must have one entry per row")
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as fh:
+            write_libsvm(fh, triples, y)
+            return
+
+    order = np.lexsort((cols, rows))
+    rows, cols, values = rows[order], cols[order], values[order]
+    ptr = np.searchsorted(rows, np.arange(m + 1))
+    for i in range(m):
+        label = y[i]
+        label_s = str(int(label)) if float(label).is_integer() else repr(float(label))
+        feats = " ".join(
+            f"{int(cols[k]) + 1}:{values[k]:.17g}"
+            for k in range(ptr[i], ptr[i + 1])
+        )
+        target.write(f"{label_s} {feats}".rstrip() + "\n")

@@ -1,0 +1,108 @@
+"""MatrixMarket (.mtx) reader and writer.
+
+The University of Florida collection — the source of the paper's
+trefethen matrix — ships MatrixMarket files.  Supported subset:
+
+- ``matrix coordinate real|integer|pattern general|symmetric``
+- ``matrix array real|integer general`` (dense column-major)
+
+Pattern entries read as 1.0; symmetric storage is expanded to both
+triangles on read.  The writer emits ``coordinate real general``.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.data.synthetic import CooTriples
+from repro.formats.base import validate_coo
+
+PathLike = Union[str, Path]
+
+
+def read_mtx(source: Union[PathLike, io.TextIOBase]) -> CooTriples:
+    """Parse a MatrixMarket file into canonical COO triples."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as fh:
+            return read_mtx(fh)
+
+    header = source.readline().strip().lower().split()
+    if len(header) < 4 or header[0] != "%%matrixmarket" or header[1] != "matrix":
+        raise ValueError("not a MatrixMarket matrix file")
+    layout, field = header[2], header[3]
+    symmetry = header[4] if len(header) > 4 else "general"
+    if layout not in ("coordinate", "array"):
+        raise ValueError(f"unsupported layout {layout!r}")
+    if field not in ("real", "integer", "pattern"):
+        raise ValueError(f"unsupported field {field!r}")
+    if symmetry not in ("general", "symmetric"):
+        raise ValueError(f"unsupported symmetry {symmetry!r}")
+    if layout == "array" and (field == "pattern" or symmetry != "general"):
+        raise ValueError("array layout supports only real/integer general")
+
+    # skip comments
+    line = source.readline()
+    while line.startswith("%"):
+        line = source.readline()
+    dims = line.split()
+
+    if layout == "coordinate":
+        if len(dims) != 3:
+            raise ValueError("coordinate header needs 'rows cols nnz'")
+        m, n, nnz = (int(v) for v in dims)
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.empty(nnz, dtype=np.float64)
+        for k in range(nnz):
+            parts = source.readline().split()
+            if len(parts) < (2 if field == "pattern" else 3):
+                raise ValueError(f"entry {k + 1}: malformed line")
+            rows[k] = int(parts[0]) - 1
+            cols[k] = int(parts[1]) - 1
+            vals[k] = 1.0 if field == "pattern" else float(parts[2])
+        if symmetry == "symmetric":
+            off = rows != cols
+            rows, cols, vals = (
+                np.concatenate([rows, cols[off]]),
+                np.concatenate([cols, rows[off]]),
+                np.concatenate([vals, vals[off]]),
+            )
+        r, c, v = validate_coo(rows, cols, vals, (m, n))
+        return r, c, v, (m, n)
+
+    # dense array layout: column-major values
+    if len(dims) != 2:
+        raise ValueError("array header needs 'rows cols'")
+    m, n = (int(v) for v in dims)
+    vals = np.empty(m * n, dtype=np.float64)
+    for k in range(m * n):
+        vals[k] = float(source.readline().split()[0])
+    dense = vals.reshape((n, m)).T  # column-major on disk
+    rows, cols = np.nonzero(dense)
+    r, c, v = validate_coo(rows, cols, dense[rows, cols], (m, n))
+    return r, c, v, (m, n)
+
+
+def write_mtx(
+    target: Union[PathLike, io.TextIOBase],
+    triples: CooTriples,
+    *,
+    comment: str = "",
+) -> None:
+    """Write COO triples as ``coordinate real general``."""
+    rows, cols, vals, (m, n) = triples
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as fh:
+            write_mtx(fh, triples, comment=comment)
+            return
+    target.write("%%MatrixMarket matrix coordinate real general\n")
+    if comment:
+        for line in comment.splitlines():
+            target.write(f"% {line}\n")
+    target.write(f"{m} {n} {len(vals)}\n")
+    for r, c, v in zip(rows, cols, vals):
+        target.write(f"{int(r) + 1} {int(c) + 1} {float(v):.17g}\n")

@@ -1,0 +1,353 @@
+"""Parametric sparse-matrix generators.
+
+These regenerate the controlled experiments of the paper:
+
+- Fig. 2 sweeps ``ndig`` at fixed (M, N, nnz) = (4096, 4096, 4096) —
+  :func:`matrix_with_ndig`.
+- Fig. 3 sweeps ``mdim`` at fixed (M, N, nnz) = (4096, 4096, 8192) —
+  :func:`matrix_with_mdim`.
+- Fig. 4 sweeps ``vdim`` at fixed ``adim`` — :func:`matrix_with_vdim`.
+
+All generators are deterministic given a seed and return canonical COO
+triples ``(rows, cols, values, shape)`` ready for any
+``MatrixFormat.from_coo``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.formats.base import validate_coo
+
+CooTriples = Tuple[np.ndarray, np.ndarray, np.ndarray, Tuple[int, int]]
+
+
+def _canonical(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    values: np.ndarray,
+    shape: Tuple[int, int],
+) -> CooTriples:
+    """All generators return canonical (row-major sorted) triples."""
+    rows, cols, values = validate_coo(rows, cols, values, shape)
+    return rows, cols, values, shape
+
+
+def _values(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Non-zero values: uniform in [0.1, 1.1] so none vanish."""
+    return 0.1 + rng.random(n)
+
+
+def variable_rows_matrix(
+    m: int,
+    n: int,
+    row_lengths: Sequence[int] | np.ndarray,
+    *,
+    seed: int = 0,
+) -> CooTriples:
+    """Matrix with prescribed non-zeros per row at random columns.
+
+    The workhorse generator: every other sparse generator reduces to a
+    choice of ``row_lengths``.
+    """
+    lengths = np.asarray(row_lengths, dtype=np.int64)
+    if lengths.shape != (m,):
+        raise ValueError("row_lengths must have length m")
+    if lengths.min(initial=0) < 0:
+        raise ValueError("row lengths must be non-negative")
+    if lengths.max(initial=0) > n:
+        raise ValueError("row length exceeds n")
+    rng = np.random.default_rng(seed)
+    rows = np.repeat(np.arange(m, dtype=np.int64), lengths)
+    cols_parts = [
+        rng.choice(n, size=int(k), replace=False) for k in lengths if k > 0
+    ]
+    cols = (
+        np.concatenate(cols_parts)
+        if cols_parts
+        else np.empty(0, dtype=np.int64)
+    )
+    values = _values(rng, rows.shape[0])
+    return _canonical(rows, cols, values, (m, n))
+
+
+def uniform_rows_matrix(
+    m: int, n: int, row_nnz: int, *, seed: int = 0
+) -> CooTriples:
+    """Every row has exactly ``row_nnz`` non-zeros (vdim = 0)."""
+    return variable_rows_matrix(
+        m, n, np.full(m, row_nnz, dtype=np.int64), seed=seed
+    )
+
+
+def row_lengths_for(
+    m: int,
+    *,
+    adim: float,
+    vdim: float,
+    mdim: int,
+    n: int,
+    seed: int = 0,
+) -> np.ndarray:
+    """Sample per-row lengths matching target mean / variance / max.
+
+    Draws from a normal with the target moments, clips to ``[1, mdim]``,
+    forces at least one row to hit ``mdim`` exactly, then adjusts counts
+    by ±1 until the total equals ``round(adim * m)``.  The resulting
+    empirical (adim, mdim) match exactly; vdim matches to within the
+    clipping distortion (tests assert a tolerance).
+    """
+    if mdim > n:
+        raise ValueError("mdim cannot exceed n")
+    if not 1 <= adim <= n:
+        raise ValueError("adim must lie in [1, n]")
+    rng = np.random.default_rng(seed)
+    target_nnz = int(round(adim * m))
+    lengths = np.rint(
+        rng.normal(adim, np.sqrt(max(vdim, 0.0)), size=m)
+    ).astype(np.int64)
+    np.clip(lengths, 1, mdim, out=lengths)
+    lengths[int(rng.integers(m))] = mdim
+    # Fix the total without disturbing max: add/subtract 1 from rows
+    # that have slack.
+    diff = target_nnz - int(lengths.sum())
+    guard = 0
+    while diff != 0 and guard < 20 * m:
+        i = int(rng.integers(m))
+        if diff > 0 and lengths[i] < mdim:
+            lengths[i] += 1
+            diff -= 1
+        elif diff < 0 and lengths[i] > 1:
+            lengths[i] -= 1
+            diff += 1
+        guard += 1
+    return lengths
+
+
+def matrix_with_vdim(
+    m: int,
+    n: int,
+    *,
+    adim: float,
+    vdim: float,
+    seed: int = 0,
+) -> CooTriples:
+    """Fixed ``adim``, swept ``vdim`` — the Fig. 4 family.
+
+    Uses a symmetric two-point distribution: half the rows get
+    ``adim - s`` non-zeros, half get ``adim + s`` with ``s =
+    sqrt(vdim)``, which hits the target mean and variance exactly (up to
+    integer rounding) without touching nnz.
+    """
+    s = float(np.sqrt(max(vdim, 0.0)))
+    lo = int(round(adim - s))
+    hi = int(round(adim + s))
+    if lo < 0:
+        raise ValueError(
+            f"vdim={vdim} too large for adim={adim} (rows would be negative)"
+        )
+    if hi > n:
+        raise ValueError(f"adim + sqrt(vdim) = {hi} exceeds n = {n}")
+    lengths = np.empty(m, dtype=np.int64)
+    half = m // 2
+    lengths[:half] = lo
+    lengths[half:] = hi
+    # For odd m, fix the mean by averaging the middle row.
+    if m % 2 == 1:
+        lengths[half] = int(round(adim))
+    rng = np.random.default_rng(seed)
+    rng.shuffle(lengths)
+    return variable_rows_matrix(m, n, lengths, seed=seed + 1)
+
+
+def matrix_with_mdim(
+    m: int,
+    n: int,
+    nnz: int,
+    mdim: int,
+    *,
+    seed: int = 0,
+) -> CooTriples:
+    """Fixed (M, N, nnz), swept ``mdim`` — the Fig. 3 family.
+
+    ``h`` heavy rows carry ``mdim`` non-zeros each; all other rows carry
+    the minimal uniform load so the total stays at ``nnz``.  At
+    ``mdim = nnz/m`` every row is equal (best case); at ``mdim = n`` a
+    single row forces maximal padding (worst case), exactly the paper's
+    mat2 vs mat4096 contrast.
+    """
+    if not 1 <= mdim <= n:
+        raise ValueError("mdim must lie in [1, n]")
+    if nnz < m:
+        raise ValueError("need nnz >= m so every row keeps >= 1 element")
+    if mdim < int(np.ceil(nnz / m)):
+        raise ValueError(
+            f"mdim={mdim} infeasible: nnz={nnz} over m={m} rows forces "
+            f"some row >= {int(np.ceil(nnz / m))}"
+        )
+    # h heavy rows of mdim, (m - h) light rows of ~1:
+    #   h * mdim + (m - h) * 1 = nnz  =>  h = (nnz - m) / (mdim - 1)
+    if mdim == 1:
+        h = 0
+    else:
+        h = int((nnz - m) // (mdim - 1))
+        h = min(h, m)
+    lengths = np.ones(m, dtype=np.int64)
+    lengths[:h] = mdim
+    # Distribute the integer remainder over light rows (keeps max at
+    # mdim because remainder < mdim - 1 per construction).
+    rem = nnz - int(lengths.sum())
+    i = h
+    while rem > 0 and i < m:
+        add = min(rem, mdim - 1)
+        lengths[i] += add
+        rem -= add
+        i += 1
+    if rem != 0:
+        raise ValueError("could not place all nnz under the mdim cap")
+    rng = np.random.default_rng(seed)
+    rng.shuffle(lengths)
+    return variable_rows_matrix(m, n, lengths, seed=seed + 1)
+
+
+def banded_matrix(
+    m: int,
+    n: int,
+    offsets: Sequence[int],
+    *,
+    fill: float = 1.0,
+    seed: int = 0,
+) -> CooTriples:
+    """Matrix occupying the given diagonals (trefethen-style).
+
+    ``fill`` < 1 keeps each diagonal partially occupied at random (the
+    University-of-Florida matrices are not perfectly full bands).
+    """
+    if not 0.0 < fill <= 1.0:
+        raise ValueError("fill must lie in (0, 1]")
+    rng = np.random.default_rng(seed)
+    rows_list = []
+    cols_list = []
+    for o in sorted(set(int(o) for o in offsets)):
+        i0 = max(0, -o)
+        i1 = min(m, n - o)
+        if i1 <= i0:
+            continue
+        i = np.arange(i0, i1, dtype=np.int64)
+        if fill < 1.0:
+            keep = rng.random(i.shape[0]) < fill
+            # Never drop a whole diagonal: ndig is the controlled
+            # variable.
+            if not keep.any():
+                keep[rng.integers(i.shape[0])] = True
+            i = i[keep]
+        rows_list.append(i)
+        cols_list.append(i + o)
+    if rows_list:
+        rows = np.concatenate(rows_list)
+        cols = np.concatenate(cols_list)
+    else:
+        rows = np.empty(0, dtype=np.int64)
+        cols = np.empty(0, dtype=np.int64)
+    values = _values(rng, rows.shape[0])
+    return _canonical(rows, cols, values, (m, n))
+
+
+def matrix_with_ndig(
+    m: int,
+    n: int,
+    nnz: int,
+    ndig: int,
+    *,
+    seed: int = 0,
+) -> CooTriples:
+    """Fixed (M, N, nnz), swept ``ndig`` — the Fig. 2 family.
+
+    Picks ``ndig`` distinct diagonals and places ``nnz/ndig`` elements
+    on each; at ``ndig = nnz`` every diagonal holds a single element
+    (maximal padding), at small ``ndig`` diagonals are dense (minimal
+    padding) — the paper's 2-diagonal vs 4096-diagonal contrast.
+    """
+    if ndig < 1:
+        raise ValueError("ndig must be >= 1")
+    max_diag = m + n - 1
+    if ndig > max_diag:
+        raise ValueError("ndig exceeds the number of diagonals")
+    rng = np.random.default_rng(seed)
+    all_offsets = np.arange(-(m - 1), n)
+    # Prefer central diagonals (they are longest and can actually hold
+    # nnz/ndig elements each).
+    center = np.argsort(np.abs(all_offsets), kind="stable")
+    chosen = np.sort(all_offsets[center[:ndig]])
+
+    spans = np.array(
+        [min(m, n - int(o)) - max(0, -int(o)) for o in chosen], dtype=np.int64
+    )
+    if np.any(spans <= 0):
+        raise ValueError("empty diagonal selected")
+    capacity = int(spans.sum())
+    if nnz > capacity:
+        raise ValueError(
+            f"nnz={nnz} exceeds the {capacity} slots of the {ndig} "
+            f"longest diagonals"
+        )
+    # Even split with carry-over: a diagonal shorter than its share
+    # fills completely and pushes the deficit to later diagonals.
+    per = nnz // ndig
+    extra = nnz - per * ndig
+    want = np.full(ndig, per, dtype=np.int64)
+    want[:extra] += 1
+    deficit = np.maximum(want - spans, 0).sum()
+    want = np.minimum(want, spans)
+    j = 0
+    while deficit > 0:
+        spare = int(spans[j] - want[j])
+        add = min(spare, int(deficit))
+        want[j] += add
+        deficit -= add
+        j += 1
+    rows_list = []
+    cols_list = []
+    for j, o in enumerate(chosen):
+        o = int(o)
+        i0 = max(0, -o)
+        i = i0 + rng.choice(int(spans[j]), size=int(want[j]), replace=False)
+        i = np.sort(i)
+        rows_list.append(i)
+        cols_list.append(i + o)
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    values = _values(rng, rows.shape[0])
+    return _canonical(rows, cols, values, (m, n))
+
+
+def attach_labels(
+    triples: CooTriples,
+    *,
+    seed: int = 0,
+    noise: float = 0.0,
+) -> np.ndarray:
+    """Generate ±1 labels linearly separable in the matrix's features.
+
+    Labels come from the sign of ``X @ w`` for a random hyperplane ``w``
+    through the data median, optionally flipped with probability
+    ``noise``.  SVM training on the result converges quickly and has a
+    meaningful margin — enough to exercise the solver end to end.
+    """
+    rows, cols, values, (m, n) = triples
+    rng = np.random.default_rng(seed + 12345)
+    w = rng.standard_normal(n)
+    score = np.zeros(m)
+    np.add.at(score, rows, values * w[cols])
+    thresh = float(np.median(score))
+    y = np.where(score > thresh, 1.0, -1.0)
+    # Guarantee both classes exist (degenerate draws are possible for
+    # tiny m).
+    if np.all(y == y[0]):
+        y[: m // 2] = -y[0]
+    if noise > 0.0:
+        flip = rng.random(m) < noise
+        y[flip] = -y[flip]
+    return y

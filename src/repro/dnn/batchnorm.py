@@ -1,0 +1,107 @@
+"""Batch normalisation (2-D, per-channel).
+
+Not part of Caffe's 2014-era ``cifar10_full``, but the standard
+companion of large-batch training (it is what makes the batch-scaled
+learning rates of Section IV-D stable in modern practice), so the
+framework provides it for the extension experiments.
+
+Normalises each channel over (batch, height, width), with learnable
+scale/shift and running statistics for inference.  The backward pass
+is the exact analytic gradient (finite-difference-verified in tests).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.dnn.layers import Layer
+
+
+class BatchNorm2d(Layer):
+    """Per-channel batch normalisation for ``(N, C, H, W)`` tensors.
+
+    Parameters
+    ----------
+    channels:
+        C.
+    momentum:
+        Running-statistics update rate (``running = (1-m) running +
+        m batch``).
+    eps:
+        Variance floor.
+    """
+
+    def __init__(
+        self, channels: int, *, momentum: float = 0.1, eps: float = 1e-5
+    ) -> None:
+        super().__init__()
+        if channels < 1:
+            raise ValueError("channels must be >= 1")
+        if not 0.0 < momentum <= 1.0:
+            raise ValueError("momentum must lie in (0, 1]")
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        self.channels = channels
+        self.momentum = momentum
+        self.eps = eps
+        self.params["gamma"] = np.ones(channels)
+        self.params["beta"] = np.zeros(channels)
+        self.running_mean = np.zeros(channels)
+        self.running_var = np.ones(channels)
+        self._cache: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.channels:
+            raise ValueError(
+                f"expected (N, {self.channels}, H, W); got {x.shape}"
+            )
+        axes = (0, 2, 3)
+        if training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            )
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var
+            )
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        xhat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        out = (
+            self.params["gamma"][None, :, None, None] * xhat
+            + self.params["beta"][None, :, None, None]
+        )
+        if training:
+            self._cache = (xhat, inv_std, x.shape)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward before forward")
+        xhat, inv_std, x_shape = self._cache
+        n, c, h, w = x_shape
+        m = n * h * w  # elements per channel
+        axes = (0, 2, 3)
+        self.grads["gamma"] = (grad_out * xhat).sum(axis=axes)
+        self.grads["beta"] = grad_out.sum(axis=axes)
+        g = grad_out * self.params["gamma"][None, :, None, None]
+        # d xhat -> dx (the classic three-term formula)
+        sum_g = g.sum(axis=axes)[None, :, None, None]
+        sum_gx = (g * xhat).sum(axis=axes)[None, :, None, None]
+        dx = (
+            inv_std[None, :, None, None]
+            * (g - sum_g / m - xhat * sum_gx / m)
+        )
+        return dx
+
+    def replicate(self) -> "BatchNorm2d":
+        clone = super().replicate()
+        # Running stats are training state the lead replica owns;
+        # workers share the arrays so inference sees one set.
+        clone.running_mean = self.running_mean
+        clone.running_var = self.running_var
+        return clone

@@ -1,0 +1,90 @@
+"""FFT-based convolution.
+
+The paper (Section IV-C): "the computational kernels of deep learning
+are mainly matrix-matrix multiply and FFT".  :class:`Conv2dFFT` is the
+FFT counterpart of the im2col/GEMM :class:`~repro.dnn.layers.Conv2d`:
+mathematically identical output, different cost structure —
+
+- im2col/GEMM: O(B * OC * IC * OH * OW * f^2), great for small fields;
+- FFT: O(B * (OC + IC) * H W log(HW) + B * OC * IC * H W), independent
+  of the field size — the classic crossover for large kernels.
+
+Only stride 1 is supported (FFT convolution has no native stride); the
+backward pass routes through the proven im2col adjoint so gradients are
+bit-compatible with :class:`Conv2d`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.dnn.im2col import im2col
+from repro.dnn.layers import Conv2d
+
+
+class Conv2dFFT(Conv2d):
+    """Drop-in replacement for stride-1 :class:`Conv2d` using FFT.
+
+    Parameters mirror :class:`Conv2d`; ``stride`` must be 1.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        field: int,
+        *,
+        pad: int = 0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            in_channels, out_channels, field, stride=1, pad=pad, seed=seed
+        )
+        self._x_saved: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        n, c, h, w = x.shape
+        if c != self.in_channels:
+            raise ValueError(
+                f"expected {self.in_channels} input channels, got {c}"
+            )
+        f = self.field
+        p = self.pad
+        hp, wp = h + 2 * p, w + 2 * p
+        oh, ow = hp - f + 1, wp - f + 1
+        if oh < 1 or ow < 1:
+            raise ValueError("field does not fit the (padded) input")
+
+        xp = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p))) if p else x
+        # Cross-correlation via the convolution theorem: correlate by
+        # multiplying with the conjugate spectrum of the kernel.
+        fh, fw = hp, wp  # linear correlation needs >= hp (valid region)
+        Fx = np.fft.rfft2(xp, s=(fh, fw))  # (n, c, fh, fw//2+1)
+        wk = self.params["W"].reshape(
+            self.out_channels, self.in_channels, f, f
+        )
+        Fw = np.fft.rfft2(wk, s=(fh, fw))  # (oc, c, ...)
+        # out[n, o] = sum_c x_c (corr) w_oc  -> batched spectral product
+        spec = np.einsum("ncxy,ocxy->noxy", Fx, np.conj(Fw))
+        full = np.fft.irfft2(spec, s=(fh, fw))
+        out = full[:, :, :oh, :ow] + self.params["b"][None, :, None, None]
+        if training:
+            # Backward reuses the exact im2col adjoint: build the cols
+            # lazily only when backward actually runs.
+            self._cache = (None, x.shape, oh, ow)
+            self._x_saved = x
+        return np.ascontiguousarray(out)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward before forward")
+        cols, x_shape, oh, ow = self._cache
+        if cols is None:
+            cols, oh2, ow2 = im2col(
+                self._x_saved, self.field, self.pad, self.stride
+            )
+            assert (oh2, ow2) == (oh, ow)
+            self._cache = (cols, x_shape, oh, ow)
+        return super().backward(grad_out)

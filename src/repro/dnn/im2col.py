@@ -1,0 +1,84 @@
+"""im2col / col2im: convolution as one GEMM.
+
+``im2col`` unfolds every receptive field of a batched image tensor into
+a column, so convolution becomes a single matrix multiply — the
+transformation Caffe (and therefore the paper's workload) uses, and the
+reason batch size controls GEMM efficiency in Section IV-C.
+
+Implemented with stride tricks (views, not copies, per the guides)
+followed by one reshape-copy.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def conv_out_size(size: int, field: int, pad: int, stride: int) -> int:
+    """Output spatial extent of a convolution along one axis."""
+    out = (size + 2 * pad - field) // stride + 1
+    if out < 1:
+        raise ValueError(
+            f"field {field} with pad {pad}, stride {stride} does not fit "
+            f"input of size {size}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, field: int, pad: int, stride: int
+) -> Tuple[np.ndarray, int, int]:
+    """Unfold ``(N, C, H, W)`` into ``(N * OH * OW, C * field * field)``.
+
+    Returns the column matrix plus the output spatial dims ``(OH, OW)``.
+    """
+    n, c, h, w = x.shape
+    oh = conv_out_size(h, field, pad, stride)
+    ow = conv_out_size(w, field, pad, stride)
+    if pad:
+        x = np.pad(
+            x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant"
+        )
+    sn, sc, sh, sw = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, oh, ow, field, field),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    # (N, OH, OW, C, fh, fw) -> rows are receptive fields.
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+        n * oh * ow, c * field * field
+    )
+    return np.ascontiguousarray(cols), oh, ow
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    field: int,
+    pad: int,
+    stride: int,
+) -> np.ndarray:
+    """Fold column gradients back onto the (padded) input — the adjoint
+    of :func:`im2col` (overlapping windows accumulate)."""
+    n, c, h, w = x_shape
+    oh = conv_out_size(h, field, pad, stride)
+    ow = conv_out_size(w, field, pad, stride)
+    hp, wp = h + 2 * pad, w + 2 * pad
+    out = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    cols6 = cols.reshape(n, oh, ow, c, field, field).transpose(
+        0, 3, 1, 2, 4, 5
+    )
+    for fh in range(field):
+        h_lim = fh + stride * oh
+        for fw in range(field):
+            w_lim = fw + stride * ow
+            out[:, :, fh:h_lim:stride, fw:w_lim:stride] += cols6[
+                :, :, :, :, fh, fw
+            ]
+    if pad:
+        return out[:, :, pad:-pad, pad:-pad]
+    return out

@@ -1,0 +1,42 @@
+"""Softmax cross-entropy loss with the fused, stable backward."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+class SoftmaxCrossEntropy:
+    """Mean cross-entropy over a batch of integer-labelled logits.
+
+    The gradient uses the fused identity ``dL/dlogits =
+    (softmax - onehot) / N`` — numerically stable (max-subtracted
+    logsumexp) and allocation-light.
+    """
+
+    def loss_and_grad(
+        self, logits: np.ndarray, labels: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        if logits.ndim != 2:
+            raise ValueError("logits must be (N, K)")
+        n, k = logits.shape
+        labels = np.asarray(labels)
+        if labels.shape != (n,):
+            raise ValueError("labels must have one entry per row")
+        if labels.min(initial=0) < 0 or labels.max(initial=0) >= k:
+            raise ValueError("label out of range")
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        nll = -shifted[np.arange(n), labels] + np.log(exp.sum(axis=1))
+        loss = float(nll.mean())
+        grad = probs
+        grad[np.arange(n), labels] -= 1.0
+        grad /= n
+        return loss, grad
+
+    def __call__(
+        self, logits: np.ndarray, labels: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        return self.loss_and_grad(logits, labels)

@@ -1,0 +1,86 @@
+"""Classification metrics and learning-curve utilities.
+
+Small, dependency-free helpers the experiments and examples share:
+confusion matrices, top-k accuracy, per-class accuracy, and a
+first-epoch-reaching-threshold extractor for time-to-accuracy curves
+(the paper's Fig. 5 metric applied to a recorded history).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, *, n_classes: Optional[int] = None
+) -> np.ndarray:
+    """``C[i, j]`` = samples of true class i predicted as class j."""
+    y_true = np.asarray(y_true, dtype=np.int64).ravel()
+    y_pred = np.asarray(y_pred, dtype=np.int64).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have equal length")
+    if y_true.size == 0:
+        raise ValueError("empty inputs")
+    k = n_classes if n_classes is not None else int(
+        max(y_true.max(), y_pred.max())
+    ) + 1
+    if y_true.min() < 0 or y_pred.min() < 0:
+        raise ValueError("labels must be non-negative")
+    if max(int(y_true.max()), int(y_pred.max())) >= k:
+        raise ValueError("label exceeds n_classes")
+    out = np.zeros((k, k), dtype=np.int64)
+    np.add.at(out, (y_true, y_pred), 1)
+    return out
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true = np.asarray(y_true).ravel()
+    y_pred = np.asarray(y_pred).ravel()
+    if y_true.shape != y_pred.shape or y_true.size == 0:
+        raise ValueError("inputs must be equal-length and non-empty")
+    return float(np.mean(y_true == y_pred))
+
+
+def per_class_accuracy(
+    y_true: np.ndarray, y_pred: np.ndarray, *, n_classes: Optional[int] = None
+) -> np.ndarray:
+    """Recall per class; NaN for classes absent from ``y_true``."""
+    cm = confusion_matrix(y_true, y_pred, n_classes=n_classes)
+    totals = cm.sum(axis=1).astype(np.float64)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(totals > 0, np.diag(cm) / totals, np.nan)
+
+
+def top_k_accuracy(
+    logits: np.ndarray, y_true: np.ndarray, k: int = 5
+) -> float:
+    """Fraction of samples whose true class is among the top-k logits."""
+    logits = np.asarray(logits)
+    y_true = np.asarray(y_true, dtype=np.int64).ravel()
+    if logits.ndim != 2 or logits.shape[0] != y_true.shape[0]:
+        raise ValueError("logits must be (N, C) matching y_true")
+    if not 1 <= k <= logits.shape[1]:
+        raise ValueError("k must lie in [1, n_classes]")
+    topk = np.argpartition(-logits, k - 1, axis=1)[:, :k]
+    return float(np.mean((topk == y_true[:, None]).any(axis=1)))
+
+
+def epochs_to_threshold(
+    accuracies: Sequence[float], threshold: float
+) -> Optional[int]:
+    """First 1-based epoch whose accuracy reaches ``threshold``
+    (``None`` if never) — the Fig. 5 statistic over a recorded curve."""
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must lie in (0, 1]")
+    for epoch, acc in enumerate(accuracies, start=1):
+        if acc >= threshold:
+            return epoch
+    return None
+
+
+def learning_curve(history) -> List[float]:
+    """Test-accuracy series from a
+    :class:`~repro.dnn.trainer.TrainingRun` history."""
+    return [s.test_accuracy for s in history]

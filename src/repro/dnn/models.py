@@ -1,0 +1,74 @@
+"""Model zoo.
+
+- :func:`cifar10_full` — the shape of Caffe's ``cifar10_full`` network
+  (the paper's baseline model): three 5x5 conv blocks with pooling,
+  then a linear classifier.
+- :func:`cifar10_small` — a narrower twin used by the fast tests and
+  examples; same topology, fewer channels.
+- :func:`linear_probe` — a linear classifier baseline; its plateau well
+  below the CNN shows the synthetic CIFAR task is non-trivial.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.layers import Conv2d, Flatten, Linear, MaxPool2d, ReLU
+from repro.dnn.net import Sequential
+
+
+def cifar10_full(
+    *, n_classes: int = 10, in_channels: int = 3, seed: int = 0
+) -> Sequential:
+    """Caffe ``cifar10_full``-style CNN for 32x32 inputs.
+
+    conv(32,5x5,pad2) - pool2 - relu - conv(32,5x5,pad2) - relu - pool2
+    - conv(64,5x5,pad2) - relu - pool2 - linear(10).
+    """
+    return Sequential(
+        [
+            Conv2d(in_channels, 32, 5, pad=2, seed=seed),
+            MaxPool2d(2),
+            ReLU(),
+            Conv2d(32, 32, 5, pad=2, seed=seed + 1),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(32, 64, 5, pad=2, seed=seed + 2),
+            ReLU(),
+            MaxPool2d(2),
+            Flatten(),
+            Linear(64 * 4 * 4, n_classes, seed=seed + 3),
+        ]
+    )
+
+
+def cifar10_small(
+    *, n_classes: int = 10, in_channels: int = 3, seed: int = 0
+) -> Sequential:
+    """Narrow twin of :func:`cifar10_full` for fast experiments:
+     8/8/16 channels instead of 32/32/64."""
+    return Sequential(
+        [
+            Conv2d(in_channels, 8, 5, pad=2, seed=seed),
+            MaxPool2d(2),
+            ReLU(),
+            Conv2d(8, 8, 5, pad=2, seed=seed + 1),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(8, 16, 5, pad=2, seed=seed + 2),
+            ReLU(),
+            MaxPool2d(2),
+            Flatten(),
+            Linear(16 * 4 * 4, n_classes, seed=seed + 3),
+        ]
+    )
+
+
+def linear_probe(
+    *, n_classes: int = 10, in_channels: int = 3, size: int = 32, seed: int = 0
+) -> Sequential:
+    """Linear classifier over raw pixels (lower-bound baseline)."""
+    return Sequential(
+        [
+            Flatten(),
+            Linear(in_channels * size * size, n_classes, seed=seed),
+        ]
+    )

@@ -1,0 +1,69 @@
+"""Sequential network container."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.dnn.layers import Layer
+
+
+class Sequential:
+    """A plain stack of layers with forward / backward plumbing.
+
+    Parameter access is flattened to ``(layer_index, name)`` keys so the
+    optimiser can keep per-parameter momentum state without knowing the
+    architecture.
+    """
+
+    def __init__(self, layers: Sequence[Layer]) -> None:
+        if not layers:
+            raise ValueError("Sequential needs at least one layer")
+        self.layers: List[Layer] = list(layers)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    # -- parameter plumbing -----------------------------------------------
+    def named_params(self) -> Iterator[Tuple[Tuple[int, str], np.ndarray]]:
+        for i, layer in enumerate(self.layers):
+            for name, arr in layer.params.items():
+                yield (i, name), arr
+
+    def named_grads(self) -> Dict[Tuple[int, str], np.ndarray]:
+        out: Dict[Tuple[int, str], np.ndarray] = {}
+        for i, layer in enumerate(self.layers):
+            for name, arr in layer.grads.items():
+                out[(i, name)] = arr
+        return out
+
+    @property
+    def n_params(self) -> int:
+        return sum(layer.n_params for layer in self.layers)
+
+    # -- inference helpers --------------------------------------------------
+    def predict(self, x: np.ndarray, *, batch_size: int = 256) -> np.ndarray:
+        """Class predictions, batched to bound peak memory."""
+        preds = []
+        for start in range(0, x.shape[0], batch_size):
+            logits = self.forward(x[start : start + batch_size], training=False)
+            preds.append(np.argmax(logits, axis=1))
+        return np.concatenate(preds) if preds else np.empty(0, dtype=np.int64)
+
+    def accuracy(
+        self, x: np.ndarray, y: np.ndarray, *, batch_size: int = 256
+    ) -> float:
+        """Classification accuracy on ``(x, y)``."""
+        return float(np.mean(self.predict(x, batch_size=batch_size) == y))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(type(l).__name__ for l in self.layers)
+        return f"Sequential([{inner}], n_params={self.n_params})"

@@ -1,0 +1,97 @@
+"""Optimisers: plain SGD and the paper's momentum update.
+
+Equations (8)-(9):
+
+    V_{t+1} = mu * V_t - eta * dW_t
+    W_{t+1} = W_t + V_{t+1}
+
+``mu = 0`` recovers plain SGD (as the paper notes).  Momentum buffers
+are keyed by the network's flattened parameter names, created lazily
+and zero-initialised.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.dnn.net import Sequential
+
+
+class Optimizer(abc.ABC):
+    """Base optimiser: one ``step`` applies current grads to params."""
+
+    @abc.abstractmethod
+    def step(self, net: Sequential) -> None:
+        ...
+
+
+class SGD(Optimizer):
+    """Plain minibatch SGD: ``W -= eta * dW``."""
+
+    def __init__(self, lr: float) -> None:
+        if lr <= 0.0:
+            raise ValueError("lr must be positive")
+        self.lr = lr
+
+    def step(self, net: Sequential) -> None:
+        grads = net.named_grads()
+        for key, param in net.named_params():
+            g = grads.get(key)
+            if g is not None:
+                param -= self.lr * g  # in place: params are views
+
+
+class MomentumSGD(Optimizer):
+    """SGD with classical or Nesterov momentum (paper Eqs. (8)-(9)).
+
+    Parameters
+    ----------
+    lr:
+        Learning rate eta (the paper tunes {0.001 ... 0.016}).
+    momentum:
+        mu, "set close to 1" per the paper (tuning space
+        {0.90 ... 0.99}).
+    nesterov:
+        Apply the look-ahead form ``W += mu V_new - eta dW`` (Sutskever
+        et al. — the paper's momentum citation — show it often
+        converges faster; classical form is the paper's default).
+    """
+
+    def __init__(
+        self, lr: float, momentum: float = 0.9, *, nesterov: bool = False
+    ) -> None:
+        if lr <= 0.0:
+            raise ValueError("lr must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must lie in [0, 1)")
+        self.lr = lr
+        self.momentum = momentum
+        self.nesterov = nesterov
+        self._velocity: Dict[Tuple[int, str], np.ndarray] = {}
+
+    def step(self, net: Sequential) -> None:
+        grads = net.named_grads()
+        for key, param in net.named_params():
+            g = grads.get(key)
+            if g is None:
+                continue
+            v = self._velocity.get(key)
+            if v is None:
+                v = np.zeros_like(param)
+                self._velocity[key] = v
+            # Eq. (8): V <- mu V - eta dW   (in place)
+            v *= self.momentum
+            v -= self.lr * g
+            if self.nesterov:
+                # look-ahead: W <- W + mu V - eta dW
+                param += self.momentum * v - self.lr * g
+            else:
+                # Eq. (9): W <- W + V
+                param += v
+
+    def reset(self) -> None:
+        """Drop momentum state (fresh optimisation path)."""
+        self._velocity.clear()

@@ -1,0 +1,183 @@
+"""Data-parallel DNN training — the paper's Section IV-B strategy.
+
+Verbatim from the paper: "Our parallel strategy is divide-and-conquer
+for the data and replication for the weights.  Let us assume we have P
+workers.  At each iteration, we partition a batch of B samples and each
+worker gets B/P samples.  Each worker gets one copy of the weights W.
+[...] After a global sum reduce operation, each worker will get
+``sum_i dW_i``.  Then each worker can update their local weights by
+``W = W - eta * sum_i dW_i / P``."
+
+This module implements exactly that, on threads instead of GPUs:
+
+- workers are replicas sharing the parameter arrays (replication for
+  the weights — here literal aliasing, the shared-memory analogue);
+- each step shards the batch, runs forward/backward per worker
+  (concurrently when ``n_workers`` threads are granted — NumPy's GEMMs
+  release the GIL), sums the gradients (the allreduce), divides by P
+  and applies one optimiser step;
+- an :class:`AllReduceStats` record counts the bytes a ring allreduce
+  would move per step (``2 (P-1)/P x param_bytes``), which is the
+  overhead term that made the naive DGX port only 1.3x over one P100
+  (see ``repro.hardware.specs``).
+
+Gradient math is *identical* to serial large-batch SGD (shard-mean
+average equals full-batch mean for equal shards) — property-tested in
+``tests/dnn/test_parallel.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dnn.loss import SoftmaxCrossEntropy
+from repro.dnn.net import Sequential
+from repro.dnn.optim import MomentumSGD, Optimizer
+from repro.parallel.pool import WorkerPool
+
+
+@dataclass
+class AllReduceStats:
+    """Communication accounting for the gradient allreduce."""
+
+    steps: int = 0
+    bytes_per_step: int = 0
+    total_bytes: int = 0
+
+    def record(self, param_bytes: int, n_workers: int) -> None:
+        if n_workers > 1:
+            # Ring allreduce moves 2 (P-1)/P of the buffer per member.
+            moved = int(2 * (n_workers - 1) / n_workers * param_bytes)
+        else:
+            moved = 0
+        self.steps += 1
+        self.bytes_per_step = moved
+        self.total_bytes += moved
+
+
+def replicate_net(net: Sequential, n: int) -> List[Sequential]:
+    """``n`` worker replicas sharing ``net``'s parameter arrays."""
+    if n < 1:
+        raise ValueError("need at least one replica")
+    replicas = [net]
+    for _ in range(n - 1):
+        replicas.append(
+            Sequential([layer.replicate() for layer in net.layers])
+        )
+    return replicas
+
+
+class DataParallelTrainer:
+    """Minibatch trainer with P-worker data parallelism.
+
+    Parameters
+    ----------
+    net:
+        The model (parameters shared across all workers; trained in
+        place).
+    n_replicas:
+        P — worker count (the DGX station has 4).
+    batch_size / lr / momentum:
+        Global batch size B (each worker gets ~B/P) and the momentum
+        update of Eqs. (8)-(9) applied to the summed gradient.
+    optimizer:
+        Override the default :class:`MomentumSGD`.
+    concurrent:
+        Run workers on threads (True) or serially (False, fully
+        deterministic).  Results are identical up to float summation
+        order.
+    """
+
+    def __init__(
+        self,
+        net: Sequential,
+        *,
+        n_replicas: int = 4,
+        batch_size: int = 100,
+        lr: float = 0.001,
+        momentum: float = 0.9,
+        optimizer: Optional[Optimizer] = None,
+        concurrent: bool = False,
+    ) -> None:
+        if n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+        if batch_size < n_replicas:
+            raise ValueError("batch_size must be >= n_replicas")
+        self.net = net
+        self.replicas = replicate_net(net, n_replicas)
+        self.n_replicas = n_replicas
+        self.batch_size = batch_size
+        self.optimizer = optimizer or MomentumSGD(lr, momentum)
+        self.loss_fn = SoftmaxCrossEntropy()
+        self.comm = AllReduceStats()
+        self._pool = WorkerPool(n_replicas if concurrent else 1)
+        self._param_bytes = int(
+            sum(p.nbytes for _, p in net.named_params())
+        )
+
+    # -- one iteration ------------------------------------------------
+    def step(self, xb: np.ndarray, yb: np.ndarray) -> float:
+        """One data-parallel iteration; returns the mean loss."""
+        n = xb.shape[0]
+        if n < self.n_replicas:
+            raise ValueError("batch smaller than the worker count")
+        shards = np.array_split(np.arange(n), self.n_replicas)
+
+        def worker(args: Tuple[Sequential, np.ndarray]) -> Tuple[float, Dict]:
+            replica, idx = args
+            logits = replica.forward(xb[idx].astype(np.float64), training=True)
+            loss, grad = self.loss_fn(logits, yb[idx])
+            replica.backward(grad)
+            # weight: shard mean -> global mean needs shard-size weights
+            return loss * len(idx), {
+                k: (g, len(idx)) for k, g in replica.named_grads().items()
+            }
+
+        results = self._pool.map(
+            worker, list(zip(self.replicas, shards))
+        )
+
+        # The allreduce: sum worker gradients (weighted so unequal
+        # shards still give the exact full-batch mean), write into the
+        # lead replica's grads, then one optimiser step on the shared
+        # parameters.
+        total_loss = 0.0
+        summed: Dict = {}
+        for loss_sum, grads in results:
+            total_loss += loss_sum
+            for key, (g, cnt) in grads.items():
+                if key in summed:
+                    summed[key] += g * cnt
+                else:
+                    summed[key] = g * cnt
+        for key in summed:
+            summed[key] /= n
+        lead = self.net
+        for i, layer in enumerate(lead.layers):
+            for name in layer.params:
+                key = (i, name)
+                if key in summed:
+                    layer.grads[name] = summed[key]
+        self.optimizer.step(lead)
+        self.comm.record(self._param_bytes, self.n_replicas)
+        return total_loss / n
+
+    # -- epoch-level API matching Trainer -------------------------------
+    def train_epoch(self, data, epoch: int) -> float:
+        losses = []
+        for xb, yb in data.batches(self.batch_size, seed=epoch):
+            if xb.shape[0] < self.n_replicas:
+                continue  # drop a tiny trailing batch
+            losses.append(self.step(xb, yb))
+        return float(np.mean(losses)) if losses else 0.0
+
+    def modelled_comm_seconds(self, bandwidth_gbs: float) -> float:
+        """Seconds the recorded allreduce traffic would take at the
+        given interconnect bandwidth (the NCCL term in the DGX's
+        iteration overhead)."""
+        if bandwidth_gbs <= 0:
+            raise ValueError("bandwidth must be positive")
+        return self.comm.total_bytes / (bandwidth_gbs * 1e9)

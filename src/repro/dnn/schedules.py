@@ -1,0 +1,100 @@
+"""Learning-rate schedules.
+
+The paper tunes a single constant learning rate per batch size
+(Section IV-D) and finds eta_opt growing with B — the observation later
+formalised as the linear-scaling rule, whose standard companion is a
+*gradual warmup* for large batches.  These schedules let the trainer
+express all three regimes:
+
+- :class:`ConstantLR` — the paper's setting;
+- :class:`StepDecayLR` — Caffe's classic drop-every-k-epochs policy;
+- :class:`WarmupLR` — linear ramp to the scaled rate, then constant
+  (what makes eta_opt(B) usable from epoch 1 at large B).
+
+A schedule is a callable ``epoch -> lr`` (1-based epochs); the trainer
+applies it at the start of each epoch.
+"""
+
+from __future__ import annotations
+
+import abc
+
+
+class LRSchedule(abc.ABC):
+    """Base: maps a 1-based epoch index to a learning rate."""
+
+    @abc.abstractmethod
+    def __call__(self, epoch: int) -> float:
+        ...
+
+    def _check(self, epoch: int) -> None:
+        if epoch < 1:
+            raise ValueError("epochs are 1-based")
+
+
+class ConstantLR(LRSchedule):
+    """The same rate forever (the paper's tuned setting)."""
+
+    def __init__(self, lr: float) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = lr
+
+    def __call__(self, epoch: int) -> float:
+        self._check(epoch)
+        return self.lr
+
+
+class StepDecayLR(LRSchedule):
+    """Multiply by ``factor`` every ``drop_every`` epochs."""
+
+    def __init__(
+        self, lr: float, *, drop_every: int = 10, factor: float = 0.1
+    ) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if drop_every < 1:
+            raise ValueError("drop_every must be >= 1")
+        if not 0 < factor <= 1:
+            raise ValueError("factor must lie in (0, 1]")
+        self.lr = lr
+        self.drop_every = drop_every
+        self.factor = factor
+
+    def __call__(self, epoch: int) -> float:
+        self._check(epoch)
+        drops = (epoch - 1) // self.drop_every
+        return self.lr * self.factor**drops
+
+
+class WarmupLR(LRSchedule):
+    """Linear warmup from ``base_lr`` to ``target_lr``, then constant.
+
+    ``target_lr`` would typically be the batch-scaled optimum
+    ``ConvergenceModel.lr_opt(B)``; the warmup avoids the early
+    divergence that makes naive large-batch + large-eta training fail.
+    """
+
+    def __init__(
+        self,
+        target_lr: float,
+        *,
+        base_lr: float = None,
+        warmup_epochs: int = 5,
+    ) -> None:
+        if target_lr <= 0:
+            raise ValueError("target_lr must be positive")
+        if warmup_epochs < 1:
+            raise ValueError("warmup_epochs must be >= 1")
+        self.target_lr = target_lr
+        self.base_lr = base_lr if base_lr is not None else target_lr / 10
+        if self.base_lr <= 0 or self.base_lr > target_lr:
+            raise ValueError("base_lr must lie in (0, target_lr]")
+        self.warmup_epochs = warmup_epochs
+
+    def __call__(self, epoch: int) -> float:
+        self._check(epoch)
+        if epoch >= self.warmup_epochs:
+            return self.target_lr
+        t = (epoch - 1) / max(self.warmup_epochs - 1, 1)
+        return self.base_lr + t * (self.target_lr - self.base_lr)

@@ -1,0 +1,148 @@
+"""Training loop and time-to-accuracy measurement.
+
+The paper's DNN metric is not loss but *wall time (and epochs/
+iterations) until the model first reaches a target test accuracy*
+(0.8 for CIFAR-10).  :class:`Trainer` implements exactly that contract:
+train with minibatch SGD+momentum, evaluate the test accuracy on a
+schedule, stop at the target (or at the epoch cap), and report the full
+history so the tuning experiments can compare (B, eta, mu) settings.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.data.cifar import ImageDataset
+from repro.dnn.loss import SoftmaxCrossEntropy
+from repro.dnn.net import Sequential
+from repro.dnn.optim import MomentumSGD, Optimizer
+
+
+@dataclass
+class EpochStats:
+    """Per-epoch record."""
+
+    epoch: int
+    iterations: int  #: cumulative iterations at epoch end
+    mean_loss: float
+    test_accuracy: float
+    seconds: float  #: cumulative wall seconds at epoch end
+
+
+@dataclass
+class TrainingRun:
+    """Outcome of one training run."""
+
+    history: List[EpochStats] = field(default_factory=list)
+    reached_target: bool = False
+    target_accuracy: float = 0.0
+    #: Iterations / epochs / seconds at the moment the target was first
+    #: reached (NaN-equivalents when it never was).
+    iterations_to_target: Optional[int] = None
+    epochs_to_target: Optional[int] = None
+    seconds_to_target: Optional[float] = None
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.history[-1].test_accuracy if self.history else 0.0
+
+    @property
+    def total_iterations(self) -> int:
+        return self.history[-1].iterations if self.history else 0
+
+
+class Trainer:
+    """Minibatch trainer with a time-to-accuracy stopping rule.
+
+    Parameters
+    ----------
+    net:
+        The model (trained in place).
+    batch_size:
+        B — the paper's first tuning knob.
+    lr / momentum:
+        eta and mu — the second and third knobs (Eqs. (8)-(9)).
+    target_accuracy:
+        Stop as soon as test accuracy reaches this (0.8 in the paper).
+    max_epochs:
+        Hard cap (the paper's runs used up to 120 epochs).
+    optimizer:
+        Override the default :class:`MomentumSGD` entirely.
+    lr_schedule:
+        Optional callable ``epoch -> lr`` (see
+        :mod:`repro.dnn.schedules`); applied at the start of every
+        epoch to the optimiser's ``lr`` attribute.  Overrides the
+        constant ``lr`` from epoch 1 on.
+    seed:
+        Shuffling determinism.
+    """
+
+    def __init__(
+        self,
+        net: Sequential,
+        *,
+        batch_size: int = 100,
+        lr: float = 0.001,
+        momentum: float = 0.9,
+        target_accuracy: float = 0.8,
+        max_epochs: int = 50,
+        optimizer: Optional[Optimizer] = None,
+        lr_schedule=None,
+        seed: int = 0,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if not 0.0 < target_accuracy <= 1.0:
+            raise ValueError("target_accuracy must lie in (0, 1]")
+        if max_epochs < 1:
+            raise ValueError("max_epochs must be >= 1")
+        self.net = net
+        self.batch_size = batch_size
+        self.optimizer = optimizer or MomentumSGD(lr, momentum)
+        self.loss_fn = SoftmaxCrossEntropy()
+        self.target_accuracy = target_accuracy
+        self.max_epochs = max_epochs
+        self.lr_schedule = lr_schedule
+        self.seed = seed
+
+    def train_epoch(self, data: ImageDataset, epoch: int) -> float:
+        """One pass over the training set; returns mean loss."""
+        if self.lr_schedule is not None:
+            self.optimizer.lr = float(self.lr_schedule(epoch))
+        losses = []
+        for xb, yb in data.batches(self.batch_size, seed=self.seed + epoch):
+            logits = self.net.forward(xb.astype(np.float64), training=True)
+            loss, grad = self.loss_fn(logits, yb)
+            self.net.backward(grad)
+            self.optimizer.step(self.net)
+            losses.append(loss)
+        return float(np.mean(losses)) if losses else 0.0
+
+    def fit(self, data: ImageDataset) -> TrainingRun:
+        """Train until the target accuracy or the epoch cap."""
+        run = TrainingRun(target_accuracy=self.target_accuracy)
+        iters_per_epoch = int(np.ceil(data.n_train / self.batch_size))
+        t0 = time.perf_counter()
+        for epoch in range(1, self.max_epochs + 1):
+            mean_loss = self.train_epoch(data, epoch)
+            acc = self.net.accuracy(data.x_test.astype(np.float64), data.y_test)
+            elapsed = time.perf_counter() - t0
+            stats = EpochStats(
+                epoch=epoch,
+                iterations=epoch * iters_per_epoch,
+                mean_loss=mean_loss,
+                test_accuracy=acc,
+                seconds=elapsed,
+            )
+            run.history.append(stats)
+            if acc >= self.target_accuracy and not run.reached_target:
+                run.reached_target = True
+                run.iterations_to_target = stats.iterations
+                run.epochs_to_target = epoch
+                run.seconds_to_target = elapsed
+                break
+        return run

@@ -1,0 +1,32 @@
+"""Dataset statistics — the paper's nine influencing parameters.
+
+Table IV of the paper defines nine parameters of the data matrix that
+drive format performance: M, N, nnz, ndig, dnnz, mdim, adim, vdim and
+density.  :class:`DatasetProfile` holds them; :func:`extract_profile`
+computes them from any :class:`~repro.formats.base.MatrixFormat` (or raw
+COO triples) in one O(nnz) pass.
+"""
+
+from repro.features.profile import (
+    PARAMETER_NAMES,
+    CorrelationSign,
+    DatasetProfile,
+    TABLE_IV_SIGNS,
+)
+from repro.features.extract import (
+    extract_profile,
+    profile_from_coo,
+    profile_from_dense,
+)
+from repro.features.streaming import StreamingProfiler
+
+__all__ = [
+    "DatasetProfile",
+    "PARAMETER_NAMES",
+    "CorrelationSign",
+    "TABLE_IV_SIGNS",
+    "extract_profile",
+    "profile_from_coo",
+    "profile_from_dense",
+    "StreamingProfiler",
+]

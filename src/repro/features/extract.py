@@ -1,0 +1,82 @@
+"""Profile extraction: one O(nnz) pass over any matrix.
+
+This is the runtime component of the scheduler: before training starts,
+the adaptive system extracts the nine parameters from the (arbitrary-
+format) input and feeds them to the decision system.  Extraction cost is
+a single pass over the coordinates — negligible next to even one SMO
+iteration, which is what makes *runtime* scheduling viable.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.features.profile import DatasetProfile
+from repro.formats.base import MatrixFormat, validate_coo
+
+
+def profile_from_coo(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    shape: Tuple[int, int],
+    *,
+    validated: bool = False,
+) -> DatasetProfile:
+    """Compute the nine parameters from coordinate structure.
+
+    Values are irrelevant — every Table IV parameter is structural — so
+    only ``rows``/``cols`` are needed.
+    """
+    if not validated:
+        rows, cols, _ = validate_coo(
+            rows, cols, np.ones(len(np.asarray(rows).ravel())), shape
+        )
+    rows = np.asarray(rows)
+    cols = np.asarray(cols)
+    m, n = int(shape[0]), int(shape[1])
+    nnz = int(rows.shape[0])
+
+    if nnz == 0:
+        return DatasetProfile(
+            m=m, n=n, nnz=0, ndig=0, dnnz=0.0, mdim=0, adim=0.0,
+            vdim=0.0, density=0.0,
+        )
+
+    dim = np.bincount(rows, minlength=m).astype(np.float64)
+    adim = nnz / m
+    mdim = int(dim.max())
+    vdim = float(np.mean((dim - adim) ** 2))
+
+    offsets = cols.astype(np.int64) - rows.astype(np.int64)
+    ndig = int(np.unique(offsets).shape[0])
+    dnnz = nnz / ndig
+
+    density = nnz / (m * n) if m and n else 0.0
+    return DatasetProfile(
+        m=m,
+        n=n,
+        nnz=nnz,
+        ndig=ndig,
+        dnnz=dnnz,
+        mdim=mdim,
+        adim=adim,
+        vdim=vdim,
+        density=density,
+    )
+
+
+def extract_profile(matrix: MatrixFormat) -> DatasetProfile:
+    """Extract the Table IV parameters from any stored format."""
+    rows, cols, _values = matrix.to_coo()
+    return profile_from_coo(rows, cols, matrix.shape, validated=True)
+
+
+def profile_from_dense(array: np.ndarray) -> DatasetProfile:
+    """Extract the parameters from a dense 2-D array (zeros skipped)."""
+    array = np.asarray(array)
+    if array.ndim != 2:
+        raise ValueError("expected a 2-D array")
+    rows, cols = np.nonzero(array)
+    return profile_from_coo(rows, cols, array.shape, validated=True)

@@ -1,0 +1,152 @@
+"""The influencing-parameter vector (paper Table IV).
+
+Besides the nine values themselves, this module encodes the paper's
+documented correlation *signs* between each parameter and each format's
+efficiency (the +/-/±/x entries of Table IV).  The rule-based scheduler
+consumes the signs; ``benchmarks/test_table4_correlations.py`` verifies
+the measurable ones empirically.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, asdict
+from typing import Dict, Tuple
+
+#: Field order matching Table IV / Table V columns.
+PARAMETER_NAMES: Tuple[str, ...] = (
+    "m",
+    "n",
+    "nnz",
+    "ndig",
+    "dnnz",
+    "mdim",
+    "adim",
+    "vdim",
+    "density",
+)
+
+
+class CorrelationSign(enum.Enum):
+    """Table IV cell values."""
+
+    POSITIVE = "+"
+    NEGATIVE = "-"
+    EITHER = "±"
+    UNCORRELATED = "x"
+
+
+_P = CorrelationSign.POSITIVE
+_N = CorrelationSign.NEGATIVE
+_E = CorrelationSign.EITHER
+_X = CorrelationSign.UNCORRELATED
+
+#: Table IV verbatim: signs[parameter][format].
+TABLE_IV_SIGNS: Dict[str, Dict[str, CorrelationSign]] = {
+    "m": {"ELL": _E, "CSR": _E, "COO": _E, "DEN": _E, "DIA": _E},
+    "n": {"ELL": _X, "CSR": _X, "COO": _X, "DEN": _N, "DIA": _X},
+    "nnz": {"ELL": _E, "CSR": _E, "COO": _E, "DEN": _P, "DIA": _E},
+    "ndig": {"ELL": _X, "CSR": _X, "COO": _X, "DEN": _X, "DIA": _N},
+    "dnnz": {"ELL": _X, "CSR": _X, "COO": _X, "DEN": _P, "DIA": _P},
+    "mdim": {"ELL": _N, "CSR": _X, "COO": _X, "DEN": _X, "DIA": _X},
+    "adim": {"ELL": _P, "CSR": _X, "COO": _X, "DEN": _P, "DIA": _X},
+    "vdim": {"ELL": _N, "CSR": _N, "COO": _P, "DEN": _X, "DIA": _X},
+    "density": {"ELL": _E, "CSR": _E, "COO": _E, "DEN": _P, "DIA": _E},
+}
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """The nine Table IV parameters of one data matrix.
+
+    Attributes
+    ----------
+    m:
+        Number of rows (samples).
+    n:
+        Number of columns (maximum feature index of all samples).
+    nnz:
+        Number of stored non-zero elements.
+    ndig:
+        Number of occupied diagonals.
+    dnnz:
+        Non-zeros per diagonal, ``nnz / ndig``.
+    mdim:
+        Maximum non-zeros in a row, ``max_i dim_i``.
+    adim:
+        Average non-zeros per row, ``nnz / M``.
+    vdim:
+        Variance of ``dim_i``: ``sum_i (dim_i - adim)^2 / M``.
+    density:
+        ``nnz / (M * N)``.
+    """
+
+    m: int
+    n: int
+    nnz: int
+    ndig: int
+    dnnz: float
+    mdim: int
+    adim: float
+    vdim: float
+    density: float
+
+    def __post_init__(self) -> None:
+        if self.m < 0 or self.n < 0 or self.nnz < 0:
+            raise ValueError("m, n, nnz must be non-negative")
+        if self.nnz > self.m * self.n:
+            raise ValueError("nnz cannot exceed M * N")
+        if self.mdim > self.n:
+            raise ValueError("mdim cannot exceed N")
+        if not (0.0 <= self.density <= 1.0 + 1e-12):
+            raise ValueError("density must lie in [0, 1]")
+
+    # -- convenience --------------------------------------------------
+    @property
+    def balance(self) -> float:
+        """``adim / mdim`` in (0, 1]; 1 means perfectly uniform rows.
+
+        The quantity behind ELL fitness: padding waste is
+        ``1 - balance`` of the padded array.
+        """
+        if self.mdim == 0:
+            return 1.0
+        return self.adim / self.mdim
+
+    @property
+    def diag_fill(self) -> float:
+        """``dnnz / min(M, N)``: fraction of a padded diagonal that is
+        real data.  DIA fitness in one number (Fig. 2's x-axis is its
+        reciprocal, scaled)."""
+        ld = min(self.m, self.n)
+        if ld == 0 or self.ndig == 0:
+            return 0.0
+        return self.dnnz / ld
+
+    @property
+    def cv_dim(self) -> float:
+        """Coefficient of variation of row lengths, ``sqrt(vdim)/adim``.
+
+        A scale-free version of vdim used by the CSR-vs-COO rule (Fig. 4
+        plots raw vdim, but the decision boundary is scale-free).
+        """
+        if self.adim == 0:
+            return 0.0
+        return math.sqrt(self.vdim) / self.adim
+
+    def as_dict(self) -> Dict[str, float]:
+        return asdict(self)
+
+    def as_vector(self) -> Tuple[float, ...]:
+        """The nine values in canonical PARAMETER_NAMES order."""
+        d = self.as_dict()
+        return tuple(float(d[k]) for k in PARAMETER_NAMES)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DatasetProfile(M={self.m}, N={self.n}, nnz={self.nnz}, "
+            f"ndig={self.ndig}, dnnz={self.dnnz:.4g}, mdim={self.mdim}, "
+            f"adim={self.adim:.4g}, vdim={self.vdim:.4g}, "
+            f"density={self.density:.4g})"
+        )

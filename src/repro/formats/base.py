@@ -1,0 +1,285 @@
+"""Base classes shared by all storage formats.
+
+Two abstractions live here:
+
+- :class:`SparseVector` — an (indices, values) pair used for the sparse
+  side of the SMSV (sparse-matrix x sparse-vector) product that
+  dominates each SMO step.  The paper stresses (Related Work) that SMO's
+  kernel is *not* SpMV: the vector is itself a sparse row of the matrix,
+  picked at random each iteration.
+- :class:`MatrixFormat` — the interface every format implements.  The
+  SMO solver, the scheduler, and the hardware models all program against
+  this interface only.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import ClassVar, Optional, Tuple
+
+import numpy as np
+
+from repro.perf.counters import OpCounter
+
+#: Canonical format order used in tables/figures throughout the paper.
+FORMAT_NAMES: Tuple[str, ...] = ("ELL", "CSR", "COO", "DEN", "DIA")
+
+#: dtype used for all numeric payloads; 8-byte floats as in the paper's
+#: double-precision kernels.
+VALUE_DTYPE = np.float64
+#: dtype for index arrays (4-byte ints, the common HPC choice).
+INDEX_DTYPE = np.int32
+
+VALUE_ITEMSIZE = np.dtype(VALUE_DTYPE).itemsize
+INDEX_ITEMSIZE = np.dtype(INDEX_DTYPE).itemsize
+
+
+class SparseVector:
+    """Immutable sparse vector: sorted indices + matching values.
+
+    Parameters
+    ----------
+    indices:
+        Strictly increasing positions of the (potentially) non-zero
+        entries.
+    values:
+        Entry values, same length as ``indices``.  Explicit zeros are
+        allowed (they arise from format round trips) and are preserved.
+    length:
+        Logical dimension of the vector.
+    """
+
+    __slots__ = ("indices", "values", "length")
+
+    def __init__(
+        self,
+        indices: np.ndarray,
+        values: np.ndarray,
+        length: int,
+    ) -> None:
+        indices = np.asarray(indices, dtype=INDEX_DTYPE)
+        values = np.asarray(values, dtype=VALUE_DTYPE)
+        if indices.ndim != 1 or values.ndim != 1:
+            raise ValueError("indices and values must be 1-D")
+        if indices.shape[0] != values.shape[0]:
+            raise ValueError("indices and values must have equal length")
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        if indices.size:
+            if np.any(np.diff(indices) <= 0):
+                order = np.argsort(indices, kind="stable")
+                indices = indices[order]
+                values = values[order]
+                if np.any(np.diff(indices) == 0):
+                    raise ValueError("duplicate indices in SparseVector")
+            if indices[0] < 0 or indices[-1] >= length:
+                raise ValueError("index out of range")
+        self.indices = indices
+        self.values = values
+        self.length = int(length)
+
+    @classmethod
+    def from_dense(cls, x: np.ndarray) -> "SparseVector":
+        x = np.asarray(x, dtype=VALUE_DTYPE).ravel()
+        idx = np.nonzero(x)[0].astype(INDEX_DTYPE)
+        return cls(idx, x[idx], x.shape[0])
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.shape[0])
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.length, dtype=VALUE_DTYPE)
+        out[self.indices] = self.values
+        return out
+
+    def dot(self, other: "SparseVector") -> float:
+        """Sparse-sparse dot product via sorted-index intersection."""
+        if self.length != other.length:
+            raise ValueError("dimension mismatch")
+        common, ia, ib = np.intersect1d(
+            self.indices, other.indices, assume_unique=True, return_indices=True
+        )
+        del common
+        if ia.size == 0:
+            return 0.0
+        return float(self.values[ia] @ other.values[ib])
+
+    def norm_sq(self) -> float:
+        return float(self.values @ self.values)
+
+    def scale(self, alpha: float) -> "SparseVector":
+        return SparseVector(self.indices.copy(), self.values * alpha, self.length)
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SparseVector(nnz={self.nnz}, length={self.length})"
+
+
+class MatrixFormat(abc.ABC):
+    """Abstract matrix stored in one particular layout.
+
+    Subclasses are immutable after construction; all mutation happens by
+    rebuilding through :meth:`from_coo`.  Kernels accept an optional
+    :class:`~repro.perf.counters.OpCounter` so callers can audit traffic
+    and flops without a global flag.
+    """
+
+    #: Short uppercase name as used in the paper's tables.
+    name: ClassVar[str] = "ABSTRACT"
+
+    shape: Tuple[int, int]
+
+    # -- construction -------------------------------------------------
+    @classmethod
+    @abc.abstractmethod
+    def from_coo(
+        cls,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: np.ndarray,
+        shape: Tuple[int, int],
+    ) -> "MatrixFormat":
+        """Build from coordinate triples (duplicates are an error)."""
+
+    @abc.abstractmethod
+    def to_coo(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return row-major-sorted coordinate triples of stored non-zeros.
+
+        Explicit zeros introduced by padding are *not* returned; round
+        trips therefore preserve the logical matrix exactly.
+        """
+
+    # -- structure ----------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def nnz(self) -> int:
+        """Number of stored logical non-zeros (padding excluded)."""
+
+    @abc.abstractmethod
+    def storage_elements(self) -> int:
+        """Number of stored array elements, padding *included*.
+
+        This is the quantity Table II bounds; the per-format unit tests
+        check it against :func:`repro.formats.storage.
+        storage_elements_analytic`.
+        """
+
+    def storage_bytes(self) -> int:
+        """Actual bytes of the backing arrays (values + indices)."""
+        return int(
+            sum(arr.nbytes for arr in self._backing_arrays())
+        )
+
+    @abc.abstractmethod
+    def _backing_arrays(self) -> Tuple[np.ndarray, ...]:
+        """The arrays that constitute the stored representation."""
+
+    # -- kernels ------------------------------------------------------
+    @abc.abstractmethod
+    def matvec(
+        self, x: np.ndarray, counter: Optional[OpCounter] = None
+    ) -> np.ndarray:
+        """Dense ``y = A @ x``; the computational core of the SMSV."""
+
+    def smsv(
+        self, v: SparseVector, counter: Optional[OpCounter] = None
+    ) -> np.ndarray:
+        """Sparse-matrix x sparse-vector product ``y = A @ v``.
+
+        Default implementation scatters ``v`` to dense (O(N), negligible
+        next to the matvec) then runs the format's matvec — exactly the
+        strategy the paper's kernels use, since the matrix side dominates.
+        Formats with a cheaper gather path override this.
+        """
+        x = v.to_dense()
+        if counter is not None:
+            counter.add_write(x.nbytes)
+        return self.matvec(x, counter)
+
+    @abc.abstractmethod
+    def row(self, i: int) -> SparseVector:
+        """Extract row ``i`` as a sparse vector (SMO's X_high / X_low)."""
+
+    def row_norms_sq(self) -> np.ndarray:
+        """Squared 2-norm of every row (needed by the Gaussian kernel).
+
+        Default goes through :meth:`to_coo`; formats override when they
+        can do better.
+        """
+        rows, _cols, values = self.to_coo()
+        out = np.zeros(self.shape[0], dtype=VALUE_DTYPE)
+        np.add.at(out, rows, values * values)
+        return out
+
+    def to_dense(self) -> np.ndarray:
+        rows, cols, values = self.to_coo()
+        out = np.zeros(self.shape, dtype=VALUE_DTYPE)
+        out[rows, cols] = values
+        return out
+
+    def transpose(self) -> "MatrixFormat":
+        """The transposed matrix, in this same format.
+
+        Goes through COO (swap the coordinate roles); note the format
+        family changes meaning under transposition — a CSR transpose
+        stored as CSR is what a CSC view of the original would be, and
+        an ELL transpose pads by *column* lengths of the original.
+        """
+        rows, cols, values = self.to_coo()
+        return type(self).from_coo(
+            cols, rows, values, (self.shape[1], self.shape[0])
+        )
+
+    @property
+    def T(self) -> "MatrixFormat":
+        """Alias for :meth:`transpose` (NumPy idiom)."""
+        return self.transpose()
+
+    # -- misc ---------------------------------------------------------
+    @property
+    def density(self) -> float:
+        m, n = self.shape
+        total = m * n
+        return self.nnz / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(shape={self.shape}, nnz={self.nnz}, "
+            f"storage={self.storage_elements()})"
+        )
+
+
+def validate_coo(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    values: np.ndarray,
+    shape: Tuple[int, int],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Validate and canonicalise COO triples (sort row-major, no dups).
+
+    Shared by every ``from_coo`` implementation so all formats agree on
+    what a legal matrix is.
+    """
+    rows = np.asarray(rows, dtype=INDEX_DTYPE).ravel()
+    cols = np.asarray(cols, dtype=INDEX_DTYPE).ravel()
+    values = np.asarray(values, dtype=VALUE_DTYPE).ravel()
+    if not (rows.shape == cols.shape == values.shape):
+        raise ValueError("rows, cols, values must have equal length")
+    m, n = shape
+    if m < 0 or n < 0:
+        raise ValueError("shape must be non-negative")
+    if rows.size:
+        if rows.min() < 0 or rows.max() >= m:
+            raise ValueError("row index out of range")
+        if cols.min() < 0 or cols.max() >= n:
+            raise ValueError("column index out of range")
+    order = np.lexsort((cols, rows))
+    rows, cols, values = rows[order], cols[order], values[order]
+    if rows.size > 1:
+        same = (np.diff(rows) == 0) & (np.diff(cols) == 0)
+        if np.any(same):
+            raise ValueError("duplicate coordinates in COO input")
+    return rows, cols, values

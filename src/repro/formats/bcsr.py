@@ -1,0 +1,222 @@
+"""BCSR — block compressed sparse row.
+
+The paper (Section III-A): "block variants like BCSR are often used
+when there are many dense sub-blocks in a sparse matrix."  Storage is a
+CSR over ``br x bc`` blocks, each block stored densely:
+
+- ``block_data``: ``(n_blocks, br, bc)`` dense blocks (zero-padded);
+- ``block_col``:  block-column index per stored block;
+- ``block_ptr``:  CSR-style pointer over block rows.
+
+Storage is ``n_blocks * br * bc`` values + ``n_blocks`` indices +
+``M/br + 1`` pointers: a win exactly when the blocks are mostly full
+(``fill_ratio`` near 1) — the OSKI trade-off the paper cites as related
+work.  The kernel multiplies whole blocks, so block padding costs real
+work, consistent with the ELL/DIA conventions of this library.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.formats.base import (
+    INDEX_DTYPE,
+    VALUE_DTYPE,
+    MatrixFormat,
+    SparseVector,
+    validate_coo,
+)
+from repro.perf.counters import OpCounter
+
+
+class BCSRMatrix(MatrixFormat):
+    """Block-CSR matrix with fixed ``br x bc`` dense blocks."""
+
+    name = "BCSR"
+
+    def __init__(
+        self,
+        block_data: np.ndarray,
+        block_col: np.ndarray,
+        block_ptr: np.ndarray,
+        shape: Tuple[int, int],
+        block_shape: Tuple[int, int],
+    ) -> None:
+        br, bc = block_shape
+        if br < 1 or bc < 1:
+            raise ValueError("block dimensions must be >= 1")
+        self.block_data = np.ascontiguousarray(block_data, dtype=VALUE_DTYPE)
+        self.block_col = np.asarray(block_col, dtype=INDEX_DTYPE)
+        self.block_ptr = np.asarray(block_ptr, dtype=np.int64)
+        m, n = shape
+        n_brows = -(-m // br)
+        if self.block_data.ndim != 3 or self.block_data.shape[1:] != (br, bc):
+            raise ValueError("block_data must be (n_blocks, br, bc)")
+        if self.block_ptr.shape != (n_brows + 1,):
+            raise ValueError("block_ptr must have length M/br + 1")
+        if self.block_ptr[0] != 0 or self.block_ptr[-1] != len(self.block_col):
+            raise ValueError("block_ptr endpoints inconsistent")
+        self.shape = (int(m), int(n))
+        self.block_shape = (int(br), int(bc))
+
+    # -- construction -------------------------------------------------
+    @classmethod
+    def from_coo(
+        cls,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: np.ndarray,
+        shape: Tuple[int, int],
+        block_shape: Tuple[int, int] = (4, 4),
+    ) -> "BCSRMatrix":
+        rows, cols, values = validate_coo(rows, cols, values, shape)
+        m, n = shape
+        br, bc = block_shape
+        if br < 1 or bc < 1:
+            raise ValueError("block dimensions must be >= 1")
+        brow = rows // br
+        bcol = cols // bc
+        n_brows = -(-m // br)
+        # Unique occupied blocks in block-row-major order.
+        key = brow.astype(np.int64) * ((n + bc - 1) // bc) + bcol
+        order = np.argsort(key, kind="stable")
+        key_sorted = key[order]
+        uniq_key, first = np.unique(key_sorted, return_index=True)
+        block_of_nnz = np.searchsorted(uniq_key, key)
+        n_blocks = uniq_key.shape[0]
+        data = np.zeros((n_blocks, br, bc), dtype=VALUE_DTYPE)
+        data[
+            block_of_nnz, rows % br, cols % bc
+        ] = values
+        n_bcols = (n + bc - 1) // bc
+        u_brow = (uniq_key // n_bcols).astype(np.int64)
+        u_bcol = (uniq_key % n_bcols).astype(INDEX_DTYPE)
+        counts = np.bincount(u_brow, minlength=n_brows)
+        ptr = np.zeros(n_brows + 1, dtype=np.int64)
+        np.cumsum(counts, out=ptr[1:])
+        return cls(data, u_bcol, ptr, shape, block_shape)
+
+    def to_coo(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        br, bc = self.block_shape
+        m, n = self.shape
+        rows_list, cols_list, vals_list = [], [], []
+        for brow in range(len(self.block_ptr) - 1):
+            for k in range(self.block_ptr[brow], self.block_ptr[brow + 1]):
+                block = self.block_data[k]
+                r, c = np.nonzero(block)
+                if r.size:
+                    rows_list.append(brow * br + r)
+                    cols_list.append(int(self.block_col[k]) * bc + c)
+                    vals_list.append(block[r, c])
+        if not rows_list:
+            e = np.empty(0, dtype=INDEX_DTYPE)
+            return e, e.copy(), np.empty(0, dtype=VALUE_DTYPE)
+        return validate_coo(
+            np.concatenate(rows_list),
+            np.concatenate(cols_list),
+            np.concatenate(vals_list),
+            self.shape,
+        )
+
+    # -- structure ----------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self.block_data))
+
+    @property
+    def n_blocks(self) -> int:
+        return int(self.block_data.shape[0])
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of stored block slots holding real non-zeros: the
+        statistic that decides whether BCSR is worth it (OSKI)."""
+        total = self.block_data.size
+        return self.nnz / total if total else 1.0
+
+    def storage_elements(self) -> int:
+        br, bc = self.block_shape
+        n_brows = len(self.block_ptr) - 1
+        return self.n_blocks * br * bc + self.n_blocks + n_brows + 1
+
+    def _backing_arrays(self) -> Tuple[np.ndarray, ...]:
+        return (self.block_data, self.block_col, self.block_ptr)
+
+    # -- kernels ------------------------------------------------------
+    def matvec(
+        self, x: np.ndarray, counter: Optional[OpCounter] = None
+    ) -> np.ndarray:
+        x = np.asarray(x, dtype=VALUE_DTYPE)
+        if x.shape != (self.shape[1],):
+            raise ValueError(
+                f"matvec expects x of shape ({self.shape[1]},), got {x.shape}"
+            )
+        m, n = self.shape
+        br, bc = self.block_shape
+        y = np.zeros(m, dtype=VALUE_DTYPE)
+        if self.n_blocks:
+            # Gather x block-slices (padded at the right edge), batch
+            # multiply all blocks at once, then segment-reduce per
+            # block row.
+            xpad = np.zeros((-(-n // bc)) * bc, dtype=VALUE_DTYPE)
+            xpad[:n] = x
+            xs = xpad.reshape(-1, bc)[self.block_col]  # (n_blocks, bc)
+            contrib = np.einsum("kij,kj->ki", self.block_data, xs)
+            ypad = np.zeros(((-(-m // br)), br), dtype=VALUE_DTYPE)
+            brow_of_block = (
+                np.searchsorted(
+                    self.block_ptr,
+                    np.arange(self.n_blocks),
+                    side="right",
+                )
+                - 1
+            )
+            np.add.at(ypad, brow_of_block, contrib)
+            y = ypad.reshape(-1)[:m]
+        if counter is not None:
+            work = self.n_blocks * br * bc
+            counter.add_flops(2 * work)
+            counter.add_read(
+                self.block_data.nbytes
+                + self.block_col.nbytes
+                + self.block_ptr.nbytes
+                + self.n_blocks * bc * 8
+            )
+            counter.add_write(y.nbytes)
+        return y
+
+    def transpose(self) -> "BCSRMatrix":
+        """Transpose preserving the (swapped) block geometry."""
+        rows, cols, values = self.to_coo()
+        br, bc = self.block_shape
+        return BCSRMatrix.from_coo(
+            cols,
+            rows,
+            values,
+            (self.shape[1], self.shape[0]),
+            block_shape=(bc, br),
+        )
+
+    def row(self, i: int) -> SparseVector:
+        if not 0 <= i < self.shape[0]:
+            raise IndexError("row index out of range")
+        br, bc = self.block_shape
+        brow = i // br
+        r_in = i % br
+        cols_list, vals_list = [], []
+        for k in range(self.block_ptr[brow], self.block_ptr[brow + 1]):
+            seg = self.block_data[k, r_in]
+            nz = np.nonzero(seg)[0]
+            if nz.size:
+                cols_list.append(int(self.block_col[k]) * bc + nz)
+                vals_list.append(seg[nz])
+        if not cols_list:
+            e = np.empty(0, dtype=INDEX_DTYPE)
+            return SparseVector(e, np.empty(0), self.shape[1])
+        return SparseVector(
+            np.concatenate(cols_list),
+            np.concatenate(vals_list),
+            self.shape[1],
+        )

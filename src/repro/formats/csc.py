@@ -1,0 +1,182 @@
+"""CSC — compressed sparse column.
+
+The paper (Section III-A): "the CSC format is similar to the CSR
+format. The only difference is that the columns are used instead of the
+rows."  Included as a derived format: it shares CSR's O(nnz) storage
+but transposed access — its matvec *scatters* into y per column instead
+of reducing per row, which is why CSR is preferred for the SMO pattern
+(row-major streaming) and CSC only wins for column-oriented access
+(e.g. feature-wise statistics, column subsetting).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.formats.base import (
+    INDEX_DTYPE,
+    VALUE_DTYPE,
+    MatrixFormat,
+    SparseVector,
+    validate_coo,
+)
+from repro.perf.counters import OpCounter
+
+
+class CSCMatrix(MatrixFormat):
+    """Compressed sparse column matrix.
+
+    Attributes
+    ----------
+    values:
+        Non-zero values in column-major order, length nnz.
+    row_idx:
+        Row index of each value, length nnz.
+    col_ptr:
+        Length N+1; column ``j`` occupies
+        ``values[col_ptr[j]:col_ptr[j+1]]``.
+    """
+
+    name = "CSC"
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        row_idx: np.ndarray,
+        col_ptr: np.ndarray,
+        shape: Tuple[int, int],
+    ) -> None:
+        self.values = np.asarray(values, dtype=VALUE_DTYPE)
+        self.row_idx = np.asarray(row_idx, dtype=INDEX_DTYPE)
+        self.col_ptr = np.asarray(col_ptr, dtype=np.int64)
+        m, n = shape
+        if self.col_ptr.shape != (n + 1,):
+            raise ValueError("col_ptr must have length N+1")
+        if self.col_ptr[0] != 0 or self.col_ptr[-1] != self.values.shape[0]:
+            raise ValueError("col_ptr endpoints inconsistent with values")
+        if np.any(np.diff(self.col_ptr) < 0):
+            raise ValueError("col_ptr must be non-decreasing")
+        if self.values.shape != self.row_idx.shape:
+            raise ValueError("values and row_idx must have equal length")
+        self.shape = (int(m), int(n))
+
+    # -- construction -------------------------------------------------
+    @classmethod
+    def from_coo(
+        cls,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: np.ndarray,
+        shape: Tuple[int, int],
+    ) -> "CSCMatrix":
+        rows, cols, values = validate_coo(rows, cols, values, shape)
+        n = shape[1]
+        # re-sort column-major
+        order = np.lexsort((rows, cols))
+        rows, cols, values = rows[order], cols[order], values[order]
+        counts = np.bincount(cols, minlength=n)
+        col_ptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=col_ptr[1:])
+        return cls(values, rows, col_ptr, shape)
+
+    def to_coo(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        cols = np.repeat(
+            np.arange(self.shape[1], dtype=INDEX_DTYPE),
+            np.diff(self.col_ptr).astype(np.int64),
+        )
+        return validate_coo(
+            self.row_idx.copy(), cols, self.values.copy(), self.shape
+        )
+
+    # -- structure ----------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.values.shape[0])
+
+    def storage_elements(self) -> int:
+        # data + indices (nnz each) + ptr (N + 1): CSR's formula with
+        # N in place of M.
+        return 2 * self.nnz + self.shape[1] + 1
+
+    def _backing_arrays(self) -> Tuple[np.ndarray, ...]:
+        return (self.values, self.row_idx, self.col_ptr)
+
+    @property
+    def col_lengths(self) -> np.ndarray:
+        """Non-zeros per column (the transposed ``dim``)."""
+        return np.diff(self.col_ptr)
+
+    # -- kernels ------------------------------------------------------
+    def matvec(
+        self, x: np.ndarray, counter: Optional[OpCounter] = None
+    ) -> np.ndarray:
+        x = np.asarray(x, dtype=VALUE_DTYPE)
+        if x.shape != (self.shape[1],):
+            raise ValueError(
+                f"matvec expects x of shape ({self.shape[1]},), got {x.shape}"
+            )
+        m = self.shape[0]
+        if self.nnz:
+            # Column-major: weight each stored element by its column's
+            # x value (an expand via the ptr array), then scatter-add
+            # into y by row — the access pattern that makes CSC slower
+            # than CSR for row-oriented products.
+            xw = np.repeat(x, np.diff(self.col_ptr).astype(np.int64))
+            y = np.bincount(
+                self.row_idx, weights=self.values * xw, minlength=m
+            ).astype(VALUE_DTYPE, copy=False)
+        else:
+            y = np.zeros(m, dtype=VALUE_DTYPE)
+        if counter is not None:
+            counter.add_flops(2 * self.nnz)
+            counter.add_read(
+                self.values.nbytes
+                + self.row_idx.nbytes
+                + self.col_ptr.nbytes
+                + self.nnz * x.itemsize
+            )
+            counter.add_write(y.nbytes)
+        return y
+
+    def smsv(
+        self, v: SparseVector, counter: Optional[OpCounter] = None
+    ) -> np.ndarray:
+        """CSC exploits a sparse vector directly: only the columns in
+        ``v``'s support are touched — O(sum of those column lengths)."""
+        m = self.shape[0]
+        y = np.zeros(m, dtype=VALUE_DTYPE)
+        touched = 0
+        for j, xj in zip(v.indices, v.values):
+            lo, hi = int(self.col_ptr[j]), int(self.col_ptr[j + 1])
+            if hi > lo:
+                # Row indices are unique within a column, so the fancy
+                # scatter-add cannot collide.
+                y[self.row_idx[lo:hi]] += self.values[lo:hi] * xj
+                touched += hi - lo
+        if counter is not None:
+            counter.add_flops(2 * touched)
+            counter.add_read(touched * (8 + 4) + v.values.nbytes)
+            counter.add_write(y.nbytes)
+        return y
+
+    def row(self, i: int) -> SparseVector:
+        if not 0 <= i < self.shape[0]:
+            raise IndexError("row index out of range")
+        # Row extraction is CSC's weak spot: a full scan of row_idx.
+        mask = self.row_idx == i
+        cols = np.repeat(
+            np.arange(self.shape[1], dtype=INDEX_DTYPE),
+            np.diff(self.col_ptr).astype(np.int64),
+        )[mask]
+        return SparseVector(cols, self.values[mask], self.shape[1])
+
+    def column(self, j: int) -> SparseVector:
+        """Column extraction — CSC's strong spot (contiguous slice)."""
+        if not 0 <= j < self.shape[1]:
+            raise IndexError("column index out of range")
+        lo, hi = int(self.col_ptr[j]), int(self.col_ptr[j + 1])
+        return SparseVector(
+            self.row_idx[lo:hi], self.values[lo:hi], self.shape[0]
+        )

@@ -1,0 +1,51 @@
+"""Hardware substrate models.
+
+The paper's numbers come from machines we do not have (Ivy Bridge +
+Xeon Phi for SVM; 8-core CPU / KNL / Haswell / P100 / DGX station for
+DNN).  This package simulates them at the level the paper's analysis
+actually uses:
+
+- :mod:`repro.hardware.specs` — the machine catalog: peak flop/s,
+  memory bandwidth, SIMD width, core count, street price (Table VII's
+  price column) and a measured-efficiency factor per machine.
+- :mod:`repro.hardware.roofline` — Eq. (7) as a model:
+  ``time = max(flops / attained_flops, bytes / bandwidth)``.
+- :mod:`repro.hardware.vectormachine` — a deterministic fixed-width
+  SIMD execution model for the five format kernels; counts the width-W
+  vector instructions each layout issues (padding and per-row remainders
+  included), which is what reproduces the CSR-vs-COO ``vdim`` effect of
+  Fig. 4 exactly.
+- :mod:`repro.hardware.dnn_perf` — per-iteration DNN time model
+  ``t(B) = overhead + B * per_sample`` calibrated per machine (the
+  functional form Table VII's measurements follow).
+- :mod:`repro.hardware.pricing` — the dollars-per-speedup benchmark of
+  Fig. 6.
+"""
+
+from repro.hardware.specs import (
+    DNN_MACHINES,
+    MACHINES,
+    MachineSpec,
+    SVM_MACHINES,
+    get_machine,
+)
+from repro.hardware.roofline import RooflineModel, roofline_time
+from repro.hardware.vectormachine import VectorMachine, VectorCost
+from repro.hardware.dnn_perf import DNNPerfModel, iteration_time
+from repro.hardware.pricing import PricePoint, price_per_speedup_table
+
+__all__ = [
+    "MachineSpec",
+    "MACHINES",
+    "DNN_MACHINES",
+    "SVM_MACHINES",
+    "get_machine",
+    "RooflineModel",
+    "roofline_time",
+    "VectorMachine",
+    "VectorCost",
+    "DNNPerfModel",
+    "iteration_time",
+    "PricePoint",
+    "price_per_speedup_table",
+]

@@ -1,0 +1,83 @@
+"""Per-iteration DNN time model (the functional form behind Table VII).
+
+The paper's measured per-iteration times follow
+
+    t_iter(B) = overhead + B * per_sample
+
+— a fixed framework/synchronisation cost plus linear per-sample work.
+(Back-solving Table VII's DGX rows: t(100) = 6.45 ms, t(512) = 12.0 ms
+gives overhead ~5.2 ms and per-sample ~13.5 us, which is exactly why a
+larger batch raises *throughput*: it amortises the overhead — the
+paper's Section IV-C trade-off.)
+
+``per_sample`` is derived from the machine's attained flop rate and the
+model's flops per sample; for the DGX the per-sample work is divided
+across its accelerators (the divide-and-conquer data parallelism of
+Section IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.specs import MachineSpec
+
+#: Forward + backward flops per CIFAR-10 sample for Caffe's
+#: ``cifar10_full`` network (3 conv + pool + FC; backward ~2x forward).
+CIFAR10_FULL_FLOPS_PER_SAMPLE: float = 50e6
+
+
+@dataclass(frozen=True)
+class DNNPerfModel:
+    """Iteration-time model for one machine and one network.
+
+    Parameters
+    ----------
+    machine:
+        Catalog entry; supplies attained flop rate, iteration overhead
+        and accelerator count.
+    flops_per_sample:
+        Forward+backward flops of the trained network per sample.
+    """
+
+    machine: MachineSpec
+    flops_per_sample: float = CIFAR10_FULL_FLOPS_PER_SAMPLE
+
+    @property
+    def per_sample_seconds(self) -> float:
+        """Seconds of compute per training sample (after data-parallel
+        division across accelerators)."""
+        rate = self.machine.attained_gflops * 1e9
+        return self.flops_per_sample / rate
+
+    def iteration_time(self, batch_size: int) -> float:
+        """``t_iter(B) = overhead + B * per_sample``.
+
+        With P accelerators each worker computes B/P samples at 1/P of
+        the machine's attained rate, so the P cancels: data parallelism
+        shows up through the machine-level attained rate (P times one
+        accelerator's) and through the overhead term (allreduce), not in
+        this formula's shape.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        return (
+            self.machine.iteration_overhead_s
+            + batch_size * self.per_sample_seconds
+        )
+
+    def training_time(self, iterations: int, batch_size: int) -> float:
+        """Total seconds for ``iterations`` steps at batch ``B``."""
+        if iterations < 0:
+            raise ValueError("iterations must be non-negative")
+        return iterations * self.iteration_time(batch_size)
+
+    def throughput(self, batch_size: int) -> float:
+        """Samples per second at batch ``B`` (monotone increasing in B —
+        the computational half of the batch-size trade-off)."""
+        return batch_size / self.iteration_time(batch_size)
+
+
+def iteration_time(machine: MachineSpec, batch_size: int) -> float:
+    """Convenience: iteration time of ``cifar10_full`` on ``machine``."""
+    return DNNPerfModel(machine).iteration_time(batch_size)

@@ -1,0 +1,101 @@
+"""Dollars-per-speedup — the paper's hardware-selection benchmark.
+
+Section V-C: raw speedup flatters expensive hardware, so the paper
+defines ``price / speedup`` (lower is better) and concludes the Tesla
+P100 is the most efficient platform and the 8-core CPU the least —
+despite the CPU being the cheapest and the DGX the fastest.  This module
+computes the benchmark from (time, price) pairs; Fig. 6 and the last
+column of Table VII are direct outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class PricePoint:
+    """One method's row in the Fig. 6 / Table VII comparison."""
+
+    method: str
+    seconds: float
+    price_usd: float
+    speedup: float
+    price_per_speedup: float
+
+    def __lt__(self, other: "PricePoint") -> bool:
+        return self.price_per_speedup < other.price_per_speedup
+
+
+def price_per_speedup_table(
+    times: Mapping[str, float],
+    prices: Mapping[str, float],
+    *,
+    baseline: str | None = None,
+) -> List[PricePoint]:
+    """Build the full benchmark table.
+
+    Parameters
+    ----------
+    times:
+        Method -> seconds to reach the target accuracy.
+    prices:
+        Method -> platform price in USD.
+    baseline:
+        The 1.0x reference; defaults to the slowest method (the paper's
+        choice: "8 CPUs is the slowest case, which is the baseline").
+
+    Returns
+    -------
+    Rows in the input order of ``times``; use ``sorted()`` for a
+    ranking by efficiency.
+    """
+    if not times:
+        return []
+    missing = set(times) - set(prices)
+    if missing:
+        raise ValueError(f"no price for methods: {sorted(missing)}")
+    for k, t in times.items():
+        if t <= 0:
+            raise ValueError(f"non-positive time for {k!r}")
+    if baseline is None:
+        baseline = max(times, key=lambda k: times[k])
+    elif baseline not in times:
+        raise ValueError(f"baseline {baseline!r} not among methods")
+    t0 = times[baseline]
+    rows = []
+    for method, t in times.items():
+        speedup = t0 / t
+        rows.append(
+            PricePoint(
+                method=method,
+                seconds=t,
+                price_usd=float(prices[method]),
+                speedup=speedup,
+                price_per_speedup=float(prices[method]) / speedup,
+            )
+        )
+    return rows
+
+
+def best_value(rows: Sequence[PricePoint]) -> PricePoint:
+    """The most efficient platform (minimum price per speedup)."""
+    if not rows:
+        raise ValueError("no rows")
+    return min(rows)
+
+
+def format_table(rows: Sequence[PricePoint]) -> str:
+    """Render rows as an aligned text table (benchmark output)."""
+    header = (
+        f"{'Method':34s} {'Time (s)':>10s} {'Price ($)':>10s} "
+        f"{'Speedup':>9s} {'$/Speedup':>10s}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.method:34s} {r.seconds:10.1f} {r.price_usd:10,.0f} "
+            f"{r.speedup:8.1f}x {r.price_per_speedup:10,.0f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Roofline analysis reports for matrices and formats.
+
+Bridges the counters and the machine models into one human-readable
+answer to "where would my time go on machine X?": for each format,
+the counted flops/traffic of one SMSV, the roofline-predicted time,
+which roof binds, and the SIMD model's lane accounting.
+
+Used by ``examples/hardware_analysis.py``; also a convenient debugging
+view when a scheduler decision looks surprising.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.formats.base import FORMAT_NAMES, MatrixFormat
+from repro.formats.convert import convert
+from repro.hardware.roofline import RooflineModel
+from repro.hardware.specs import MachineSpec
+from repro.hardware.vectormachine import VectorMachine
+from repro.perf.counters import OpCounter
+
+
+@dataclass(frozen=True)
+class FormatAnalysis:
+    """One format's row of a roofline report."""
+
+    fmt: str
+    flops: int
+    bytes_moved: int
+    arithmetic_intensity: float
+    roofline_seconds: float
+    bound: str
+    simd_seconds: float
+    vector_ops: int
+
+
+def analyse_matrix(
+    matrix: MatrixFormat,
+    machine: MachineSpec,
+    *,
+    formats: Optional[List[str]] = None,
+    efficiency: float = 0.5,
+) -> List[FormatAnalysis]:
+    """Per-format roofline + SIMD analysis of one SMSV.
+
+    ``efficiency`` is the attained-vs-peak compute fraction assumed for
+    the roofline's compute ceiling (sparse kernels rarely exceed 50%).
+    """
+    names = formats if formats is not None else list(FORMAT_NAMES)
+    roof = RooflineModel(machine, efficiency=efficiency)
+    vm = VectorMachine(machine)
+    v = matrix.row(0)
+    out: List[FormatAnalysis] = []
+    for name in names:
+        m = convert(matrix, name)
+        c = OpCounter()
+        m.smsv(v, counter=c)
+        cost = vm.count(m)
+        out.append(
+            FormatAnalysis(
+                fmt=name,
+                flops=c.flops,
+                bytes_moved=c.bytes_total,
+                arithmetic_intensity=c.arithmetic_intensity(),
+                roofline_seconds=roof.time(c),
+                bound=roof.bound(c),
+                simd_seconds=cost.seconds,
+                vector_ops=cost.total_ops,
+            )
+        )
+    return sorted(out, key=lambda a: a.simd_seconds)
+
+
+def format_report(
+    analyses: List[FormatAnalysis], machine: MachineSpec
+) -> str:
+    """Render an analysis list as an aligned table."""
+    header = (
+        f"roofline analysis on {machine.long_name}\n"
+        f"(balance point "
+        f"{machine.peak_gflops / machine.bandwidth_gbs:.1f} flop/byte "
+        f"at full efficiency)\n"
+        f"{'fmt':5s} {'flops':>12s} {'bytes':>12s} {'f/B':>6s} "
+        f"{'roofline':>10s} {'bound':>8s} {'SIMD model':>11s} "
+        f"{'vec ops':>10s}"
+    )
+    lines = [header, "-" * 84]
+    for a in analyses:
+        lines.append(
+            f"{a.fmt:5s} {a.flops:12,d} {a.bytes_moved:12,d} "
+            f"{a.arithmetic_intensity:6.2f} "
+            f"{a.roofline_seconds * 1e6:8.1f}us {a.bound:>8s} "
+            f"{a.simd_seconds * 1e6:9.1f}us {a.vector_ops:10,d}"
+        )
+    return "\n".join(lines)

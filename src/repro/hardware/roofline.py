@@ -1,0 +1,96 @@
+"""Roofline execution-time model — Eq. (7) with a compute ceiling.
+
+The paper bounds execution time by ``transferred_memory / bandwidth``
+(Eq. (7)); a kernel can also be compute-bound, so the full model is the
+classic roofline:
+
+    time = max(flops / attained_flops, bytes / bandwidth)
+
+Both inputs come straight from :class:`~repro.perf.counters.OpCounter`,
+so any kernel this library runs can be "re-timed" on any catalogued
+machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.specs import MachineSpec
+from repro.perf.counters import OpCounter
+
+
+def roofline_time(
+    flops: float,
+    bytes_moved: float,
+    machine: MachineSpec,
+    *,
+    efficiency: float | None = None,
+    bandwidth_fraction: float = 1.0,
+) -> float:
+    """Predicted seconds for (flops, bytes) on ``machine``.
+
+    Parameters
+    ----------
+    efficiency:
+        Fraction of peak compute attained; defaults to the machine's
+        calibrated ``dnn_efficiency``.
+    bandwidth_fraction:
+        Fraction of peak bandwidth attained (irregular access patterns
+        achieve less; format-specific values come from the caller).
+    """
+    if flops < 0 or bytes_moved < 0:
+        raise ValueError("flops and bytes must be non-negative")
+    if not 0.0 < bandwidth_fraction <= 1.0:
+        raise ValueError("bandwidth_fraction must lie in (0, 1]")
+    eff = machine.dnn_efficiency if efficiency is None else efficiency
+    if not 0.0 < eff <= 1.0:
+        raise ValueError("efficiency must lie in (0, 1]")
+    t_compute = flops / (machine.peak_gflops * 1e9 * eff)
+    t_memory = bytes_moved / (
+        machine.bandwidth_gbs * 1e9 * bandwidth_fraction
+    )
+    return max(t_compute, t_memory)
+
+
+@dataclass(frozen=True)
+class RooflineModel:
+    """A machine-bound roofline: re-times counted work on one machine."""
+
+    machine: MachineSpec
+    efficiency: float | None = None
+    bandwidth_fraction: float = 1.0
+
+    def time(self, counter: OpCounter) -> float:
+        """Seconds the counted work would take on this machine."""
+        return roofline_time(
+            counter.flops,
+            counter.bytes_total,
+            self.machine,
+            efficiency=self.efficiency,
+            bandwidth_fraction=self.bandwidth_fraction,
+        )
+
+    def bound(self, counter: OpCounter) -> str:
+        """Which roof binds: ``"compute"`` or ``"memory"``."""
+        eff = (
+            self.machine.dnn_efficiency
+            if self.efficiency is None
+            else self.efficiency
+        )
+        t_c = counter.flops / (self.machine.peak_gflops * 1e9 * eff)
+        t_m = counter.bytes_total / (
+            self.machine.bandwidth_gbs * 1e9 * self.bandwidth_fraction
+        )
+        return "compute" if t_c >= t_m else "memory"
+
+    def arithmetic_balance(self) -> float:
+        """Machine balance point in flops/byte: kernels below it are
+        memory-bound (where every sparse format in this library lives)."""
+        eff = (
+            self.machine.dnn_efficiency
+            if self.efficiency is None
+            else self.efficiency
+        )
+        return (self.machine.peak_gflops * eff) / (
+            self.machine.bandwidth_gbs * self.bandwidth_fraction
+        )

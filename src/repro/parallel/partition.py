@@ -1,0 +1,91 @@
+"""Work partitioning helpers.
+
+Partitioning quality matters for the same reason ``vdim`` matters in the
+paper: unbalanced chunks leave lanes (or threads) idle.  ``row_blocks``
+does contiguous equal-count splits (right for DEN/ELL/DIA where work per
+row is uniform); ``balanced_chunks`` does weighted splits (right for
+CSR/COO where work per row is ``dim_i``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def row_blocks(n_rows: int, n_blocks: int) -> List[Tuple[int, int]]:
+    """Split ``range(n_rows)`` into ``n_blocks`` contiguous blocks.
+
+    Blocks differ in size by at most one row.  Returns ``(start, stop)``
+    half-open pairs; empty blocks are omitted so callers can zip the
+    result straight into a pool.
+
+    >>> row_blocks(10, 3)
+    [(0, 4), (4, 7), (7, 10)]
+    """
+    if n_rows < 0:
+        raise ValueError("n_rows must be non-negative")
+    if n_blocks < 1:
+        raise ValueError("n_blocks must be >= 1")
+    base, extra = divmod(n_rows, n_blocks)
+    blocks: List[Tuple[int, int]] = []
+    start = 0
+    for b in range(n_blocks):
+        size = base + (1 if b < extra else 0)
+        if size == 0:
+            continue
+        blocks.append((start, start + size))
+        start += size
+    return blocks
+
+
+def balanced_chunks(
+    weights: Sequence[float] | np.ndarray, n_blocks: int
+) -> List[Tuple[int, int]]:
+    """Split indices into contiguous blocks of roughly equal total weight.
+
+    A greedy prefix-sum partitioner: cheap (O(n)) and within a factor
+    ~(1 + max_weight/ideal) of the optimum, which is all a thread pool
+    needs.  Used to split CSR row ranges by ``dim_i`` so one dense row
+    cannot serialise the whole SMSV.
+
+    >>> balanced_chunks([1, 1, 1, 9], 2)
+    [(0, 3), (3, 4)]
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim != 1:
+        raise ValueError("weights must be one-dimensional")
+    if n_blocks < 1:
+        raise ValueError("n_blocks must be >= 1")
+    n = w.shape[0]
+    if n == 0:
+        return []
+    total = float(w.sum())
+    if total <= 0.0:
+        return row_blocks(n, n_blocks)
+    ideal = total / n_blocks
+    blocks: List[Tuple[int, int]] = []
+    start = 0
+    acc = 0.0
+    for i in range(n):
+        acc_new = acc + float(w[i])
+        if len(blocks) < n_blocks - 1 and acc_new >= ideal:
+            # Close either before or after item i, whichever lands the
+            # block total nearer the ideal (a heavy item should start
+            # its own block rather than bloat the current one).
+            overshoot = acc_new - ideal
+            undershoot = ideal - acc
+            if overshoot > undershoot and i > start:
+                blocks.append((start, i))
+                start = i
+                acc = float(w[i])
+            else:
+                blocks.append((start, i + 1))
+                start = i + 1
+                acc = 0.0
+        else:
+            acc = acc_new
+    if start < n:
+        blocks.append((start, n))
+    return blocks

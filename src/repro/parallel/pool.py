@@ -1,0 +1,117 @@
+"""Thread-pool execution over row blocks.
+
+A deliberately small wrapper around :class:`concurrent.futures.
+ThreadPoolExecutor`: the format kernels hand it closures over disjoint
+row blocks writing into disjoint output slices, which is data-race free
+by construction (the same discipline the paper's OpenMP loops rely on).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_workers() -> int:
+    """Worker count: ``REPRO_NUM_THREADS`` env var, else CPU count."""
+    env = os.environ.get("REPRO_NUM_THREADS")
+    if env:
+        try:
+            n = int(env)
+            if n >= 1:
+                return n
+        except ValueError:
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+class WorkerPool:
+    """Reusable thread pool with a serial fast path.
+
+    ``n_workers=1`` bypasses the executor entirely — important because
+    the autotuner probes tiny matrices where pool dispatch overhead would
+    drown the signal it is trying to measure.
+    """
+
+    def __init__(self, n_workers: Optional[int] = None) -> None:
+        self.n_workers = n_workers if n_workers is not None else default_workers()
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    def _ensure(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(max_workers=self.n_workers)
+        return self._executor
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        if self.n_workers == 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        executor = self._ensure()
+        return list(executor.map(fn, items))
+
+    def run(self, thunks: Sequence[Callable[[], R]]) -> List[R]:
+        """Execute zero-argument closures, returning results in order."""
+        return self.map(lambda thunk: thunk(), thunks)
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()
+
+
+_shared_pool: Optional[WorkerPool] = None
+
+
+def shared_pool() -> WorkerPool:
+    """Lazily constructed process-wide pool used by format kernels."""
+    global _shared_pool
+    if _shared_pool is None:
+        _shared_pool = WorkerPool()
+    return _shared_pool
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    n_workers: Optional[int] = None,
+) -> List[R]:
+    """Map ``fn`` over ``items`` with a (possibly shared) thread pool."""
+    if n_workers is None:
+        return shared_pool().map(fn, items)
+    with WorkerPool(n_workers) as pool:
+        return pool.map(fn, items)
+
+
+def parallel_reduce(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    combine: Callable[[R, R], R],
+    *,
+    n_workers: Optional[int] = None,
+) -> R:
+    """Map then left-fold; the Python analogue of an MPI ``Reduce``.
+
+    Raises ``ValueError`` on empty input (no identity element is asked
+    for, matching ``functools.reduce`` semantics).
+    """
+    results: Iterable[R] = parallel_map(fn, items, n_workers=n_workers)
+    it = iter(results)
+    try:
+        acc = next(it)
+    except StopIteration:
+        raise ValueError("parallel_reduce of empty sequence") from None
+    for r in it:
+        acc = combine(acc, r)
+    return acc

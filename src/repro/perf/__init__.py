@@ -1,0 +1,29 @@
+"""Instrumentation: counters, timers and micro-benchmark helpers.
+
+The guides for this domain insist on *measure before you optimise*.  This
+package provides the measurement substrate that the rest of the library is
+built on:
+
+- :class:`OpCounter` — explicit flop / byte accounting used by the format
+  kernels and the hardware models, so that "work" is a first-class,
+  testable quantity rather than something inferred from wall time.
+- :class:`Timer` / :func:`benchmark` — median-of-k wall-clock measurement
+  with warm-up, the same discipline ``timeit`` applies.
+- :class:`BandwidthEstimator` — effective-bandwidth computation (bytes
+  moved / elapsed time), the quantity in Eq. (7) of the paper.
+"""
+
+from repro.perf.counters import OpCounter, counting, global_counter
+from repro.perf.timers import BenchmarkResult, Timer, benchmark
+from repro.perf.bandwidth import BandwidthEstimator, effective_bandwidth
+
+__all__ = [
+    "OpCounter",
+    "counting",
+    "global_counter",
+    "Timer",
+    "BenchmarkResult",
+    "benchmark",
+    "BandwidthEstimator",
+    "effective_bandwidth",
+]

@@ -1,0 +1,60 @@
+"""Effective-bandwidth estimation (Eq. (7) of the paper).
+
+The paper explains the format performance gaps via
+
+    execution_time  >≈  transferred_memory / memory_bandwidth
+
+and reports measured bandwidth per format (e.g. gisette: 25.3 GB/s in
+ELL vs 63.9 GB/s in CSR on Ivy Bridge).  This module computes the same
+quantity from our explicit byte counters and wall time so benchmarks can
+report a bandwidth column next to every speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.counters import OpCounter
+
+
+def effective_bandwidth(bytes_moved: int, seconds: float) -> float:
+    """Bytes-per-second achieved by an operation.
+
+    Returns 0.0 for a degenerate (non-positive) elapsed time rather than
+    raising, so that instrumentation never kills a benchmark run.
+    """
+    if seconds <= 0.0:
+        return 0.0
+    return bytes_moved / seconds
+
+
+@dataclass
+class BandwidthEstimator:
+    """Accumulates (bytes, seconds) pairs and reports aggregate bandwidth.
+
+    Used by the format benchmark harness: every SMSV invocation reports
+    its counted traffic and duration, and the estimator exposes the
+    stream-style effective bandwidth for the whole run.
+    """
+
+    bytes_moved: int = 0
+    seconds: float = 0.0
+    samples: int = 0
+
+    def record(self, counter: OpCounter, seconds: float) -> None:
+        self.bytes_moved += counter.bytes_total
+        self.seconds += seconds
+        self.samples += 1
+
+    def record_raw(self, nbytes: int, seconds: float) -> None:
+        self.bytes_moved += int(nbytes)
+        self.seconds += seconds
+        self.samples += 1
+
+    @property
+    def gb_per_s(self) -> float:
+        return effective_bandwidth(self.bytes_moved, self.seconds) / 1e9
+
+    @property
+    def bytes_per_s(self) -> float:
+        return effective_bandwidth(self.bytes_moved, self.seconds)

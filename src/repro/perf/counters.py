@@ -1,0 +1,122 @@
+"""Explicit flop and byte counters.
+
+The paper's analysis (Section III, Eq. (7)) reasons about *transferred
+memory* and *computation* rather than wall time, because wall time on a
+given box is just those two quantities divided by the machine's effective
+throughput.  Making the counts explicit lets us:
+
+- unit-test that a format kernel performs exactly the padded amount of
+  work Table II predicts (e.g. an ELL SMSV touches ``2 * M * mdim``
+  elements, padding included), and
+- feed the same counts into the roofline / vector-machine models in
+  :mod:`repro.hardware` without re-deriving them.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class OpCounter:
+    """Accumulator for floating point operations and memory traffic.
+
+    Attributes
+    ----------
+    flops:
+        Scalar floating point operations (a fused multiply-add counts
+        as two, matching the usual HPC convention).
+    bytes_read / bytes_written:
+        Memory traffic in bytes.  Padded (zero) elements count: the whole
+        point of the paper is that padding is traffic you still pay for.
+    vector_ops:
+        Width-``W`` SIMD instructions issued, as counted by the
+        vector-machine model.  Zero unless that model is in use.
+    """
+
+    flops: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    vector_ops: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def add_flops(self, n: int) -> None:
+        with self._lock:
+            self.flops += int(n)
+
+    def add_read(self, nbytes: int) -> None:
+        with self._lock:
+            self.bytes_read += int(nbytes)
+
+    def add_write(self, nbytes: int) -> None:
+        with self._lock:
+            self.bytes_written += int(nbytes)
+
+    def add_vector_ops(self, n: int) -> None:
+        with self._lock:
+            self.vector_ops += int(n)
+
+    @property
+    def bytes_total(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    def reset(self) -> None:
+        with self._lock:
+            self.flops = 0
+            self.bytes_read = 0
+            self.bytes_written = 0
+            self.vector_ops = 0
+
+    def snapshot(self) -> "OpCounter":
+        """Return an independent copy of the current totals."""
+        with self._lock:
+            out = OpCounter()
+            out.flops = self.flops
+            out.bytes_read = self.bytes_read
+            out.bytes_written = self.bytes_written
+            out.vector_ops = self.vector_ops
+            return out
+
+    def merge(self, other: "OpCounter") -> None:
+        """Fold another counter's totals into this one (thread-safe)."""
+        with self._lock:
+            self.flops += other.flops
+            self.bytes_read += other.bytes_read
+            self.bytes_written += other.bytes_written
+            self.vector_ops += other.vector_ops
+
+    def arithmetic_intensity(self) -> float:
+        """Flops per byte of traffic; the x-axis of a roofline plot."""
+        total = self.bytes_total
+        if total == 0:
+            return 0.0
+        return self.flops / total
+
+
+_global = OpCounter()
+
+
+def global_counter() -> OpCounter:
+    """Process-wide counter that kernels report into when enabled."""
+    return _global
+
+
+@contextmanager
+def counting() -> Iterator[OpCounter]:
+    """Context manager yielding a fresh counter scoped to the block.
+
+    Example
+    -------
+    >>> from repro.perf import counting
+    >>> with counting() as c:
+    ...     c.add_flops(10)
+    >>> c.flops
+    10
+    """
+    counter = OpCounter()
+    yield counter

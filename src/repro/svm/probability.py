@@ -1,0 +1,113 @@
+"""Platt scaling: probability estimates from SVM decision values.
+
+LIBSVM's ``-b 1`` option, reimplemented: fit a sigmoid
+``P(y=1 | f) = 1 / (1 + exp(A f + B))`` to (decision value, label)
+pairs by regularised maximum likelihood, using Lin-Lin-Weng's stable
+Newton iteration (the fix to Platt's original pseudo-code).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PlattScaler:
+    """Fitted sigmoid parameters ``(A, B)``."""
+
+    A: float
+    B: float
+
+    def predict_proba(self, decision_values: np.ndarray) -> np.ndarray:
+        """P(y = +1) for each decision value (stable at extremes)."""
+        f = np.asarray(decision_values, dtype=np.float64)
+        z = self.A * f + self.B
+        # 1 / (1 + e^z), computed without overflow for either sign.
+        out = np.empty_like(z)
+        pos = z >= 0
+        out[pos] = np.exp(-z[pos]) / (1.0 + np.exp(-z[pos]))
+        out[~pos] = 1.0 / (1.0 + np.exp(z[~pos]))
+        return out
+
+
+def fit_platt(
+    decision_values: np.ndarray,
+    y: np.ndarray,
+    *,
+    max_iter: int = 100,
+    tol: float = 1e-10,
+) -> PlattScaler:
+    """Fit (A, B) by regularised MLE (Lin, Lin & Weng 2007).
+
+    Parameters
+    ----------
+    decision_values:
+        SVM decision function outputs on a calibration set.
+    y:
+        The corresponding ±1 labels.
+    """
+    f = np.asarray(decision_values, dtype=np.float64).ravel()
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if f.shape != y.shape or f.size == 0:
+        raise ValueError("decision values and labels must match, non-empty")
+    if not set(np.unique(y)) <= {-1.0, 1.0}:
+        raise ValueError("labels must be ±1")
+
+    n_pos = float(np.sum(y > 0))
+    n_neg = float(np.sum(y < 0))
+    # Regularised targets (the out-of-sample smoothing Platt proposed).
+    t = np.where(y > 0, (n_pos + 1.0) / (n_pos + 2.0), 1.0 / (n_neg + 2.0))
+
+    A = 0.0
+    B = np.log((n_neg + 1.0) / (n_pos + 1.0))
+
+    def nll(a: float, b: float) -> float:
+        # With p = P(+1) = 1/(1+e^z):  -t log p - (1-t) log(1-p)
+        #   = log(1+e^z) - (1-t) z,  stable for both signs of z.
+        z = a * f + b
+        return float(np.sum(np.logaddexp(0.0, z) - (1.0 - t) * z))
+
+    current = nll(A, B)
+    for _ in range(max_iter):
+        z = A * f + B
+        p = 1.0 / (1.0 + np.exp(np.clip(z, -500, 500)))  # P(y=+1)
+        # d/dz [log(1+e^z) - (1-t) z] = sigma(z) - (1-t)
+        #                             = (1-p) - (1-t) = t - p.
+        d = t - p
+        g_a = float(np.sum(d * f))
+        g_b = float(np.sum(d))
+        if abs(g_a) < tol and abs(g_b) < tol:
+            break
+        w = p * (1.0 - p)  # d sigma / dz
+        h_aa = float(np.sum(w * f * f)) + 1e-12
+        h_ab = float(np.sum(w * f))
+        h_bb = float(np.sum(w)) + 1e-12
+        det = h_aa * h_bb - h_ab * h_ab
+        if det <= 0:
+            break
+        dA = -(h_bb * g_a - h_ab * g_b) / det
+        dB = -(h_aa * g_b - h_ab * g_a) / det
+        # backtracking line search
+        step = 1.0
+        while step >= 1e-10:
+            cand = nll(A + step * dA, B + step * dB)
+            if cand < current + 1e-12:
+                A += step * dA
+                B += step * dB
+                current = cand
+                break
+            step /= 2.0
+        else:
+            break
+    return PlattScaler(A=A, B=B)
+
+
+def calibrate_svc(clf, X, y) -> PlattScaler:
+    """Fit a Platt scaler for a fitted SVC on a calibration set.
+
+    Use a held-out set (or CV folds) — calibrating on the training set
+    biases A toward overconfidence, exactly as Platt warned.
+    """
+    return fit_platt(clf.decision_function(X), y)

@@ -1,0 +1,506 @@
+"""Sequential Minimal Optimization — paper Algorithm 1, plus the serial
+refinements its related-work section catalogues.
+
+The solver maintains the optimality vector ``f_i = sum_j alpha_j y_j
+K(X_i, X_j) - y_i`` incrementally (Eq. (4)); each iteration:
+
+1. selects a violating pair — either the paper's maximal-violating pair
+   (``working_set="first"``: ``high`` = argmin f over ``I_high``,
+   ``low`` = argmax f over ``I_low``; Steps 6-10) or the second-order
+   rule of Fan, Chen & Lin 2005 that LIBSVM uses
+   (``working_set="second"``: ``low`` maximises the guaranteed dual
+   gain ``(f_j - f_high)^2 / eta_j``),
+2. solves the two-variable subproblem analytically (Eqs. (5)-(6), with
+   box clipping to ``[0, C]``),
+3. updates ``f`` with the two freshly computed kernel rows.
+
+The two kernel rows are the bottleneck: each is one SMSV in whatever
+format the matrix is stored — which is precisely the cost the layout
+scheduler controls.  An LRU row cache (LIBSVM-style) avoids recomputing
+rows for indices that re-enter the working set.
+
+**Shrinking** (Joachims 1999; ``shrink_every > 0``): samples whose
+multiplier is stuck at a bound and whose f lies outside the active
+``[b_high, b_low]`` window are removed from the working problem, and
+the data matrix is *physically rebuilt* on the active rows — so kernel
+rows genuinely get cheaper, in whatever layout the scheduler chose.
+When the shrunken problem converges, f is reconstructed for the
+inactive samples from the support vectors and optimality is re-verified
+on the full problem (un-shrinking), exactly LIBSVM's protocol.
+
+Termination follows Step 12: stop when ``b_low <= b_high + 2 * tol``
+(duality gap closed); the bias is ``b = (b_high + b_low) / 2``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.formats.base import MatrixFormat
+from repro.perf.counters import OpCounter
+from repro.svm.kernels import Kernel
+
+WORKING_SET_RULES = ("first", "second")
+
+
+@dataclass
+class SMOResult:
+    """Outcome of one binary SMO run."""
+
+    alpha: np.ndarray  #: Lagrange multipliers, length M
+    b: float  #: bias, ``(b_high + b_low) / 2``
+    iterations: int
+    converged: bool
+    b_high: float
+    b_low: float
+    #: final optimality vector (useful for warm starts / diagnostics)
+    f: np.ndarray = field(repr=False, default=None)
+    kernel_rows_computed: int = 0
+    kernel_rows_cached: int = 0
+    #: shrinking statistics
+    shrink_events: int = 0
+    unshrink_events: int = 0
+    min_active: int = 0
+
+    @property
+    def n_support(self) -> int:
+        return int(np.count_nonzero(self.alpha > 1e-12))
+
+    def objective(self, y: np.ndarray) -> float:
+        """Dual objective F(alpha) (Eq. (1)) from the maintained f.
+
+        Uses the identity ``sum_i alpha_i y_i f_i =
+        sum_ij alpha_i alpha_j y_i y_j K_ij - sum_i alpha_i y_i^2``,
+        valid because f is maintained exactly; so
+        ``F = sum alpha - (sum_i alpha_i y_i (f_i + y_i)) / 2``.
+        """
+        a, f = self.alpha, self.f
+        return float(a.sum() - 0.5 * np.sum(a * y * (f + y)))
+
+
+class _RowCache:
+    """Bounded LRU cache of kernel rows keyed by sample index."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = max(0, int(capacity))
+        self._store: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, i: int) -> Optional[np.ndarray]:
+        if self.capacity == 0:
+            self.misses += 1
+            return None
+        row = self._store.get(i)
+        if row is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(i)
+        self.hits += 1
+        return row
+
+    def put(self, i: int, row: np.ndarray) -> None:
+        if self.capacity == 0:
+            return
+        self._store[i] = row
+        self._store.move_to_end(i)
+        if len(self._store) > self.capacity:
+            self._store.popitem(last=False)
+
+    def clear(self) -> None:
+        self._store.clear()
+
+
+class _ActiveSet:
+    """The (possibly shrunken) working problem.
+
+    Keeps the full matrix for row extraction plus a physically rebuilt
+    submatrix over the active rows, so that kernel rows cost
+    O(active nnz) — real savings in the chosen layout.
+    """
+
+    def __init__(self, X: MatrixFormat) -> None:
+        self.full = X
+        self.m = X.shape[0]
+        self.active = np.ones(self.m, dtype=bool)
+        self.sub: MatrixFormat = X
+        self.sub_ids = np.arange(self.m)  # global id of each sub row
+        self._coo = None  # lazy cache of the full triples
+
+    @property
+    def n_active(self) -> int:
+        return int(self.active.sum())
+
+    def rebuild(self) -> None:
+        """Rebuild the submatrix over the currently active rows."""
+        if self._coo is None:
+            self._coo = self.full.to_coo()
+        rows, cols, values = self._coo
+        ids = np.nonzero(self.active)[0]
+        lookup = np.full(self.m, -1, dtype=np.int64)
+        lookup[ids] = np.arange(ids.shape[0])
+        keep = lookup[rows] >= 0
+        self.sub = type(self.full).from_coo(
+            lookup[rows[keep]],
+            cols[keep],
+            values[keep],
+            (ids.shape[0], self.full.shape[1]),
+        )
+        self.sub_ids = ids
+
+    def submatrix_of(self, mask: np.ndarray):
+        """Build a one-off submatrix over an arbitrary row mask (used
+        for f reconstruction over the inactive rows)."""
+        if self._coo is None:
+            self._coo = self.full.to_coo()
+        rows, cols, values = self._coo
+        ids = np.nonzero(mask)[0]
+        lookup = np.full(self.m, -1, dtype=np.int64)
+        lookup[ids] = np.arange(ids.shape[0])
+        keep = lookup[rows] >= 0
+        sub = type(self.full).from_coo(
+            lookup[rows[keep]],
+            cols[keep],
+            values[keep],
+            (ids.shape[0], self.full.shape[1]),
+        )
+        return sub, ids
+
+
+def smo_train(
+    X: MatrixFormat,
+    y: np.ndarray,
+    kernel: Kernel,
+    *,
+    C: float = 1.0,
+    tol: float = 1e-3,
+    max_iter: int = 100_000,
+    cache_rows: int = 256,
+    working_set: str = "first",
+    shrink_every: int = 0,
+    initial_alpha: Optional[np.ndarray] = None,
+    counter: Optional[OpCounter] = None,
+    on_iteration: Optional[Callable[[int, float, float], None]] = None,
+) -> SMOResult:
+    """Train a binary SVM with SMO (Algorithm 1 + optional refinements).
+
+    Parameters
+    ----------
+    X:
+        Training matrix, M samples x N features, in any storage format.
+    y:
+        Labels in {-1, +1}, length M.
+    kernel:
+        Kernel function (Table I).
+    C:
+        Box constraint / regularisation constant.
+    tol:
+        Duality-gap tolerance; Step 12 stops at
+        ``b_low <= b_high + 2 * tol``.
+    max_iter:
+        Iteration cap (an iteration = one working-set pair update).
+    cache_rows:
+        LRU kernel-row cache capacity (0 disables caching).
+    working_set:
+        ``"first"`` — the paper's maximal-violating pair;
+        ``"second"`` — LIBSVM's second-order gain rule (usually fewer
+        iterations for the same solution).
+    shrink_every:
+        If > 0, run the shrinking heuristic every this many iterations
+        (0 disables).  Shrinking never changes the solution: the full
+        problem is re-verified before reporting convergence.
+    initial_alpha:
+        Optional warm start: a feasible multiplier vector (within the
+        box ``[0, C]`` and satisfying ``sum alpha_i y_i = 0``), e.g.
+        the solution of a previous fit with nearby hyper-parameters.
+        The optimality vector f is rebuilt from its support (one kernel
+        row per non-zero entry), after which SMO resumes normally —
+        typically converging in a small fraction of the cold-start
+        iterations.
+    counter:
+        Optional op counter threaded through every SMSV.
+    on_iteration:
+        Optional callback ``(iteration, b_high, b_low)`` per step.
+
+    Raises
+    ------
+    ValueError
+        On bad labels (not ±1, or single-class), non-positive C/tol, or
+        an unknown working-set rule.
+    """
+    y = np.asarray(y, dtype=np.float64).ravel()
+    m = X.shape[0]
+    if y.shape != (m,):
+        raise ValueError(f"y must have length {m}, got {y.shape}")
+    classes = np.unique(y)
+    if not np.array_equal(classes, np.array([-1.0, 1.0])):
+        raise ValueError(
+            f"labels must be -1/+1 with both classes present; got {classes}"
+        )
+    if C <= 0.0:
+        raise ValueError("C must be positive")
+    if tol <= 0.0:
+        raise ValueError("tol must be positive")
+    if working_set not in WORKING_SET_RULES:
+        raise ValueError(
+            f"unknown working_set {working_set!r}; expected one of "
+            f"{WORKING_SET_RULES}"
+        )
+    if shrink_every < 0:
+        raise ValueError("shrink_every must be >= 0")
+
+    eps_a = 1e-12 * C  # alpha-at-bound slack
+
+    # Step 2: alpha = 0, f_i = -y_i (or the validated warm start).
+    if initial_alpha is not None:
+        alpha = np.asarray(initial_alpha, dtype=np.float64).copy()
+        if alpha.shape != (m,):
+            raise ValueError("initial_alpha must have length M")
+        if alpha.min() < -1e-9 or alpha.max() > C + 1e-9:
+            raise ValueError("initial_alpha violates the box [0, C]")
+        if abs(float(alpha @ y)) > 1e-6 * max(1.0, float(alpha.sum())):
+            raise ValueError(
+                "initial_alpha violates the equality constraint "
+                "sum alpha_i y_i = 0"
+            )
+        np.clip(alpha, 0.0, C, out=alpha)
+    else:
+        alpha = np.zeros(m, dtype=np.float64)
+    f = -y.copy()
+
+    row_norms = X.row_norms_sq()
+    k_diag = kernel.diagonal(row_norms) if working_set == "second" else None
+    cache = _RowCache(cache_rows)
+    rows_computed = 0
+
+    aset = _ActiveSet(X)
+    shrink_events = 0
+    unshrink_events = 0
+    min_active = m
+
+    def kernel_row(i: int) -> np.ndarray:
+        """Kernel row of global sample i over the *active* rows,
+        scattered into a global-length array (inactive entries stay 0,
+        matching the frozen-f semantics of shrinking)."""
+        nonlocal rows_computed
+        row = cache.get(i)
+        if row is None:
+            v = X.row(i)
+            local = kernel.row(
+                aset.sub,
+                v,
+                float(row_norms[i]),
+                row_norms[aset.sub_ids],
+                counter,
+            )
+            if aset.n_active == m:
+                row = local
+            else:
+                row = np.zeros(m, dtype=np.float64)
+                row[aset.sub_ids] = local
+            cache.put(i, row)
+            rows_computed += 1
+        return row
+
+    def index_sets(active: np.ndarray):
+        free = (alpha > eps_a) & (alpha < C - eps_a)
+        pos, neg = y > 0, y < 0
+        at_zero = alpha <= eps_a
+        at_c = alpha >= C - eps_a
+        i_high = (free | (pos & at_zero) | (neg & at_c)) & active
+        i_low = (free | (pos & at_c) | (neg & at_zero)) & active
+        return i_high, i_low
+
+    def reconstruct_inactive_f() -> None:
+        """Recompute f for inactive samples from the support vectors
+        (the un-shrinking step).  Cost: one SMSV over the inactive
+        submatrix per support vector."""
+        nonlocal rows_computed
+        inactive = ~aset.active
+        if not inactive.any():
+            return
+        sub, ids = aset.submatrix_of(inactive)
+        acc = np.zeros(ids.shape[0], dtype=np.float64)
+        sv = np.nonzero(alpha > eps_a)[0]
+        for j in sv:
+            vj = X.row(int(j))
+            krow = kernel.row(
+                sub, vj, float(row_norms[j]), row_norms[ids], counter
+            )
+            acc += (alpha[j] * y[j]) * krow
+            rows_computed += 1
+        f[ids] = acc - y[ids]
+
+    def try_shrink(b_high: float, b_low: float) -> None:
+        """Joachims/LIBSVM heuristic: deactivate bound-stuck samples
+        whose f lies strictly outside the violating window."""
+        nonlocal shrink_events, min_active
+        pos, neg = y > 0, y < 0
+        at_zero = alpha <= eps_a
+        at_c = alpha >= C - eps_a
+        margin = tol
+        # Only ever selectable via I_high; f already above b_low.
+        only_high = (pos & at_zero) | (neg & at_c)
+        # Only ever selectable via I_low; f already below b_high.
+        only_low = (pos & at_c) | (neg & at_zero)
+        shrinkable = (
+            (only_high & (f > b_low + margin))
+            | (only_low & (f < b_high - margin))
+        ) & aset.active
+        n_shrink = int(shrinkable.sum())
+        if n_shrink >= max(8, aset.n_active // 10):
+            aset.active &= ~shrinkable
+            aset.rebuild()
+            # Cached rows stay valid: they cover a superset of the new
+            # active set.  Their entries at newly-inactive positions
+            # merely perturb frozen f values, which reconstruction
+            # recomputes from scratch at un-shrink time anyway.
+            shrink_events += 1
+            min_active = min(min_active, aset.n_active)
+
+    def unshrink() -> None:
+        nonlocal unshrink_events
+        reconstruct_inactive_f()
+        aset.active[:] = True
+        aset.rebuild()
+        cache.clear()
+        unshrink_events += 1
+
+    # Warm start: rebuild f = sum_j alpha_j y_j K_.j - y from the
+    # support of the supplied multipliers (one kernel row each).
+    if initial_alpha is not None:
+        for j in np.nonzero(alpha > eps_a)[0]:
+            f += (alpha[j] * y[j]) * kernel_row(int(j))
+
+    # Step 3 (standardised): start from one sample per class.
+    high = int(np.argmax(y > 0))
+    low = int(np.argmax(y < 0))
+    b_high, b_low = -1.0, 1.0
+
+    iterations = 0
+    converged = False
+    while iterations < max_iter:
+        # Steps 4/11: analytic two-variable update with box clipping.
+        k_high = kernel_row(high)
+        k_low = kernel_row(low)
+        eta = k_high[high] + k_low[low] - 2.0 * k_high[low]
+        if eta <= 1e-12:
+            eta = 1e-12  # degenerate pair; take a tiny safe step
+
+        y_h, y_l = y[high], y[low]
+        s = y_h * y_l
+        a_h, a_l = alpha[high], alpha[low]
+        # Feasible interval for alpha_low given the equality constraint.
+        if s < 0:
+            L = max(0.0, a_l - a_h)
+            H = min(C, C + a_l - a_h)
+        else:
+            L = max(0.0, a_h + a_l - C)
+            H = min(C, a_h + a_l)
+
+        # Eq. (5): Delta alpha_low = y_low (b_high - b_low) / eta.
+        a_l_new = a_l + y_l * (f[high] - f[low]) / eta
+        a_l_new = min(max(a_l_new, L), H)
+        # Eq. (6) via the equality constraint.
+        a_h_new = a_h + s * (a_l - a_l_new)
+
+        d_low = a_l_new - a_l
+        d_high = a_h_new - a_h
+        alpha[low] = a_l_new
+        alpha[high] = a_h_new
+
+        # Step 5 / Eq. (4): incremental f update (in place; inactive
+        # entries of the kernel rows are zero, so frozen f is free).
+        if d_high != 0.0:
+            f += (d_high * y_h) * k_high
+        if d_low != 0.0:
+            f += (d_low * y_l) * k_low
+
+        # Steps 6-7: index sets over the active problem.
+        i_high, i_low = index_sets(aset.active)
+
+        # Steps 8-10: select the next pair and the gap endpoints.
+        f_hi = np.where(i_high, f, np.inf)
+        f_lo = np.where(i_low, f, -np.inf)
+        high = int(np.argmin(f_hi))
+        b_high = float(f_hi[high])
+        b_low = float(np.max(f_lo))
+
+        if working_set == "second" and np.isfinite(b_high):
+            # Fan-Chen-Lin: maximise the guaranteed gain
+            # (f_j - b_high)^2 / eta_j over violating j in I_low.
+            k_h = kernel_row(high)
+            viol = i_low & (f > b_high)
+            if viol.any():
+                eta_j = np.maximum(
+                    k_diag[high] + k_diag - 2.0 * k_h, 1e-12
+                )
+                gain = np.where(
+                    viol, (f - b_high) ** 2 / eta_j, -np.inf
+                )
+                low = int(np.argmax(gain))
+            else:
+                low = int(np.argmax(f_lo))
+        else:
+            low = int(np.argmax(f_lo))
+
+        iterations += 1
+        if on_iteration is not None:
+            on_iteration(iterations, b_high, b_low)
+
+        # Step 12: duality-gap check (on the active problem).
+        if b_low <= b_high + 2.0 * tol:
+            if aset.n_active < m:
+                # The shrunken problem converged: un-shrink, verify on
+                # the full problem, continue if violations remain.
+                unshrink()
+                i_high, i_low = index_sets(aset.active)
+                f_hi = np.where(i_high, f, np.inf)
+                f_lo = np.where(i_low, f, -np.inf)
+                high = int(np.argmin(f_hi))
+                b_high = float(f_hi[high])
+                b_low = float(np.max(f_lo))
+                low = int(np.argmax(f_lo))
+                if b_low <= b_high + 2.0 * tol:
+                    converged = True
+                    break
+                continue
+            converged = True
+            break
+        if not np.isfinite(b_high) or not np.isfinite(b_low):
+            break  # index set degenerated (numerically at bounds)
+
+        if shrink_every and iterations % shrink_every == 0:
+            try_shrink(b_high, b_low)
+            if not aset.active[high] or not aset.active[low]:
+                # Selection must come from the active set; reselect.
+                i_high, i_low = index_sets(aset.active)
+                f_hi = np.where(i_high, f, np.inf)
+                f_lo = np.where(i_low, f, -np.inf)
+                high = int(np.argmin(f_hi))
+                low = int(np.argmax(f_lo))
+                b_high = float(f_hi[high])
+                b_low = float(f_lo[low])
+
+    if aset.n_active < m:
+        # Report a consistent full-problem f even on max_iter exit.
+        reconstruct_inactive_f()
+
+    return SMOResult(
+        alpha=alpha,
+        b=(b_high + b_low) / 2.0,
+        iterations=iterations,
+        converged=converged,
+        b_high=b_high,
+        b_low=b_low,
+        f=f,
+        kernel_rows_computed=rows_computed,
+        kernel_rows_cached=cache.hits,
+        shrink_events=shrink_events,
+        unshrink_events=unshrink_events,
+        min_active=min(min_active, m),
+    )

@@ -1,0 +1,50 @@
+"""DNN auto-tuning: batch size, learning rate, momentum (Section IV).
+
+Two complementary layers:
+
+- :mod:`repro.tuning.convergence` — an analytic model of *epochs to the
+  0.8 accuracy target* as a function of (B, eta, mu), exactly
+  calibrated to the four measured anchor rows of Table VII.  It encodes
+  the three effects the paper tunes against: the large-batch sharp-
+  minima penalty (Keskar et al.), the batch-dependent optimal learning
+  rate, and the momentum sweet spot near 0.95.
+- :mod:`repro.tuning.search` — grid search over the paper's tuning
+  spaces, evaluating either the convergence model x a hardware
+  iteration-time model (fast, used for Table VII / Figs. 5-6) or real
+  measured training runs (:class:`MeasuredObjective`, used by the
+  examples on the synthetic CIFAR-10).
+- :mod:`repro.tuning.table7` — the pipeline that regenerates every row
+  of Table VII: the five-platform baseline plus the DGX1 (tune B),
+  DGX2 (tune B+eta) and DGX3 (tune B+eta+mu) incremental-tuning rows.
+"""
+
+from repro.tuning.convergence import (
+    CIFAR10_N_TRAIN,
+    ConvergenceModel,
+    TuningPoint,
+)
+from repro.tuning.search import (
+    BATCH_SPACE,
+    LR_SPACE,
+    MOMENTUM_SPACE,
+    GridSearch,
+    MeasuredObjective,
+    ModelObjective,
+    SearchResult,
+)
+from repro.tuning.table7 import Table7Row, reproduce_table7
+
+__all__ = [
+    "ConvergenceModel",
+    "TuningPoint",
+    "CIFAR10_N_TRAIN",
+    "GridSearch",
+    "SearchResult",
+    "ModelObjective",
+    "MeasuredObjective",
+    "BATCH_SPACE",
+    "LR_SPACE",
+    "MOMENTUM_SPACE",
+    "Table7Row",
+    "reproduce_table7",
+]

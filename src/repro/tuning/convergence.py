@@ -1,0 +1,189 @@
+"""Epochs-to-target-accuracy model, calibrated to Table VII.
+
+The paper measures four (B, eta, mu) -> epochs anchor points on the DGX
+station (target: 0.8 CIFAR-10 test accuracy, 50,000 training samples):
+
+=====  ======  =====  =======  ==========
+B      eta     mu     epochs   iterations
+=====  ======  =====  =======  ==========
+100    0.001   0.90   120      60,000
+512    0.001   0.90   307      30,000
+512    0.003   0.90   123      12,000
+512    0.003   0.95   72       7,000
+=====  ======  =====  =======  ==========
+
+The model factorises ``epochs(B, eta, mu) = E0 * batch(B) *
+lr_penalty(eta / eta_opt(B)) * momentum(mu)`` with:
+
+- ``eta_opt(B) = eta0 * (B / B0)^0.672`` — the optimal learning rate
+  grows with batch size (the paper finds 0.003 optimal at B=512, i.e.
+  3x at 5.12x the batch; close to the later-famous linear scaling
+  rule);
+- ``batch(B)``: a tiny residual exponent below ``B_crit`` (once eta is
+  rescaled, moderate batches barely cost extra epochs) plus a strong
+  sharp-minima penalty ``(B / B_crit)^0.6`` above ``B_crit = 512`` —
+  the Keskar et al. effect the paper cites as the reason "using large
+  batch may slow down the algorithm's convergence rate";
+- ``lr_penalty(r) = 1 + c * (1 - r)^0.8`` below optimal (saturating:
+  steep for moderate under-shoots, anchored to 2.496 at r = 1/3),
+  ``r^1.2`` above optimal, and divergence beyond ``4x`` optimal;
+- ``momentum(mu)``: log-parabola with its minimum near mu = 0.955 and
+  steep growth toward mu -> 1 (short-term memory too long).
+
+All four anchors reproduce exactly (tests pin them); everything else is
+interpolation in the same functional family.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+#: CIFAR-10 training-set size (epochs x n_train / B = iterations).
+CIFAR10_N_TRAIN: int = 50_000
+
+
+@dataclass(frozen=True)
+class TuningPoint:
+    """One hyper-parameter setting and its modelled convergence."""
+
+    batch_size: int
+    lr: float
+    momentum: float
+    epochs: float
+    iterations: int
+    converges: bool = True
+
+
+class ConvergenceModel:
+    """Analytic epochs-to-target model (see module docstring).
+
+    Parameters
+    ----------
+    base_epochs:
+        E0: epochs at the reference point (B0, eta0, mu0).
+    ref_batch / ref_lr / ref_momentum:
+        The reference setting (Caffe's cifar10_full defaults: 100,
+        0.001, 0.90).
+    n_train:
+        Training-set size used to convert epochs to iterations.
+    """
+
+    #: eta_opt exponent: ln(0.003/0.001) / ln(512/100).
+    LR_SCALING_EXP: float = math.log(3.0) / math.log(5.12)
+    #: residual batch exponent below B_crit: ln(123/120) / ln(5.12).
+    BATCH_EXP_SMALL: float = math.log(123.0 / 120.0) / math.log(5.12)
+    #: sharp-minima exponent above B_crit.
+    BATCH_EXP_LARGE: float = 0.6
+    BATCH_CRIT: int = 512
+    #: under-shooting lr penalty h(r) = 1 + c (1-r)^0.8, anchored to
+    #: h(1/3) = 307/123.
+    LR_PENALTY_SHAPE: float = 0.8
+    LR_PENALTY_COEF: float = (307.0 / 123.0 - 1.0) / (2.0 / 3.0) ** 0.8
+    LR_PENALTY_HIGH: float = 1.2
+    LR_DIVERGENCE_RATIO: float = 4.0
+    #: momentum log-parabola: minimum position and curvature fitted to
+    #: g(0.90) = 1 and g(0.95) = 72/123.
+    MOMENTUM_OPT_X: float = 3.1  # x = ln(1 / (1 - mu)); mu* ~ 0.955
+    MOMENTUM_CURVATURE: float = 0.857
+    MOMENTUM_MIN: float = (72.0 / 123.0) / math.exp(
+        0.857 * (math.log(1.0 / 0.05) - 3.1) ** 2
+    )
+
+    def __init__(
+        self,
+        *,
+        base_epochs: float = 120.0,
+        ref_batch: int = 100,
+        ref_lr: float = 0.001,
+        ref_momentum: float = 0.90,
+        n_train: int = CIFAR10_N_TRAIN,
+    ) -> None:
+        if base_epochs <= 0 or ref_batch < 1 or ref_lr <= 0:
+            raise ValueError("invalid reference point")
+        self.base_epochs = base_epochs
+        self.ref_batch = ref_batch
+        self.ref_lr = ref_lr
+        self.ref_momentum = ref_momentum
+        self.n_train = n_train
+
+    # -- factors ---------------------------------------------------------
+    def lr_opt(self, batch_size: int) -> float:
+        """Optimal learning rate at batch size B."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        return self.ref_lr * (batch_size / self.ref_batch) ** self.LR_SCALING_EXP
+
+    def batch_factor(self, batch_size: int) -> float:
+        ratio = batch_size / self.ref_batch
+        f = ratio**self.BATCH_EXP_SMALL
+        if batch_size > self.BATCH_CRIT:
+            f *= (batch_size / self.BATCH_CRIT) ** self.BATCH_EXP_LARGE
+        return f
+
+    def lr_penalty(self, lr: float, batch_size: int) -> Optional[float]:
+        """Epoch multiplier for a (possibly off-optimal) learning rate;
+        ``None`` means divergence."""
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        r = lr / self.lr_opt(batch_size)
+        if r > self.LR_DIVERGENCE_RATIO:
+            return None
+        if r < 1.0:
+            return 1.0 + self.LR_PENALTY_COEF * (1.0 - r) ** self.LR_PENALTY_SHAPE
+        return r**self.LR_PENALTY_HIGH
+
+    def momentum_factor(self, momentum: float) -> Optional[float]:
+        """Epoch multiplier for momentum mu; ``None`` for mu >= 1."""
+        if momentum >= 1.0 or momentum < 0.0:
+            return None
+        if momentum == 0.0:
+            # No momentum: markedly slower on this loss landscape;
+            # extrapolate the parabola.
+            momentum = 1e-9
+        x = math.log(1.0 / (1.0 - momentum))
+        g = self.MOMENTUM_MIN * math.exp(
+            self.MOMENTUM_CURVATURE * (x - self.MOMENTUM_OPT_X) ** 2
+        )
+        # Normalise so the reference momentum has factor 1.
+        x0 = math.log(1.0 / (1.0 - self.ref_momentum))
+        g0 = self.MOMENTUM_MIN * math.exp(
+            self.MOMENTUM_CURVATURE * (x0 - self.MOMENTUM_OPT_X) ** 2
+        )
+        return g / g0
+
+    # -- main API ----------------------------------------------------------
+    def epochs_to_target(
+        self, batch_size: int, lr: float, momentum: float
+    ) -> Optional[float]:
+        """Modelled epochs to reach 0.8 accuracy; ``None`` = diverges."""
+        lp = self.lr_penalty(lr, batch_size)
+        mf = self.momentum_factor(momentum)
+        if lp is None or mf is None:
+            return None
+        return self.base_epochs * self.batch_factor(batch_size) * lp * mf
+
+    def point(
+        self, batch_size: int, lr: float, momentum: float
+    ) -> TuningPoint:
+        """Full record, with epochs converted to iterations."""
+        epochs = self.epochs_to_target(batch_size, lr, momentum)
+        if epochs is None:
+            return TuningPoint(
+                batch_size=batch_size,
+                lr=lr,
+                momentum=momentum,
+                epochs=math.inf,
+                iterations=0,
+                converges=False,
+            )
+        iterations = int(round(epochs * self.n_train / batch_size))
+        return TuningPoint(
+            batch_size=batch_size,
+            lr=lr,
+            momentum=momentum,
+            epochs=epochs,
+            iterations=iterations,
+            converges=True,
+        )

@@ -1,0 +1,221 @@
+"""Grid search over the paper's tuning spaces.
+
+Section IV's three spaces, verbatim:
+
+- batch size: {64, 100, 128, 256, 512, 1024, 2048, 4096, 8192}
+- learning rate: {0.001, 0.002, ..., 0.016}
+- momentum: {0.90, 0.91, ..., 0.99}
+
+The objective is pluggable: :class:`ModelObjective` evaluates the
+convergence model x a hardware iteration-time model (microseconds per
+candidate — how Table VII / Figs. 5-6 are regenerated), and
+:class:`MeasuredObjective` actually trains a network per candidate on
+the synthetic CIFAR-10 (seconds per candidate — the ground-truth mode
+used by the examples and slow tests).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.hardware.dnn_perf import DNNPerfModel
+from repro.hardware.specs import MachineSpec
+from repro.tuning.convergence import ConvergenceModel, TuningPoint
+
+#: The paper's tuning spaces (Section IV-C/D/E).
+BATCH_SPACE: Tuple[int, ...] = (64, 100, 128, 256, 512, 1024, 2048, 4096, 8192)
+LR_SPACE: Tuple[float, ...] = tuple(round(0.001 * k, 3) for k in range(1, 17))
+MOMENTUM_SPACE: Tuple[float, ...] = tuple(
+    round(0.90 + 0.01 * k, 2) for k in range(10)
+)
+
+
+@dataclass(frozen=True)
+class Candidate:
+    batch_size: int
+    lr: float
+    momentum: float
+
+
+@dataclass
+class SearchResult:
+    """Best candidate plus the whole evaluated grid (for ablations)."""
+
+    best: Candidate
+    best_seconds: float
+    best_point: Optional[TuningPoint]
+    evaluated: List[Tuple[Candidate, float]] = field(default_factory=list)
+
+    @property
+    def n_evaluated(self) -> int:
+        return len(self.evaluated)
+
+
+class Objective(abc.ABC):
+    """Maps a candidate to predicted/measured seconds-to-target.
+
+    Returns ``math.inf`` for candidates that do not converge.
+    """
+
+    @abc.abstractmethod
+    def __call__(self, c: Candidate) -> float:
+        ...
+
+    def point(self, c: Candidate) -> Optional[TuningPoint]:
+        """Optional convergence detail for reporting."""
+        return None
+
+
+class ModelObjective(Objective):
+    """Convergence model x machine iteration-time model."""
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        *,
+        convergence: Optional[ConvergenceModel] = None,
+    ) -> None:
+        self.perf = DNNPerfModel(machine)
+        self.convergence = convergence or ConvergenceModel()
+
+    def __call__(self, c: Candidate) -> float:
+        p = self.convergence.point(c.batch_size, c.lr, c.momentum)
+        if not p.converges:
+            return math.inf
+        return self.perf.training_time(p.iterations, c.batch_size)
+
+    def point(self, c: Candidate) -> Optional[TuningPoint]:
+        return self.convergence.point(c.batch_size, c.lr, c.momentum)
+
+
+class MeasuredObjective(Objective):
+    """Ground truth: train a real network per candidate.
+
+    Parameters
+    ----------
+    make_net:
+        Factory producing a fresh (identically initialised) network.
+    data:
+        The dataset (:class:`repro.data.cifar.ImageDataset`).
+    target_accuracy / max_epochs:
+        Stopping rule per candidate; a candidate that never reaches the
+        target within the cap scores ``inf``.
+    """
+
+    def __init__(
+        self,
+        make_net: Callable[[], object],
+        data,
+        *,
+        target_accuracy: float = 0.8,
+        max_epochs: int = 10,
+        seed: int = 0,
+    ) -> None:
+        self.make_net = make_net
+        self.data = data
+        self.target_accuracy = target_accuracy
+        self.max_epochs = max_epochs
+        self.seed = seed
+
+    def __call__(self, c: Candidate) -> float:
+        from repro.dnn.trainer import Trainer  # local: avoid cycle
+
+        net = self.make_net()
+        trainer = Trainer(
+            net,
+            batch_size=c.batch_size,
+            lr=c.lr,
+            momentum=c.momentum,
+            target_accuracy=self.target_accuracy,
+            max_epochs=self.max_epochs,
+            seed=self.seed,
+        )
+        run = trainer.fit(self.data)
+        if not run.reached_target:
+            return math.inf
+        return float(run.seconds_to_target)
+
+
+class GridSearch:
+    """Exhaustive (or staged) search over the three spaces.
+
+    ``staged=True`` reproduces the paper's procedure exactly: tune B
+    first (at reference eta, mu), then eta at the chosen B, then mu at
+    the chosen (B, eta) — three 1-D sweeps instead of the full product,
+    which is both what Section IV describes and the reason Table VII
+    has the DGX1 -> DGX2 -> DGX3 progression.
+    """
+
+    def __init__(
+        self,
+        objective: Objective,
+        *,
+        batch_space: Sequence[int] = BATCH_SPACE,
+        lr_space: Sequence[float] = LR_SPACE,
+        momentum_space: Sequence[float] = MOMENTUM_SPACE,
+    ) -> None:
+        if not batch_space or not lr_space or not momentum_space:
+            raise ValueError("empty tuning space")
+        self.objective = objective
+        self.batch_space = tuple(batch_space)
+        self.lr_space = tuple(lr_space)
+        self.momentum_space = tuple(momentum_space)
+
+    def _argmin(
+        self, candidates: Sequence[Candidate]
+    ) -> Tuple[Candidate, float, List[Tuple[Candidate, float]]]:
+        evaluated = [(c, self.objective(c)) for c in candidates]
+        best, best_s = min(evaluated, key=lambda cs: cs[1])
+        return best, best_s, evaluated
+
+    def staged(
+        self, *, ref_lr: float = 0.001, ref_momentum: float = 0.90
+    ) -> SearchResult:
+        """The paper's three-stage procedure (B, then eta, then mu)."""
+        all_evaluated: List[Tuple[Candidate, float]] = []
+
+        stage1 = [
+            Candidate(b, ref_lr, ref_momentum) for b in self.batch_space
+        ]
+        best_b, _, ev = self._argmin(stage1)
+        all_evaluated += ev
+
+        stage2 = [
+            Candidate(best_b.batch_size, lr, ref_momentum)
+            for lr in self.lr_space
+        ]
+        best_lr, _, ev = self._argmin(stage2)
+        all_evaluated += ev
+
+        stage3 = [
+            Candidate(best_lr.batch_size, best_lr.lr, mu)
+            for mu in self.momentum_space
+        ]
+        best, best_s, ev = self._argmin(stage3)
+        all_evaluated += ev
+
+        return SearchResult(
+            best=best,
+            best_seconds=best_s,
+            best_point=self.objective.point(best),
+            evaluated=all_evaluated,
+        )
+
+    def exhaustive(self) -> SearchResult:
+        """Full Cartesian product (ablation: is staged search enough?)."""
+        candidates = [
+            Candidate(b, lr, mu)
+            for b in self.batch_space
+            for lr in self.lr_space
+            for mu in self.momentum_space
+        ]
+        best, best_s, evaluated = self._argmin(candidates)
+        return SearchResult(
+            best=best,
+            best_seconds=best_s,
+            best_point=self.objective.point(best),
+            evaluated=evaluated,
+        )

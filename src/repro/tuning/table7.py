@@ -1,0 +1,167 @@
+"""Regenerate Table VII (and the data behind Figs. 5-6).
+
+Eight methods:
+
+1-5.  The five platforms running the untuned Caffe defaults
+      (B=100, eta=0.001, mu=0.90).
+6.    DGX1 — DGX with tuned batch size (eta, mu still default).
+7.    DGX2 — DGX with tuned batch size + learning rate.
+8.    DGX3 — DGX with tuned batch size + learning rate + momentum.
+
+Each row reports B, eta, mu, iterations, epochs, seconds, platform
+price, speedup over the slowest method, and price-per-speedup — the
+exact columns of Table VII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.hardware.dnn_perf import DNNPerfModel
+from repro.hardware.pricing import PricePoint, price_per_speedup_table
+from repro.hardware.specs import DNN_MACHINES, MachineSpec
+from repro.tuning.convergence import ConvergenceModel
+from repro.tuning.search import (
+    BATCH_SPACE,
+    LR_SPACE,
+    MOMENTUM_SPACE,
+    Candidate,
+    GridSearch,
+    ModelObjective,
+)
+
+#: Caffe cifar10_full defaults (the untuned rows).
+DEFAULTS = Candidate(batch_size=100, lr=0.001, momentum=0.90)
+
+
+@dataclass(frozen=True)
+class Table7Row:
+    """One method row of Table VII."""
+
+    method: str
+    machine: str
+    batch_size: int
+    lr: float
+    momentum: float
+    iterations: int
+    epochs: float
+    seconds: float
+    price_usd: float
+    speedup: float = 1.0
+    price_per_speedup: float = 0.0
+
+
+def _row(
+    method: str,
+    machine: MachineSpec,
+    cand: Candidate,
+    model: ConvergenceModel,
+) -> Table7Row:
+    point = model.point(cand.batch_size, cand.lr, cand.momentum)
+    if not point.converges:
+        raise ValueError(f"{method}: candidate diverges")
+    seconds = DNNPerfModel(machine).training_time(
+        point.iterations, cand.batch_size
+    )
+    return Table7Row(
+        method=method,
+        machine=machine.name,
+        batch_size=cand.batch_size,
+        lr=cand.lr,
+        momentum=cand.momentum,
+        iterations=point.iterations,
+        epochs=point.epochs,
+        seconds=seconds,
+        price_usd=machine.price_usd,
+    )
+
+
+def reproduce_table7(
+    *, convergence: Optional[ConvergenceModel] = None
+) -> List[Table7Row]:
+    """Compute all eight rows; speedups are relative to the slowest.
+
+    The DGX1/2/3 rows come from the *staged* grid search (the paper's
+    own procedure), truncated after one / two / three stages.
+    """
+    model = convergence or ConvergenceModel()
+    dgx = DNN_MACHINES["dgx"]
+    objective = ModelObjective(dgx, convergence=model)
+    rows: List[Table7Row] = []
+
+    # Untuned rows on every platform.
+    names = {
+        "cpu8": "Intel Caffe on 8-core CPUs",
+        "knl": "Intel Caffe on KNL",
+        "haswell": "Intel Caffe on Haswell",
+        "p100": "Nvidia Caffe on Tesla P100 GPU",
+        "dgx": "Nvidia Caffe on DGX station",
+    }
+    for key, label in names.items():
+        rows.append(_row(label, DNN_MACHINES[key], DEFAULTS, model))
+
+    # Stage 1: tune B.
+    search = GridSearch(objective)
+    stage1 = [
+        Candidate(b, DEFAULTS.lr, DEFAULTS.momentum) for b in BATCH_SPACE
+    ]
+    best_b = min(stage1, key=objective)
+    rows.append(_row("Tune B on DGX station", dgx, best_b, model))
+
+    # Stage 2: tune eta at the chosen B.
+    stage2 = [
+        Candidate(best_b.batch_size, lr, DEFAULTS.momentum) for lr in LR_SPACE
+    ]
+    best_lr = min(stage2, key=objective)
+    rows.append(_row("Tune eta on DGX station", dgx, best_lr, model))
+
+    # Stage 3: tune mu at the chosen (B, eta).
+    stage3 = [
+        Candidate(best_lr.batch_size, best_lr.lr, mu) for mu in MOMENTUM_SPACE
+    ]
+    best_mu = min(stage3, key=objective)
+    rows.append(_row("Tune mu on DGX station", dgx, best_mu, model))
+
+    # Speedups relative to the slowest method (paper: the 8-core CPU).
+    slowest = max(r.seconds for r in rows)
+    return [
+        Table7Row(
+            method=r.method,
+            machine=r.machine,
+            batch_size=r.batch_size,
+            lr=r.lr,
+            momentum=r.momentum,
+            iterations=r.iterations,
+            epochs=r.epochs,
+            seconds=r.seconds,
+            price_usd=r.price_usd,
+            speedup=slowest / r.seconds,
+            price_per_speedup=r.price_usd / (slowest / r.seconds),
+        )
+        for r in rows
+    ]
+
+
+def as_price_points(rows: List[Table7Row]) -> List[PricePoint]:
+    """Convert to the Fig. 6 price-per-speedup benchmark rows."""
+    times: Dict[str, float] = {r.method: r.seconds for r in rows}
+    prices: Dict[str, float] = {r.method: r.price_usd for r in rows}
+    return price_per_speedup_table(times, prices)
+
+
+def format_rows(rows: List[Table7Row]) -> str:
+    """Aligned text rendering of the table (benchmark output)."""
+    header = (
+        f"{'Method':32s} {'B':>5s} {'eta':>6s} {'mu':>5s} "
+        f"{'Iters':>7s} {'Epochs':>7s} {'Time(s)':>9s} "
+        f"{'Price($)':>9s} {'Speedup':>8s} {'$/Spd':>7s}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.method:32s} {r.batch_size:5d} {r.lr:6.3f} {r.momentum:5.2f} "
+            f"{r.iterations:7d} {r.epochs:7.0f} {r.seconds:9.1f} "
+            f"{r.price_usd:9,.0f} {r.speedup:7.1f}x {r.price_per_speedup:7,.0f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Fixed-format and LIBSVM-style baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FixedFormatSVC,
+    GPUSVMStyleSVC,
+    LibSVMStyleSVC,
+    rowloop_csr_matvec,
+)
+from repro.formats import from_dense
+from repro.formats.csr import CSRMatrix
+from repro.svm import SVC
+from tests.conftest import make_labels
+
+
+@pytest.fixture
+def separable(rng):
+    x = rng.standard_normal((80, 6))
+    y = make_labels(rng, x)
+    return x, y
+
+
+class TestRowloopKernel:
+    def test_matches_vectorised_csr(self, small_sparse, rng):
+        m = from_dense(small_sparse, "CSR")
+        assert isinstance(m, CSRMatrix)
+        x = rng.standard_normal(small_sparse.shape[1])
+        for block in (1, 3, 8, 64):
+            assert np.allclose(
+                rowloop_csr_matvec(m, x, block=block), small_sparse @ x
+            )
+
+    def test_empty_rows(self):
+        a = np.zeros((6, 4))
+        a[2, 1] = 5.0
+        m = from_dense(a, "CSR")
+        y = rowloop_csr_matvec(m, np.ones(4), block=4)
+        assert np.allclose(y, a @ np.ones(4))
+
+    def test_block_validation(self, small_sparse, rng):
+        m = from_dense(small_sparse, "CSR")
+        with pytest.raises(ValueError):
+            rowloop_csr_matvec(m, rng.standard_normal(30), block=0)
+
+    def test_counter(self, small_sparse, rng):
+        from repro.perf import OpCounter
+
+        m = from_dense(small_sparse, "CSR")
+        c = OpCounter()
+        rowloop_csr_matvec(m, rng.standard_normal(30), counter=c)
+        assert c.flops == 2 * m.nnz
+
+
+class TestFixedFormatSVC:
+    @pytest.mark.parametrize("fmt", ["DEN", "CSR", "COO", "ELL", "DIA"])
+    def test_all_formats_train(self, separable, fmt):
+        x, y = separable
+        clf = FixedFormatSVC(fmt, "linear", C=1.0).fit(x, y)
+        assert clf.score(x, y) >= 0.9
+
+    def test_bad_format_fails_eagerly(self):
+        with pytest.raises(ValueError, match="unknown format"):
+            FixedFormatSVC("BSR")
+
+    def test_gpusvm_is_fixed_den(self, separable):
+        x, y = separable
+        clf = GPUSVMStyleSVC("linear", C=1.0)
+        assert clf.fmt == "DEN"
+        clf.fit(x, y)
+        assert clf.score(x, y) >= 0.9
+
+
+class TestLibSVMStyle:
+    def test_same_model_as_vectorised(self, separable):
+        # The emulated baseline is slower, never different.
+        x, y = separable
+        fast = SVC("linear", C=1.0, tol=1e-4).fit(x, y)
+        slow = LibSVMStyleSVC("linear", C=1.0, tol=1e-4).fit(x, y)
+        assert np.allclose(
+            fast.decision_function(x), slow.decision_function(x), atol=1e-5
+        )
+
+    def test_is_measurably_slower_per_smsv(self, rng):
+        # On a big enough matrix the block loop costs real time.
+        import time
+
+        a = (rng.random((3000, 200)) < 0.1) * 1.0
+        m = from_dense(a, "CSR")
+        x = rng.standard_normal(200)
+        t0 = time.perf_counter()
+        for _ in range(5):
+            m.matvec(x)
+        fast = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for _ in range(5):
+            rowloop_csr_matvec(m, x, block=8)
+        slow = time.perf_counter() - t0
+        assert slow > fast  # the baseline's emulated inefficiency
+
+    def test_no_cache(self, separable):
+        x, y = separable
+        clf = LibSVMStyleSVC("linear", C=1.0).fit(x, y)
+        assert clf.result_.kernel_rows_cached == 0
+
+    def test_block_validation(self):
+        with pytest.raises(ValueError):
+            LibSVMStyleSVC(block=0)

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import FORMAT_NAMES, from_dense
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_sparse(rng) -> np.ndarray:
+    """A 40x30 ~20%-dense matrix with at least one empty row/column."""
+    a = (rng.random((40, 30)) < 0.2) * rng.standard_normal((40, 30))
+    a[7, :] = 0.0  # empty row
+    a[:, 11] = 0.0  # empty column
+    return a
+
+
+@pytest.fixture
+def banded(rng) -> np.ndarray:
+    """A 50x50 matrix with 5 occupied diagonals."""
+    a = np.zeros((50, 50))
+    for o in (-3, -1, 0, 1, 3):
+        idx = np.arange(max(0, -o), min(50, 50 - o))
+        a[idx, idx + o] = rng.standard_normal(idx.shape[0]) + 2.0
+    return a
+
+
+@pytest.fixture(params=FORMAT_NAMES)
+def fmt_name(request) -> str:
+    """Parametrises a test over all five storage formats."""
+    return request.param
+
+
+@pytest.fixture
+def matrix_in_fmt(small_sparse, fmt_name):
+    return from_dense(small_sparse, fmt_name)
+
+
+def make_labels(rng: np.random.Generator, x: np.ndarray) -> np.ndarray:
+    """Linearly separable ±1 labels for a dense feature matrix."""
+    w = rng.standard_normal(x.shape[1])
+    s = x @ w
+    y = np.where(s > np.median(s), 1.0, -1.0)
+    if np.all(y == y[0]):
+        y[: len(y) // 2] = -y[0]
+    return y

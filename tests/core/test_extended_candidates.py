@@ -1,0 +1,63 @@
+"""Extended candidate formats (CSC/BCSR) in the scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.core import AutoTuner, LayoutScheduler
+from repro.formats import from_dense
+
+
+class TestExtendedCandidates:
+    def test_probe_accepts_extended(self, small_sparse):
+        sched = LayoutScheduler(
+            "probe",
+            candidates=("CSR", "COO", "CSC", "BCSR"),
+            tuner=AutoTuner(repeats=1, smsv_per_probe=1),
+        )
+        d = sched.decide(from_dense(small_sparse, "CSR"))
+        assert d.fmt in ("CSR", "COO", "CSC", "BCSR")
+
+    def test_hybrid_probes_extended_alongside_shortlist(self, small_sparse):
+        sched = LayoutScheduler(
+            "hybrid",
+            candidates=("BCSR",),
+            tuner=AutoTuner(repeats=1, smsv_per_probe=1),
+        )
+        d = sched.decide(from_dense(small_sparse, "CSR"))
+        assert d.fmt is not None
+
+    def test_profile_strategies_reject_extended(self):
+        for strategy in ("rules", "cost"):
+            with pytest.raises(ValueError, match="probe or hybrid"):
+                LayoutScheduler(strategy, candidates=("CSC",))
+
+    def test_invalid_candidate_rejected(self):
+        with pytest.raises(ValueError, match="unknown format"):
+            LayoutScheduler("probe", candidates=("JDS",))
+        with pytest.raises(ValueError, match="non-empty"):
+            LayoutScheduler("probe", candidates=())
+
+    def test_csc_loses_the_smo_probe(self, small_sparse):
+        # CSC's O(nnz) row extraction makes it uncompetitive for SMO's
+        # access pattern — the probe (which times row + SMSV) must not
+        # pick it over CSR on generic data.
+        tuner = AutoTuner(repeats=3, smsv_per_probe=4)
+        rows, cols = np.nonzero(small_sparse)
+        results = tuner.probe(
+            rows,
+            cols,
+            small_sparse[rows, cols],
+            small_sparse.shape,
+            candidates=["CSR", "CSC"],
+        )
+        assert results[0].fmt == "CSR"
+
+    def test_conversion_roundtrip_via_scheduler(self, small_sparse):
+        sched = LayoutScheduler(
+            "probe",
+            candidates=("CSC", "CSR"),
+            tuner=AutoTuner(repeats=1, smsv_per_probe=1),
+        )
+        m, d = sched.apply(from_dense(small_sparse, "DEN"))
+        assert m.name == d.fmt
+        assert np.allclose(m.to_dense(), small_sparse)

@@ -1,0 +1,99 @@
+"""Rule-based decision-list tests, including Table VI agreement."""
+
+import numpy as np
+import pytest
+
+from repro.core.rules import RuleThresholds, rule_based_choice
+from repro.data import load_dataset
+from repro.features import DatasetProfile, profile_from_dense
+
+
+def profile(**kw):
+    base = dict(
+        m=1000, n=500, nnz=50000, ndig=900, dnnz=55.6, mdim=80,
+        adim=50.0, vdim=100.0, density=0.1,
+    )
+    base.update(kw)
+    return DatasetProfile(**base)
+
+
+class TestRules:
+    def test_dense_rule(self):
+        d = rule_based_choice(profile(density=0.9))
+        assert d.fmt == "DEN" and d.rule == "dense"
+
+    def test_banded_rule(self):
+        d = rule_based_choice(
+            profile(ndig=5, dnnz=10000.0, density=0.1)
+        )
+        assert d.fmt == "DIA" and d.rule == "banded"
+
+    def test_uniform_rows_rule(self):
+        d = rule_based_choice(
+            profile(mdim=52, adim=50.0, vdim=0.5)
+        )
+        assert d.fmt == "ELL" and d.rule == "uniform-rows"
+
+    def test_high_variation_rule(self):
+        d = rule_based_choice(profile(vdim=2000.0, mdim=400))
+        assert d.fmt == "COO" and d.rule == "high-variation"
+
+    def test_default_rule(self):
+        d = rule_based_choice(profile(vdim=100.0))
+        assert d.fmt == "CSR" and d.rule == "default"
+
+    def test_empty_matrix(self):
+        d = rule_based_choice(
+            profile(nnz=0, adim=0.0, vdim=0.0, mdim=0, ndig=0, dnnz=0.0, density=0.0)
+        )
+        assert d.fmt == "CSR" and d.rule == "empty"
+
+    def test_reason_is_informative(self):
+        d = rule_based_choice(profile(density=0.9))
+        assert "density" in d.reason
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            RuleThresholds(dense_density=0.0)
+        with pytest.raises(ValueError):
+            RuleThresholds(ell_min_balance=1.5)
+
+    def test_custom_thresholds(self):
+        # lowering the dense threshold flips a 30%-dense matrix to DEN
+        p = profile(density=0.3)
+        assert rule_based_choice(p).fmt != "DEN"
+        assert (
+            rule_based_choice(p, RuleThresholds(dense_density=0.25)).fmt
+            == "DEN"
+        )
+
+
+class TestTableVIAgreement:
+    """The decision list on Table V clones vs the paper's selections.
+
+    breast_cancer and leukemia have identical published statistics but
+    different published selections (CSR vs DEN) — a contradiction no
+    deterministic profile-based system can satisfy, so they are scored
+    as one dataset (we match leukemia).  connect-4 (uniform rows at
+    density 0.336) is the one genuine disagreement: the rules pick ELL
+    (defensible: zero padding), the paper measured DEN fastest.
+    """
+
+    PAPER_SELECTIONS = {
+        "adult": "ELL",
+        "aloi": "CSR",
+        "gisette": "DEN",
+        "mnist": "COO",
+        "sector": "COO",
+        "leukemia": "DEN",
+        "trefethen": "DIA",
+    }
+
+    @pytest.mark.parametrize("name,expected", sorted(PAPER_SELECTIONS.items()))
+    def test_matches_paper_selection(self, name, expected):
+        ds = load_dataset(name, seed=0)
+        assert rule_based_choice(ds.profile).fmt == expected
+
+    def test_identity_matrix_is_dia_or_ell(self):
+        d = rule_based_choice(profile_from_dense(np.eye(100)))
+        assert d.fmt == "DIA"

@@ -1,0 +1,114 @@
+"""Table V dataset clones: statistics fidelity against the paper."""
+
+import numpy as np
+import pytest
+
+from repro.data import DATASET_SPECS, dataset_names, load_dataset
+
+
+class TestSpecs:
+    def test_all_eleven_datasets_present(self):
+        # Table V lists 11 datasets.
+        assert len(dataset_names()) == 11
+        for name in (
+            "adult", "breast_cancer", "aloi", "gisette", "mnist",
+            "sector", "epsilon", "leukemia", "connect-4", "trefethen",
+            "dna",
+        ):
+            assert name in DATASET_SPECS
+
+    def test_paper_stats_verbatim(self):
+        # Spot-check Table V rows.
+        p = DATASET_SPECS["adult"].paper
+        assert (p.m, p.n, p.nnz, p.mdim) == (2265, 119, 31404, 14)
+        p = DATASET_SPECS["trefethen"].paper
+        assert (p.ndig, p.mdim) == (12, 12)
+        p = DATASET_SPECS["epsilon"].paper
+        assert p.density == 1.0
+
+    def test_scaled_flags(self):
+        assert not DATASET_SPECS["adult"].scaled
+        assert DATASET_SPECS["gisette"].scaled
+        assert DATASET_SPECS["dna"].scaled
+
+
+@pytest.mark.parametrize("name", dataset_names())
+class TestCloneFidelity:
+    def test_density_matches_paper(self, name):
+        ds = load_dataset(name, seed=0)
+        assert ds.profile.density == pytest.approx(
+            ds.spec.paper.density, rel=0.08, abs=0.005
+        )
+
+    def test_balance_matches_paper(self, name):
+        # adim/mdim (row uniformity) is scale-invariant and drives the
+        # ELL decision; it must survive any scaling.
+        ds = load_dataset(name, seed=0)
+        paper = ds.spec.paper
+        if paper.mdim == 0:
+            return
+        assert ds.profile.balance == pytest.approx(
+            paper.balance, rel=0.15
+        )
+
+    def test_deterministic(self, name):
+        a = load_dataset(name, seed=3)
+        b = load_dataset(name, seed=3)
+        assert np.array_equal(a.rows, b.rows)
+        assert np.array_equal(a.values, b.values)
+        assert np.array_equal(a.y, b.y)
+
+    def test_labels_valid(self, name):
+        ds = load_dataset(name, seed=0)
+        assert ds.y.shape == (ds.shape[0],)
+        assert set(np.unique(ds.y)) == {-1.0, 1.0}
+
+
+class TestUnscaledExact:
+    @pytest.mark.parametrize(
+        "name", [n for n, s in DATASET_SPECS.items() if not s.scaled]
+    )
+    def test_m_n_exact(self, name):
+        ds = load_dataset(name, seed=0)
+        assert ds.shape == (ds.spec.paper.m, ds.spec.paper.n)
+
+    def test_adult_nnz_close(self):
+        ds = load_dataset("adult", seed=0)
+        assert ds.profile.nnz == pytest.approx(31404, rel=0.01)
+
+    def test_trefethen_structure(self):
+        ds = load_dataset("trefethen", seed=0)
+        p = ds.profile
+        assert p.ndig == 12
+        assert p.nnz == pytest.approx(21953, rel=0.03)
+
+
+class TestAPI:
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_dataset("imagenet")
+
+    def test_m_override(self):
+        ds = load_dataset("adult", seed=0, m_override=100)
+        assert ds.shape[0] == 100
+        assert ds.y.shape == (100,)
+
+    def test_in_format(self):
+        ds = load_dataset("aloi", seed=0, m_override=50)
+        for fmt in ("CSR", "DEN", "ELL"):
+            m = ds.in_format(fmt)
+            assert m.name == fmt
+            assert m.shape == ds.shape
+
+    def test_split(self):
+        ds = load_dataset("adult", seed=0, m_override=100)
+        tr, te = ds.split(0.8, seed=1)
+        assert len(tr) == 80 and len(te) == 20
+        assert len(set(tr.tolist()) & set(te.tolist())) == 0
+        with pytest.raises(ValueError):
+            ds.split(1.5)
+
+    def test_label_noise(self):
+        clean = load_dataset("adult", seed=0, m_override=500)
+        noisy = load_dataset("adult", seed=0, m_override=500, label_noise=0.2)
+        assert float(np.mean(clean.y != noisy.y)) > 0.05

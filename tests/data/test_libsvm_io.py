@@ -1,0 +1,83 @@
+"""LIBSVM text format reader/writer tests."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.data import read_libsvm, write_libsvm
+from repro.data.synthetic import uniform_rows_matrix
+
+
+class TestRead:
+    def test_basic(self):
+        text = "+1 1:0.5 3:1.5\n-1 2:2.0\n"
+        (rows, cols, vals, shape), y = read_libsvm(io.StringIO(text))
+        assert shape == (2, 3)
+        assert list(y) == [1.0, -1.0]
+        assert list(rows) == [0, 0, 1]
+        assert list(cols) == [0, 2, 1]
+        assert list(vals) == [0.5, 1.5, 2.0]
+
+    def test_skips_blank_and_comment_lines(self):
+        text = "# header\n\n+1 1:1\n"
+        (_r, _c, _v, shape), y = read_libsvm(io.StringIO(text))
+        assert shape == (1, 1) and list(y) == [1.0]
+
+    def test_n_features_override(self):
+        (_r, _c, _v, shape), _ = read_libsvm(
+            io.StringIO("1 1:1\n"), n_features=10
+        )
+        assert shape == (1, 10)
+
+    def test_n_features_too_small(self):
+        with pytest.raises(ValueError, match="smaller than"):
+            read_libsvm(io.StringIO("1 5:1\n"), n_features=2)
+
+    def test_explicit_zeros_dropped(self):
+        (rows, _c, _v, _s), _ = read_libsvm(io.StringIO("1 1:0 2:3\n"))
+        assert len(rows) == 1
+
+    def test_malformed_label(self):
+        with pytest.raises(ValueError, match="label"):
+            read_libsvm(io.StringIO("abc 1:1\n"))
+
+    def test_malformed_token(self):
+        with pytest.raises(ValueError, match="malformed"):
+            read_libsvm(io.StringIO("1 1-2\n"))
+
+    def test_zero_index_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            read_libsvm(io.StringIO("1 0:5\n"))
+
+    def test_non_increasing_indices_rejected(self):
+        with pytest.raises(ValueError, match="increasing"):
+            read_libsvm(io.StringIO("1 3:1 2:1\n"))
+
+
+class TestRoundTrip:
+    def test_write_read_roundtrip(self, tmp_path):
+        triples = uniform_rows_matrix(20, 15, 4, seed=0)
+        y = np.where(np.arange(20) % 2 == 0, 1.0, -1.0)
+        path = tmp_path / "data.libsvm"
+        write_libsvm(path, triples, y)
+        (rows, cols, vals, shape), y2 = read_libsvm(path, n_features=15)
+        assert shape == (20, 15)
+        assert np.array_equal(y2, y)
+        assert np.array_equal(rows, triples[0])
+        assert np.array_equal(cols, triples[1])
+        assert np.allclose(vals, triples[2])
+
+    def test_float_labels_roundtrip(self):
+        triples = uniform_rows_matrix(3, 4, 2, seed=0)
+        y = np.array([0.5, -1.25, 2.0])
+        buf = io.StringIO()
+        write_libsvm(buf, triples, y)
+        buf.seek(0)
+        _, y2 = read_libsvm(buf)
+        assert np.allclose(y2, y)
+
+    def test_label_shape_validation(self):
+        triples = uniform_rows_matrix(3, 4, 2, seed=0)
+        with pytest.raises(ValueError, match="one entry per row"):
+            write_libsvm(io.StringIO(), triples, np.ones(5))

@@ -1,0 +1,165 @@
+"""Parametric matrix generators: do they hit their targets?"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.synthetic import (
+    attach_labels,
+    banded_matrix,
+    matrix_with_mdim,
+    matrix_with_ndig,
+    matrix_with_vdim,
+    row_lengths_for,
+    uniform_rows_matrix,
+    variable_rows_matrix,
+)
+from repro.features import profile_from_coo
+
+
+def profile(triples):
+    rows, cols, _v, shape = triples
+    return profile_from_coo(rows, cols, shape, validated=True)
+
+
+class TestUniformRows:
+    def test_exact_structure(self):
+        p = profile(uniform_rows_matrix(50, 100, 7, seed=0))
+        assert p.adim == 7.0
+        assert p.mdim == 7
+        assert p.vdim == 0.0
+        assert p.nnz == 350
+
+    def test_full_width(self):
+        p = profile(uniform_rows_matrix(10, 20, 20, seed=0))
+        assert p.density == 1.0
+
+    def test_no_duplicate_columns_in_row(self):
+        rows, cols, _v, _ = uniform_rows_matrix(30, 10, 9, seed=1)
+        for i in range(30):
+            c = cols[rows == i]
+            assert len(set(c.tolist())) == len(c)
+
+
+class TestVariableRows:
+    def test_prescribed_lengths(self):
+        lengths = np.array([0, 3, 1, 5])
+        rows, cols, _v, shape = variable_rows_matrix(4, 8, lengths, seed=0)
+        got = np.bincount(rows, minlength=4)
+        assert np.array_equal(got, lengths)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="length m"):
+            variable_rows_matrix(3, 5, [1, 2])
+        with pytest.raises(ValueError, match="exceeds n"):
+            variable_rows_matrix(2, 5, [1, 6])
+        with pytest.raises(ValueError, match="non-negative"):
+            variable_rows_matrix(2, 5, [1, -1])
+
+
+class TestNdig:
+    @pytest.mark.parametrize("ndig", [2, 4, 16, 100])
+    def test_hits_target_ndig_and_nnz(self, ndig):
+        p = profile(matrix_with_ndig(128, 128, 240, ndig, seed=0))
+        assert p.ndig == ndig
+        assert p.nnz == 240
+
+    def test_carry_over_when_diagonal_short(self):
+        # One diagonal cannot hold nnz/ndig: deficit spills over.
+        p = profile(matrix_with_ndig(128, 128, 250, 2, seed=0))
+        assert p.ndig == 2 and p.nnz == 250
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            matrix_with_ndig(10, 10, 5, 0)
+        with pytest.raises(ValueError):
+            matrix_with_ndig(10, 10, 5, 100)
+        with pytest.raises(ValueError, match="exceeds"):
+            matrix_with_ndig(128, 128, 512, 1)  # 1 diagonal, 128 slots
+
+
+class TestMdim:
+    @pytest.mark.parametrize("mdim", [2, 8, 64, 256])
+    def test_hits_target(self, mdim):
+        p = profile(matrix_with_mdim(256, 256, 512, mdim, seed=0))
+        assert p.mdim == mdim
+        assert p.nnz == 512
+
+    def test_higher_mdim_higher_vdim(self):
+        # The Fig. 3 commentary: skew raises both mdim and vdim.
+        p2 = profile(matrix_with_mdim(256, 256, 512, 2, seed=0))
+        p64 = profile(matrix_with_mdim(256, 256, 512, 64, seed=0))
+        assert p64.vdim > p2.vdim
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            matrix_with_mdim(10, 100, 100, 5)  # needs some row >= 10
+        with pytest.raises(ValueError, match="nnz >= m"):
+            matrix_with_mdim(10, 10, 5, 4)
+
+
+class TestVdim:
+    @pytest.mark.parametrize("vdim", [0.0, 25.0, 100.0])
+    def test_hits_target(self, vdim):
+        p = profile(matrix_with_vdim(200, 300, adim=20, vdim=vdim, seed=0))
+        assert p.adim == pytest.approx(20.0, abs=0.2)
+        assert p.vdim == pytest.approx(vdim, rel=0.05, abs=0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="too large"):
+            matrix_with_vdim(10, 100, adim=3, vdim=100.0)
+        with pytest.raises(ValueError, match="exceeds n"):
+            matrix_with_vdim(10, 10, adim=8, vdim=16.0)
+
+
+class TestBanded:
+    def test_full_band(self):
+        p = profile(banded_matrix(50, 50, [0, 1, -1], seed=0))
+        assert p.ndig == 3
+        assert p.nnz == 50 + 49 + 49
+
+    def test_fill_thins_but_keeps_diagonals(self):
+        p = profile(banded_matrix(100, 100, [0, 2, -5], fill=0.5, seed=0))
+        assert p.ndig == 3
+        assert p.nnz < 300
+
+    def test_fill_validation(self):
+        with pytest.raises(ValueError):
+            banded_matrix(10, 10, [0], fill=0.0)
+
+
+class TestLabels:
+    def test_both_classes_present(self):
+        triples = uniform_rows_matrix(100, 50, 5, seed=0)
+        y = attach_labels(triples, seed=0)
+        assert set(np.unique(y)) == {-1.0, 1.0}
+
+    def test_noise_flips_labels(self):
+        triples = uniform_rows_matrix(500, 50, 5, seed=0)
+        clean = attach_labels(triples, seed=0)
+        noisy = attach_labels(triples, seed=0, noise=0.3)
+        assert 0.1 < float(np.mean(clean != noisy)) < 0.5
+
+    def test_deterministic(self):
+        triples = uniform_rows_matrix(50, 20, 3, seed=2)
+        assert np.array_equal(
+            attach_labels(triples, seed=5), attach_labels(triples, seed=5)
+        )
+
+
+@given(
+    m=st.integers(2, 40),
+    n=st.integers(2, 40),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_generators_produce_valid_coo(m, n, seed):
+    """Every generator output builds in every format without error."""
+    from repro.formats import format_class
+
+    k = min(3, n)
+    rows, cols, vals, shape = uniform_rows_matrix(m, n, k, seed=seed)
+    for fmt in ("CSR", "DIA", "ELL"):
+        mx = format_class(fmt).from_coo(rows, cols, vals, shape)
+        assert mx.nnz == m * k

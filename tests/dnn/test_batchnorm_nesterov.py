@@ -1,0 +1,147 @@
+"""BatchNorm2d and Nesterov momentum tests."""
+
+import numpy as np
+import pytest
+
+from repro.dnn import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MomentumSGD,
+    ReLU,
+    Sequential,
+)
+from tests.dnn.test_layers import numeric_grad
+
+
+def _check_grads_training_mode(net, x, y, n_checks=6, seed=0):
+    """Finite-difference check with *training-mode* forwards: BatchNorm
+    differentiates through the batch statistics, so the numeric loss
+    must use them too (the shared helper uses inference mode, which is
+    right for dropout but wrong for BN)."""
+    from repro.dnn import SoftmaxCrossEntropy
+
+    lf = SoftmaxCrossEntropy()
+
+    def full_loss():
+        return lf(net.forward(x, training=True), y)[0]
+
+    logits = net.forward(x, training=True)
+    _, g = lf(logits, y)
+    gin = net.backward(g)
+    rng = np.random.default_rng(seed)
+    for key, param in net.named_params():
+        grads = net.named_grads()[key]
+        flat, gflat = param.reshape(-1), grads.reshape(-1)
+        for _ in range(n_checks):
+            i = int(rng.integers(flat.size))
+            num = numeric_grad(full_loss, flat, i)
+            assert gflat[i] == pytest.approx(num, rel=1e-4, abs=1e-7), key
+    flat, gin_flat = x.reshape(-1), gin.reshape(-1)
+    for _ in range(n_checks):
+        i = int(rng.integers(flat.size))
+        num = numeric_grad(full_loss, flat, i)
+        assert gin_flat[i] == pytest.approx(num, rel=1e-4, abs=1e-7)
+
+
+class TestBatchNorm:
+    def test_normalises_per_channel(self, rng):
+        bn = BatchNorm2d(3)
+        x = rng.standard_normal((8, 3, 4, 4)) * 5.0 + 2.0
+        out = bn.forward(x, training=True)
+        assert np.allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-10)
+        assert np.allclose(out.var(axis=(0, 2, 3)), 1.0, atol=1e-4)
+
+    def test_gamma_beta_applied(self, rng):
+        bn = BatchNorm2d(2)
+        bn.params["gamma"][:] = [2.0, 3.0]
+        bn.params["beta"][:] = [1.0, -1.0]
+        x = rng.standard_normal((4, 2, 3, 3))
+        out = bn.forward(x, training=True)
+        assert out.mean(axis=(0, 2, 3)) == pytest.approx([1.0, -1.0], abs=1e-10)
+
+    def test_running_stats_used_at_inference(self, rng):
+        bn = BatchNorm2d(2, momentum=1.0)  # running = last batch
+        x = rng.standard_normal((16, 2, 4, 4)) * 3.0 + 1.0
+        bn.forward(x, training=True)
+        out = bn.forward(x, training=False)
+        # with momentum 1.0 the running stats equal the batch stats,
+        # so inference normalises (nearly) perfectly too
+        assert np.allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-6)
+
+    def test_inference_is_deterministic_elementwise(self, rng):
+        bn = BatchNorm2d(2)
+        bn.forward(rng.standard_normal((8, 2, 4, 4)), training=True)
+        x1 = rng.standard_normal((1, 2, 4, 4))
+        a = bn.forward(x1, training=False)
+        b = bn.forward(x1, training=False)
+        assert np.array_equal(a, b)
+
+    def test_gradients(self, rng):
+        net = Sequential(
+            [
+                Conv2d(1, 2, 3, pad=1, seed=0),
+                BatchNorm2d(2),
+                ReLU(),
+                Flatten(),
+                Linear(2 * 4 * 4, 3, seed=1),
+            ]
+        )
+        x = rng.standard_normal((5, 1, 4, 4))
+        y = rng.integers(0, 3, 5)
+        _check_grads_training_mode(net, x, y)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            BatchNorm2d(0)
+        with pytest.raises(ValueError):
+            BatchNorm2d(2, momentum=0.0)
+        with pytest.raises(ValueError):
+            BatchNorm2d(2, eps=0.0)
+        with pytest.raises(ValueError, match="expected"):
+            BatchNorm2d(2).forward(rng.standard_normal((2, 3, 4, 4)))
+        with pytest.raises(RuntimeError):
+            BatchNorm2d(2).backward(np.zeros((1, 2, 2, 2)))
+
+    def test_replication_shares_running_stats(self, rng):
+        from repro.dnn import replicate_net
+
+        net = Sequential([BatchNorm2d(2)])
+        rep = replicate_net(net, 2)[1]
+        assert rep.layers[0].running_mean is net.layers[0].running_mean
+
+
+class TestNesterov:
+    def _loss_path(self, opt, steps=40, seed=3):
+        from repro.dnn import SoftmaxCrossEntropy
+
+        rng = np.random.default_rng(seed)
+        net = Sequential([Linear(6, 4, seed=1), ReLU(), Linear(4, 3, seed=2)])
+        x = rng.standard_normal((30, 6))
+        y = rng.integers(0, 3, 30)
+        lf = SoftmaxCrossEntropy()
+        losses = []
+        for _ in range(steps):
+            logits = net.forward(x)
+            loss, g = lf(logits, y)
+            net.backward(g)
+            opt.step(net)
+            losses.append(loss)
+        return losses
+
+    def test_differs_from_classical(self):
+        a = self._loss_path(MomentumSGD(0.05, 0.9, nesterov=False))
+        b = self._loss_path(MomentumSGD(0.05, 0.9, nesterov=True))
+        assert a != b
+
+    def test_converges(self):
+        losses = self._loss_path(MomentumSGD(0.05, 0.9, nesterov=True))
+        assert losses[-1] < losses[0] * 0.5
+
+    def test_zero_momentum_equals_sgd_lookahead_or_not(self):
+        # With mu = 0 the look-ahead form is W -= 2*eta*g per step
+        # relative history... actually V = -eta g, and nesterov adds
+        # another -eta g: assert it still optimises.
+        losses = self._loss_path(MomentumSGD(0.05, 0.0, nesterov=True))
+        assert losses[-1] < losses[0]

@@ -1,0 +1,81 @@
+"""im2col / col2im correctness against direct convolution."""
+
+import numpy as np
+import pytest
+
+from repro.dnn.im2col import col2im, conv_out_size, im2col
+
+
+def direct_conv(x, w, b, field, pad, stride):
+    """Naive reference convolution (slow, obviously correct)."""
+    n, c, h, ww = x.shape
+    oc = w.shape[0]
+    oh = conv_out_size(h, field, pad, stride)
+    ow = conv_out_size(ww, field, pad, stride)
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    out = np.zeros((n, oc, oh, ow))
+    wk = w.reshape(oc, c, field, field)
+    for i in range(oh):
+        for j in range(ow):
+            patch = xp[:, :, i * stride : i * stride + field,
+                       j * stride : j * stride + field]
+            out[:, :, i, j] = (
+                patch.reshape(n, -1) @ wk.reshape(oc, -1).T + b
+            )
+    return out
+
+
+class TestConvOutSize:
+    def test_basic(self):
+        assert conv_out_size(32, 5, 2, 1) == 32
+        assert conv_out_size(32, 2, 0, 2) == 16
+        assert conv_out_size(5, 3, 0, 1) == 3
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            conv_out_size(2, 5, 0, 1)
+
+
+class TestIm2col:
+    @pytest.mark.parametrize(
+        "field,pad,stride", [(3, 0, 1), (3, 1, 1), (5, 2, 1), (3, 0, 2)]
+    )
+    def test_matches_direct_convolution(self, rng, field, pad, stride):
+        x = rng.standard_normal((2, 3, 8, 8))
+        oc = 4
+        w = rng.standard_normal((oc, 3 * field * field))
+        b = rng.standard_normal(oc)
+        cols, oh, ow = im2col(x, field, pad, stride)
+        out = (cols @ w.T + b).reshape(2, oh, ow, oc).transpose(0, 3, 1, 2)
+        ref = direct_conv(x, w, b, field, pad, stride)
+        assert np.allclose(out, ref)
+
+    def test_column_count(self, rng):
+        x = rng.standard_normal((2, 3, 6, 6))
+        cols, oh, ow = im2col(x, 3, 0, 1)
+        assert cols.shape == (2 * 4 * 4, 3 * 9)
+        assert (oh, ow) == (4, 4)
+
+
+class TestCol2im:
+    @pytest.mark.parametrize(
+        "field,pad,stride", [(3, 0, 1), (3, 1, 1), (5, 2, 1), (2, 0, 2)]
+    )
+    def test_adjoint_property(self, rng, field, pad, stride):
+        # <im2col(x), g> == <x, col2im(g)> for all x, g — the defining
+        # property of the backward pass.
+        x = rng.standard_normal((2, 3, 8, 8))
+        cols, oh, ow = im2col(x, field, pad, stride)
+        g = rng.standard_normal(cols.shape)
+        lhs = float((cols * g).sum())
+        back = col2im(g, x.shape, field, pad, stride)
+        rhs = float((x * back).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_overlapping_windows_accumulate(self):
+        x_shape = (1, 1, 3, 3)
+        cols = np.ones((4, 4))  # 2x2 output of 2x2 fields, all ones
+        back = col2im(cols, x_shape, 2, 0, 1)
+        # centre pixel is covered by all 4 windows
+        assert back[0, 0, 1, 1] == 4.0
+        assert back[0, 0, 0, 0] == 1.0

@@ -1,0 +1,188 @@
+"""Layer forward/backward tests with finite-difference gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.dnn import (
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    SoftmaxCrossEntropy,
+)
+
+
+def numeric_grad(f, arr, idx, eps=1e-6):
+    arr[idx] += eps
+    lp = f()
+    arr[idx] -= 2 * eps
+    lm = f()
+    arr[idx] += eps
+    return (lp - lm) / (2 * eps)
+
+
+def check_param_grads(net, x, y, n_checks=6, seed=0):
+    """Compare analytic parameter gradients to central differences."""
+    loss_fn = SoftmaxCrossEntropy()
+
+    def full_loss():
+        return loss_fn(net.forward(x, training=False), y)[0]
+
+    logits = net.forward(x, training=True)
+    _, g = loss_fn(logits, y)
+    net.backward(g)
+    rng = np.random.default_rng(seed)
+    for key, param in net.named_params():
+        grads = net.named_grads()[key]
+        flat = param.reshape(-1)
+        gflat = grads.reshape(-1)
+        for _ in range(n_checks):
+            i = int(rng.integers(flat.size))
+            num = numeric_grad(full_loss, flat, i)
+            assert gflat[i] == pytest.approx(num, rel=1e-4, abs=1e-7), key
+
+
+def check_input_grads(net, x, y, n_checks=6, seed=0):
+    loss_fn = SoftmaxCrossEntropy()
+
+    def full_loss():
+        return loss_fn(net.forward(x, training=False), y)[0]
+
+    logits = net.forward(x, training=True)
+    _, g = loss_fn(logits, y)
+    gin = net.backward(g)
+    rng = np.random.default_rng(seed)
+    flat = x.reshape(-1)
+    gin_flat = gin.reshape(-1)
+    for _ in range(n_checks):
+        i = int(rng.integers(flat.size))
+        num = numeric_grad(full_loss, flat, i)
+        assert gin_flat[i] == pytest.approx(num, rel=1e-4, abs=1e-7)
+
+
+class TestConv2d:
+    def test_output_shape(self, rng):
+        conv = Conv2d(3, 8, 5, pad=2, seed=0)
+        out = conv.forward(rng.standard_normal((4, 3, 16, 16)))
+        assert out.shape == (4, 8, 16, 16)
+
+    def test_stride(self, rng):
+        conv = Conv2d(1, 2, 3, stride=2, seed=0)
+        out = conv.forward(rng.standard_normal((1, 1, 9, 9)))
+        assert out.shape == (1, 2, 4, 4)
+
+    def test_gradients(self, rng):
+        net = Sequential([Conv2d(2, 3, 3, pad=1, seed=1), Flatten(),
+                          Linear(3 * 5 * 5, 3, seed=2)])
+        x = rng.standard_normal((3, 2, 5, 5))
+        y = rng.integers(0, 3, 3)
+        check_param_grads(net, x, y)
+        check_input_grads(net, x, y)
+
+    def test_channel_mismatch(self, rng):
+        with pytest.raises(ValueError, match="channels"):
+            Conv2d(3, 4, 3).forward(rng.standard_normal((1, 2, 5, 5)))
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            Conv2d(1, 1, 3).backward(np.zeros((1, 1, 3, 3)))
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            Conv2d(0, 1, 3)
+        with pytest.raises(ValueError):
+            Conv2d(1, 1, 3, pad=-1)
+
+
+class TestMaxPool:
+    def test_forward_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = MaxPool2d(2).forward(x)
+        assert np.array_equal(out[0, 0], [[5.0, 7.0], [13.0, 15.0]])
+
+    def test_gradient_routes_to_max(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        pool = MaxPool2d(2)
+        pool.forward(x)
+        g = pool.backward(np.ones((1, 1, 2, 2)))
+        assert g.sum() == 4.0
+        assert g[0, 0, 1, 1] == 1.0  # position of 5
+        assert g[0, 0, 0, 0] == 0.0
+
+    def test_tie_breaking_single_winner(self):
+        x = np.zeros((1, 1, 2, 2))  # all equal: exactly one gets grad
+        pool = MaxPool2d(2)
+        pool.forward(x)
+        g = pool.backward(np.ones((1, 1, 1, 1)))
+        assert g.sum() == 1.0
+
+    def test_indivisible_rejected(self, rng):
+        with pytest.raises(ValueError, match="divisible"):
+            MaxPool2d(3).forward(rng.standard_normal((1, 1, 4, 4)))
+
+    def test_gradients(self, rng):
+        net = Sequential([Conv2d(1, 2, 3, pad=1, seed=0), MaxPool2d(2),
+                          Flatten(), Linear(2 * 3 * 3, 2, seed=1)])
+        x = rng.standard_normal((2, 1, 6, 6))
+        y = rng.integers(0, 2, 2)
+        check_param_grads(net, x, y)
+
+
+class TestReLUFlattenLinear:
+    def test_relu(self):
+        r = ReLU()
+        out = r.forward(np.array([-1.0, 0.0, 2.0]))
+        assert np.array_equal(out, [0.0, 0.0, 2.0])
+        g = r.backward(np.ones(3))
+        assert np.array_equal(g, [0.0, 0.0, 1.0])
+
+    def test_flatten_roundtrip(self, rng):
+        f = Flatten()
+        x = rng.standard_normal((2, 3, 4, 5))
+        out = f.forward(x)
+        assert out.shape == (2, 60)
+        assert f.backward(out).shape == x.shape
+
+    def test_linear_gradients(self, rng):
+        net = Sequential([Linear(7, 5, seed=0), ReLU(), Linear(5, 3, seed=1)])
+        x = rng.standard_normal((4, 7))
+        y = rng.integers(0, 3, 4)
+        check_param_grads(net, x, y)
+        check_input_grads(net, x, y)
+
+    def test_linear_validation(self):
+        with pytest.raises(ValueError):
+            Linear(0, 5)
+
+
+class TestDropout:
+    def test_inactive_at_inference(self, rng):
+        d = Dropout(0.5, seed=0)
+        x = rng.standard_normal((10, 10))
+        assert np.array_equal(d.forward(x, training=False), x)
+
+    def test_inverted_scaling_preserves_mean(self, rng):
+        d = Dropout(0.5, seed=0)
+        x = np.ones((200, 200))
+        out = d.forward(x, training=True)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_backward_uses_same_mask(self, rng):
+        d = Dropout(0.5, seed=0)
+        x = np.ones((50, 50))
+        out = d.forward(x, training=True)
+        g = d.backward(np.ones_like(x))
+        assert np.array_equal(g, out)  # identical mask on ones
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_zero_rate_is_identity(self, rng):
+        d = Dropout(0.0)
+        x = rng.standard_normal((4, 4))
+        assert np.array_equal(d.forward(x, training=True), x)
+        assert np.array_equal(d.backward(x), x)

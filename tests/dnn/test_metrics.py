@@ -1,0 +1,93 @@
+"""Metric helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.dnn.metrics import (
+    accuracy,
+    confusion_matrix,
+    epochs_to_threshold,
+    learning_curve,
+    per_class_accuracy,
+    top_k_accuracy,
+)
+
+
+class TestConfusion:
+    def test_basic(self):
+        cm = confusion_matrix([0, 0, 1, 2], [0, 1, 1, 2])
+        assert cm.tolist() == [[1, 1, 0], [0, 1, 0], [0, 0, 1]]
+        assert cm.sum() == 4
+
+    def test_n_classes_override(self):
+        cm = confusion_matrix([0], [0], n_classes=4)
+        assert cm.shape == (4, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="equal length"):
+            confusion_matrix([0, 1], [0])
+        with pytest.raises(ValueError, match="empty"):
+            confusion_matrix([], [])
+        with pytest.raises(ValueError, match="exceeds"):
+            confusion_matrix([5], [0], n_classes=2)
+        with pytest.raises(ValueError, match="non-negative"):
+            confusion_matrix([-1], [0])
+
+
+class TestAccuracy:
+    def test_accuracy(self):
+        assert accuracy([1, 2, 3], [1, 2, 4]) == pytest.approx(2 / 3)
+        with pytest.raises(ValueError):
+            accuracy([], [])
+
+    def test_per_class(self):
+        pca = per_class_accuracy([0, 0, 1, 1], [0, 1, 1, 1])
+        assert pca[0] == 0.5 and pca[1] == 1.0
+
+    def test_per_class_absent_is_nan(self):
+        pca = per_class_accuracy([0, 0], [0, 0], n_classes=3)
+        assert np.isnan(pca[2])
+
+
+class TestTopK:
+    def test_top1_equals_accuracy(self, rng):
+        logits = rng.standard_normal((50, 6))
+        y = rng.integers(0, 6, 50)
+        assert top_k_accuracy(logits, y, k=1) == pytest.approx(
+            accuracy(y, np.argmax(logits, axis=1))
+        )
+
+    def test_topk_monotone_in_k(self, rng):
+        logits = rng.standard_normal((80, 5))
+        y = rng.integers(0, 5, 80)
+        accs = [top_k_accuracy(logits, y, k=k) for k in range(1, 6)]
+        assert accs == sorted(accs)
+        assert accs[-1] == 1.0  # k = n_classes
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            top_k_accuracy(rng.standard_normal((4, 3)), np.zeros(4), k=0)
+        with pytest.raises(ValueError):
+            top_k_accuracy(rng.standard_normal(4), np.zeros(4))
+
+
+class TestCurves:
+    def test_epochs_to_threshold(self):
+        assert epochs_to_threshold([0.2, 0.5, 0.8, 0.9], 0.8) == 3
+        assert epochs_to_threshold([0.2, 0.3], 0.8) is None
+        with pytest.raises(ValueError):
+            epochs_to_threshold([0.5], 0.0)
+
+    def test_learning_curve_from_run(self):
+        from repro.data import synthetic_cifar10
+        from repro.dnn import Trainer, linear_probe
+
+        data = synthetic_cifar10(60, 20, seed=0, flip_prob=0.0)
+        run = Trainer(
+            linear_probe(seed=0), batch_size=30, lr=0.01,
+            target_accuracy=0.999, max_epochs=2,
+        ).fit(data)
+        curve = learning_curve(run.history)
+        assert len(curve) == 2
+        assert all(0.0 <= a <= 1.0 for a in curve)
+        assert epochs_to_threshold(curve, 0.999) is None

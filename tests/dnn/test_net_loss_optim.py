@@ -1,0 +1,156 @@
+"""Sequential container, loss and optimiser tests."""
+
+import numpy as np
+import pytest
+
+from repro.dnn import (
+    SGD,
+    Flatten,
+    Linear,
+    MomentumSGD,
+    ReLU,
+    Sequential,
+    SoftmaxCrossEntropy,
+    linear_probe,
+)
+
+
+class TestSequential:
+    def test_needs_layers(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+    def test_n_params(self):
+        net = Sequential([Linear(4, 3, seed=0)])
+        assert net.n_params == 4 * 3 + 3
+
+    def test_named_params_keys(self):
+        net = Sequential([Linear(4, 3, seed=0), ReLU(), Linear(3, 2, seed=1)])
+        keys = [k for k, _ in net.named_params()]
+        assert (0, "W") in keys and (2, "b") in keys
+        assert len(keys) == 4
+
+    def test_predict_batched_matches_unbatched(self, rng):
+        net = linear_probe(n_classes=4, in_channels=1, size=4, seed=0)
+        x = rng.standard_normal((37, 1, 4, 4))
+        a = net.predict(x, batch_size=8)
+        b = net.predict(x, batch_size=1000)
+        assert np.array_equal(a, b)
+
+    def test_accuracy_range(self, rng):
+        net = linear_probe(n_classes=3, in_channels=1, size=2, seed=0)
+        x = rng.standard_normal((20, 1, 2, 2))
+        y = rng.integers(0, 3, 20)
+        assert 0.0 <= net.accuracy(x, y) <= 1.0
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        loss, _ = SoftmaxCrossEntropy()(logits, np.array([0, 1]))
+        assert loss < 1e-6
+
+    def test_uniform_logits_loss_is_log_k(self):
+        k = 7
+        loss, _ = SoftmaxCrossEntropy()(np.zeros((3, k)), np.zeros(3, dtype=int))
+        assert loss == pytest.approx(np.log(k))
+
+    def test_gradient_sums_to_zero_per_row(self, rng):
+        logits = rng.standard_normal((5, 4))
+        _, g = SoftmaxCrossEntropy()(logits, rng.integers(0, 4, 5))
+        assert np.allclose(g.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_gradient_finite_difference(self, rng):
+        logits = rng.standard_normal((3, 4))
+        y = rng.integers(0, 4, 3)
+        lf = SoftmaxCrossEntropy()
+        _, g = lf(logits.copy(), y)
+        eps = 1e-6
+        for idx in [(0, 0), (1, 3), (2, 2)]:
+            lp = lf(logits + eps * _one(logits.shape, idx), y)[0]
+            lm = lf(logits - eps * _one(logits.shape, idx), y)[0]
+            assert g[idx] == pytest.approx((lp - lm) / (2 * eps), rel=1e-5)
+
+    def test_numerical_stability_huge_logits(self):
+        logits = np.array([[1e4, -1e4]])
+        loss, g = SoftmaxCrossEntropy()(logits, np.array([0]))
+        assert np.isfinite(loss) and np.all(np.isfinite(g))
+
+    def test_validation(self):
+        lf = SoftmaxCrossEntropy()
+        with pytest.raises(ValueError, match="label out of range"):
+            lf(np.zeros((2, 3)), np.array([0, 3]))
+        with pytest.raises(ValueError, match="one entry"):
+            lf(np.zeros((2, 3)), np.array([0]))
+        with pytest.raises(ValueError, match="\\(N, K\\)"):
+            lf(np.zeros(3), np.array([0]))
+
+
+def _one(shape, idx):
+    e = np.zeros(shape)
+    e[idx] = 1.0
+    return e
+
+
+class TestOptimisers:
+    def _loss_after_steps(self, opt, steps, rng_seed=0):
+        rng = np.random.default_rng(rng_seed)
+        net = Sequential([Linear(6, 4, seed=1), ReLU(), Linear(4, 3, seed=2)])
+        x = rng.standard_normal((30, 6))
+        y = rng.integers(0, 3, 30)
+        lf = SoftmaxCrossEntropy()
+        loss = None
+        for _ in range(steps):
+            logits = net.forward(x)
+            loss, g = lf(logits, y)
+            net.backward(g)
+            opt.step(net)
+        return loss
+
+    def test_sgd_decreases_loss(self):
+        first = self._loss_after_steps(SGD(0.1), 1)
+        last = self._loss_after_steps(SGD(0.1), 50)
+        assert last < first
+
+    def test_momentum_beats_sgd_here(self):
+        sgd = self._loss_after_steps(SGD(0.05), 40)
+        mom = self._loss_after_steps(MomentumSGD(0.05, 0.9), 40)
+        assert mom < sgd
+
+    def test_momentum_zero_equals_sgd(self):
+        a = self._loss_after_steps(SGD(0.05), 20)
+        b = self._loss_after_steps(MomentumSGD(0.05, 0.0), 20)
+        assert a == pytest.approx(b, rel=1e-12)
+
+    def test_momentum_update_rule_exact(self):
+        # One parameter, one step: V1 = -lr*g; W1 = W0 + V1;
+        # second step with same g: V2 = mu*V1 - lr*g.
+        net = Sequential([Linear(1, 1, seed=0)])
+        w0 = float(net.layers[0].params["W"][0, 0])
+        net.layers[0].grads["W"] = np.array([[2.0]])
+        net.layers[0].grads["b"] = np.array([0.0])
+        opt = MomentumSGD(0.1, 0.5)
+        opt.step(net)
+        w1 = float(net.layers[0].params["W"][0, 0])
+        assert w1 == pytest.approx(w0 - 0.2)
+        opt.step(net)  # same grads still stored
+        w2 = float(net.layers[0].params["W"][0, 0])
+        # V2 = 0.5*(-0.2) - 0.2 = -0.3
+        assert w2 == pytest.approx(w1 - 0.3)
+
+    def test_reset_clears_velocity(self):
+        net = Sequential([Linear(1, 1, seed=0)])
+        net.layers[0].grads["W"] = np.array([[1.0]])
+        net.layers[0].grads["b"] = np.array([0.0])
+        opt = MomentumSGD(0.1, 0.9)
+        opt.step(net)
+        opt.reset()
+        assert opt._velocity == {}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SGD(0.0)
+        with pytest.raises(ValueError):
+            MomentumSGD(0.1, 1.0)
+        with pytest.raises(ValueError):
+            MomentumSGD(-0.1, 0.5)

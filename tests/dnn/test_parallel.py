@@ -1,0 +1,172 @@
+"""Data-parallel training (Section IV-B): math identity + comm model."""
+
+import numpy as np
+import pytest
+
+from repro.data import synthetic_cifar10
+from repro.dnn import (
+    DataParallelTrainer,
+    SGD,
+    Trainer,
+    cifar10_small,
+    linear_probe,
+    replicate_net,
+)
+from repro.dnn.net import Sequential
+from repro.dnn.layers import Dropout, Linear, ReLU
+
+
+class TestReplication:
+    def test_parameters_are_shared(self):
+        net = Sequential([Linear(4, 3, seed=0), ReLU(), Linear(3, 2, seed=1)])
+        replicas = replicate_net(net, 3)
+        assert len(replicas) == 3
+        for rep in replicas[1:]:
+            for (k1, p1), (k2, p2) in zip(
+                net.named_params(), rep.named_params()
+            ):
+                assert k1 == k2
+                assert p1 is p2  # literal aliasing
+
+    def test_caches_are_private(self, rng):
+        net = Sequential([Linear(4, 3, seed=0), ReLU()])
+        rep = replicate_net(net, 2)[1]
+        net.forward(rng.standard_normal((2, 4)), training=True)
+        # the replica never ran forward: its backward must fail
+        with pytest.raises(RuntimeError):
+            rep.backward(np.zeros((2, 3)))
+
+    def test_dropout_replicas_get_fresh_streams(self, rng):
+        net = Sequential([Dropout(0.5, seed=0)])
+        rep = replicate_net(net, 2)[1]
+        x = np.ones((64, 64))
+        a = net.forward(x, training=True)
+        b = rep.forward(x, training=True)
+        assert not np.array_equal(a, b)
+
+    def test_validation(self):
+        net = Sequential([Linear(2, 2, seed=0)])
+        with pytest.raises(ValueError):
+            replicate_net(net, 0)
+
+
+class TestGradientIdentity:
+    """P-worker steps must equal serial full-batch steps exactly."""
+
+    def _data(self, rng, n=32):
+        x = rng.standard_normal((n, 1, 4, 4))
+        y = rng.integers(0, 3, n)
+        return x, y
+
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_one_step_matches_serial(self, rng, p):
+        x, y = self._data(rng)
+        serial = linear_probe(n_classes=3, in_channels=1, size=4, seed=0)
+        par_net = linear_probe(n_classes=3, in_channels=1, size=4, seed=0)
+
+        # serial reference step
+        from repro.dnn.loss import SoftmaxCrossEntropy
+
+        lf = SoftmaxCrossEntropy()
+        logits = serial.forward(x, training=True)
+        _, g = lf(logits, y)
+        serial.backward(g)
+        SGD(0.1).step(serial)
+
+        dp = DataParallelTrainer(
+            par_net, n_replicas=p, batch_size=32, optimizer=SGD(0.1)
+        )
+        dp.step(x, y)
+
+        for (k1, p1), (k2, p2) in zip(
+            serial.named_params(), par_net.named_params()
+        ):
+            assert np.allclose(p1, p2, atol=1e-12), k1
+
+    def test_unequal_shards_still_exact(self, rng):
+        # 10 samples over 4 workers: shards of 3/3/2/2.
+        x, y = self._data(rng, n=10)
+        serial = linear_probe(n_classes=3, in_channels=1, size=4, seed=0)
+        par_net = linear_probe(n_classes=3, in_channels=1, size=4, seed=0)
+        from repro.dnn.loss import SoftmaxCrossEntropy
+
+        lf = SoftmaxCrossEntropy()
+        logits = serial.forward(x, training=True)
+        loss_serial, g = lf(logits, y)
+        serial.backward(g)
+        SGD(0.1).step(serial)
+        dp = DataParallelTrainer(
+            par_net, n_replicas=4, batch_size=10, optimizer=SGD(0.1)
+        )
+        loss_par = dp.step(x, y)
+        assert loss_par == pytest.approx(loss_serial, rel=1e-12)
+        for (_, p1), (_, p2) in zip(
+            serial.named_params(), par_net.named_params()
+        ):
+            assert np.allclose(p1, p2, atol=1e-12)
+
+    def test_concurrent_matches_serial_workers(self, rng):
+        x, y = self._data(rng)
+        a = linear_probe(n_classes=3, in_channels=1, size=4, seed=0)
+        b = linear_probe(n_classes=3, in_channels=1, size=4, seed=0)
+        DataParallelTrainer(
+            a, n_replicas=4, batch_size=32, optimizer=SGD(0.1),
+            concurrent=False,
+        ).step(x, y)
+        DataParallelTrainer(
+            b, n_replicas=4, batch_size=32, optimizer=SGD(0.1),
+            concurrent=True,
+        ).step(x, y)
+        for (_, p1), (_, p2) in zip(a.named_params(), b.named_params()):
+            assert np.allclose(p1, p2, atol=1e-9)
+
+
+class TestCommAccounting:
+    def test_ring_allreduce_bytes(self):
+        net = linear_probe(n_classes=3, in_channels=1, size=4, seed=0)
+        param_bytes = sum(p.nbytes for _, p in net.named_params())
+        dp = DataParallelTrainer(net, n_replicas=4, batch_size=8)
+        rng = np.random.default_rng(0)
+        dp.step(rng.standard_normal((8, 1, 4, 4)), rng.integers(0, 3, 8))
+        assert dp.comm.bytes_per_step == int(2 * 3 / 4 * param_bytes)
+        assert dp.comm.total_bytes == dp.comm.bytes_per_step
+        assert dp.comm.steps == 1
+
+    def test_single_worker_no_comm(self, rng):
+        net = linear_probe(n_classes=3, in_channels=1, size=4, seed=0)
+        dp = DataParallelTrainer(net, n_replicas=1, batch_size=8)
+        dp.step(rng.standard_normal((8, 1, 4, 4)), rng.integers(0, 3, 8))
+        assert dp.comm.total_bytes == 0
+
+    def test_modelled_comm_seconds(self, rng):
+        net = linear_probe(n_classes=3, in_channels=1, size=4, seed=0)
+        dp = DataParallelTrainer(net, n_replicas=4, batch_size=8)
+        dp.step(rng.standard_normal((8, 1, 4, 4)), rng.integers(0, 3, 8))
+        t = dp.modelled_comm_seconds(80.0)  # NVLink-ish
+        assert t == pytest.approx(dp.comm.total_bytes / 80e9)
+        with pytest.raises(ValueError):
+            dp.modelled_comm_seconds(0.0)
+
+
+class TestEndToEnd:
+    def test_trains_cnn_like_serial_trainer(self):
+        data = synthetic_cifar10(200, 60, seed=0, flip_prob=0.0)
+        net = cifar10_small(seed=0)
+        dp = DataParallelTrainer(
+            net, n_replicas=4, batch_size=40, lr=0.01, momentum=0.9
+        )
+        acc0 = net.accuracy(data.x_test.astype(np.float64), data.y_test)
+        for epoch in range(3):
+            dp.train_epoch(data, epoch)
+        acc1 = net.accuracy(data.x_test.astype(np.float64), data.y_test)
+        assert acc1 > acc0 + 0.2
+
+    def test_validation(self, rng):
+        net = linear_probe(n_classes=3, in_channels=1, size=4, seed=0)
+        with pytest.raises(ValueError):
+            DataParallelTrainer(net, n_replicas=0)
+        with pytest.raises(ValueError):
+            DataParallelTrainer(net, n_replicas=8, batch_size=4)
+        dp = DataParallelTrainer(net, n_replicas=4, batch_size=8)
+        with pytest.raises(ValueError, match="batch smaller"):
+            dp.step(rng.standard_normal((2, 1, 4, 4)), np.zeros(2, dtype=int))

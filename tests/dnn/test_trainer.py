@@ -1,0 +1,111 @@
+"""Trainer and model-zoo tests, including the measured batch-size effect."""
+
+import numpy as np
+import pytest
+
+from repro.data import synthetic_cifar10
+from repro.dnn import (
+    Trainer,
+    cifar10_full,
+    cifar10_small,
+    linear_probe,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_data():
+    return synthetic_cifar10(300, 100, seed=0)
+
+
+@pytest.fixture(scope="module")
+def easy_data():
+    """No polarity flips: converges in very few epochs (fast tests)."""
+    return synthetic_cifar10(300, 100, seed=0, flip_prob=0.0)
+
+
+class TestModels:
+    def test_cifar10_full_shapes(self, rng):
+        net = cifar10_full(seed=0)
+        out = net.forward(rng.standard_normal((2, 3, 32, 32)), training=False)
+        assert out.shape == (2, 10)
+
+    def test_cifar10_small_shapes(self, rng):
+        net = cifar10_small(seed=0)
+        out = net.forward(rng.standard_normal((2, 3, 32, 32)), training=False)
+        assert out.shape == (2, 10)
+        assert net.n_params < cifar10_full(seed=0).n_params
+
+    def test_linear_probe(self, rng):
+        net = linear_probe(seed=0)
+        out = net.forward(rng.standard_normal((2, 3, 32, 32)), training=False)
+        assert out.shape == (2, 10)
+
+
+class TestTrainer:
+    def test_reaches_target_on_easy_data(self, easy_data):
+        net = cifar10_small(seed=0)
+        run = Trainer(
+            net, batch_size=50, lr=0.01, momentum=0.9,
+            target_accuracy=0.7, max_epochs=8,
+        ).fit(easy_data)
+        assert run.reached_target
+        assert run.epochs_to_target <= 8
+        assert run.seconds_to_target > 0
+        assert run.iterations_to_target == run.epochs_to_target * 6
+
+    def test_history_recorded(self, tiny_data):
+        net = cifar10_small(seed=1)
+        run = Trainer(
+            net, batch_size=100, lr=0.01, target_accuracy=0.999,
+            max_epochs=2,
+        ).fit(tiny_data)
+        assert len(run.history) == 2
+        assert not run.reached_target
+        assert run.total_iterations == 2 * 3
+        assert all(s.seconds > 0 for s in run.history)
+
+    def test_cnn_beats_linear_probe(self, tiny_data):
+        # The synthetic task must be non-trivial: the CNN should clearly
+        # beat a linear model at equal epochs.
+        cnn_run = Trainer(
+            cifar10_small(seed=0), batch_size=50, lr=0.01,
+            target_accuracy=0.99, max_epochs=7,
+        ).fit(tiny_data)
+        lin_run = Trainer(
+            linear_probe(seed=0), batch_size=50, lr=0.01,
+            target_accuracy=0.99, max_epochs=7,
+        ).fit(tiny_data)
+        assert cnn_run.final_accuracy > lin_run.final_accuracy
+
+    def test_validation(self, tiny_data):
+        net = cifar10_small(seed=0)
+        with pytest.raises(ValueError):
+            Trainer(net, batch_size=0)
+        with pytest.raises(ValueError):
+            Trainer(net, target_accuracy=0.0)
+        with pytest.raises(ValueError):
+            Trainer(net, max_epochs=0)
+
+
+@pytest.mark.slow
+class TestBatchSizeEffect:
+    """The measured counterpart of the Keskar large-batch effect: at a
+    fixed learning rate, a larger batch needs more epochs to hit the
+    same accuracy (fewer, less noisy updates per epoch)."""
+
+    def test_large_batch_needs_more_epochs(self):
+        data = synthetic_cifar10(1000, 300, seed=1)
+        epochs_at = {}
+        for batch in (25, 400):
+            run = Trainer(
+                cifar10_small(seed=0),
+                batch_size=batch,
+                lr=0.005,
+                momentum=0.9,
+                target_accuracy=0.75,
+                max_epochs=30,
+                seed=0,
+            ).fit(data)
+            assert run.reached_target, f"B={batch} never reached target"
+            epochs_at[batch] = run.epochs_to_target
+        assert epochs_at[400] > epochs_at[25]

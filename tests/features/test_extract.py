@@ -1,0 +1,85 @@
+"""Profile extraction correctness on known structures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features import extract_profile, profile_from_coo, profile_from_dense
+from repro.formats import FORMAT_NAMES, from_dense
+
+
+class TestKnownStructures:
+    def test_identity(self):
+        p = profile_from_dense(np.eye(8))
+        assert p.m == p.n == 8
+        assert p.nnz == 8
+        assert p.ndig == 1
+        assert p.dnnz == 8.0
+        assert p.mdim == 1
+        assert p.adim == 1.0
+        assert p.vdim == 0.0
+        assert p.density == pytest.approx(1 / 8)
+
+    def test_full_dense(self):
+        p = profile_from_dense(np.ones((4, 6)))
+        assert p.nnz == 24
+        assert p.ndig == 4 + 6 - 1
+        assert p.mdim == 6
+        assert p.adim == 6.0
+        assert p.vdim == 0.0
+        assert p.density == 1.0
+
+    def test_empty(self):
+        p = profile_from_dense(np.zeros((5, 5)))
+        assert p.nnz == 0 and p.ndig == 0 and p.vdim == 0.0
+
+    def test_single_heavy_row(self):
+        a = np.zeros((4, 8))
+        a[2] = 1.0
+        p = profile_from_dense(a)
+        assert p.mdim == 8
+        assert p.adim == 2.0
+        # variance of (0,0,8,0): mean 2, sum sq dev = 4+4+36+4 = 48 / 4
+        assert p.vdim == pytest.approx(12.0)
+
+    def test_vdim_formula_matches_numpy(self, rng):
+        a = (rng.random((30, 20)) < 0.3) * 1.0
+        p = profile_from_dense(a)
+        dim = a.sum(axis=1)
+        assert p.vdim == pytest.approx(float(np.var(dim)))
+        assert p.adim == pytest.approx(float(np.mean(dim)))
+
+
+class TestFormatIndependence:
+    def test_same_profile_from_every_format(self, small_sparse):
+        profiles = [
+            extract_profile(from_dense(small_sparse, f)) for f in FORMAT_NAMES
+        ]
+        first = profiles[0]
+        for p in profiles[1:]:
+            assert p == first
+
+
+@given(seed=st.integers(0, 2**16), density=st.floats(0.05, 0.9))
+@settings(max_examples=50, deadline=None)
+def test_extraction_consistency(seed, density):
+    """nnz == sum of row lengths == density * M * N identity, and
+    dnnz * ndig == nnz for any random matrix."""
+    rng = np.random.default_rng(seed)
+    a = (rng.random((15, 12)) < density) * 1.0
+    p = profile_from_dense(a)
+    assert p.nnz == int(a.sum())
+    assert p.adim * p.m == pytest.approx(p.nnz)
+    assert p.density == pytest.approx(p.nnz / (15 * 12))
+    if p.ndig:
+        assert p.dnnz * p.ndig == pytest.approx(p.nnz)
+    assert 0 <= p.mdim <= p.n
+    assert p.vdim >= 0.0
+
+
+def test_coo_path_unvalidated_matches_validated(small_sparse):
+    rows, cols = np.nonzero(small_sparse)
+    p1 = profile_from_coo(rows, cols, small_sparse.shape)
+    p2 = profile_from_coo(rows, cols, small_sparse.shape, validated=True)
+    assert p1 == p2

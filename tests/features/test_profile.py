@@ -1,0 +1,88 @@
+"""DatasetProfile invariants and Table IV sign-table checks."""
+
+import math
+
+import pytest
+
+from repro.features import (
+    PARAMETER_NAMES,
+    CorrelationSign,
+    DatasetProfile,
+    TABLE_IV_SIGNS,
+)
+
+
+def make(**kw) -> DatasetProfile:
+    base = dict(
+        m=10, n=8, nnz=20, ndig=5, dnnz=4.0, mdim=4, adim=2.0,
+        vdim=1.0, density=0.25,
+    )
+    base.update(kw)
+    return DatasetProfile(**base)
+
+
+class TestValidation:
+    def test_valid_profile(self):
+        p = make()
+        assert p.m == 10 and p.nnz == 20
+
+    def test_nnz_cannot_exceed_mn(self):
+        with pytest.raises(ValueError, match="nnz"):
+            make(nnz=100)
+
+    def test_mdim_cannot_exceed_n(self):
+        with pytest.raises(ValueError, match="mdim"):
+            make(mdim=9)
+
+    def test_density_bounds(self):
+        with pytest.raises(ValueError, match="density"):
+            make(density=1.5)
+
+    def test_negative_dims(self):
+        with pytest.raises(ValueError):
+            make(m=-1)
+
+
+class TestDerived:
+    def test_balance(self):
+        assert make(adim=4.0, mdim=4).balance == 1.0
+        assert make(adim=2.0, mdim=4).balance == 0.5
+        assert make(mdim=0, nnz=0, adim=0.0, dnnz=0.0, ndig=0, vdim=0.0, density=0.0).balance == 1.0
+
+    def test_diag_fill(self):
+        p = make(dnnz=4.0)  # min(10, 8) = 8
+        assert p.diag_fill == pytest.approx(0.5)
+
+    def test_cv_dim(self):
+        p = make(adim=2.0, vdim=4.0)
+        assert p.cv_dim == pytest.approx(1.0)
+        assert make(adim=0.0, nnz=0, density=0.0).cv_dim == 0.0
+
+    def test_as_vector_order(self):
+        v = make().as_vector()
+        assert len(v) == len(PARAMETER_NAMES) == 9
+        d = make().as_dict()
+        assert v == tuple(float(d[k]) for k in PARAMETER_NAMES)
+
+
+class TestTableIVSigns:
+    def test_full_coverage(self):
+        # 9 parameters x 5 formats, all filled.
+        assert set(TABLE_IV_SIGNS) == set(PARAMETER_NAMES)
+        for param, row in TABLE_IV_SIGNS.items():
+            assert set(row) == {"ELL", "CSR", "COO", "DEN", "DIA"}, param
+
+    def test_key_cells_verbatim(self):
+        # Spot-check the cells the scheduler logic depends on.
+        P, N, X = (
+            CorrelationSign.POSITIVE,
+            CorrelationSign.NEGATIVE,
+            CorrelationSign.UNCORRELATED,
+        )
+        assert TABLE_IV_SIGNS["mdim"]["ELL"] is N
+        assert TABLE_IV_SIGNS["vdim"]["COO"] is P
+        assert TABLE_IV_SIGNS["vdim"]["CSR"] is N
+        assert TABLE_IV_SIGNS["ndig"]["DIA"] is N
+        assert TABLE_IV_SIGNS["density"]["DEN"] is P
+        assert TABLE_IV_SIGNS["n"]["DEN"] is N
+        assert TABLE_IV_SIGNS["ndig"]["CSR"] is X

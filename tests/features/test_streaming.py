@@ -1,0 +1,97 @@
+"""Streaming profiler: chunked extraction equals batch extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features import StreamingProfiler, profile_from_coo
+from repro.data.synthetic import variable_rows_matrix
+
+
+def assert_profiles_equal(a, b):
+    """Integer fields exact; float fields to within summation-order
+    rounding (different accumulation orders differ in the last ULPs)."""
+    assert (a.m, a.n, a.nnz, a.ndig, a.mdim) == (b.m, b.n, b.nnz, b.ndig, b.mdim)
+    for attr in ("dnnz", "adim", "vdim", "density"):
+        assert getattr(a, attr) == pytest.approx(
+            getattr(b, attr), rel=1e-12, abs=1e-12
+        ), attr
+
+
+class TestStreaming:
+    def test_matches_batch_extraction(self, small_sparse):
+        rows, cols = np.nonzero(small_sparse)
+        batch = profile_from_coo(rows, cols, small_sparse.shape)
+        prof = StreamingProfiler(n_rows=40, n_cols=30)
+        for start in range(0, len(rows), 7):  # odd chunk size
+            prof.update(rows[start : start + 7], cols[start : start + 7])
+        assert_profiles_equal(prof.finalize(), batch)
+
+    def test_chunks_splitting_rows(self):
+        # A row's nnz spread across chunks must still count once.
+        rows = np.array([0, 0, 0, 1])
+        cols = np.array([0, 1, 2, 0])
+        prof = StreamingProfiler(n_rows=2, n_cols=3)
+        prof.update(rows[:2], cols[:2])
+        prof.update(rows[2:], cols[2:])
+        p = prof.finalize()
+        assert p.mdim == 3 and p.adim == 2.0
+
+    def test_empty_rows_in_moments(self):
+        # 4 declared rows, only one occupied: vdim must account for the
+        # empty rows.
+        prof = StreamingProfiler(n_rows=4, n_cols=4)
+        prof.update(np.array([2, 2]), np.array([0, 1]))
+        p = prof.finalize()
+        assert p.adim == 0.5
+        # dims (0, 0, 2, 0): var = E[d^2] - E[d]^2 = 1 - 0.25
+        assert p.vdim == pytest.approx(0.75)
+
+    def test_inferred_shape(self):
+        prof = StreamingProfiler()
+        prof.update(np.array([0, 5]), np.array([3, 9]))
+        p = prof.finalize()
+        assert (p.m, p.n) == (6, 10)
+
+    def test_empty_stream(self):
+        p = StreamingProfiler(n_rows=3, n_cols=4).finalize()
+        assert p.nnz == 0 and p.ndig == 0
+
+    def test_declared_shape_too_small(self):
+        prof = StreamingProfiler(n_rows=2, n_cols=2)
+        prof.update(np.array([5]), np.array([0]))
+        with pytest.raises(ValueError, match="declared shape"):
+            prof.finalize()
+
+    def test_update_after_finalize_rejected(self):
+        prof = StreamingProfiler(n_rows=2, n_cols=2)
+        prof.finalize()
+        with pytest.raises(RuntimeError, match="finalized"):
+            prof.update(np.array([0]), np.array([0]))
+
+    def test_bad_input(self):
+        prof = StreamingProfiler()
+        with pytest.raises(ValueError, match="equal length"):
+            prof.update(np.array([0]), np.array([0, 1]))
+        with pytest.raises(ValueError, match="negative"):
+            prof.update(np.array([-1]), np.array([0]))
+
+
+@given(
+    seed=st.integers(0, 2**16),
+    chunk=st.integers(1, 50),
+    m=st.integers(2, 25),
+    n=st.integers(2, 25),
+)
+@settings(max_examples=60, deadline=None)
+def test_streaming_chunk_invariance(seed, chunk, m, n):
+    """Any chunking yields exactly the batch profile."""
+    rng = np.random.default_rng(seed)
+    lengths = rng.integers(0, n + 1, size=m)
+    rows, cols, _v, shape = variable_rows_matrix(m, n, lengths, seed=seed)
+    batch = profile_from_coo(rows, cols, shape, validated=True)
+    prof = StreamingProfiler(n_rows=m, n_cols=n)
+    for start in range(0, len(rows), chunk):
+        prof.update(rows[start : start + chunk], cols[start : start + chunk])
+    assert_profiles_equal(prof.finalize(), batch)

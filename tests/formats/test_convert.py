@@ -1,0 +1,73 @@
+"""Conversion and scipy-interop tests."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.formats import (
+    FORMAT_NAMES,
+    convert,
+    format_class,
+    from_dense,
+    from_scipy,
+    to_scipy,
+)
+
+
+class TestConvert:
+    def test_all_pairs_roundtrip(self, small_sparse):
+        for src in FORMAT_NAMES:
+            m = from_dense(small_sparse, src)
+            for dst in FORMAT_NAMES:
+                m2 = convert(m, dst)
+                assert m2.name == dst
+                assert np.allclose(m2.to_dense(), small_sparse), (src, dst)
+
+    def test_identity_conversion_is_noop(self, small_sparse):
+        m = from_dense(small_sparse, "CSR")
+        assert convert(m, "CSR") is m
+        assert convert(m, "csr") is m  # case-insensitive
+
+    def test_unknown_format_rejected(self, small_sparse):
+        m = from_dense(small_sparse, "CSR")
+        with pytest.raises(ValueError, match="unknown format"):
+            convert(m, "JDS")  # jagged diagonal: not implemented
+
+    def test_format_class_lookup(self):
+        for name in FORMAT_NAMES:
+            assert format_class(name).name == name
+            assert format_class(name.lower()).name == name
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            from_dense(np.zeros(5), "CSR")
+
+
+class TestScipyInterop:
+    def test_import_scipy_csr(self, small_sparse):
+        s = sp.csr_matrix(small_sparse)
+        m = from_scipy(s, "ELL")
+        assert np.allclose(m.to_dense(), small_sparse)
+
+    def test_import_scipy_with_duplicates(self):
+        # scipy COO may carry duplicate coordinates; import must sum them.
+        s = sp.coo_matrix(
+            (np.array([1.0, 2.0]), (np.array([0, 0]), np.array([1, 1]))),
+            shape=(2, 3),
+        )
+        m = from_scipy(s, "CSR")
+        assert m.to_dense()[0, 1] == 3.0
+
+    def test_export_matches(self, small_sparse):
+        for name in FORMAT_NAMES:
+            m = from_dense(small_sparse, name)
+            s = to_scipy(m)
+            assert np.allclose(s.toarray(), small_sparse)
+
+    def test_matvec_agrees_with_scipy(self, small_sparse, rng):
+        s = sp.csr_matrix(small_sparse)
+        x = rng.standard_normal(small_sparse.shape[1])
+        ref = s @ x
+        for name in FORMAT_NAMES:
+            m = from_dense(small_sparse, name)
+            assert np.allclose(m.matvec(x), ref), name

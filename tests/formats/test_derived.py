@@ -1,0 +1,154 @@
+"""Derived formats (paper Section III-A): CSC and BCSR."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import (
+    BCSRMatrix,
+    CSCMatrix,
+    SparseVector,
+    convert,
+    from_dense,
+)
+
+
+class TestCSC:
+    def test_roundtrip(self, small_sparse):
+        m = from_dense(small_sparse, "CSC")
+        assert np.allclose(m.to_dense(), small_sparse)
+        assert m.nnz == np.count_nonzero(small_sparse)
+
+    def test_matvec(self, small_sparse, rng):
+        m = from_dense(small_sparse, "CSC")
+        x = rng.standard_normal(30)
+        assert np.allclose(m.matvec(x), small_sparse @ x)
+
+    def test_smsv_exploits_sparse_vector(self, small_sparse, rng):
+        m = from_dense(small_sparse, "CSC")
+        xv = rng.standard_normal(30)
+        xv[rng.random(30) < 0.7] = 0.0
+        v = SparseVector.from_dense(xv)
+        assert np.allclose(m.smsv(v), small_sparse @ xv)
+
+    def test_smsv_counter_proportional_to_support(self, small_sparse):
+        from repro.perf import OpCounter
+
+        m = from_dense(small_sparse, "CSC")
+        # empty vector: zero flops
+        c = OpCounter()
+        m.smsv(SparseVector.from_dense(np.zeros(30)), counter=c)
+        assert c.flops == 0
+
+    def test_row_and_column_extraction(self, small_sparse):
+        m = from_dense(small_sparse, "CSC")
+        assert np.allclose(m.row(7).to_dense(), small_sparse[7])
+        assert np.allclose(m.column(11).to_dense(), small_sparse[:, 11])
+        assert np.allclose(m.column(3).to_dense(), small_sparse[:, 3])
+
+    def test_storage_is_csr_transposed(self, small_sparse):
+        csc = from_dense(small_sparse, "CSC")
+        assert csc.storage_elements() == 2 * csc.nnz + 30 + 1
+
+    def test_conversion_from_all_formats(self, small_sparse):
+        for src in ("CSR", "COO", "DIA"):
+            m = convert(from_dense(small_sparse, src), "CSC")
+            assert isinstance(m, CSCMatrix)
+            assert np.allclose(m.to_dense(), small_sparse)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="col_ptr"):
+            CSCMatrix(
+                np.array([1.0]), np.array([0]), np.array([0, 0]), (2, 1)
+            )
+
+
+class TestBCSR:
+    def test_roundtrip(self, small_sparse):
+        m = from_dense(small_sparse, "BCSR")
+        assert np.allclose(m.to_dense(), small_sparse)
+        assert m.nnz == np.count_nonzero(small_sparse)
+
+    def test_matvec(self, small_sparse, rng):
+        m = from_dense(small_sparse, "BCSR")
+        x = rng.standard_normal(30)
+        assert np.allclose(m.matvec(x), small_sparse @ x)
+
+    @pytest.mark.parametrize("block", [(1, 1), (2, 3), (4, 4), (8, 2)])
+    def test_block_shapes(self, small_sparse, rng, block):
+        rows, cols = np.nonzero(small_sparse)
+        m = BCSRMatrix.from_coo(
+            rows, cols, small_sparse[rows, cols], small_sparse.shape,
+            block_shape=block,
+        )
+        x = rng.standard_normal(30)
+        assert np.allclose(m.matvec(x), small_sparse @ x)
+        assert np.allclose(m.to_dense(), small_sparse)
+
+    def test_ragged_edges(self, rng):
+        # Dimensions not divisible by the block: padding must be exact.
+        a = (rng.random((10, 7)) < 0.4) * rng.standard_normal((10, 7))
+        rows, cols = np.nonzero(a)
+        m = BCSRMatrix.from_coo(rows, cols, a[rows, cols], a.shape,
+                                block_shape=(4, 4))
+        x = rng.standard_normal(7)
+        assert np.allclose(m.matvec(x), a @ x)
+        assert np.allclose(m.to_dense(), a)
+
+    def test_row_extraction(self, small_sparse):
+        m = from_dense(small_sparse, "BCSR")
+        for i in (0, 7, 39):
+            assert np.allclose(m.row(i).to_dense(), small_sparse[i])
+
+    def test_fill_ratio_dense_blocks(self):
+        # A block-diagonal matrix of full 4x4 blocks: fill ratio 1.
+        a = np.kron(np.eye(5), np.ones((4, 4)))
+        m = from_dense(a, "BCSR")
+        assert m.fill_ratio == pytest.approx(1.0)
+        assert m.n_blocks == 5
+
+    def test_fill_ratio_scattered(self):
+        # Scattered singletons: each opens a whole 4x4 block.
+        a = np.zeros((16, 16))
+        a[0, 0] = a[5, 9] = a[13, 2] = 1.0
+        m = from_dense(a, "BCSR")
+        assert m.fill_ratio == pytest.approx(3 / (3 * 16))
+
+    def test_storage_accounting(self, small_sparse):
+        m = from_dense(small_sparse, "BCSR")
+        br, bc = m.block_shape
+        n_brows = -(-40 // br)
+        assert m.storage_elements() == (
+            m.n_blocks * br * bc + m.n_blocks + n_brows + 1
+        )
+
+    def test_smsv(self, small_sparse, rng):
+        m = from_dense(small_sparse, "BCSR")
+        xv = rng.standard_normal(30) * (rng.random(30) < 0.5)
+        v = SparseVector.from_dense(xv)
+        assert np.allclose(m.smsv(v), small_sparse @ xv)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="block dimensions"):
+            BCSRMatrix.from_coo(
+                np.array([0]), np.array([0]), np.array([1.0]), (2, 2),
+                block_shape=(0, 1),
+            )
+
+
+@given(
+    seed=st.integers(0, 2**16),
+    density=st.floats(0.05, 0.9),
+    fmt=st.sampled_from(["CSC", "BCSR"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_derived_formats_property(seed, density, fmt):
+    rng = np.random.default_rng(seed)
+    a = (rng.random((11, 9)) < density) * rng.standard_normal((11, 9))
+    m = from_dense(a, fmt)
+    assert np.allclose(m.to_dense(), a)
+    x = rng.standard_normal(9)
+    assert np.allclose(m.matvec(x), a @ x, atol=1e-9)
+    for i in range(11):
+        assert np.allclose(m.row(i).to_dense(), a[i])

@@ -1,0 +1,192 @@
+"""Format-specific behaviour: the properties the paper exploits."""
+
+import numpy as np
+import pytest
+
+from repro.formats import (
+    COOMatrix,
+    CSRMatrix,
+    DenseMatrix,
+    DIAMatrix,
+    ELLMatrix,
+    from_dense,
+)
+from repro.formats.dia import diag_span
+from repro.formats.storage import storage_elements_analytic
+
+
+class TestDense:
+    def test_storage_is_mn_regardless_of_sparsity(self):
+        a = np.zeros((10, 20))
+        a[0, 0] = 1.0
+        m = DenseMatrix(a)
+        assert m.storage_elements() == 200
+
+    def test_c_contiguous(self, rng):
+        a = np.asfortranarray(rng.standard_normal((8, 9)))
+        m = DenseMatrix(a)
+        assert m.array.flags["C_CONTIGUOUS"]
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            DenseMatrix(np.zeros(5))
+
+    def test_to_dense_returns_copy(self, rng):
+        a = rng.standard_normal((4, 4))
+        m = DenseMatrix(a)
+        d = m.to_dense()
+        d[0, 0] = 999.0
+        assert m.array[0, 0] != 999.0
+
+
+class TestCSR:
+    def test_storage_formula(self, small_sparse):
+        m = from_dense(small_sparse, "CSR")
+        assert m.storage_elements() == storage_elements_analytic(
+            "CSR", m=40, n=30, nnz=m.nnz
+        )
+
+    def test_row_lengths(self, small_sparse):
+        m = from_dense(small_sparse, "CSR")
+        expected = (small_sparse != 0).sum(axis=1)
+        assert np.array_equal(m.row_lengths, expected)
+
+    def test_empty_rows_handled(self):
+        # rows 0 and 2 empty: the reduceat path must not smear values.
+        a = np.zeros((4, 3))
+        a[1, 1] = 2.0
+        a[3, 0] = 3.0
+        m = from_dense(a, "CSR")
+        y = m.matvec(np.array([1.0, 1.0, 1.0]))
+        assert np.allclose(y, [0.0, 2.0, 0.0, 3.0])
+
+    def test_inconsistent_ptr_rejected(self):
+        with pytest.raises(ValueError, match="row_ptr"):
+            CSRMatrix(
+                np.array([1.0]),
+                np.array([0]),
+                np.array([0, 0]),  # endpoint != nnz
+                (1, 2),
+            )
+
+    def test_decreasing_ptr_rejected(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CSRMatrix(
+                np.array([1.0, 2.0]),
+                np.array([0, 1]),
+                np.array([0, 2, 1, 2]),
+                (3, 2),
+            )
+
+
+class TestCOO:
+    def test_storage_formula(self, small_sparse):
+        m = from_dense(small_sparse, "COO")
+        assert m.storage_elements() == 3 * m.nnz
+
+    def test_triples_row_major_sorted(self, small_sparse):
+        m = from_dense(small_sparse, "COO")
+        keys = m.rows.astype(np.int64) * m.shape[1] + m.cols
+        assert np.all(np.diff(keys) > 0)
+
+    def test_row_uses_binary_search(self, small_sparse):
+        m = from_dense(small_sparse, "COO")
+        # empty row returns empty vector
+        assert m.row(7).nnz == 0
+
+    def test_empty_matrix_matvec(self):
+        m = COOMatrix(
+            np.array([], dtype=np.int32),
+            np.array([], dtype=np.int32),
+            np.array([]),
+            (5, 4),
+        )
+        assert np.allclose(m.matvec(np.ones(4)), np.zeros(5))
+
+
+class TestELL:
+    def test_mdim_is_max_row_length(self, small_sparse):
+        m = from_dense(small_sparse, "ELL")
+        assert m.mdim == int((small_sparse != 0).sum(axis=1).max())
+
+    def test_storage_is_padded(self, small_sparse):
+        m = from_dense(small_sparse, "ELL")
+        assert m.storage_elements() == 2 * 40 * m.mdim
+        assert m.storage_elements() >= 2 * m.nnz  # padding never shrinks
+
+    def test_padding_slots_are_zero_value_index(self):
+        a = np.zeros((3, 4))
+        a[0, :3] = [1.0, 2.0, 3.0]
+        a[1, 2] = 5.0
+        m = from_dense(a, "ELL")
+        assert m.mdim == 3
+        # row 1 has one real element then padding
+        assert m.data[1, 0] == 5.0
+        assert np.all(m.data[1, 1:] == 0.0)
+        assert np.all(m.indices[1, 1:] == 0)
+        # row 2 is all padding
+        assert np.all(m.data[2] == 0.0)
+
+    def test_matvec_correct_despite_padding(self, rng):
+        a = np.zeros((5, 6))
+        a[0] = rng.standard_normal(6)  # forces mdim = 6
+        a[3, 2] = 7.0
+        m = from_dense(a, "ELL")
+        x = rng.standard_normal(6)
+        assert np.allclose(m.matvec(x), a @ x)
+
+    def test_bad_row_lengths_rejected(self):
+        with pytest.raises(ValueError, match="row_lengths"):
+            ELLMatrix(
+                np.zeros((2, 3)),
+                np.zeros((2, 3), dtype=np.int32),
+                np.array([1]),
+                (2, 5),
+            )
+
+
+class TestDIA:
+    def test_diag_span(self):
+        assert diag_span(0, (4, 4)) == (0, 4)
+        assert diag_span(2, (4, 4)) == (0, 2)
+        assert diag_span(-2, (4, 4)) == (2, 4)
+        assert diag_span(3, (4, 4)) == (0, 1)
+        assert diag_span(5, (4, 6)) == (0, 1)
+
+    def test_ndig_counts_occupied_diagonals(self, banded):
+        m = from_dense(banded, "DIA")
+        assert m.ndig == 5
+
+    def test_storage_formula(self, banded):
+        m = from_dense(banded, "DIA")
+        assert m.storage_elements() == 5 * (50 + 1)
+
+    def test_identity_matrix(self):
+        m = from_dense(np.eye(6), "DIA")
+        assert m.ndig == 1
+        assert np.allclose(m.matvec(np.arange(6.0)), np.arange(6.0))
+
+    def test_rectangular_matrices(self, rng):
+        for shape in [(3, 8), (8, 3)]:
+            a = (rng.random(shape) < 0.4) * rng.standard_normal(shape)
+            m = from_dense(a, "DIA")
+            x = rng.standard_normal(shape[1])
+            assert np.allclose(m.matvec(x), a @ x)
+            assert np.allclose(m.to_dense(), a)
+
+    def test_single_offdiagonal(self):
+        a = np.zeros((5, 5))
+        a[0, 4] = 3.0
+        m = from_dense(a, "DIA")
+        assert m.ndig == 1
+        assert np.allclose(m.matvec(np.ones(5)), [3, 0, 0, 0, 0])
+
+    def test_full_dense_hits_table2_max(self):
+        a = np.ones((4, 5))
+        m = from_dense(a, "DIA")
+        assert m.ndig == 4 + 5 - 1
+        assert m.storage_elements() == (min(4, 5) + 1) * (4 + 5 - 1)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            DIAMatrix(np.array([0]), np.zeros((1, 3)), (5, 5))

@@ -1,0 +1,99 @@
+"""Table II storage-model tests: analytic formulas vs built matrices."""
+
+import numpy as np
+import pytest
+
+from repro.formats import FORMAT_NAMES, from_dense
+from repro.formats.storage import (
+    StorageModel,
+    storage_elements_analytic,
+    storage_max,
+    storage_min,
+)
+
+
+def _stats(m):
+    kw = dict(m=m.shape[0], n=m.shape[1], nnz=m.nnz)
+    if m.name == "ELL":
+        kw["mdim"] = m.mdim
+    if m.name == "DIA":
+        kw["ndig"] = m.ndig
+    return kw
+
+
+class TestAnalyticExact:
+    def test_matches_built_matrices(self, small_sparse, banded):
+        for a in (small_sparse, banded):
+            for name in FORMAT_NAMES:
+                m = from_dense(a, name)
+                assert m.storage_elements() == storage_elements_analytic(
+                    name, **_stats(m)
+                ), name
+
+    def test_unknown_format(self):
+        with pytest.raises(ValueError):
+            storage_elements_analytic("XXX", m=1, n=1, nnz=0)
+
+
+class TestTable2Bounds:
+    """The Min/Max columns of Table II, checked against constructions."""
+
+    @pytest.mark.parametrize("name", FORMAT_NAMES)
+    def test_dense_matrix_hits_max(self, name, rng):
+        m_, n_ = 12, 9
+        a = rng.random((m_, n_)) + 1.0  # fully dense
+        m = from_dense(a, name)
+        assert m.storage_elements() == storage_max(name, m_, n_)
+
+    def test_min_single_nnz(self):
+        m_, n_ = 12, 9
+        a = np.zeros((m_, n_))
+        a[3, 4] = 1.0
+        assert from_dense(a, "DEN").storage_elements() == m_ * n_
+        assert from_dense(a, "CSR").storage_elements() == m_ + 3
+        assert from_dense(a, "COO").storage_elements() == 3
+        assert from_dense(a, "ELL").storage_elements() == 2 * m_
+        assert from_dense(a, "DIA").storage_elements() == min(m_, n_) + 1
+
+    @pytest.mark.parametrize("name", FORMAT_NAMES)
+    def test_min_formula_matches(self, name):
+        m_, n_ = 12, 9
+        got = storage_min(name, m_, n_)
+        a = np.zeros((m_, n_))
+        a[3, 4] = 1.0
+        assert from_dense(a, name).storage_elements() == got
+
+    def test_max_ordering_matches_paper(self):
+        # At full density: DEN < ELL < CSR < COO (the reason sparse
+        # formats lose on gisette/epsilon/dna).
+        m_, n_ = 100, 80
+        assert (
+            storage_max("DEN", m_, n_)
+            < storage_max("ELL", m_, n_)
+            < storage_max("CSR", m_, n_)
+            < storage_max("COO", m_, n_)
+        )
+
+
+class TestByteModel:
+    def test_bytes_match_backing_arrays_csr(self, small_sparse):
+        m = from_dense(small_sparse, "CSR")
+        model = StorageModel()
+        est = model.bytes_for("CSR", m=40, n=30, nnz=m.nnz)
+        assert est == m.storage_bytes()
+
+    def test_bytes_match_backing_arrays_den(self, small_sparse):
+        m = from_dense(small_sparse, "DEN")
+        assert StorageModel().bytes_for(
+            "DEN", m=40, n=30, nnz=m.nnz
+        ) == m.storage_bytes()
+
+    def test_bytes_coo(self, small_sparse):
+        m = from_dense(small_sparse, "COO")
+        assert StorageModel().bytes_for(
+            "COO", m=40, n=30, nnz=m.nnz
+        ) == m.storage_bytes()
+
+    def test_unknown_format(self):
+        with pytest.raises(ValueError):
+            StorageModel().bytes_for("XXX", m=1, n=1, nnz=0)

@@ -1,0 +1,109 @@
+"""DNN iteration-time model and price-per-speedup benchmark tests."""
+
+import pytest
+
+from repro.hardware import DNNPerfModel, get_machine, iteration_time
+from repro.hardware.pricing import (
+    PricePoint,
+    best_value,
+    format_table,
+    price_per_speedup_table,
+)
+
+#: Table VII measured (batch, iterations, seconds) per platform.
+PAPER_ANCHORS = {
+    "cpu8": (100, 60_000, 29_427.0),
+    "knl": (100, 60_000, 4_922.0),
+    "haswell": (100, 60_000, 1_997.0),
+    "p100": (100, 60_000, 503.0),
+    "dgx": (100, 60_000, 387.0),
+}
+
+
+class TestIterationModel:
+    @pytest.mark.parametrize("name", sorted(PAPER_ANCHORS))
+    def test_matches_table7_within_3pct(self, name):
+        b, iters, seconds = PAPER_ANCHORS[name]
+        model = DNNPerfModel(get_machine(name))
+        assert model.training_time(iters, b) == pytest.approx(
+            seconds, rel=0.03
+        )
+
+    def test_dgx_tuned_batch_anchor(self):
+        # Table VII "Tune B": 30,000 iterations at B=512 took 361 s.
+        model = DNNPerfModel(get_machine("dgx"))
+        assert model.training_time(30_000, 512) == pytest.approx(361, rel=0.03)
+
+    def test_throughput_increases_with_batch(self):
+        model = DNNPerfModel(get_machine("dgx"))
+        ths = [model.throughput(b) for b in (64, 256, 1024, 4096)]
+        assert ths == sorted(ths)
+
+    def test_naive_dgx_port_is_13x_over_p100(self):
+        # Section IV-B: "the straightforward porting ... only brings
+        # 1.3x speedup" at B = 100.
+        p100 = DNNPerfModel(get_machine("p100")).iteration_time(100)
+        dgx = DNNPerfModel(get_machine("dgx")).iteration_time(100)
+        assert p100 / dgx == pytest.approx(1.3, abs=0.1)
+
+    def test_validation(self):
+        model = DNNPerfModel(get_machine("dgx"))
+        with pytest.raises(ValueError):
+            model.iteration_time(0)
+        with pytest.raises(ValueError):
+            model.training_time(-1, 100)
+
+    def test_convenience_function(self):
+        assert iteration_time(get_machine("p100"), 100) > 0
+
+
+class TestPricing:
+    def test_basic_table(self):
+        rows = price_per_speedup_table(
+            {"a": 100.0, "b": 10.0}, {"a": 1000.0, "b": 5000.0}
+        )
+        by = {r.method: r for r in rows}
+        assert by["a"].speedup == 1.0  # slowest = baseline
+        assert by["b"].speedup == 10.0
+        assert by["b"].price_per_speedup == 500.0
+
+    def test_explicit_baseline(self):
+        rows = price_per_speedup_table(
+            {"a": 100.0, "b": 10.0}, {"a": 1.0, "b": 1.0}, baseline="b"
+        )
+        by = {r.method: r for r in rows}
+        assert by["b"].speedup == 1.0
+        assert by["a"].speedup == pytest.approx(0.1)
+
+    def test_best_value(self):
+        rows = price_per_speedup_table(
+            {"a": 100.0, "b": 10.0}, {"a": 1000.0, "b": 5000.0}
+        )
+        assert best_value(rows).method == "b"
+        with pytest.raises(ValueError):
+            best_value([])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="no price"):
+            price_per_speedup_table({"a": 1.0}, {})
+        with pytest.raises(ValueError, match="non-positive"):
+            price_per_speedup_table({"a": 0.0}, {"a": 1.0})
+        with pytest.raises(ValueError, match="baseline"):
+            price_per_speedup_table({"a": 1.0}, {"a": 1.0}, baseline="z")
+        assert price_per_speedup_table({}, {}) == []
+
+    def test_format_table_renders(self):
+        rows = price_per_speedup_table(
+            {"a": 100.0, "b": 10.0}, {"a": 1000.0, "b": 5000.0}
+        )
+        text = format_table(rows)
+        assert "Method" in text and "a" in text and "10.0x" in text
+
+    def test_sorting_by_efficiency(self):
+        rows = sorted(
+            price_per_speedup_table(
+                {"a": 100.0, "b": 10.0, "c": 50.0},
+                {"a": 100.0, "b": 5000.0, "c": 10.0},
+            )
+        )
+        assert rows[0].method == "c"

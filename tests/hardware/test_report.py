@@ -1,0 +1,61 @@
+"""Roofline report tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset
+from repro.formats import from_dense
+from repro.hardware import get_machine
+from repro.hardware.report import analyse_matrix, format_report
+
+
+class TestAnalyseMatrix:
+    def test_covers_requested_formats(self, small_sparse):
+        m = from_dense(small_sparse, "CSR")
+        analyses = analyse_matrix(
+            m, get_machine("ivybridge"), formats=["CSR", "DEN"]
+        )
+        assert sorted(a.fmt for a in analyses) == ["CSR", "DEN"]
+
+    def test_sorted_by_simd_seconds(self, small_sparse):
+        m = from_dense(small_sparse, "CSR")
+        analyses = analyse_matrix(m, get_machine("ivybridge"))
+        times = [a.simd_seconds for a in analyses]
+        assert times == sorted(times)
+
+    def test_counts_are_consistent(self, small_sparse):
+        m = from_dense(small_sparse, "CSR")
+        analyses = analyse_matrix(m, get_machine("ivybridge"))
+        for a in analyses:
+            assert a.flops > 0
+            assert a.bytes_moved > 0
+            assert a.arithmetic_intensity == pytest.approx(
+                a.flops / a.bytes_moved
+            )
+            assert a.roofline_seconds > 0
+            assert a.bound in ("compute", "memory")
+
+    def test_sparse_smsv_is_memory_bound(self):
+        # The paper's Eq. (7) premise: SVM kernels live under the
+        # memory roof.
+        ds = load_dataset("trefethen", seed=0)
+        analyses = analyse_matrix(
+            ds.in_format("CSR"), get_machine("ivybridge")
+        )
+        for a in analyses:
+            assert a.bound == "memory", a.fmt
+
+    def test_banded_prefers_dia(self):
+        ds = load_dataset("trefethen", seed=0)
+        analyses = analyse_matrix(
+            ds.in_format("CSR"), get_machine("ivybridge")
+        )
+        assert analyses[0].fmt == "DIA"
+
+    def test_report_renders(self, small_sparse):
+        m = from_dense(small_sparse, "CSR")
+        machine = get_machine("ivybridge")
+        text = format_report(analyse_matrix(m, machine), machine)
+        assert "roofline analysis" in text
+        assert "bound" in text
+        assert "DEN" in text

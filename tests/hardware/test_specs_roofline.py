@@ -1,0 +1,96 @@
+"""Machine catalog and roofline model tests."""
+
+import pytest
+
+from repro.hardware import (
+    DNN_MACHINES,
+    MACHINES,
+    RooflineModel,
+    SVM_MACHINES,
+    get_machine,
+    roofline_time,
+)
+from repro.perf import OpCounter
+
+
+class TestCatalog:
+    def test_all_paper_platforms_present(self):
+        for name in ("cpu8", "knl", "haswell", "p100", "dgx"):
+            assert name in DNN_MACHINES
+        for name in ("ivybridge", "knc"):
+            assert name in SVM_MACHINES
+
+    def test_table7_prices_verbatim(self):
+        assert DNN_MACHINES["cpu8"].price_usd == 1_571
+        assert DNN_MACHINES["knl"].price_usd == 4_876
+        assert DNN_MACHINES["haswell"].price_usd == 7_400
+        assert DNN_MACHINES["p100"].price_usd == 11_571
+        assert DNN_MACHINES["dgx"].price_usd == 79_000
+
+    def test_dgx_is_4_accelerators(self):
+        assert DNN_MACHINES["dgx"].n_accelerators == 4
+
+    def test_knl_slower_than_haswell_despite_higher_peak(self):
+        # The paper's own observation (Section IV-B).
+        knl, hw = DNN_MACHINES["knl"], DNN_MACHINES["haswell"]
+        assert knl.peak_gflops > hw.peak_gflops
+        assert knl.attained_gflops < hw.attained_gflops
+
+    def test_lookup(self):
+        assert get_machine("DGX").name == "dgx"
+        with pytest.raises(ValueError, match="unknown machine"):
+            get_machine("tpu")
+
+    def test_all_machines_keyed_consistently(self):
+        for key, spec in MACHINES.items():
+            assert spec.name == key
+
+
+class TestRoofline:
+    def test_memory_bound_regime(self):
+        m = get_machine("haswell")
+        # 1 flop per 100 bytes: deeply memory bound.
+        t = roofline_time(1e6, 1e8, m)
+        assert t == pytest.approx(1e8 / (m.bandwidth_gbs * 1e9))
+
+    def test_compute_bound_regime(self):
+        m = get_machine("haswell")
+        t = roofline_time(1e12, 8, m, efficiency=1.0)
+        assert t == pytest.approx(1e12 / (m.peak_gflops * 1e9))
+
+    def test_monotone_in_inputs(self):
+        m = get_machine("p100")
+        assert roofline_time(2e9, 1e6, m) >= roofline_time(1e9, 1e6, m)
+        assert roofline_time(1e9, 2e6, m) >= roofline_time(1e9, 1e6, m)
+
+    def test_validation(self):
+        m = get_machine("p100")
+        with pytest.raises(ValueError):
+            roofline_time(-1, 0, m)
+        with pytest.raises(ValueError):
+            roofline_time(1, 1, m, efficiency=0.0)
+        with pytest.raises(ValueError):
+            roofline_time(1, 1, m, bandwidth_fraction=2.0)
+
+    def test_model_bound_classification(self):
+        model = RooflineModel(get_machine("haswell"), efficiency=1.0)
+        c = OpCounter()
+        c.add_flops(10**12)
+        c.add_read(8)
+        assert model.bound(c) == "compute"
+        c2 = OpCounter()
+        c2.add_flops(1)
+        c2.add_read(10**9)
+        assert model.bound(c2) == "memory"
+
+    def test_balance_point(self):
+        model = RooflineModel(get_machine("haswell"), efficiency=1.0)
+        bal = model.arithmetic_balance()
+        assert bal == pytest.approx(1200.0 / 100.0)
+
+    def test_time_from_counter(self):
+        model = RooflineModel(get_machine("p100"))
+        c = OpCounter()
+        c.add_flops(1000)
+        c.add_read(1000)
+        assert model.time(c) > 0

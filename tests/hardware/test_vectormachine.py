@@ -1,0 +1,129 @@
+"""SIMD vector-machine model: the architecture effects of Figs. 2-4."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    matrix_with_mdim,
+    matrix_with_ndig,
+    matrix_with_vdim,
+    uniform_rows_matrix,
+)
+from repro.formats import COOMatrix, CSRMatrix, DIAMatrix, ELLMatrix, from_dense
+from repro.hardware import VectorMachine, get_machine
+
+
+@pytest.fixture
+def vm() -> VectorMachine:
+    return VectorMachine(get_machine("knc"))  # W = 8
+
+
+class TestCounting:
+    def test_csr_uniform_rows_is_optimal(self, vm):
+        # Uniform rows of a multiple of W: exactly nnz / W lane steps.
+        rows, cols, vals, shape = uniform_rows_matrix(64, 256, 16, seed=0)
+        cost = vm.count(CSRMatrix.from_coo(rows, cols, vals, shape))
+        assert cost.vector_ops == 64 * 16 // 8 * 8 // 8 * 8 // 8  # = nnz/W
+        assert cost.vector_ops == (64 * 16) // 8
+
+    def test_csr_group_max_rule(self, vm):
+        # Two rows per... 8 rows/group: one heavy row charges the group.
+        a = np.zeros((8, 64))
+        a[0, :64] = 1.0  # dim 64
+        a[1:, 0] = 1.0  # dim 1 each
+        cost = vm.count(from_dense(a, "CSR"))
+        assert cost.vector_ops == 64  # max of the single group
+
+    def test_ell_counts_padding(self, vm):
+        rows, cols, vals, shape = matrix_with_mdim(64, 256, 128, 64, seed=0)
+        m = ELLMatrix.from_coo(rows, cols, vals, shape)
+        cost = vm.count(m)
+        assert cost.vector_ops == 64 * (64 // 8)
+
+    def test_dia_counts_padding(self, vm):
+        rows, cols, vals, shape = matrix_with_ndig(64, 64, 64, 16, seed=0)
+        m = DIAMatrix.from_coo(rows, cols, vals, shape)
+        cost = vm.count(m)
+        assert cost.vector_ops == 16 * (64 // 8)
+
+    def test_den_cost(self, vm, rng):
+        a = rng.random((32, 64))
+        cost = vm.count(from_dense(a, "DEN"))
+        assert cost.vector_ops == 32 * 8
+
+    def test_coo_flat_stream(self, vm):
+        rows, cols, vals, shape = uniform_rows_matrix(64, 256, 16, seed=0)
+        cost = vm.count(COOMatrix.from_coo(rows, cols, vals, shape))
+        assert cost.vector_ops == int(np.ceil(1.5 * 1024 / 8))
+
+    def test_seconds_positive_and_total(self, vm, small_sparse):
+        c = vm.count(from_dense(small_sparse, "CSR"))
+        assert c.seconds > 0
+        assert c.total_ops == c.vector_ops + c.startup_ops
+
+
+class TestFig4Shape:
+    def test_coo_over_csr_grows_with_vdim(self, vm):
+        speedups = []
+        for vdim in (0.0, 100.0, 400.0, 1600.0):
+            rows, cols, vals, shape = matrix_with_vdim(
+                1024, 4096, adim=40, vdim=vdim, seed=3
+            )
+            tc = vm.count(CSRMatrix.from_coo(rows, cols, vals, shape)).seconds
+            to = vm.count(COOMatrix.from_coo(rows, cols, vals, shape)).seconds
+            speedups.append(tc / to)
+        assert speedups == sorted(speedups)
+        assert speedups[0] < 1.0  # CSR wins at vdim = 0 (aloi side)
+        assert speedups[-1] > 1.0  # COO wins at high vdim (mnist side)
+
+
+class TestFig2Fig3Shape:
+    def test_dia_seconds_grow_with_ndig(self, vm):
+        times = []
+        for ndig in (2, 16, 128):
+            rows, cols, vals, shape = matrix_with_ndig(
+                1024, 1024, 1024, ndig, seed=1
+            )
+            times.append(
+                vm.count(DIAMatrix.from_coo(rows, cols, vals, shape)).seconds
+            )
+        assert times == sorted(times)
+        assert times[-1] / times[0] > 10
+
+    def test_ell_seconds_grow_with_mdim(self, vm):
+        times = []
+        for mdim in (2, 16, 128):
+            rows, cols, vals, shape = matrix_with_mdim(
+                1024, 1024, 2048, mdim, seed=1
+            )
+            times.append(
+                vm.count(ELLMatrix.from_coo(rows, cols, vals, shape)).seconds
+            )
+        assert times == sorted(times)
+        # 64x the padding; per-row startup floors the ratio below 64.
+        assert times[-1] / times[0] > 5
+
+
+class TestCompare:
+    def test_compare_covers_all_formats(self, vm, small_sparse):
+        costs = vm.compare(from_dense(small_sparse, "CSR"))
+        assert sorted(costs) == ["COO", "CSR", "DEN", "DIA", "ELL"]
+
+    def test_speedups_normalised(self, vm, small_sparse):
+        s = vm.speedups(from_dense(small_sparse, "CSR"))
+        assert min(s.values()) == pytest.approx(1.0)
+
+    def test_profile_approximation_tracks_exact(self, vm):
+        from repro.features import profile_from_coo
+
+        rows, cols, vals, shape = matrix_with_vdim(
+            1024, 4096, adim=40, vdim=400.0, seed=3
+        )
+        exact = vm.count(CSRMatrix.from_coo(rows, cols, vals, shape)).seconds
+        p = profile_from_coo(rows, cols, shape, validated=True)
+        approx = vm.csr_cost_from_profile(p)
+        assert approx == pytest.approx(exact, rel=0.35)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VectorMachine(get_machine("knc"), issue_ghz=0.0)

@@ -1,0 +1,70 @@
+"""Parallel matvec/SMSV: identical results, disjoint writes."""
+
+import numpy as np
+import pytest
+
+from repro.formats import SparseVector, from_dense
+from repro.parallel import WorkerPool, parallel_matvec, parallel_smsv
+from repro.data.synthetic import matrix_with_vdim
+from repro.formats.csr import CSRMatrix
+
+
+@pytest.fixture
+def big_sparse(rng):
+    a = (rng.random((2000, 150)) < 0.1) * rng.standard_normal((2000, 150))
+    a[7] = 0.0  # an empty row inside a block
+    return a
+
+
+class TestParallelMatvec:
+    @pytest.mark.parametrize("fmt", ["DEN", "CSR", "ELL"])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_matches_serial(self, big_sparse, rng, fmt, workers):
+        m = from_dense(big_sparse, fmt)
+        x = rng.standard_normal(150)
+        with WorkerPool(workers) as pool:
+            y = parallel_matvec(m, x, pool=pool, min_rows_per_block=100)
+        assert np.allclose(y, big_sparse @ x)
+
+    @pytest.mark.parametrize("fmt", ["COO", "DIA"])
+    def test_unsupported_formats_fall_back(self, big_sparse, rng, fmt):
+        m = from_dense(big_sparse[:100], fmt)
+        x = rng.standard_normal(150)
+        with WorkerPool(4) as pool:
+            y = parallel_matvec(m, x, pool=pool, min_rows_per_block=10)
+        assert np.allclose(y, big_sparse[:100] @ x)
+
+    def test_small_matrix_serial_fast_path(self, rng):
+        a = rng.standard_normal((50, 10))
+        m = from_dense(a, "CSR")
+        x = rng.standard_normal(10)
+        with WorkerPool(4) as pool:
+            y = parallel_matvec(m, x, pool=pool)  # 50 < 256 rows
+        assert np.allclose(y, a @ x)
+
+    def test_shape_validation(self, big_sparse, rng):
+        m = from_dense(big_sparse, "CSR")
+        with pytest.raises(ValueError, match="matvec expects"):
+            parallel_matvec(m, rng.standard_normal(3))
+
+    def test_skewed_rows_balanced_csr(self, rng):
+        # A matrix with one huge row: the weighted partitioner must
+        # still produce the exact result.
+        rows, cols, vals, shape = matrix_with_vdim(
+            1500, 2000, adim=20, vdim=256.0, seed=0
+        )
+        m = CSRMatrix.from_coo(rows, cols, vals, shape)
+        x = rng.standard_normal(2000)
+        with WorkerPool(4) as pool:
+            y = parallel_matvec(m, x, pool=pool, min_rows_per_block=100)
+        assert np.allclose(y, m.matvec(x))
+
+
+class TestParallelSMSV:
+    def test_matches_serial_smsv(self, big_sparse, rng):
+        m = from_dense(big_sparse, "CSR")
+        xv = rng.standard_normal(150) * (rng.random(150) < 0.4)
+        v = SparseVector.from_dense(xv)
+        with WorkerPool(4) as pool:
+            y = parallel_smsv(m, v, pool=pool, min_rows_per_block=100)
+        assert np.allclose(y, m.smsv(v))

@@ -1,0 +1,118 @@
+"""Partitioning and thread-pool tests."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    WorkerPool,
+    balanced_chunks,
+    parallel_map,
+    parallel_reduce,
+    row_blocks,
+)
+
+
+class TestRowBlocks:
+    def test_even_split(self):
+        assert row_blocks(10, 2) == [(0, 5), (5, 10)]
+
+    def test_uneven_split(self):
+        blocks = row_blocks(10, 3)
+        assert blocks == [(0, 4), (4, 7), (7, 10)]
+
+    def test_covers_everything_once(self):
+        for n, k in [(1, 1), (7, 3), (100, 7), (5, 10)]:
+            blocks = row_blocks(n, k)
+            covered = [i for s, e in blocks for i in range(s, e)]
+            assert covered == list(range(n))
+
+    def test_more_blocks_than_rows(self):
+        blocks = row_blocks(3, 10)
+        assert len(blocks) == 3  # empties omitted
+
+    def test_zero_rows(self):
+        assert row_blocks(0, 4) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            row_blocks(-1, 2)
+        with pytest.raises(ValueError):
+            row_blocks(5, 0)
+
+
+class TestBalancedChunks:
+    def test_balances_weighted_rows(self):
+        blocks = balanced_chunks([1, 1, 1, 9], 2)
+        assert blocks == [(0, 3), (3, 4)]
+
+    def test_covers_everything(self):
+        rng = np.random.default_rng(0)
+        w = rng.random(57)
+        blocks = balanced_chunks(w, 5)
+        covered = [i for s, e in blocks for i in range(s, e)]
+        assert covered == list(range(57))
+
+    def test_weights_roughly_balanced(self):
+        rng = np.random.default_rng(1)
+        w = rng.random(1000)
+        blocks = balanced_chunks(w, 4)
+        sums = [w[s:e].sum() for s, e in blocks]
+        assert max(sums) / min(sums) < 1.5
+
+    def test_zero_weights_fall_back(self):
+        blocks = balanced_chunks(np.zeros(8), 2)
+        assert blocks == [(0, 4), (4, 8)]
+
+    def test_empty(self):
+        assert balanced_chunks([], 3) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            balanced_chunks([1.0], 0)
+        with pytest.raises(ValueError):
+            balanced_chunks(np.ones((2, 2)), 2)
+
+
+class TestWorkerPool:
+    def test_map_results_ordered(self):
+        with WorkerPool(4) as pool:
+            assert pool.map(lambda v: v * 2, list(range(10))) == [
+                v * 2 for v in range(10)
+            ]
+
+    def test_serial_fast_path(self):
+        pool = WorkerPool(1)
+        assert pool._executor is None
+        assert pool.map(lambda v: v + 1, [1, 2]) == [2, 3]
+        assert pool._executor is None  # never created
+
+    def test_run_thunks(self):
+        with WorkerPool(2) as pool:
+            assert pool.run([lambda: 1, lambda: 2]) == [1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+    def test_parallel_writes_disjoint_slices(self):
+        # The usage pattern the format kernels rely on.
+        out = np.zeros(100)
+
+        def fill(block):
+            s, e = block
+            out[s:e] = np.arange(s, e)
+
+        parallel_map(fill, row_blocks(100, 8), n_workers=8)
+        assert np.array_equal(out, np.arange(100.0))
+
+
+class TestParallelReduce:
+    def test_sum(self):
+        total = parallel_reduce(
+            lambda v: v * v, list(range(10)), lambda a, b: a + b, n_workers=4
+        )
+        assert total == sum(v * v for v in range(10))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            parallel_reduce(lambda v: v, [], lambda a, b: a + b)

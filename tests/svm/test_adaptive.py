@@ -1,0 +1,71 @@
+"""AdaptiveSVC: the full adaptive system."""
+
+import numpy as np
+import pytest
+
+from repro.core import LayoutScheduler
+from repro.data import load_dataset
+from repro.formats import from_dense
+from repro.svm import SVC, AdaptiveSVC
+from tests.conftest import make_labels
+
+
+class TestAdaptiveSVC:
+    def test_records_decision(self, rng):
+        x = rng.standard_normal((60, 5))
+        y = make_labels(rng, x)
+        clf = AdaptiveSVC("linear", C=1.0).fit(x, y)
+        assert clf.decision_ is not None
+        assert clf.chosen_format == clf.decision_.fmt
+        assert clf.convert_seconds_ >= 0.0
+
+    def test_unfitted_chosen_format_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            _ = AdaptiveSVC("linear").chosen_format
+
+    def test_same_predictions_as_plain_svc(self, rng):
+        # The layout decision must never change the learned model.
+        x = rng.standard_normal((80, 6))
+        y = make_labels(rng, x)
+        plain = SVC("linear", C=1.0, tol=1e-4).fit(x, y)
+        adaptive = AdaptiveSVC(
+            "linear", C=1.0, tol=1e-4,
+            scheduler=LayoutScheduler("cost"),
+        ).fit(x, y)
+        # Format-dependent summation order shifts iterates within tol;
+        # predictions and objective agree to that tolerance.
+        assert np.allclose(
+            plain.decision_function(x),
+            adaptive.decision_function(x),
+            atol=0.05,
+        )
+        assert plain.result_.objective(y) == pytest.approx(
+            adaptive.result_.objective(y), rel=1e-4
+        )
+
+    def test_adult_clone_selects_ell(self):
+        # The paper's Table VI: adult -> ELL.
+        ds = load_dataset("adult", seed=0, m_override=600)
+        clf = AdaptiveSVC(
+            "linear", C=1.0, max_iter=50,
+            scheduler=LayoutScheduler("cost"),
+        ).fit(ds.in_format("CSR"), ds.y[:600])
+        assert clf.chosen_format == "ELL"
+
+    def test_trains_on_every_table5_clone_shape(self):
+        # Fast smoke across structurally diverse datasets.
+        for name in ("adult", "aloi", "trefethen"):
+            ds = load_dataset(name, seed=0, m_override=200)
+            clf = AdaptiveSVC(
+                "linear", C=1.0, max_iter=100,
+                scheduler=LayoutScheduler("cost"),
+            ).fit(ds.in_format("COO"), ds.y[:200])
+            assert clf.result_.iterations > 0
+
+    def test_custom_scheduler_strategy(self, rng):
+        x = rng.standard_normal((50, 4))
+        y = make_labels(rng, x)
+        clf = AdaptiveSVC(
+            "linear", scheduler=LayoutScheduler("rules")
+        ).fit(x, y)
+        assert clf.decision_.strategy == "rules"

@@ -1,0 +1,172 @@
+"""Divide-and-conquer SVM (CA-SVM + layout scheduling) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import LayoutScheduler
+from repro.formats import from_dense
+from repro.svm import SVC, DivideAndConquerSVC
+from repro.svm.dcsvm import kmeans, random_projection_sketch
+
+
+@pytest.fixture
+def clustered(rng):
+    """Four well-separated clusters; the label plane (x_3 = 0) cuts
+    through *every* cluster, so each shard is a genuine two-class
+    problem."""
+    centers = np.array(
+        [[6, 0, 0], [-6, 0, 0], [0, 6, 0], [0, -6, 0]], dtype=float
+    )
+    n_per = 60
+    xs = []
+    for c in centers:
+        xs.append(c + rng.standard_normal((n_per, 3)))
+    x = np.vstack(xs)
+    y = np.where(x[:, 2] > 0, 1.0, -1.0)
+    # keep a margin around the separating plane
+    x[:, 2] += y * 0.5
+    perm = rng.permutation(len(y))
+    return x[perm], y[perm]
+
+
+class TestKMeans:
+    def test_recovers_separated_clusters(self, rng):
+        pts = np.vstack(
+            [
+                rng.standard_normal((40, 2)) + [10, 0],
+                rng.standard_normal((40, 2)) - [10, 0],
+            ]
+        )
+        labels, cents = kmeans(pts, 2, seed=0)
+        # all points of each blob share a label
+        assert len(set(labels[:40].tolist())) == 1
+        assert len(set(labels[40:].tolist())) == 1
+        assert labels[0] != labels[40]
+        assert cents.shape == (2, 2)
+
+    def test_k_equals_m(self, rng):
+        pts = rng.standard_normal((5, 2))
+        labels, _ = kmeans(pts, 5, seed=0)
+        assert sorted(labels.tolist()) == [0, 1, 2, 3, 4]
+
+    def test_no_empty_clusters(self, rng):
+        pts = rng.standard_normal((50, 3))
+        labels, _ = kmeans(pts, 8, seed=1)
+        assert len(np.unique(labels)) == 8
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            kmeans(rng.standard_normal((3, 2)), 0)
+        with pytest.raises(ValueError):
+            kmeans(rng.standard_normal((3, 2)), 4)
+
+
+class TestSketch:
+    def test_shape_and_determinism(self, small_sparse):
+        m = from_dense(small_sparse, "CSR")
+        s1 = random_projection_sketch(m, 8, seed=3)
+        s2 = random_projection_sketch(m, 8, seed=3)
+        assert s1.shape == (40, 8)
+        assert np.array_equal(s1, s2)
+
+    def test_dim_capped_at_n(self, small_sparse):
+        m = from_dense(small_sparse, "CSR")
+        assert random_projection_sketch(m, 100, seed=0).shape == (40, 30)
+
+    def test_preserves_relative_distances(self, rng):
+        # JL sanity: far pairs stay farther than near pairs.
+        a = rng.standard_normal((3, 50))
+        a[2] = a[0] + 0.01 * rng.standard_normal(50)  # near-duplicate
+        m = from_dense(a, "DEN")
+        s = random_projection_sketch(m, 16, seed=0)
+        near = np.linalg.norm(s[0] - s[2])
+        far = np.linalg.norm(s[0] - s[1])
+        assert near < far
+
+    def test_validation(self, small_sparse):
+        with pytest.raises(ValueError):
+            random_projection_sketch(from_dense(small_sparse, "CSR"), 0)
+
+
+class TestDivideAndConquer:
+    def test_accuracy_on_clustered_data(self, clustered):
+        x, y = clustered
+        clf = DivideAndConquerSVC(
+            "linear", n_partitions=4, C=10.0, seed=0
+        ).fit(x, y)
+        assert clf.score(x, y) >= 0.95
+
+    def test_approximates_global_svm(self, clustered):
+        x, y = clustered
+        global_svm = SVC("linear", C=10.0).fit(x, y)
+        dc = DivideAndConquerSVC(
+            "linear", n_partitions=4, C=10.0, seed=0
+        ).fit(x, y)
+        agree = float(np.mean(global_svm.predict(x) == dc.predict(x)))
+        assert agree >= 0.9
+
+    def test_per_partition_layout_decisions(self, clustered):
+        x, y = clustered
+        clf = DivideAndConquerSVC(
+            "linear",
+            n_partitions=4,
+            C=10.0,
+            scheduler=LayoutScheduler("cost"),
+            seed=0,
+        ).fit(x, y)
+        layouts = clf.layouts_
+        assert len(layouts) == 4
+        assert all(l is not None for l in layouts)
+
+    def test_shards_cover_all_samples(self, clustered):
+        x, y = clustered
+        clf = DivideAndConquerSVC(
+            "linear", n_partitions=4, C=10.0, seed=0
+        ).fit(x, y)
+        assert sum(clf.shard_sizes_) == len(y)
+
+    def test_single_partition_equals_global(self, clustered):
+        x, y = clustered
+        dc = DivideAndConquerSVC(
+            "linear", n_partitions=1, C=10.0, seed=0
+        ).fit(x, y)
+        global_svm = SVC("linear", C=10.0).fit(x, y)
+        assert np.array_equal(dc.predict(x), global_svm.predict(x))
+
+    def test_random_partitioner(self, clustered):
+        x, y = clustered
+        clf = DivideAndConquerSVC(
+            "linear", n_partitions=3, partitioner="random", C=10.0, seed=0
+        ).fit(x, y)
+        # random striping still trains and predicts something sensible
+        assert clf.score(x, y) >= 0.7
+
+    def test_single_class_shard_handled(self, rng):
+        # Force tiny shards: some will be single-class.
+        x = rng.standard_normal((30, 3)) + np.array([8.0, 0, 0])
+        x[:15] -= np.array([16.0, 0, 0])
+        y = np.concatenate([np.ones(15), -np.ones(15)])
+        clf = DivideAndConquerSVC(
+            "linear", n_partitions=2, C=10.0, seed=0
+        ).fit(x, y)
+        assert clf.score(x, y) >= 0.9  # each shard is one class here
+
+    def test_unfitted_raises(self, rng):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            DivideAndConquerSVC().predict(rng.standard_normal((3, 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DivideAndConquerSVC(n_partitions=0)
+        with pytest.raises(ValueError):
+            DivideAndConquerSVC(partitioner="hashing")
+
+    def test_parallel_matches_serial(self, clustered):
+        x, y = clustered
+        a = DivideAndConquerSVC(
+            "linear", n_partitions=4, C=10.0, seed=0, n_workers=1
+        ).fit(x, y)
+        b = DivideAndConquerSVC(
+            "linear", n_partitions=4, C=10.0, seed=0, n_workers=4
+        ).fit(x, y)
+        assert np.array_equal(a.predict(x), b.predict(x))

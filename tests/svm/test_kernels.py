@@ -1,0 +1,103 @@
+"""Kernel function tests against dense NumPy references (Table I)."""
+
+import numpy as np
+import pytest
+
+from repro.formats import FORMAT_NAMES, SparseVector, from_dense
+from repro.svm.kernels import (
+    GaussianKernel,
+    LinearKernel,
+    PolynomialKernel,
+    SigmoidKernel,
+    make_kernel,
+)
+
+
+@pytest.fixture
+def data(rng):
+    a = (rng.random((20, 15)) < 0.5) * rng.standard_normal((20, 15))
+    return a
+
+
+def _row_reference(kernel_fn, a, i):
+    return np.array([kernel_fn(a[j], a[i]) for j in range(a.shape[0])])
+
+
+class TestKernelRows:
+    @pytest.mark.parametrize("fmt", FORMAT_NAMES)
+    def test_linear(self, data, fmt):
+        m = from_dense(data, fmt)
+        k = LinearKernel()
+        v = m.row(3)
+        row = k.row(m, v, v.norm_sq(), m.row_norms_sq())
+        assert np.allclose(row, data @ data[3])
+
+    def test_polynomial(self, data):
+        m = from_dense(data, "CSR")
+        k = PolynomialKernel(a=0.5, r=1.0, degree=3)
+        v = m.row(5)
+        expected = (0.5 * data @ data[5] + 1.0) ** 3
+        assert np.allclose(
+            k.row(m, v, v.norm_sq(), m.row_norms_sq()), expected
+        )
+
+    def test_gaussian(self, data):
+        m = from_dense(data, "CSR")
+        gamma = 0.3
+        k = GaussianKernel(gamma=gamma)
+        v = m.row(2)
+        d2 = ((data - data[2]) ** 2).sum(axis=1)
+        assert np.allclose(
+            k.row(m, v, v.norm_sq(), m.row_norms_sq()),
+            np.exp(-gamma * d2),
+        )
+
+    def test_gaussian_self_kernel_is_one(self, data):
+        m = from_dense(data, "COO")
+        k = GaussianKernel(gamma=1.0)
+        v = m.row(4)
+        row = k.row(m, v, v.norm_sq(), m.row_norms_sq())
+        assert row[4] == pytest.approx(1.0)
+        assert np.all(row <= 1.0 + 1e-12)
+        assert np.all(row > 0.0)
+
+    def test_sigmoid(self, data):
+        m = from_dense(data, "ELL")
+        k = SigmoidKernel(a=0.2, r=-0.5)
+        v = m.row(0)
+        expected = np.tanh(0.2 * data @ data[0] - 0.5)
+        assert np.allclose(
+            k.row(m, v, v.norm_sq(), m.row_norms_sq()), expected
+        )
+
+
+class TestSingle:
+    def test_single_matches_row(self, data):
+        m = from_dense(data, "CSR")
+        for k in (
+            LinearKernel(),
+            PolynomialKernel(degree=2),
+            GaussianKernel(gamma=0.7),
+            SigmoidKernel(a=0.1),
+        ):
+            vi, vj = m.row(1), m.row(6)
+            row = k.row(m, vj, vj.norm_sq(), m.row_norms_sq())
+            assert k.single(vi, vj) == pytest.approx(row[1])
+
+
+class TestFactory:
+    def test_make_by_name(self):
+        assert make_kernel("linear").name == "linear"
+        assert make_kernel("rbf", gamma=2.0).gamma == 2.0
+        assert make_kernel("GAUSSIAN").name == "gaussian"
+        assert make_kernel("polynomial", degree=5).degree == 5
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            make_kernel("quantum")
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            GaussianKernel(gamma=0.0)
+        with pytest.raises(ValueError):
+            PolynomialKernel(degree=0)

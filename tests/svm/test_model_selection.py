@@ -1,0 +1,109 @@
+"""Cross-validation, C-paths (warm-started) and grid search."""
+
+import numpy as np
+import pytest
+
+from repro.svm import SVC, c_path, cross_val_score, grid_search_cv, kfold_indices
+from tests.conftest import make_labels
+
+
+@pytest.fixture
+def problem(rng):
+    x = rng.standard_normal((150, 6))
+    y = make_labels(rng, x)
+    return x, y
+
+
+class TestKFold:
+    def test_partition_properties(self):
+        folds = kfold_indices(23, 5, seed=0)
+        assert len(folds) == 5
+        all_test = np.concatenate([t for _, t in folds])
+        assert sorted(all_test.tolist()) == list(range(23))
+        for train, test in folds:
+            assert len(set(train.tolist()) & set(test.tolist())) == 0
+            assert len(train) + len(test) == 23
+
+    def test_fold_sizes_balanced(self):
+        folds = kfold_indices(10, 3, seed=1)
+        sizes = sorted(len(t) for _, t in folds)
+        assert sizes == [3, 3, 4]
+
+    def test_deterministic(self):
+        a = kfold_indices(20, 4, seed=7)
+        b = kfold_indices(20, 4, seed=7)
+        for (ta, sa), (tb, sb) in zip(a, b):
+            assert np.array_equal(ta, tb) and np.array_equal(sa, sb)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kfold_indices(5, 1)
+        with pytest.raises(ValueError):
+            kfold_indices(5, 6)
+
+
+class TestCrossVal:
+    def test_scores_reasonable(self, problem):
+        x, y = problem
+        scores = cross_val_score(
+            lambda: SVC("linear", C=1.0, max_iter=5000), x, y, k=4
+        )
+        assert scores.shape == (4,)
+        assert scores.mean() > 0.8
+
+    def test_label_shape_validation(self, problem):
+        x, y = problem
+        with pytest.raises(ValueError, match="one label per row"):
+            cross_val_score(lambda: SVC(), x, y[:-1])
+
+
+class TestCPath:
+    def test_objectives_increase_with_C(self, problem):
+        # Larger box -> larger dual feasible set -> larger optimum.
+        x, y = problem
+        res = c_path(x, y, [0.1, 0.5, 1.0, 2.0], tol=1e-4)
+        assert res.objectives == sorted(res.objectives)
+
+    def test_warm_start_cuts_total_iterations(self, problem):
+        x, y = problem
+        Cs = [0.25, 0.5, 1.0, 2.0, 4.0]
+        warm = c_path(x, y, Cs, tol=1e-4, warm_start=True)
+        cold = c_path(x, y, Cs, tol=1e-4, warm_start=False)
+        # Same optima...
+        for a, b in zip(warm.objectives, cold.objectives):
+            assert a == pytest.approx(b, rel=1e-3)
+        # ...at materially lower total cost.
+        assert warm.total_iterations < cold.total_iterations
+
+    def test_unsorted_grid_resorted(self, problem):
+        x, y = problem
+        res = c_path(x, y, [2.0, 0.5, 1.0])
+        assert res.Cs == [0.5, 1.0, 2.0]
+
+    def test_validation(self, problem):
+        x, y = problem
+        with pytest.raises(ValueError):
+            c_path(x, y, [])
+        with pytest.raises(ValueError):
+            c_path(x, y, [-1.0])
+
+
+class TestGridSearchCV:
+    def test_finds_reasonable_params(self, problem):
+        x, y = problem
+        res = grid_search_cv(
+            x, y, kernel="gaussian", Cs=(0.5, 5.0), gammas=(0.05, 0.5),
+            k=3, max_iter=5000,
+        )
+        assert res.best_score > 0.75
+        assert res.best_params["C"] in (0.5, 5.0)
+        assert res.best_params["gamma"] in (0.05, 0.5)
+        assert len(res.all_scores) == 4
+
+    def test_linear_kernel_ignores_gamma(self, problem):
+        x, y = problem
+        res = grid_search_cv(
+            x, y, kernel="linear", Cs=(1.0, 10.0), k=3, max_iter=5000,
+        )
+        assert "gamma" not in res.best_params
+        assert len(res.all_scores) == 2

@@ -1,0 +1,75 @@
+"""Platt scaling tests."""
+
+import numpy as np
+import pytest
+
+from repro.svm import SVC
+from repro.svm.probability import PlattScaler, calibrate_svc, fit_platt
+from tests.conftest import make_labels
+
+
+class TestSigmoid:
+    def test_probabilities_in_range_and_stable(self):
+        s = PlattScaler(A=-2.0, B=0.1)
+        f = np.array([-1e6, -10.0, 0.0, 10.0, 1e6])
+        p = s.predict_proba(f)
+        assert np.all((p >= 0.0) & (p <= 1.0))
+        assert np.all(np.isfinite(p))
+        # negative A: larger decision value => higher P(+1)
+        assert np.all(np.diff(p) >= 0)
+
+
+class TestFit:
+    def _synthetic(self, rng, n=500, a_true=-1.5, b_true=0.3):
+        f = rng.standard_normal(n) * 2.0
+        p = 1.0 / (1.0 + np.exp(a_true * f + b_true))
+        y = np.where(rng.random(n) < p, 1.0, -1.0)
+        return f, y
+
+    def test_recovers_generating_sigmoid(self, rng):
+        f, y = self._synthetic(rng, n=4000)
+        s = fit_platt(f, y)
+        assert s.A == pytest.approx(-1.5, abs=0.25)
+        assert s.B == pytest.approx(0.3, abs=0.25)
+
+    def test_probabilities_monotone_in_decision_value(self, rng):
+        f, y = self._synthetic(rng)
+        s = fit_platt(f, y)
+        grid = np.linspace(-5, 5, 50)
+        p = s.predict_proba(grid)
+        assert np.all(np.diff(p) >= 0)
+
+    def test_calibration_quality(self, rng):
+        # Among samples given P(+1) ~ 0.8, about 80% should be +1.
+        f, y = self._synthetic(rng, n=8000)
+        s = fit_platt(f[:4000], y[:4000])
+        p = s.predict_proba(f[4000:])
+        band = (p > 0.7) & (p < 0.9)
+        assert band.sum() > 100
+        frac_pos = float(np.mean(y[4000:][band] > 0))
+        assert frac_pos == pytest.approx(0.8, abs=0.08)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="match"):
+            fit_platt([1.0, 2.0], [1.0])
+        with pytest.raises(ValueError, match="±1|pm1|labels"):
+            fit_platt([1.0], [3.0])
+        with pytest.raises(ValueError):
+            fit_platt([], [])
+
+
+class TestWithSVC:
+    def test_calibrated_svc_probabilities(self, rng):
+        x = rng.standard_normal((400, 6))
+        y = make_labels(rng, x)
+        clf = SVC("linear", C=1.0).fit(x[:250], y[:250])
+        scaler = calibrate_svc(clf, x[250:], y[250:])
+        p = scaler.predict_proba(clf.decision_function(x[250:]))
+        # Thresholding the probabilities reproduces the classifier.
+        pred_from_p = np.where(p >= 0.5, 1.0, -1.0)
+        agree = float(np.mean(pred_from_p == clf.predict(x[250:])))
+        assert agree > 0.95
+        # High-margin samples get confident probabilities.
+        d = clf.decision_function(x[250:])
+        assert p[np.argmax(d)] > 0.9
+        assert p[np.argmin(d)] < 0.1

@@ -1,0 +1,147 @@
+"""SMO solver correctness: convergence, KKT conditions, invariants."""
+
+import numpy as np
+import pytest
+
+from repro.formats import FORMAT_NAMES, from_dense
+from repro.svm.kernels import GaussianKernel, LinearKernel
+from repro.svm.smo import smo_train
+from tests.conftest import make_labels
+
+
+@pytest.fixture
+def separable(rng):
+    x = rng.standard_normal((80, 6))
+    y = make_labels(rng, x)
+    return x, y
+
+
+class TestConvergence:
+    def test_converges_on_separable(self, separable):
+        x, y = separable
+        res = smo_train(from_dense(x, "CSR"), y, LinearKernel(), C=10.0)
+        assert res.converged
+        assert res.b_low <= res.b_high + 2e-3 + 1e-9
+
+    @pytest.mark.parametrize("fmt", FORMAT_NAMES)
+    def test_same_solution_in_every_format(self, separable, fmt):
+        # The layout must not change the mathematics: the dual
+        # objective at convergence agrees across formats.
+        x, y = separable
+        res = smo_train(
+            from_dense(x, fmt), y, LinearKernel(), C=1.0, tol=1e-4
+        )
+        ref = smo_train(
+            from_dense(x, "DEN"), y, LinearKernel(), C=1.0, tol=1e-4
+        )
+        assert res.objective(y) == pytest.approx(
+            ref.objective(y), rel=1e-3
+        )
+
+    def test_max_iter_caps(self, separable):
+        x, y = separable
+        res = smo_train(
+            from_dense(x, "CSR"), y, LinearKernel(), C=10.0, max_iter=3
+        )
+        assert res.iterations == 3
+        assert not res.converged
+
+
+class TestInvariants:
+    def test_box_constraints(self, separable):
+        x, y = separable
+        C = 2.5
+        res = smo_train(from_dense(x, "CSR"), y, GaussianKernel(0.5), C=C)
+        assert np.all(res.alpha >= -1e-12)
+        assert np.all(res.alpha <= C + 1e-12)
+
+    def test_equality_constraint(self, separable):
+        # sum alpha_i y_i = 0 is preserved exactly by every pair update.
+        x, y = separable
+        res = smo_train(from_dense(x, "CSR"), y, LinearKernel(), C=1.0)
+        assert float(res.alpha @ y) == pytest.approx(0.0, abs=1e-9)
+
+    def test_f_vector_consistency(self, separable):
+        # The incrementally maintained f must equal the recomputed
+        # definition f_i = sum_j alpha_j y_j K_ij - y_i (Eq. (3)).
+        x, y = separable
+        res = smo_train(
+            from_dense(x, "CSR"), y, GaussianKernel(0.5), C=1.0,
+            max_iter=200,
+        )
+        gamma = 0.5
+        d2 = ((x[:, None, :] - x[None, :, :]) ** 2).sum(-1)
+        K = np.exp(-gamma * d2)
+        f_exact = K @ (res.alpha * y) - y
+        assert np.allclose(res.f, f_exact, atol=1e-8)
+
+    def test_positive_dual_objective(self, separable):
+        x, y = separable
+        res = smo_train(from_dense(x, "CSR"), y, LinearKernel(), C=1.0)
+        assert res.objective(y) > 0.0
+
+    def test_kkt_at_convergence(self, separable):
+        # At convergence every free alpha has |f_i - b| <= tol-ish.
+        x, y = separable
+        tol = 1e-4
+        res = smo_train(
+            from_dense(x, "CSR"), y, GaussianKernel(0.5), C=1.0, tol=tol
+        )
+        assert res.converged
+        free = (res.alpha > 1e-8) & (res.alpha < 1.0 - 1e-8)
+        if np.any(free):
+            assert np.all(np.abs(res.f[free] - res.b) <= 2 * tol + 1e-8)
+
+
+class TestCache:
+    def test_cache_reduces_kernel_rows(self, separable):
+        x, y = separable
+        no_cache = smo_train(
+            from_dense(x, "CSR"), y, LinearKernel(), C=10.0, cache_rows=0
+        )
+        cached = smo_train(
+            from_dense(x, "CSR"), y, LinearKernel(), C=10.0, cache_rows=256
+        )
+        assert cached.kernel_rows_computed < no_cache.kernel_rows_computed
+        assert cached.kernel_rows_cached > 0
+        # identical mathematics
+        assert cached.objective(y) == pytest.approx(
+            no_cache.objective(y), rel=1e-6
+        )
+
+
+class TestValidation:
+    def test_rejects_bad_labels(self, separable):
+        x, _ = separable
+        m = from_dense(x, "CSR")
+        with pytest.raises(ValueError, match="labels"):
+            smo_train(m, np.zeros(80), LinearKernel())
+        with pytest.raises(ValueError, match="labels"):
+            smo_train(m, np.ones(80), LinearKernel())  # single class
+
+    def test_rejects_bad_shapes(self, separable):
+        x, y = separable
+        with pytest.raises(ValueError, match="length"):
+            smo_train(from_dense(x, "CSR"), y[:-1], LinearKernel())
+
+    def test_rejects_bad_params(self, separable):
+        x, y = separable
+        m = from_dense(x, "CSR")
+        with pytest.raises(ValueError, match="C"):
+            smo_train(m, y, LinearKernel(), C=0.0)
+        with pytest.raises(ValueError, match="tol"):
+            smo_train(m, y, LinearKernel(), tol=0.0)
+
+    def test_callback_invoked(self, separable):
+        x, y = separable
+        calls = []
+        smo_train(
+            from_dense(x, "CSR"),
+            y,
+            LinearKernel(),
+            C=1.0,
+            max_iter=10,
+            on_iteration=lambda it, bh, bl: calls.append((it, bh, bl)),
+        )
+        assert len(calls) == 10
+        assert calls[0][0] == 1

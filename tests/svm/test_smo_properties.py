@@ -1,0 +1,99 @@
+"""Property-based optimality tests for the SMO solver.
+
+The decisive correctness oracle for a QP solver: the returned alpha
+must (a) be feasible and (b) dominate every other feasible point we can
+construct.  Hypothesis generates random problems and random feasible
+competitors; SMO must win every time.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import from_dense
+from repro.svm.kernels import GaussianKernel, LinearKernel
+from repro.svm.smo import smo_train
+
+
+def _make_problem(seed: int, m: int, d: int):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((m, d))
+    w = rng.standard_normal(d)
+    s = x @ w
+    y = np.where(s > np.median(s), 1.0, -1.0)
+    if np.all(y == y[0]):
+        y[: m // 2] = -y[0]
+    return x, y
+
+
+def _dual_objective(alpha, y, K):
+    return float(alpha.sum() - 0.5 * alpha @ ((y * alpha) * K * y[:, None]).sum(1))
+
+
+def _project_feasible(raw, y, C, rng):
+    """Project arbitrary non-negative numbers onto the SVM feasible set
+    {0 <= a <= C, sum a_i y_i = 0} by balancing the two classes."""
+    a = np.clip(np.abs(raw), 0.0, C)
+    pos, neg = y > 0, y < 0
+    sp, sn = float(a[pos].sum()), float(a[neg].sum())
+    target = min(sp, sn)
+    if sp > 0:
+        a[pos] *= target / sp
+    if sn > 0:
+        a[neg] *= target / sn
+    return a
+
+
+@given(seed=st.integers(0, 2**16), C=st.floats(0.1, 10.0))
+@settings(max_examples=25, deadline=None)
+def test_smo_dominates_random_feasible_points(seed, C):
+    x, y = _make_problem(seed, 40, 5)
+    X = from_dense(x, "CSR")
+    res = smo_train(X, y, LinearKernel(), C=C, tol=1e-5)
+    assert res.converged
+
+    K = x @ x.T
+    f_smo = _dual_objective(res.alpha, y, K)
+
+    rng = np.random.default_rng(seed + 1)
+    for _ in range(10):
+        competitor = _project_feasible(
+            rng.random(40) * C, y, C, rng
+        )
+        f_comp = _dual_objective(competitor, y, K)
+        assert f_smo >= f_comp - 1e-5 * max(1.0, abs(f_smo))
+
+
+@given(seed=st.integers(0, 2**16), C=st.floats(0.1, 10.0))
+@settings(max_examples=25, deadline=None)
+def test_smo_solution_is_feasible(seed, C):
+    x, y = _make_problem(seed, 30, 4)
+    X = from_dense(x, "CSR")
+    res = smo_train(X, y, GaussianKernel(0.5), C=C, tol=1e-4)
+    assert np.all(res.alpha >= -1e-10)
+    assert np.all(res.alpha <= C + 1e-10)
+    assert float(res.alpha @ y) == pytest.approx(0.0, abs=1e-8)
+
+
+@given(
+    seed=st.integers(0, 2**16),
+    working_set=st.sampled_from(["first", "second"]),
+    shrink=st.sampled_from([0, 25]),
+)
+@settings(max_examples=20, deadline=None)
+def test_all_variants_reach_same_objective(seed, working_set, shrink):
+    """Selection rule and shrinking are performance knobs, never
+    solution knobs."""
+    x, y = _make_problem(seed, 50, 5)
+    X = from_dense(x, "CSR")
+    K = x @ x.T
+    ref = smo_train(X, y, LinearKernel(), C=1.0, tol=1e-5)
+    var = smo_train(
+        X, y, LinearKernel(), C=1.0, tol=1e-5,
+        working_set=working_set, shrink_every=shrink,
+    )
+    assert var.converged
+    f_ref = _dual_objective(ref.alpha, y, K)
+    f_var = _dual_objective(var.alpha, y, K)
+    assert f_var == pytest.approx(f_ref, rel=1e-3, abs=1e-6)

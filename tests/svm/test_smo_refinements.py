@@ -1,0 +1,154 @@
+"""Second-order working-set selection and shrinking (SMO refinements).
+
+These are the serial techniques the paper's related-work section lists
+as standard in LIBSVM (Fan-Chen-Lin second-order selection; Joachims
+shrinking); the invariants: they never change the solution, and they
+improve the relevant cost metric.
+"""
+
+import numpy as np
+import pytest
+
+from repro.formats import FORMAT_NAMES, from_dense
+from repro.svm import SVC, AdaptiveSVC
+from repro.svm.kernels import GaussianKernel, LinearKernel
+from repro.svm.smo import smo_train
+from tests.conftest import make_labels
+
+
+@pytest.fixture
+def problem(rng):
+    x = rng.standard_normal((250, 8))
+    y = make_labels(rng, x)
+    return from_dense(x, "CSR"), y
+
+
+class TestSecondOrder:
+    def test_same_objective_as_first_order(self, problem):
+        X, y = problem
+        kw = dict(C=1.0, tol=1e-4)
+        r1 = smo_train(X, y, GaussianKernel(0.5), working_set="first", **kw)
+        r2 = smo_train(X, y, GaussianKernel(0.5), working_set="second", **kw)
+        assert r1.converged and r2.converged
+        assert r2.objective(y) == pytest.approx(r1.objective(y), rel=1e-4)
+
+    def test_fewer_or_equal_iterations(self, problem):
+        # The point of the second-order rule: greater guaranteed gain
+        # per step.  Allow a small slack for ties on easy problems.
+        X, y = problem
+        kw = dict(C=1.0, tol=1e-4)
+        r1 = smo_train(X, y, GaussianKernel(0.5), working_set="first", **kw)
+        r2 = smo_train(X, y, GaussianKernel(0.5), working_set="second", **kw)
+        assert r2.iterations <= r1.iterations * 1.1
+
+    def test_f_consistency_maintained(self, problem):
+        X, y = problem
+        r = smo_train(
+            X, y, LinearKernel(), C=1.0, working_set="second",
+            max_iter=300,
+        )
+        dense = X.to_dense()
+        K = dense @ dense.T
+        assert np.allclose(r.f, K @ (r.alpha * y) - y, atol=1e-8)
+
+    def test_unknown_rule_rejected(self, problem):
+        X, y = problem
+        with pytest.raises(ValueError, match="working_set"):
+            smo_train(X, y, LinearKernel(), working_set="third")
+
+    def test_kernel_diagonal_shortcuts(self, rng):
+        from repro.svm.kernels import (
+            PolynomialKernel,
+            SigmoidKernel,
+        )
+
+        norms = rng.random(10) * 3.0
+        assert np.allclose(LinearKernel().diagonal(norms), norms)
+        assert np.allclose(GaussianKernel(2.0).diagonal(norms), 1.0)
+        k = PolynomialKernel(a=0.5, r=1.0, degree=2)
+        assert np.allclose(k.diagonal(norms), (0.5 * norms + 1.0) ** 2)
+        s = SigmoidKernel(a=0.3, r=-0.1)
+        assert np.allclose(s.diagonal(norms), np.tanh(0.3 * norms - 0.1))
+
+
+class TestShrinking:
+    def test_same_objective_with_shrinking(self, problem):
+        X, y = problem
+        kw = dict(C=1.0, tol=1e-4)
+        base = smo_train(X, y, GaussianKernel(0.5), shrink_every=0, **kw)
+        shrunk = smo_train(X, y, GaussianKernel(0.5), shrink_every=40, **kw)
+        assert base.converged and shrunk.converged
+        assert shrunk.objective(y) == pytest.approx(
+            base.objective(y), rel=1e-4
+        )
+
+    def test_active_set_actually_shrinks(self, problem):
+        X, y = problem
+        r = smo_train(
+            X, y, GaussianKernel(0.5), C=1.0, tol=1e-4, shrink_every=40
+        )
+        assert r.shrink_events > 0
+        assert r.min_active < X.shape[0]
+
+    def test_unshrink_verifies_full_problem(self, problem):
+        # Convergence must be declared on the FULL problem: f is
+        # reconstructed and optimality re-checked.
+        X, y = problem
+        r = smo_train(
+            X, y, GaussianKernel(0.5), C=1.0, tol=1e-4, shrink_every=40
+        )
+        if r.shrink_events:
+            assert r.unshrink_events >= 1
+        # final f is exact for every sample, active or not
+        dense = X.to_dense()
+        d2 = ((dense[:, None, :] - dense[None, :, :]) ** 2).sum(-1)
+        K = np.exp(-0.5 * d2)
+        assert np.allclose(r.f, K @ (r.alpha * y) - y, atol=1e-6)
+
+    def test_final_kkt_holds_globally(self, problem):
+        X, y = problem
+        tol = 1e-4
+        r = smo_train(
+            X, y, GaussianKernel(0.5), C=1.0, tol=tol, shrink_every=40
+        )
+        assert r.converged
+        assert r.b_low <= r.b_high + 2 * tol + 1e-9
+
+    @pytest.mark.parametrize("fmt", FORMAT_NAMES)
+    def test_shrinking_rebuilds_every_format(self, problem, fmt):
+        # The rebuild path must work in whatever layout the scheduler
+        # chose.
+        from repro.formats import convert
+
+        X, y = problem
+        Xf = convert(X, fmt)
+        r = smo_train(
+            Xf, y, LinearKernel(), C=1.0, tol=1e-3, shrink_every=30,
+            max_iter=2000,
+        )
+        assert r.converged
+
+    def test_negative_shrink_every_rejected(self, problem):
+        X, y = problem
+        with pytest.raises(ValueError, match="shrink_every"):
+            smo_train(X, y, LinearKernel(), shrink_every=-1)
+
+
+class TestSVCIntegration:
+    def test_svc_options_forwarded(self, rng):
+        x = rng.standard_normal((150, 6))
+        y = make_labels(rng, x)
+        clf = SVC(
+            "gaussian", gamma=0.5, C=1.0, working_set="second",
+            shrink_every=30,
+        ).fit(x, y)
+        assert clf.score(x, y) > 0.9
+
+    def test_adaptive_svc_options_forwarded(self, rng):
+        x = rng.standard_normal((150, 6))
+        y = make_labels(rng, x)
+        clf = AdaptiveSVC(
+            "linear", C=1.0, working_set="second", shrink_every=30
+        ).fit(x, y)
+        assert clf.score(x, y) > 0.9
+        assert clf.working_set == "second"

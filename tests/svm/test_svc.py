@@ -1,0 +1,151 @@
+"""SVC / MulticlassSVC public API tests."""
+
+import numpy as np
+import pytest
+
+from repro.formats import from_dense
+from repro.svm import SVC, MulticlassSVC
+from repro.svm.kernels import GaussianKernel
+from tests.conftest import make_labels
+
+
+@pytest.fixture
+def separable(rng):
+    x = rng.standard_normal((100, 8))
+    y = make_labels(rng, x)
+    return x, y
+
+
+class TestSVC:
+    def test_fit_predict_accuracy(self, separable):
+        x, y = separable
+        clf = SVC("linear", C=10.0).fit(x, y)
+        assert clf.score(x, y) >= 0.95
+        assert clf.fitted
+
+    def test_accepts_ndarray_and_matrixformat(self, separable):
+        # Different formats sum in different orders, so the SMO iterate
+        # paths diverge within the duality-gap tolerance; the learned
+        # models agree to that tolerance, not to machine epsilon.
+        x, y = separable
+        c1 = SVC("linear", C=1.0).fit(x, y)
+        c2 = SVC("linear", C=1.0).fit(from_dense(x, "ELL"), y)
+        assert np.allclose(
+            c1.decision_function(x), c2.decision_function(x), atol=0.05
+        )
+        assert c1.result_.objective(y) == pytest.approx(
+            c2.result_.objective(y), rel=1e-4
+        )
+
+    def test_predict_labels_are_pm1(self, separable):
+        x, y = separable
+        preds = SVC("linear", C=1.0).fit(x, y).predict(x)
+        assert set(np.unique(preds)) <= {-1.0, 1.0}
+
+    def test_rbf_solves_xor(self, rng):
+        x = rng.standard_normal((200, 2))
+        y = np.where(x[:, 0] * x[:, 1] > 0, 1.0, -1.0)
+        clf = SVC("gaussian", gamma=1.0, C=10.0).fit(x, y)
+        assert clf.score(x, y) >= 0.9  # linearly inseparable problem
+
+    def test_kernel_instance(self, separable):
+        x, y = separable
+        clf = SVC(GaussianKernel(gamma=0.5), C=1.0).fit(x, y)
+        assert clf.score(x, y) > 0.8
+
+    def test_kernel_params_with_instance_rejected(self):
+        with pytest.raises(ValueError, match="kernel_params"):
+            SVC(GaussianKernel(gamma=0.5), gamma=1.0)
+
+    def test_unfitted_raises(self, separable):
+        x, _ = separable
+        clf = SVC("linear")
+        with pytest.raises(RuntimeError, match="not fitted"):
+            clf.predict(x)
+        with pytest.raises(RuntimeError, match="not fitted"):
+            _ = clf.n_support
+
+    def test_n_support_reasonable(self, separable):
+        x, y = separable
+        clf = SVC("linear", C=10.0).fit(x, y)
+        assert 1 <= clf.n_support <= len(y)
+
+    def test_generalisation_on_holdout(self, rng):
+        x = rng.standard_normal((300, 5))
+        w = rng.standard_normal(5)
+        y = np.where(x @ w > 0, 1.0, -1.0)
+        clf = SVC("linear", C=10.0).fit(x[:200], y[:200])
+        assert clf.score(x[200:], y[200:]) >= 0.9
+
+
+class TestMulticlass:
+    @pytest.fixture
+    def three_class(self, rng):
+        k = 3
+        centers = rng.standard_normal((k, 6)) * 4.0
+        y = rng.integers(0, k, 120).astype(float)
+        x = centers[y.astype(int)] + rng.standard_normal((120, 6)) * 0.5
+        return x, y
+
+    def test_fit_predict(self, three_class):
+        x, y = three_class
+        clf = MulticlassSVC("linear", C=10.0).fit(x, y)
+        assert clf.score(x, y) >= 0.9
+        assert len(clf.models_) == 3  # 3 choose 2
+
+    def test_preserves_label_values(self, three_class):
+        x, y = three_class
+        y = y + 5.0  # arbitrary label values
+        clf = MulticlassSVC("linear", C=10.0).fit(x, y)
+        assert set(np.unique(clf.predict(x))) <= set(np.unique(y))
+
+    def test_single_class_rejected(self, rng):
+        x = rng.standard_normal((10, 3))
+        with pytest.raises(ValueError, match="two classes"):
+            MulticlassSVC().fit(x, np.zeros(10))
+
+    def test_unfitted_raises(self, rng):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            MulticlassSVC().predict(rng.standard_normal((4, 3)))
+
+    def test_parallel_matches_serial(self, three_class):
+        x, y = three_class
+        serial = MulticlassSVC("linear", C=1.0, n_workers=1).fit(x, y)
+        parallel = MulticlassSVC("linear", C=1.0, n_workers=4).fit(x, y)
+        assert np.array_equal(serial.predict(x), parallel.predict(x))
+
+
+class TestAdaptiveMulticlass:
+    @pytest.fixture
+    def three_class(self, rng):
+        k = 3
+        centers = rng.standard_normal((k, 6)) * 4.0
+        y = rng.integers(0, k, 120).astype(float)
+        x = centers[y.astype(int)] + rng.standard_normal((120, 6)) * 0.5
+        return x, y
+
+    def test_adaptive_pairs_get_layout_decisions(self, three_class):
+        from repro.core import LayoutScheduler
+        from repro.svm.adaptive import AdaptiveSVC
+
+        x, y = three_class
+        clf = MulticlassSVC(
+            "linear", C=10.0,
+            scheduler=LayoutScheduler("cost"),
+        ).fit(x, y)
+        assert clf.score(x, y) >= 0.9
+        for pm in clf.models_:
+            assert isinstance(pm.svc, AdaptiveSVC)
+            assert pm.svc.decision_ is not None
+
+    def test_adaptive_flag_without_scheduler(self, three_class):
+        x, y = three_class
+        clf = MulticlassSVC("linear", C=10.0, adaptive=True).fit(x, y)
+        assert clf.score(x, y) >= 0.9
+
+    def test_plain_multiclass_unchanged(self, three_class):
+        x, y = three_class
+        clf = MulticlassSVC("linear", C=10.0).fit(x, y)
+        from repro.svm.adaptive import AdaptiveSVC
+
+        assert not any(isinstance(pm.svc, AdaptiveSVC) for pm in clf.models_)

@@ -1,0 +1,89 @@
+"""Warm-started SMO: correctness and the convergence speedup."""
+
+import numpy as np
+import pytest
+
+from repro.formats import from_dense
+from repro.svm.kernels import GaussianKernel, LinearKernel
+from repro.svm.smo import smo_train
+from tests.conftest import make_labels
+
+
+@pytest.fixture
+def problem(rng):
+    x = rng.standard_normal((200, 6))
+    y = make_labels(rng, x)
+    return from_dense(x, "CSR"), y
+
+
+class TestWarmStart:
+    def test_resume_from_own_solution_converges_instantly(self, problem):
+        X, y = problem
+        cold = smo_train(X, y, GaussianKernel(0.5), C=1.0, tol=1e-4)
+        warm = smo_train(
+            X, y, GaussianKernel(0.5), C=1.0, tol=1e-4,
+            initial_alpha=cold.alpha,
+        )
+        assert warm.converged
+        assert warm.iterations <= max(5, cold.iterations // 20)
+        assert warm.objective(y) == pytest.approx(
+            cold.objective(y), rel=1e-6
+        )
+
+    def test_warm_start_across_nearby_C(self, problem):
+        # The classic use: trace a C path. Warm starting from the
+        # previous C's solution must (a) reach the same optimum the
+        # cold start reaches and (b) do so in fewer iterations.
+        X, y = problem
+        sol_c1 = smo_train(X, y, LinearKernel(), C=1.0, tol=1e-4)
+        cold_c2 = smo_train(X, y, LinearKernel(), C=1.2, tol=1e-4)
+        warm_c2 = smo_train(
+            X, y, LinearKernel(), C=1.2, tol=1e-4,
+            initial_alpha=sol_c1.alpha,
+        )
+        assert warm_c2.converged
+        assert warm_c2.objective(y) == pytest.approx(
+            cold_c2.objective(y), rel=1e-3
+        )
+        assert warm_c2.iterations < cold_c2.iterations
+
+    def test_rebuilt_f_is_exact(self, problem):
+        X, y = problem
+        sol = smo_train(X, y, LinearKernel(), C=1.0, tol=1e-4)
+        warm = smo_train(
+            X, y, LinearKernel(), C=1.0, tol=1e-4,
+            initial_alpha=sol.alpha, max_iter=1,
+        )
+        dense = X.to_dense()
+        K = dense @ dense.T
+        # After 1 iteration from the warm start, f must satisfy the
+        # maintained-exactly invariant.
+        assert np.allclose(
+            warm.f, K @ (warm.alpha * y) - y, atol=1e-8
+        )
+
+    def test_validation(self, problem):
+        X, y = problem
+        with pytest.raises(ValueError, match="length M"):
+            smo_train(
+                X, y, LinearKernel(), initial_alpha=np.zeros(3)
+            )
+        with pytest.raises(ValueError, match="box"):
+            smo_train(
+                X, y, LinearKernel(), C=1.0,
+                initial_alpha=np.full(X.shape[0], 2.0),
+            )
+        bad = np.zeros(X.shape[0])
+        bad[np.argmax(y > 0)] = 0.5  # breaks sum alpha y = 0
+        with pytest.raises(ValueError, match="equality"):
+            smo_train(X, y, LinearKernel(), C=1.0, initial_alpha=bad)
+
+    def test_zero_warm_start_equals_cold(self, problem):
+        X, y = problem
+        cold = smo_train(X, y, LinearKernel(), C=1.0, tol=1e-4)
+        warm = smo_train(
+            X, y, LinearKernel(), C=1.0, tol=1e-4,
+            initial_alpha=np.zeros(X.shape[0]),
+        )
+        assert warm.iterations == cold.iterations
+        assert np.allclose(warm.alpha, cold.alpha)

@@ -1,0 +1,123 @@
+"""CLI tests (invoked in-process via repro.cli.main)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.data import load_dataset, write_libsvm
+
+
+@pytest.fixture
+def libsvm_file(tmp_path):
+    ds = load_dataset("aloi", seed=0, m_override=150)
+    path = tmp_path / "aloi.libsvm"
+    write_libsvm(path, (ds.rows, ds.cols, ds.values, ds.shape), ds.y)
+    return str(path), ds.shape[1]
+
+
+class TestCLI:
+    def test_profile(self, libsvm_file, capsys):
+        path, n = libsvm_file
+        assert main(["profile", path, "--n-features", str(n)]) == 0
+        out = capsys.readouterr().out
+        assert "DatasetProfile" in out
+        assert "vdim" in out
+
+    def test_schedule(self, libsvm_file, capsys):
+        path, n = libsvm_file
+        assert (
+            main(
+                [
+                    "schedule", path, "--n-features", str(n),
+                    "--strategy", "cost",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "format" in out and "reason" in out
+
+    def test_train(self, libsvm_file, capsys):
+        path, n = libsvm_file
+        assert (
+            main(
+                [
+                    "train", path, "--n-features", str(n),
+                    "--strategy", "cost", "--max-iter", "500",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "train acc" in out
+        acc = float(
+            [l for l in out.splitlines() if "train acc" in l][0].split(":")[1]
+        )
+        assert acc > 0.8
+
+    def test_train_rejects_multiclass(self, tmp_path, capsys):
+        ds = load_dataset("aloi", seed=0, m_override=50)
+        y = np.arange(50, dtype=float) % 3  # three classes
+        path = tmp_path / "multi.libsvm"
+        write_libsvm(path, (ds.rows, ds.cols, ds.values, ds.shape), y)
+        assert main(["train", str(path)]) == 2
+        assert "binary" in capsys.readouterr().err
+
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "trefethen" in out and "gisette" in out
+
+    def test_table7(self, capsys):
+        assert main(["table7"]) == 0
+        out = capsys.readouterr().out
+        assert "Tune B on DGX station" in out
+
+    def test_machines(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "dgx" in out and "79,000" in out
+
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_module_invocation(self, libsvm_file):
+        import subprocess
+        import sys
+
+        path, n = libsvm_file
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "profile", path],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert "DatasetProfile" in proc.stdout
+
+
+class TestExplain:
+    def test_schedule_explain(self, libsvm_file, capsys):
+        path, n = libsvm_file
+        assert (
+            main(
+                [
+                    "schedule", path, "--n-features", str(n),
+                    "--strategy", "cost", "--explain",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "influencing parameters" in out
+        assert "rule-based decision" in out
+        assert "cost model ranking" in out
+
+    def test_explain_function_directly(self):
+        from repro.core import explain
+        from repro.data import load_dataset
+
+        p = load_dataset("trefethen", seed=0).profile
+        text = explain(p)
+        assert "banded" in text  # the rule that fires for trefethen
+        assert "DIA" in text

@@ -1,0 +1,129 @@
+"""Cross-cutting hypothesis properties over the model layers.
+
+Properties that span packages: pricing identities, convergence-model
+monotonicities, roofline scaling, and the loss function's convexity
+signature — the invariants the Table VII / Fig. 6 pipelines silently
+rely on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dnn import SoftmaxCrossEntropy
+from repro.hardware import get_machine, roofline_time
+from repro.hardware.pricing import price_per_speedup_table
+from repro.tuning import ConvergenceModel
+
+
+class TestPricingProperties:
+    @given(
+        times=st.lists(
+            st.floats(1.0, 1e5), min_size=2, max_size=6, unique=True
+        ),
+        price=st.floats(100.0, 1e5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_speedup_identities(self, times, price):
+        names = [f"m{i}" for i in range(len(times))]
+        rows = price_per_speedup_table(
+            dict(zip(names, times)), {n: price for n in names}
+        )
+        by = {r.method: r for r in rows}
+        slowest = max(times)
+        # The baseline has speedup exactly 1; all speedups >= 1.
+        assert any(r.speedup == pytest.approx(1.0) for r in rows)
+        for name, t in zip(names, times):
+            assert by[name].speedup == pytest.approx(slowest / t)
+            assert by[name].price_per_speedup == pytest.approx(
+                price * t / slowest
+            )
+        # With equal prices, faster method => strictly better $/speedup.
+        order_by_time = sorted(names, key=lambda n: by[n].seconds)
+        pps = [by[n].price_per_speedup for n in order_by_time]
+        assert pps == sorted(pps)
+
+
+class TestConvergenceModelProperties:
+    @given(b=st.sampled_from([64, 100, 128, 256, 512, 1024, 2048]))
+    @settings(max_examples=30, deadline=None)
+    def test_optimal_lr_minimises_epochs_over_lr(self, b):
+        model = ConvergenceModel()
+        lr_opt = model.lr_opt(b)
+        e_opt = model.epochs_to_target(b, lr_opt, 0.90)
+        for factor in (0.3, 0.6, 1.5, 2.5):
+            e = model.epochs_to_target(b, lr_opt * factor, 0.90)
+            if e is not None:
+                assert e >= e_opt - 1e-9
+
+    @given(
+        b=st.sampled_from([100, 256, 512, 1024]),
+        mu=st.floats(0.0, 0.99),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_epochs_always_positive_or_divergent(self, b, mu):
+        model = ConvergenceModel()
+        e = model.epochs_to_target(b, model.lr_opt(b), mu)
+        assert e is None or e > 0
+
+    def test_batch_monotone_above_crit_at_optimal_lr(self):
+        model = ConvergenceModel()
+        epochs = [
+            model.epochs_to_target(b, model.lr_opt(b), 0.90)
+            for b in (512, 1024, 2048, 4096)
+        ]
+        assert epochs == sorted(epochs)
+
+
+class TestRooflineProperties:
+    @given(
+        flops=st.floats(1.0, 1e12),
+        nbytes=st.floats(1.0, 1e12),
+        scale=st.floats(1.1, 100.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_homogeneous_scaling(self, flops, nbytes, scale):
+        m = get_machine("haswell")
+        t1 = roofline_time(flops, nbytes, m)
+        t2 = roofline_time(flops * scale, nbytes * scale, m)
+        assert t2 == pytest.approx(t1 * scale, rel=1e-9)
+
+    @given(flops=st.floats(1.0, 1e12), nbytes=st.floats(1.0, 1e12))
+    @settings(max_examples=60, deadline=None)
+    def test_max_of_roofs(self, flops, nbytes):
+        m = get_machine("p100")
+        t = roofline_time(flops, nbytes, m, efficiency=0.5)
+        t_c = roofline_time(flops, 1e-9 + 0, m, efficiency=0.5)
+        t_m = roofline_time(0.0, nbytes, m, efficiency=0.5)
+        assert t == pytest.approx(max(t_c, t_m), rel=1e-9)
+
+
+class TestLossProperties:
+    @given(seed=st.integers(0, 2**16), n=st.integers(1, 16), k=st.integers(2, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_loss_bounds_and_shift_invariance(self, seed, n, k):
+        rng = np.random.default_rng(seed)
+        logits = rng.standard_normal((n, k)) * 3.0
+        y = rng.integers(0, k, n)
+        lf = SoftmaxCrossEntropy()
+        loss, grad = lf(logits.copy(), y)
+        assert loss >= 0.0
+        # shifting all logits per row leaves softmax (and loss) fixed
+        shifted = logits + rng.standard_normal((n, 1)) * 5.0
+        loss2, _ = lf(shifted, y)
+        assert loss2 == pytest.approx(loss, rel=1e-9, abs=1e-12)
+        # gradient row sums vanish (softmax simplex constraint)
+        assert np.allclose(grad.sum(axis=1), 0.0, atol=1e-10)
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_gradient_step_decreases_loss(self, seed):
+        # First-order sanity: a small step against the gradient helps.
+        rng = np.random.default_rng(seed)
+        logits = rng.standard_normal((8, 5))
+        y = rng.integers(0, 5, 8)
+        lf = SoftmaxCrossEntropy()
+        loss, grad = lf(logits.copy(), y)
+        loss2, _ = lf(logits - 0.01 * grad, y)
+        assert loss2 <= loss + 1e-12

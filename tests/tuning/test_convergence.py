@@ -1,0 +1,86 @@
+"""Convergence model: the four Table VII anchors must be exact."""
+
+import math
+
+import pytest
+
+from repro.tuning import ConvergenceModel
+
+
+@pytest.fixture
+def model() -> ConvergenceModel:
+    return ConvergenceModel()
+
+
+class TestAnchors:
+    """The measured (B, eta, mu) -> epochs/iterations anchor rows."""
+
+    def test_reference_point(self, model):
+        assert model.epochs_to_target(100, 0.001, 0.90) == pytest.approx(120)
+        assert model.point(100, 0.001, 0.90).iterations == 60_000
+
+    def test_tuned_batch_row(self, model):
+        e = model.epochs_to_target(512, 0.001, 0.90)
+        assert e == pytest.approx(307, rel=0.01)
+        assert model.point(512, 0.001, 0.90).iterations == pytest.approx(
+            30_000, rel=0.01
+        )
+
+    def test_tuned_lr_row(self, model):
+        e = model.epochs_to_target(512, 0.003, 0.90)
+        assert e == pytest.approx(123, rel=0.01)
+        assert model.point(512, 0.003, 0.90).iterations == pytest.approx(
+            12_000, rel=0.01
+        )
+
+    def test_tuned_momentum_row(self, model):
+        e = model.epochs_to_target(512, 0.003, 0.95)
+        assert e == pytest.approx(72, rel=0.01)
+        assert model.point(512, 0.003, 0.95).iterations == pytest.approx(
+            7_000, rel=0.01
+        )
+
+
+class TestShape:
+    def test_lr_opt_grows_with_batch(self, model):
+        assert model.lr_opt(512) == pytest.approx(0.003, rel=0.01)
+        assert model.lr_opt(100) == 0.001
+        assert model.lr_opt(2048) > model.lr_opt(512)
+
+    def test_sharp_minima_penalty_above_crit(self, model):
+        # Above B_crit = 512 epochs grow steeply even at optimal lr.
+        e512 = model.epochs_to_target(512, model.lr_opt(512), 0.90)
+        e2048 = model.epochs_to_target(2048, model.lr_opt(2048), 0.90)
+        assert e2048 / e512 > 1.5
+
+    def test_divergence_at_huge_lr(self, model):
+        assert model.epochs_to_target(100, 0.016, 0.90) is None
+        p = model.point(100, 0.016, 0.90)
+        assert not p.converges and p.epochs == math.inf
+
+    def test_momentum_sweet_spot(self, model):
+        factors = {
+            mu: model.momentum_factor(mu) for mu in (0.90, 0.95, 0.99)
+        }
+        assert factors[0.95] < factors[0.90]
+        assert factors[0.99] > factors[0.95]  # too much momentum hurts
+
+    def test_momentum_validation(self, model):
+        assert model.momentum_factor(1.0) is None
+        assert model.momentum_factor(-0.1) is None
+
+    def test_lr_penalty_continuous_at_optimum(self, model):
+        below = model.lr_penalty(0.0029999, 512)
+        above = model.lr_penalty(0.0030001, 512)
+        assert below == pytest.approx(above, rel=1e-3)
+
+    def test_overshoot_penalised(self, model):
+        assert model.lr_penalty(0.006, 512) > 1.0
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.lr_opt(0)
+        with pytest.raises(ValueError):
+            model.lr_penalty(0.0, 100)
+        with pytest.raises(ValueError):
+            ConvergenceModel(base_epochs=0)

@@ -1,0 +1,115 @@
+"""Grid search and the Table VII reproduction pipeline."""
+
+import math
+
+import pytest
+
+from repro.hardware import DNN_MACHINES
+from repro.tuning import (
+    BATCH_SPACE,
+    LR_SPACE,
+    MOMENTUM_SPACE,
+    GridSearch,
+    ModelObjective,
+    reproduce_table7,
+)
+from repro.tuning.search import Candidate
+from repro.tuning.table7 import as_price_points, format_rows
+
+
+class TestSpaces:
+    def test_paper_spaces_verbatim(self):
+        assert BATCH_SPACE == (64, 100, 128, 256, 512, 1024, 2048, 4096, 8192)
+        assert LR_SPACE[0] == 0.001 and LR_SPACE[-1] == 0.016
+        assert len(LR_SPACE) == 16
+        assert MOMENTUM_SPACE == tuple(
+            round(0.90 + 0.01 * k, 2) for k in range(10)
+        )
+
+
+class TestGridSearch:
+    @pytest.fixture
+    def objective(self):
+        return ModelObjective(DNN_MACHINES["dgx"])
+
+    def test_staged_reproduces_paper_choices(self, objective):
+        result = GridSearch(objective).staged()
+        assert result.best.batch_size == 512
+        assert result.best.lr == pytest.approx(0.003)
+        assert result.best.momentum in (0.95, 0.96)
+        assert result.best_point.converges
+        # staged search = 9 + 16 + 10 evaluations
+        assert result.n_evaluated == len(BATCH_SPACE) + len(LR_SPACE) + len(
+            MOMENTUM_SPACE
+        )
+
+    def test_exhaustive_at_least_as_good_as_staged(self, objective):
+        gs = GridSearch(objective)
+        staged = gs.staged()
+        exhaustive = gs.exhaustive()
+        assert exhaustive.best_seconds <= staged.best_seconds + 1e-9
+        assert exhaustive.n_evaluated == 9 * 16 * 10
+
+    def test_diverging_candidates_score_inf(self, objective):
+        assert objective(Candidate(100, 0.016, 0.90)) == math.inf
+
+    def test_empty_space_rejected(self, objective):
+        with pytest.raises(ValueError):
+            GridSearch(objective, batch_space=[])
+
+
+class TestTable7:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return reproduce_table7()
+
+    def test_eight_rows(self, rows):
+        assert len(rows) == 8
+
+    def test_baseline_is_cpu8(self, rows):
+        assert rows[0].machine == "cpu8"
+        assert rows[0].speedup == pytest.approx(1.0)
+
+    def test_platform_speedups_match_paper_shape(self, rows):
+        by = {r.machine: r for r in rows[:5]}
+        # Paper: KNL 6x, Haswell 15x, P100 59x, DGX 76x.
+        assert by["knl"].speedup == pytest.approx(6, rel=0.15)
+        assert by["haswell"].speedup == pytest.approx(15, rel=0.15)
+        assert by["p100"].speedup == pytest.approx(59, rel=0.15)
+        assert by["dgx"].speedup == pytest.approx(76, rel=0.15)
+
+    def test_tuning_rows_match_paper(self, rows):
+        tune_b, tune_lr, tune_mu = rows[5], rows[6], rows[7]
+        assert tune_b.batch_size == 512
+        assert tune_b.iterations == pytest.approx(30_000, rel=0.01)
+        assert tune_lr.lr == pytest.approx(0.003)
+        assert tune_lr.iterations == pytest.approx(12_000, rel=0.01)
+        assert tune_mu.momentum == pytest.approx(0.95, abs=0.011)
+        assert tune_mu.iterations == pytest.approx(7_000, rel=0.01)
+
+    def test_final_speedup_order_of_paper(self, rows):
+        # Paper: 355x; the model reproduces the order of magnitude and
+        # strict monotone improvement across tuning stages.
+        assert rows[7].speedup == pytest.approx(355, rel=0.1)
+        speeds = [r.speedup for r in rows[4:]]
+        assert speeds == sorted(speeds)
+
+    def test_headline_claim_8hours_to_a_minute(self, rows):
+        # "we reduce the time from 8.2 hours to roughly 1 minute"
+        assert rows[0].seconds == pytest.approx(8.2 * 3600, rel=0.03)
+        assert rows[7].seconds < 120
+
+    def test_price_per_speedup_winner_is_p100(self, rows):
+        # Paper Section V-C: P100 most efficient, 8-core CPU least.
+        points = sorted(as_price_points(rows))
+        assert "P100" in points[0].method
+        platform_points = [
+            p for p in points if "Tune" not in p.method
+        ]
+        assert "8-core" in max(
+            platform_points, key=lambda p: p.price_per_speedup
+        ).method
+
+    def test_format_rows_renders(self, rows):
+        text = format_rows(rows)
+        assert "Tune B" in text and "Speedup" in text
