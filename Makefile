@@ -1,0 +1,25 @@
+# Developer entry points.  CI runs the same three targets as separate
+# jobs (.github/workflows/ci.yml) so lint and test regressions are
+# distinguishable at a glance.
+
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: lint test test-sanitize check
+
+## Static analysis: the six RDL rules over the whole tree, JSON mode,
+## non-zero exit on any finding.  See docs/analysis.md.
+lint:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.analysis src tests
+
+## Tier-1 test suite.
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+## Tier-1 suite with every format constructor validating its own
+## structural invariants (the runtime sanitizer's blanket switch).
+test-sanitize:
+	REPRO_SANITIZE=1 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+## Everything CI gates on.
+check: lint test test-sanitize

@@ -29,6 +29,7 @@ Package map (see DESIGN.md for the full inventory):
 - :mod:`repro.hardware` — machine catalog, roofline, SIMD model, pricing
 - :mod:`repro.data` — synthetic generators, Table V clones, CIFAR stand-in
 - :mod:`repro.perf` / :mod:`repro.parallel` — measurement and threading
+- :mod:`repro.analysis` — RDL invariant linter + runtime format sanitizer
 """
 
 from repro.core import LayoutScheduler, schedule_layout

@@ -1,0 +1,57 @@
+"""Static analysis and runtime sanitisation for the repro codebase.
+
+The kernel-level invariants this library depends on — canonical
+``VALUE_DTYPE``/``INDEX_DTYPE`` payloads, vectorised hot paths,
+race-free worker closures, OpCounter accounting, quantised scheduler
+cache keys — are stated in docstrings but were historically enforced by
+nothing.  This package enforces them with two cooperating layers:
+
+- :mod:`repro.analysis.lint` — an AST-based lint pass with the
+  repo-specific rule catalogue RDL001–RDL006 (``repro lint``).
+- :mod:`repro.analysis.sanitize` — a runtime sanitizer that validates
+  the structural invariants of every storage format (CSR indptr
+  monotonicity, COO canonical ordering, ELL padding, DIA offset bounds,
+  round-trip conservation), enabled globally via ``REPRO_SANITIZE=1``
+  or per-matrix via :func:`sanitize_format`.
+
+``python -m repro.analysis src tests`` is the CI entry point: it lints
+in JSON mode and exits non-zero on any finding.
+"""
+
+from repro.analysis.lint import (
+    Finding,
+    Rule,
+    explain_rule,
+    get_rule,
+    iter_rules,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+)
+from repro.analysis.sanitize import (
+    FormatInvariantError,
+    SanitizedMatrix,
+    check_format,
+    format_violations,
+    sanitize_enabled,
+    sanitize_format,
+)
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "explain_rule",
+    "get_rule",
+    "iter_rules",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+    "FormatInvariantError",
+    "SanitizedMatrix",
+    "check_format",
+    "format_violations",
+    "sanitize_enabled",
+    "sanitize_format",
+]

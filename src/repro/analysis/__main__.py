@@ -1,0 +1,30 @@
+"""CI entry point: ``python -m repro.analysis [paths...]``.
+
+Equivalent to ``repro lint --json`` — lints the given paths (default:
+``src tests``) and exits 1 on any finding, which is what the CI lint
+job gates on.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from repro.analysis.lint import lint_paths, render_json
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    paths = list(sys.argv[1:] if argv is None else argv)
+    if not paths:
+        paths = ["src", "tests"]
+    try:
+        findings = lint_paths(paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_json(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,635 @@
+"""The RDL rule catalogue: six repo-specific invariants, enforced.
+
+Each rule encodes one convention the rest of the library relies on but
+cannot express in code.  The scopes are deliberately narrow — a rule
+fires only in the packages where its invariant is load-bearing, so the
+whole tree lints clean without drowning unrelated code in noise.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.analysis.lint import Finding, Rule, register
+
+#: Kernel methods where interpreted per-element loops destroy the O(nnz)
+#: NumPy vectorisation the cost model assumes.
+KERNEL_METHODS = frozenset({"matvec", "smsv", "row_norms_sq"})
+
+#: Raw dtype spellings and the canonical alias each must use instead.
+RAW_DTYPES: Dict[str, str] = {
+    "float64": "VALUE_DTYPE",
+    "int32": "INDEX_DTYPE",
+}
+
+
+def _posix(path: str) -> str:
+    return Path(path).as_posix()
+
+
+def _in_package(path: str, *subpackages: str) -> bool:
+    p = _posix(path)
+    return any(f"repro/{sub}/" in p for sub in subpackages)
+
+
+def _ends_with(path: str, *names: str) -> bool:
+    p = _posix(path)
+    return any(p.endswith(f"repro/{name}") for name in names)
+
+
+def _class_methods(tree: ast.Module) -> Iterator[tuple]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield node, item
+
+
+@register
+class HotPathLoopRule(Rule):
+    """RDL001: no interpreted loops inside format kernel methods."""
+
+    code = "RDL001"
+    name = "hot-path-python-loop"
+    rationale = """
+    The scheduler's cost model prices every format kernel as O(stored
+    elements) of *vectorised* NumPy work; a Python-level ``for``/``while``
+    over rows or non-zeros inside ``matvec``/``smsv``/``row_norms_sq``
+    multiplies the constant factor by two to three orders of magnitude
+    and silently invalidates every probe measurement and Table VI
+    comparison built on top of it.  Loops whose trip count is itself the
+    modelled cost driver (DIA iterates per diagonal, ndig times; CSC's
+    smsv iterates per sparse-vector support element) are the documented
+    exceptions and carry a justifying noqa.
+    """
+
+    def applies_to(self, path: str) -> bool:
+        return _in_package(path, "formats")
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for cls, fn in _class_methods(tree):
+            if fn.name not in KERNEL_METHODS:
+                continue
+            for node in ast.walk(fn):
+                if isinstance(node, (ast.For, ast.While)):
+                    yield self.finding(
+                        path,
+                        node,
+                        f"Python loop in kernel method "
+                        f"{cls.name}.{fn.name}; use vectorised NumPy "
+                        f"(or justify with a noqa if the trip count is "
+                        f"the modelled cost driver)",
+                    )
+
+
+@register
+class RawDtypeLiteralRule(Rule):
+    """RDL002: payload dtypes must use the canonical aliases."""
+
+    code = "RDL002"
+    name = "raw-dtype-literal"
+    rationale = """
+    Every numeric payload in the format/data/feature pipeline must stay
+    ``VALUE_DTYPE`` (8-byte float) and every index array ``INDEX_DTYPE``
+    (4-byte int), because the storage model (Table II), the byte
+    counters, and the roofline analysis all derive traffic from those
+    item sizes.  A raw ``np.float64`` / ``np.int32`` / ``"float64"``
+    literal works today but detaches the call site from the single
+    point of control in ``repro/formats/base.py`` — change the canonical
+    dtype there and the literal becomes a silent mixed-precision bug.
+    Import the aliases instead.
+    """
+
+    _SCOPED = ("formats", "data", "features", "parallel", "baselines")
+
+    def applies_to(self, path: str) -> bool:
+        if _ends_with(path, "formats/base.py"):
+            return False  # the defining module
+        return _in_package(path, *self._SCOPED)
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in ("np", "numpy")
+                and node.attr in RAW_DTYPES
+            ):
+                yield self.finding(
+                    path,
+                    node,
+                    f"raw dtype literal np.{node.attr}; use "
+                    f"{RAW_DTYPES[node.attr]} from repro.formats.base",
+                )
+            elif isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if (
+                        kw.arg == "dtype"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value in RAW_DTYPES
+                    ):
+                        yield self.finding(
+                            path,
+                            kw.value,
+                            f'raw dtype string "{kw.value.value}"; use '
+                            f"{RAW_DTYPES[kw.value.value]} from "
+                            f"repro.formats.base",
+                        )
+
+
+class _ClosureRace:
+    """Best-effort race analysis of one closure submitted to a pool."""
+
+    _MUTATORS = frozenset(
+        {
+            "append",
+            "extend",
+            "insert",
+            "add",
+            "update",
+            "setdefault",
+            "remove",
+            "discard",
+            "clear",
+            "pop",
+            "popitem",
+        }
+    )
+
+    def __init__(self, fn: ast.AST) -> None:
+        self.fn = fn
+        args = fn.args
+        params: Set[str] = {
+            a.arg
+            for a in (
+                list(args.posonlyargs)
+                + list(args.args)
+                + list(args.kwonlyargs)
+            )
+        }
+        if args.vararg:
+            params.add(args.vararg.arg)
+        if args.kwarg:
+            params.add(args.kwarg.arg)
+        self.params = params
+        self.assigned = self._assigned_names()
+        self.tainted = self._taint()
+
+    def _body_walk(self) -> Iterator[ast.AST]:
+        if isinstance(self.fn, ast.Lambda):
+            yield from ast.walk(self.fn.body)
+            return
+        for stmt in self.fn.body:
+            yield from ast.walk(stmt)
+
+    def _assigned_names(self) -> Set[str]:
+        out: Set[str] = set()
+        for node in self._body_walk():
+            if isinstance(node, ast.Name) and isinstance(
+                node.ctx, ast.Store
+            ):
+                out.add(node.id)
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                target = node.target
+                for n in ast.walk(target):
+                    if isinstance(n, ast.Name):
+                        out.add(n.id)
+        return out
+
+    def _taint(self) -> Set[str]:
+        """Names derived (transitively) from the closure's parameters."""
+        tainted = set(self.params)
+        changed = True
+        while changed:
+            changed = False
+            for node in self._body_walk():
+                if not isinstance(node, ast.Assign):
+                    continue
+                value_names = {
+                    n.id
+                    for n in ast.walk(node.value)
+                    if isinstance(n, ast.Name)
+                }
+                if not (value_names & tainted):
+                    continue
+                for target in node.targets:
+                    for n in ast.walk(target):
+                        if (
+                            isinstance(n, ast.Name)
+                            and n.id not in tainted
+                        ):
+                            tainted.add(n.id)
+                            changed = True
+        return tainted
+
+    def _is_captured(self, name: str) -> bool:
+        return name not in self.params and name not in self.assigned
+
+    def violations(self) -> Iterator[tuple]:
+        """Yield ``(node, description)`` pairs for each race pattern."""
+        for node in self._body_walk():
+            if isinstance(node, (ast.Nonlocal, ast.Global)):
+                kind = (
+                    "nonlocal"
+                    if isinstance(node, ast.Nonlocal)
+                    else "global"
+                )
+                yield node, (
+                    f"{kind} write to {', '.join(node.names)} shares "
+                    f"state across workers"
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(node, ast.AugAssign)
+                        and isinstance(target, ast.Name)
+                        and self._is_captured(target.id)
+                    ):
+                        yield node, (
+                            f"augmented assignment to captured "
+                            f"{target.id!r} accumulates shared state"
+                        )
+                    elif isinstance(target, ast.Subscript) and isinstance(
+                        target.value, ast.Name
+                    ):
+                        base = target.value.id
+                        if not self._is_captured(base):
+                            continue
+                        index_names = {
+                            n.id
+                            for n in ast.walk(target.slice)
+                            if isinstance(n, ast.Name)
+                        }
+                        if not (index_names & self.tainted):
+                            yield node, (
+                                f"write to captured {base!r} at an "
+                                f"index not derived from the work item; "
+                                f"workers must write disjoint slices"
+                            )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.attr in self._MUTATORS
+                and self._is_captured(node.func.value.id)
+            ):
+                yield node, (
+                    f"mutating call .{node.func.attr}() on captured "
+                    f"{node.func.value.id!r} shares state across workers"
+                )
+
+
+@register
+class ParallelClosureCaptureRule(Rule):
+    """RDL003: worker closures must only write disjoint output slices."""
+
+    code = "RDL003"
+    name = "parallel-closure-capture"
+    rationale = """
+    ``WorkerPool`` provides no locking by design: the format kernels are
+    data-race free *by construction* because every closure they submit
+    writes only into an output slice derived from its own work item
+    (the discipline the paper's OpenMP loops rely on).  A closure that
+    mutates captured shared state — a nonlocal accumulator, a fixed
+    array slot, an append to a shared list — reintroduces exactly the
+    race class the construction was chosen to exclude, and NumPy
+    releasing the GIL makes such races real, not theoretical.  This rule
+    is a lightweight static race detector for closures handed to
+    ``WorkerPool.map``/``submit``/``parallel_map``.
+    """
+
+    _POOL_HINT = re.compile(r"pool|executor", re.IGNORECASE)
+    _POOL_FUNCS = frozenset({"parallel_map", "parallel_reduce"})
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        defs: Dict[str, ast.AST] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defs[node.name] = node
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            func = node.func
+            submits = False
+            if isinstance(func, ast.Attribute) and func.attr in (
+                "map",
+                "submit",
+            ):
+                receiver = func.value
+                hint = (
+                    receiver.id
+                    if isinstance(receiver, ast.Name)
+                    else receiver.attr
+                    if isinstance(receiver, ast.Attribute)
+                    else ""
+                )
+                submits = bool(self._POOL_HINT.search(hint))
+            elif isinstance(func, ast.Name) and func.id in self._POOL_FUNCS:
+                submits = True
+            if not submits:
+                continue
+            closure = self._resolve(node.args[0], defs)
+            if closure is None:
+                continue
+            label = (
+                "<lambda>"
+                if isinstance(closure, ast.Lambda)
+                else closure.name
+            )
+            for bad_node, description in _ClosureRace(
+                closure
+            ).violations():
+                yield self.finding(
+                    path,
+                    bad_node,
+                    f"closure {label!r} submitted to a worker pool: "
+                    f"{description}",
+                )
+
+    @staticmethod
+    def _resolve(
+        arg: ast.AST, defs: Dict[str, ast.AST]
+    ) -> Optional[ast.AST]:
+        if isinstance(arg, ast.Lambda):
+            return arg
+        if isinstance(arg, ast.Name):
+            return defs.get(arg.id)
+        return None
+
+
+@register
+class MissingOpCounterRule(Rule):
+    """RDL004: kernels taking an OpCounter must actually report to it."""
+
+    code = "RDL004"
+    name = "missing-opcounter-accounting"
+    rationale = """
+    The paper's entire analysis (Section III, Eq. 7) reasons about
+    transferred bytes and flops, not wall time; ``OpCounter`` is how the
+    kernels make those quantities auditable, and the roofline and
+    vector-machine models consume them directly.  A kernel method that
+    accepts a ``counter`` parameter but never calls ``counter.add_*``
+    (nor forwards the counter to a delegate kernel) reports zero traffic
+    for real work — the hardware models then silently underestimate that
+    format and the scheduler's ranking is corrupted without any test
+    failing.
+    """
+
+    def applies_to(self, path: str) -> bool:
+        return _in_package(path, "formats")
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for cls, fn in _class_methods(tree):
+            if fn.name not in ("matvec", "smsv"):
+                continue
+            arg_names = {a.arg for a in fn.args.args}
+            if "counter" not in arg_names:
+                continue
+            if self._is_stub(fn):
+                continue  # abstract interface definitions
+            if not self._accounts(fn):
+                yield self.finding(
+                    path,
+                    fn,
+                    f"kernel method {cls.name}.{fn.name} accepts an "
+                    f"OpCounter but never reports to it (no "
+                    f"counter.add_* call and counter not forwarded)",
+                )
+
+    @staticmethod
+    def _is_stub(fn: ast.FunctionDef) -> bool:
+        for dec in fn.decorator_list:
+            name = (
+                dec.attr
+                if isinstance(dec, ast.Attribute)
+                else dec.id
+                if isinstance(dec, ast.Name)
+                else ""
+            )
+            if "abstract" in name:
+                return True
+        return all(
+            isinstance(stmt, ast.Pass)
+            or (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+            )
+            or isinstance(stmt, ast.Raise)
+            for stmt in fn.body
+        )
+
+    @staticmethod
+    def _accounts(fn: ast.AST) -> bool:
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "counter"
+                and func.attr.startswith("add_")
+            ):
+                return True
+            passed = list(node.args) + [
+                kw.value for kw in node.keywords
+            ]
+            for arg in passed:
+                if isinstance(arg, ast.Name) and arg.id == "counter":
+                    return True
+        return False
+
+
+@register
+class SchedulerCacheKeyRule(Rule):
+    """RDL005: decision-cache keys must be hashable and quantised."""
+
+    code = "RDL005"
+    name = "scheduler-cache-key-hygiene"
+    rationale = """
+    The decision cache is what keeps *runtime* scheduling cheap: two
+    matrices whose profiles agree coarsely must hit the same entry, so
+    keys are built by quantising every profile statistic to ~1.5
+    significant figures before hashing.  A key built from raw floats
+    almost never repeats (cache hit rate collapses to zero and every
+    training run re-probes), and an unhashable key — a list, dict, or
+    generator — fails only at runtime on the first insert.  Any key
+    flowing into a cache store must therefore be a hashable expression,
+    and profile vectors must pass through a quantisation function.
+    """
+
+    _CACHE_HINT = re.compile(r"cache|store", re.IGNORECASE)
+    _QUANT_HINT = re.compile(r"quant|round|int$", re.IGNORECASE)
+    _UNHASHABLE = (
+        ast.List,
+        ast.Set,
+        ast.Dict,
+        ast.ListComp,
+        ast.SetComp,
+        ast.DictComp,
+        ast.GeneratorExp,
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return _in_package(path, "core")
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in ("get", "put", "setdefault")
+                    and self._is_cache_ref(func.value)
+                    and node.args
+                ):
+                    yield from self._key_findings(node.args[0], path)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(
+                        target, ast.Subscript
+                    ) and self._is_cache_ref(target.value):
+                        yield from self._key_findings(
+                            target.slice, path
+                        )
+            elif isinstance(node, ast.ClassDef) and "Cache" in node.name:
+                for item in node.body:
+                    if (
+                        isinstance(item, ast.FunctionDef)
+                        and item.name == "key"
+                        and self._contains_as_vector(item)
+                        and not self._contains_quantiser(item)
+                    ):
+                        yield self.finding(
+                            path,
+                            item,
+                            f"{node.name}.key builds a key from raw "
+                            f"profile values; quantise each statistic "
+                            f"before hashing or cache hits will never "
+                            f"occur",
+                        )
+
+    def _is_cache_ref(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return bool(self._CACHE_HINT.search(node.id))
+        if isinstance(node, ast.Attribute):
+            return bool(self._CACHE_HINT.search(node.attr))
+        return False
+
+    @staticmethod
+    def _contains_as_vector(node: ast.AST) -> bool:
+        for n in ast.walk(node):
+            if isinstance(n, ast.Call):
+                f = n.func
+                name = (
+                    f.attr
+                    if isinstance(f, ast.Attribute)
+                    else f.id
+                    if isinstance(f, ast.Name)
+                    else ""
+                )
+                if name == "as_vector":
+                    return True
+        return False
+
+    def _contains_quantiser(self, node: ast.AST) -> bool:
+        for n in ast.walk(node):
+            if isinstance(n, ast.Call):
+                f = n.func
+                name = (
+                    f.attr
+                    if isinstance(f, ast.Attribute)
+                    else f.id
+                    if isinstance(f, ast.Name)
+                    else ""
+                )
+                if name and self._QUANT_HINT.search(name):
+                    return True
+        return False
+
+    def _key_findings(
+        self, key: ast.AST, path: str
+    ) -> Iterator[Finding]:
+        if isinstance(key, self._UNHASHABLE):
+            yield self.finding(
+                path,
+                key,
+                "unhashable expression used as a decision-cache key; "
+                "use a (quantised) tuple",
+            )
+        elif self._contains_as_vector(key) and not self._contains_quantiser(
+            key
+        ):
+            yield self.finding(
+                path,
+                key,
+                "cache key built from raw profile values; quantise "
+                "each statistic before hashing",
+            )
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    """RDL006: no bare excepts; no silently swallowed errors in IO/CLI."""
+
+    code = "RDL006"
+    name = "swallowed-exception"
+    rationale = """
+    IO and CLI paths are where malformed user input surfaces; a bare
+    ``except:`` there also traps ``KeyboardInterrupt`` and
+    ``SystemExit``, and an ``except ValueError: pass`` turns a corrupt
+    LIBSVM or MatrixMarket file into a silently truncated dataset — the
+    scheduler then profiles and trains on data that is wrong in a way no
+    downstream check can see.  Handlers in IO/CLI code must re-raise
+    with context, return an error status, or at minimum warn; bare
+    excepts are flagged everywhere.
+    """
+
+    _IO_PACKAGES = ("data", "analysis")
+
+    def _io_scope(self, path: str) -> bool:
+        return _in_package(path, *self._IO_PACKAGES) or _ends_with(
+            path, "cli.py", "__main__.py"
+        )
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        io_scope = self._io_scope(path)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    path,
+                    node,
+                    "bare except traps KeyboardInterrupt/SystemExit; "
+                    "catch a specific exception",
+                )
+            elif io_scope and all(
+                isinstance(stmt, ast.Pass)
+                or (
+                    isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Constant)
+                )
+                for stmt in node.body
+            ):
+                yield self.finding(
+                    path,
+                    node,
+                    "exception silently swallowed in an IO/CLI path; "
+                    "re-raise with context, warn, or return an error "
+                    "status",
+                )
+
+
+#: Names of every registered rule code, for docs and tests.
+ALL_CODES = tuple(
+    sorted(code for code in Rule._registry)
+)

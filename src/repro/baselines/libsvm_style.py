@@ -20,7 +20,7 @@ from typing import Optional, Union
 
 import numpy as np
 
-from repro.formats.base import MatrixFormat, SparseVector
+from repro.formats.base import VALUE_DTYPE, MatrixFormat, SparseVector
 from repro.formats.csr import CSRMatrix
 from repro.formats.convert import convert
 from repro.perf.counters import OpCounter
@@ -45,7 +45,7 @@ def rowloop_csr_matvec(
     if block < 1:
         raise ValueError("block must be >= 1")
     m = matrix.shape[0]
-    y = np.zeros(m, dtype=np.float64)
+    y = np.zeros(m, dtype=VALUE_DTYPE)
     ptr = matrix.row_ptr
     vals = matrix.values
     cols = matrix.col_idx
@@ -80,7 +80,7 @@ class _RowLoopCSR(CSRMatrix):
         self._block = block
 
     def matvec(self, x, counter=None):
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=VALUE_DTYPE)
         if x.shape != (self.shape[1],):
             raise ValueError(
                 f"matvec expects x of shape ({self.shape[1]},), got {x.shape}"

@@ -9,6 +9,7 @@ train     train an adaptive SVM on a LIBSVM file and report accuracy
 datasets  list the built-in Table V dataset clones
 table7    print the regenerated Table VII
 machines  list the hardware catalog (Table VII platforms + prices)
+lint      run the RDL static-analysis rules over source paths
 ========  ==========================================================
 
 Every command is a thin shell over the public API, so scripts can do
@@ -63,6 +64,13 @@ def _cmd_train(args: argparse.Namespace) -> int:
     from repro.data import read_libsvm
     from repro.svm import AdaptiveSVC
 
+    if args.sanitize:
+        # Construction-time checks everywhere downstream, plus a
+        # per-operation wrapper around the training matrix below.
+        import os
+
+        os.environ["REPRO_SANITIZE"] = "1"
+
     (rows, cols, vals, shape), y = read_libsvm(
         args.file, n_features=args.n_features
     )
@@ -79,6 +87,10 @@ def _cmd_train(args: argparse.Namespace) -> int:
     from repro.formats import format_class
 
     X = format_class("CSR").from_coo(rows, cols, vals, shape)
+    if args.sanitize:
+        from repro.analysis import sanitize_format
+
+        X = sanitize_format(X)
     clf = AdaptiveSVC(
         args.kernel,
         C=args.C,
@@ -96,6 +108,35 @@ def _cmd_train(args: argparse.Namespace) -> int:
     print(f"train acc   : {clf.score(X, y_pm):.4f}")
     print(f"train time  : {elapsed:.2f} s")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        explain_rule,
+        lint_paths,
+        render_json,
+        render_text,
+    )
+
+    if args.explain:
+        try:
+            print(explain_rule(args.explain))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+
+    paths = args.paths or ["src"]
+    select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
+    try:
+        findings = lint_paths(paths, select=select, ignore=ignore)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    render = render_json if args.json else render_text
+    print(render(findings))
+    return 1 if findings else 0
 
 
 def _cmd_datasets(_args: argparse.Namespace) -> int:
@@ -179,7 +220,44 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("rules", "cost", "probe", "hybrid"),
         default="hybrid",
     )
+    p.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="validate format invariants at every construction and "
+        "operation (sets REPRO_SANITIZE=1)",
+    )
     p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the RDL static-analysis rules (RDL001-RDL006)",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output for CI gating",
+    )
+    p.add_argument(
+        "--explain",
+        metavar="RDLxxx",
+        help="print the rationale for one rule and exit",
+    )
+    p.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    p.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("datasets", help="list Table V dataset clones")
     p.set_defaults(func=_cmd_datasets)

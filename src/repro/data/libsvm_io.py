@@ -18,6 +18,7 @@ from typing import Optional, Tuple, Union
 import numpy as np
 
 from repro.data.synthetic import CooTriples
+from repro.formats.base import VALUE_DTYPE
 
 PathLike = Union[str, Path]
 
@@ -91,14 +92,14 @@ def read_libsvm(
 
     rows = np.asarray(rows_list, dtype=np.int64)
     cols = np.asarray(cols_list, dtype=np.int64)
-    values = np.asarray(vals_list, dtype=np.float64)
+    values = np.asarray(vals_list, dtype=VALUE_DTYPE)
     max_seen = int(cols.max()) + 1 if cols.size else 0
     n = n_features if n_features is not None else max_seen
     if n < max_seen:
         raise ValueError(
             f"n_features={n} smaller than max feature index {max_seen}"
         )
-    y = np.asarray(labels, dtype=np.float64)
+    y = np.asarray(labels, dtype=VALUE_DTYPE)
     return (rows, cols, values, (row, n)), y
 
 

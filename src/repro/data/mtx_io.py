@@ -19,7 +19,7 @@ from typing import Tuple, Union
 import numpy as np
 
 from repro.data.synthetic import CooTriples
-from repro.formats.base import validate_coo
+from repro.formats.base import VALUE_DTYPE, validate_coo
 
 PathLike = Union[str, Path]
 
@@ -56,7 +56,7 @@ def read_mtx(source: Union[PathLike, io.TextIOBase]) -> CooTriples:
         m, n, nnz = (int(v) for v in dims)
         rows = np.empty(nnz, dtype=np.int64)
         cols = np.empty(nnz, dtype=np.int64)
-        vals = np.empty(nnz, dtype=np.float64)
+        vals = np.empty(nnz, dtype=VALUE_DTYPE)
         for k in range(nnz):
             parts = source.readline().split()
             if len(parts) < (2 if field == "pattern" else 3):
@@ -78,7 +78,7 @@ def read_mtx(source: Union[PathLike, io.TextIOBase]) -> CooTriples:
     if len(dims) != 2:
         raise ValueError("array header needs 'rows cols'")
     m, n = (int(v) for v in dims)
-    vals = np.empty(m * n, dtype=np.float64)
+    vals = np.empty(m * n, dtype=VALUE_DTYPE)
     for k in range(m * n):
         vals[k] = float(source.readline().split()[0])
     dense = vals.reshape((n, m)).T  # column-major on disk

@@ -14,7 +14,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.features.profile import DatasetProfile
-from repro.formats.base import MatrixFormat, validate_coo
+from repro.formats.base import VALUE_DTYPE, MatrixFormat, validate_coo
 
 
 def profile_from_coo(
@@ -44,7 +44,7 @@ def profile_from_coo(
             vdim=0.0, density=0.0,
         )
 
-    dim = np.bincount(rows, minlength=m).astype(np.float64)
+    dim = np.bincount(rows, minlength=m).astype(VALUE_DTYPE)
     adim = nnz / m
     mdim = int(dim.max())
     vdim = float(np.mean((dim - adim) ** 2))

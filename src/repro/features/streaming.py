@@ -16,6 +16,7 @@ from typing import Optional, Set, Tuple
 import numpy as np
 
 from repro.features.profile import DatasetProfile
+from repro.formats.base import VALUE_DTYPE
 
 
 class StreamingProfiler:
@@ -101,7 +102,7 @@ class StreamingProfiler:
                 vdim=0.0, density=0.0,
             )
         counts = np.fromiter(
-            self._row_counts.values(), dtype=np.float64,
+            self._row_counts.values(), dtype=VALUE_DTYPE,
             count=len(self._row_counts),
         )
         # Rows never seen have dim 0; include them in the moments.

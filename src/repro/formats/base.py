@@ -239,6 +239,24 @@ class MatrixFormat(abc.ABC):
         return self.transpose()
 
     # -- misc ---------------------------------------------------------
+    def _sanitize_check(self) -> None:
+        """Validate structural invariants when ``REPRO_SANITIZE=1``.
+
+        Every concrete format calls this at the end of ``__init__`` so
+        the sanitizer sees each matrix the moment it exists.  A no-op
+        unless the environment opts in, keeping construction free on
+        the hot path.  See :mod:`repro.analysis.sanitize`.
+        """
+        import os
+
+        if os.environ.get("REPRO_SANITIZE", "").strip().lower() in (
+            "", "0", "false", "no", "off",
+        ):
+            return
+        from repro.analysis.sanitize import check_format
+
+        check_format(self)
+
     @property
     def density(self) -> float:
         m, n = self.shape

@@ -60,6 +60,7 @@ class BCSRMatrix(MatrixFormat):
             raise ValueError("block_ptr endpoints inconsistent")
         self.shape = (int(m), int(n))
         self.block_shape = (int(br), int(bc))
+        self._sanitize_check()
 
     # -- construction -------------------------------------------------
     @classmethod

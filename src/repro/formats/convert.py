@@ -14,7 +14,7 @@ from typing import Dict, Type, Union
 import numpy as np
 import scipy.sparse as sp
 
-from repro.formats.base import MatrixFormat
+from repro.formats.base import VALUE_DTYPE, MatrixFormat
 from repro.formats.bcsr import BCSRMatrix
 from repro.formats.coo import COOMatrix
 from repro.formats.csc import CSCMatrix
@@ -64,7 +64,7 @@ def from_dense(
     array: np.ndarray, target: Union[str, Type[MatrixFormat]] = "DEN"
 ) -> MatrixFormat:
     """Build any format from a dense 2-D array."""
-    array = np.asarray(array, dtype=np.float64)
+    array = np.asarray(array, dtype=VALUE_DTYPE)
     if array.ndim != 2:
         raise ValueError("expected a 2-D array")
     cls = format_class(target) if isinstance(target, str) else target

@@ -44,6 +44,7 @@ class COOMatrix(MatrixFormat):
         self.cols = cols
         self.values = values
         self.shape = (int(shape[0]), int(shape[1]))
+        self._sanitize_check()
 
     # -- construction -------------------------------------------------
     @classmethod

@@ -61,6 +61,7 @@ class CSCMatrix(MatrixFormat):
         if self.values.shape != self.row_idx.shape:
             raise ValueError("values and row_idx must have equal length")
         self.shape = (int(m), int(n))
+        self._sanitize_check()
 
     # -- construction -------------------------------------------------
     @classmethod
@@ -148,7 +149,7 @@ class CSCMatrix(MatrixFormat):
         m = self.shape[0]
         y = np.zeros(m, dtype=VALUE_DTYPE)
         touched = 0
-        for j, xj in zip(v.indices, v.values):
+        for j, xj in zip(v.indices, v.values):  # repro: noqa RDL001 — trip count is v.nnz, the point of CSC's smsv
             lo, hi = int(self.col_ptr[j]), int(self.col_ptr[j + 1])
             if hi > lo:
                 # Row indices are unique within a column, so the fancy

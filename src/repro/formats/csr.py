@@ -64,6 +64,7 @@ class CSRMatrix(MatrixFormat):
         if self.values.shape != self.col_idx.shape:
             raise ValueError("values and col_idx must have equal length")
         self.shape = (int(m), int(n))
+        self._sanitize_check()
 
     # -- construction -------------------------------------------------
     @classmethod

@@ -38,6 +38,7 @@ class DenseMatrix(MatrixFormat):
             raise ValueError("DenseMatrix requires a 2-D array")
         self.array = array
         self.shape = (int(array.shape[0]), int(array.shape[1]))
+        self._sanitize_check()
 
     # -- construction -------------------------------------------------
     @classmethod

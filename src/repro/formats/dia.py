@@ -86,6 +86,7 @@ class DIAMatrix(MatrixFormat):
         self._spans = [
             diag_span(int(o), self.shape) for o in self.offsets
         ]
+        self._sanitize_check()
 
     # -- construction -------------------------------------------------
     @classmethod
@@ -169,7 +170,7 @@ class DIAMatrix(MatrixFormat):
         # real work — the padding cost that makes many-diagonal
         # matrices slow (Fig. 2) — while the loop count itself is
         # ndig, the paper's cost driver.
-        for k, o in enumerate(self.offsets):
+        for k, o in enumerate(self.offsets):  # repro: noqa RDL001 — trip count is ndig, the modelled cost driver
             i0, i1 = self._spans[k]
             if i1 > i0:
                 y[i0:i1] += self.data[k, : i1 - i0] * x[i0 + int(o) : i1 + int(o)]

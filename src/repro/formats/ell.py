@@ -57,6 +57,7 @@ class ELLMatrix(MatrixFormat):
         if np.any(self.row_lengths > self.data.shape[1]):
             raise ValueError("row_lengths exceed padded width")
         self.shape = (int(m), int(n))
+        self._sanitize_check()
 
     # -- construction -------------------------------------------------
     @classmethod

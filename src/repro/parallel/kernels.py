@@ -19,7 +19,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.formats.base import MatrixFormat, SparseVector
+from repro.formats.base import VALUE_DTYPE, MatrixFormat, SparseVector
 from repro.formats.csr import CSRMatrix
 from repro.formats.dense import DenseMatrix
 from repro.formats.ell import ELLMatrix
@@ -51,7 +51,7 @@ def parallel_matvec(
     The result is numerically identical to the serial kernel: every
     block computes the same contiguous slice the serial kernel would.
     """
-    x = np.asarray(x, dtype=np.float64)
+    x = np.asarray(x, dtype=VALUE_DTYPE)
     if x.shape != (matrix.shape[1],):
         raise ValueError(
             f"matvec expects x of shape ({matrix.shape[1]},), got {x.shape}"
@@ -64,7 +64,7 @@ def parallel_matvec(
     ):
         return matrix.matvec(x)
 
-    y = np.empty(m, dtype=np.float64)
+    y = np.empty(m, dtype=VALUE_DTYPE)
     blocks = _blocks_for(matrix, n_blocks)
 
     if isinstance(matrix, DenseMatrix):

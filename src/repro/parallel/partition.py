@@ -13,6 +13,8 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.formats.base import VALUE_DTYPE
+
 
 def row_blocks(n_rows: int, n_blocks: int) -> List[Tuple[int, int]]:
     """Split ``range(n_rows)`` into ``n_blocks`` contiguous blocks.
@@ -53,7 +55,7 @@ def balanced_chunks(
     >>> balanced_chunks([1, 1, 1, 9], 2)
     [(0, 3), (3, 4)]
     """
-    w = np.asarray(weights, dtype=np.float64)
+    w = np.asarray(weights, dtype=VALUE_DTYPE)
     if w.ndim != 1:
         raise ValueError("weights must be one-dimensional")
     if n_blocks < 1:

@@ -9,6 +9,7 @@ by construction (the same discipline the paper's OpenMP loops rely on).
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
@@ -16,17 +17,55 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 
+def _worker_cap() -> int:
+    """Upper bound on configured workers: generous, but finite.
+
+    Oversubscribing threads is sometimes useful (IO overlap), so allow
+    several times the core count — but an absurd request (``10**9``)
+    would exhaust memory on thread stacks long before doing any work.
+    """
+    return max(64, 8 * (os.cpu_count() or 1))
+
+
 def default_workers() -> int:
-    """Worker count: ``REPRO_NUM_THREADS`` env var, else CPU count."""
+    """Worker count: ``REPRO_NUM_THREADS`` env var, else CPU count.
+
+    Unparsable values warn and fall back to the CPU count; values
+    outside ``[1, cap]`` warn and are clamped rather than silently
+    ignored, so a typo in a job script is visible in the logs instead
+    of quietly changing the parallelism.
+    """
+    fallback = max(1, os.cpu_count() or 1)
     env = os.environ.get("REPRO_NUM_THREADS")
-    if env:
-        try:
-            n = int(env)
-            if n >= 1:
-                return n
-        except ValueError:
-            pass
-    return max(1, os.cpu_count() or 1)
+    if env is None or not env.strip():
+        return fallback
+    try:
+        n = int(env.strip())
+    except ValueError:
+        warnings.warn(
+            f"REPRO_NUM_THREADS={env!r} is not an integer; "
+            f"using {fallback} workers",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return fallback
+    cap = _worker_cap()
+    if n < 1:
+        warnings.warn(
+            f"REPRO_NUM_THREADS={n} is below 1; clamping to 1 worker",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return 1
+    if n > cap:
+        warnings.warn(
+            f"REPRO_NUM_THREADS={n} exceeds the sanity cap {cap}; "
+            f"clamping to {cap} workers",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return cap
+    return n
 
 
 class WorkerPool:

@@ -1,0 +1,1 @@
+"""Tests for the static linter and the runtime format sanitizer."""

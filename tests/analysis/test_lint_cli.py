@@ -1,0 +1,127 @@
+"""CLI surfaces of the linter: ``repro lint`` and ``python -m repro.analysis``.
+
+Also the gate this whole subsystem exists for: the repo's own source
+tree must lint clean (every intentional exception carries a noqa).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis.__main__ import main as analysis_main
+from repro.cli import main
+
+REPO_ROOT = Path(repro.__file__).resolve().parents[2]
+
+BAD_KERNEL = '''\
+class FakeMatrix:
+    def matvec(self, x, counter=None):
+        y = list(x)
+        for i in range(len(y)):
+            y[i] = y[i] * 2.0
+        return y
+'''
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    """A file under a virtual formats/ path with RDL001+RDL004 hits."""
+    target = tmp_path / "src" / "repro" / "formats" / "bad.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(BAD_KERNEL)
+    return target
+
+
+class TestRepoLintsClean:
+    def test_src_and_tests_have_no_findings(self, capsys):
+        src = REPO_ROOT / "src"
+        tests = REPO_ROOT / "tests"
+        assert main(["lint", str(src), str(tests)]) == 0
+        assert capsys.readouterr().out.strip().endswith("no findings")
+
+
+class TestLintCommand:
+    def test_findings_fail_with_text_rendering(self, bad_file, capsys):
+        assert main(["lint", str(bad_file)]) == 1
+        out = capsys.readouterr().out
+        assert "RDL001" in out and "RDL004" in out
+        # file:line:col prefix on each finding line
+        assert f"{bad_file}:4:" in out
+        assert out.strip().endswith("2 findings")
+
+    def test_json_mode_for_ci(self, bad_file, capsys):
+        assert main(["lint", str(bad_file), "--json"]) == 1
+        blob = json.loads(capsys.readouterr().out)
+        assert blob["ok"] is False
+        assert blob["count"] == 2
+        assert sorted(f["code"] for f in blob["findings"]) == [
+            "RDL001",
+            "RDL004",
+        ]
+        assert blob["findings"][0]["path"] == str(bad_file)
+
+    def test_select_narrows_to_one_rule(self, bad_file, capsys):
+        assert main(["lint", str(bad_file), "--select", "RDL001"]) == 1
+        out = capsys.readouterr().out
+        assert "RDL001" in out and "RDL004" not in out
+
+    def test_ignore_drops_rules(self, bad_file, capsys):
+        assert (
+            main(["lint", str(bad_file), "--ignore", "RDL001,RDL004"]) == 0
+        )
+        assert "no findings" in capsys.readouterr().out
+
+    def test_directory_expansion(self, bad_file, capsys):
+        assert main(["lint", str(bad_file.parents[3]), "--json"]) == 1
+        assert json.loads(capsys.readouterr().out)["count"] == 2
+
+    def test_nonexistent_path_exits_2(self, capsys):
+        # A typo'd path in a CI invocation must fail loudly, not lint
+        # zero files and report success.
+        assert main(["lint", "no/such/path"]) == 2
+        assert "no such file" in capsys.readouterr().err
+        assert analysis_main(["no/such/path"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_clean_file_passes(self, tmp_path, capsys):
+        ok = tmp_path / "src" / "repro" / "formats" / "ok.py"
+        ok.parent.mkdir(parents=True)
+        ok.write_text("X = 1\n")
+        assert main(["lint", str(ok)]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+
+class TestExplain:
+    def test_explain_prints_rationale(self, capsys):
+        assert main(["lint", "--explain", "RDL001"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("RDL001 — hot-path-python-loop")
+        assert "cost model" in out
+        assert "suppress with: # repro: noqa RDL001" in out
+
+    def test_explain_every_registered_rule(self, capsys):
+        from repro.analysis.rules import ALL_CODES
+
+        for code in ALL_CODES:
+            assert main(["lint", "--explain", code]) == 0
+            assert code in capsys.readouterr().out
+
+    def test_explain_unknown_code_exits_2(self, capsys):
+        assert main(["lint", "--explain", "RDL999"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown rule" in err
+
+
+class TestModuleEntryPoint:
+    def test_json_and_exit_status(self, bad_file, capsys):
+        assert analysis_main([str(bad_file)]) == 1
+        blob = json.loads(capsys.readouterr().out)
+        assert blob["count"] == 2
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        ok = tmp_path / "ok.py"
+        ok.write_text("X = 1\n")
+        assert analysis_main([str(ok)]) == 0
+        assert json.loads(capsys.readouterr().out)["ok"] is True

@@ -10,6 +10,7 @@ from repro.parallel import (
     parallel_reduce,
     row_blocks,
 )
+from repro.parallel.pool import _worker_cap, default_workers
 
 
 class TestRowBlocks:
@@ -116,3 +117,41 @@ class TestParallelReduce:
     def test_empty_rejected(self):
         with pytest.raises(ValueError, match="empty"):
             parallel_reduce(lambda v: v, [], lambda a, b: a + b)
+
+
+class TestDefaultWorkers:
+    def test_unset_falls_back_to_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NUM_THREADS", raising=False)
+        assert default_workers() >= 1
+
+    def test_blank_value_is_unset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_THREADS", "   ")
+        assert default_workers() >= 1
+
+    def test_valid_value_used_verbatim(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_THREADS", " 4 ")
+        assert default_workers() == 4
+
+    def test_unparsable_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_THREADS", "many")
+        with pytest.warns(RuntimeWarning, match="not an integer"):
+            n = default_workers()
+        assert n >= 1
+
+    def test_below_one_warns_and_clamps(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_THREADS", "-3")
+        with pytest.warns(RuntimeWarning, match="below 1"):
+            assert default_workers() == 1
+
+    def test_absurd_value_warns_and_clamps_to_cap(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_THREADS", "1000000000")
+        with pytest.warns(RuntimeWarning, match="sanity cap"):
+            n = default_workers()
+        assert n == _worker_cap()
+        assert n < 10_000  # thread stacks would OOM long before this
+
+    def test_clamped_value_still_builds_a_pool(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_THREADS", "0")
+        with pytest.warns(RuntimeWarning):
+            pool = WorkerPool()
+        assert pool.n_workers == 1

@@ -55,6 +55,24 @@ class TestCLI:
         )
         assert acc > 0.8
 
+    def test_train_sanitize(self, libsvm_file, capsys, monkeypatch):
+        # setenv records the pre-test state so the flag the command
+        # writes into os.environ is rolled back after the test.
+        monkeypatch.setenv("REPRO_SANITIZE", "")
+        path, n = libsvm_file
+        assert (
+            main(
+                [
+                    "train", path, "--n-features", str(n),
+                    "--strategy", "cost", "--max-iter", "500",
+                    "--sanitize",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "train acc" in out
+
     def test_train_rejects_multiclass(self, tmp_path, capsys):
         ds = load_dataset("aloi", seed=0, m_override=50)
         y = np.arange(50, dtype=float) % 3  # three classes
