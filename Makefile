@@ -5,9 +5,9 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: lint test test-sanitize check
+.PHONY: lint test test-sanitize bench check
 
-## Static analysis: the six RDL rules over the whole tree, JSON mode,
+## Static analysis: the seven RDL rules over the whole tree, JSON mode,
 ## non-zero exit on any finding.  See docs/analysis.md.
 lint:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.analysis src tests
@@ -20,6 +20,11 @@ test:
 ## structural invariants (the runtime sanitizer's blanket switch).
 test-sanitize:
 	REPRO_SANITIZE=1 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+## SpMM benchmark suite (writes BENCH_smsv.json); `make bench QUICK=1`
+## for the CI smoke variant.
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench smsv $(if $(QUICK),--quick)
 
 ## Everything CI gates on.
 check: lint test test-sanitize

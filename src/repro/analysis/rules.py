@@ -1,4 +1,4 @@
-"""The RDL rule catalogue: six repo-specific invariants, enforced.
+"""The RDL rule catalogue: seven repo-specific invariants, enforced.
 
 Each rule encodes one convention the rest of the library relies on but
 cannot express in code.  The scopes are deliberately narrow — a rule
@@ -16,8 +16,18 @@ from typing import Dict, Iterator, List, Optional, Set
 from repro.analysis.lint import Finding, Rule, register
 
 #: Kernel methods where interpreted per-element loops destroy the O(nnz)
-#: NumPy vectorisation the cost model assumes.
-KERNEL_METHODS = frozenset({"matvec", "smsv", "row_norms_sq"})
+#: NumPy vectorisation the cost model assumes.  The SpMM entry points
+#: (``matmat``/``smsv_multi``) are in scope too: their per-*column*
+#: loops are the documented exception (trip count is ``batch_k``) and
+#: carry a justifying noqa, but a per-element loop inside them would be
+#: the same O(nnz) interpreter tax as in ``matvec``.
+KERNEL_METHODS = frozenset(
+    {"matvec", "smsv", "row_norms_sq", "matmat", "smsv_multi"}
+)
+
+#: SpMM kernel methods that must report to the OpCounter (RDL007), the
+#: multi-vector mirror of RDL004's matvec/smsv scope.
+SPMM_METHODS = frozenset({"matmat", "smsv_multi"})
 
 #: Raw dtype spellings and the canonical alias each must use instead.
 RAW_DTYPES: Dict[str, str] = {
@@ -446,6 +456,49 @@ class MissingOpCounterRule(Rule):
                 if isinstance(arg, ast.Name) and arg.id == "counter":
                     return True
         return False
+
+
+@register
+class MissingSpmmCounterRule(Rule):
+    """RDL007: SpMM kernels taking an OpCounter must report to it."""
+
+    code = "RDL007"
+    name = "missing-spmm-accounting"
+    rationale = """
+    The blocked multi-vector kernels (``matmat``/``smsv_multi``) exist
+    to amortise one matrix traversal over ``batch_k`` right-hand sides;
+    the cost model's ``batch_k`` knob and the vector-machine's
+    ``count_multi`` both price that amortisation from the byte and flop
+    totals the kernels report.  An SpMM kernel that accepts a
+    ``counter`` but never calls ``counter.add_*`` (``add_spmm`` plus the
+    flop/byte accounting, or forwarding the counter to a delegate
+    kernel) makes batched sweeps invisible: ``spmm_columns`` stays zero,
+    the single-vs-batched comparison in ``repro bench smsv`` loses its
+    audit trail, and the scheduler's batch-aware ranking is validated
+    against nothing.  This is RDL004's invariant extended to the
+    multi-vector entry points.
+    """
+
+    def applies_to(self, path: str) -> bool:
+        return _in_package(path, "formats")
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for cls, fn in _class_methods(tree):
+            if fn.name not in SPMM_METHODS:
+                continue
+            arg_names = {a.arg for a in fn.args.args}
+            if "counter" not in arg_names:
+                continue
+            if MissingOpCounterRule._is_stub(fn):
+                continue  # abstract interface definitions
+            if not MissingOpCounterRule._accounts(fn):
+                yield self.finding(
+                    path,
+                    fn,
+                    f"SpMM kernel method {cls.name}.{fn.name} accepts "
+                    f"an OpCounter but never reports to it (no "
+                    f"counter.add_* call and counter not forwarded)",
+                )
 
 
 @register

@@ -471,6 +471,39 @@ class SanitizedMatrix(MatrixFormat):
         self._recheck()
         return self._check_vector(self.inner.smsv(v, counter), "smsv")
 
+    def _check_block(self, Y: np.ndarray, k: int, op: str) -> np.ndarray:
+        if Y.shape != (self.shape[0], k):
+            raise FormatInvariantError(
+                f"{self.name}: {op} returned shape {Y.shape}, "
+                f"expected ({self.shape[0]}, {k})"
+            )
+        if Y.dtype != np.dtype(VALUE_DTYPE):
+            raise FormatInvariantError(
+                f"{self.name}: {op} returned dtype {Y.dtype}, "
+                f"expected {np.dtype(VALUE_DTYPE)}"
+            )
+        return Y
+
+    def matmat(
+        self, V: np.ndarray, counter: Optional[OpCounter] = None
+    ) -> np.ndarray:
+        self._recheck()
+        k = int(np.asarray(V).shape[1]) if np.asarray(V).ndim == 2 else -1
+        return self._check_block(
+            self.inner.matmat(V, counter), k, "matmat"
+        )
+
+    def smsv_multi(
+        self, vectors, counter: Optional[OpCounter] = None
+    ) -> np.ndarray:
+        self._recheck()
+        vectors = list(vectors)
+        return self._check_block(
+            self.inner.smsv_multi(vectors, counter),
+            len(vectors),
+            "smsv_multi",
+        )
+
     def row(self, i: int) -> SparseVector:
         self._recheck()
         out = self.inner.row(i)

@@ -6,6 +6,7 @@
 profile   print the nine Table IV parameters of a LIBSVM file
 schedule  decide (and explain) the storage format for a LIBSVM file
 train     train an adaptive SVM on a LIBSVM file and report accuracy
+bench     run a synthetic benchmark suite (currently: smsv)
 datasets  list the built-in Table V dataset clones
 table7    print the regenerated Table VII
 machines  list the hardware catalog (Table VII platforms + prices)
@@ -96,6 +97,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         C=args.C,
         max_iter=args.max_iter,
         scheduler=LayoutScheduler(args.strategy),
+        cache_mb=args.cache_mb,
         **({"gamma": args.gamma} if args.kernel in ("gaussian", "rbf") else {}),
     )
     t0 = time.perf_counter()
@@ -107,6 +109,16 @@ def _cmd_train(args: argparse.Namespace) -> int:
     print(f"support     : {clf.n_support}")
     print(f"train acc   : {clf.score(X, y_pm):.4f}")
     print(f"train time  : {elapsed:.2f} s")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench_smsv import render_summary, run_suite, write_report
+
+    payload = run_suite(quick=args.quick, repeats=args.repeats)
+    write_report(payload, args.out)
+    print(render_summary(payload))
+    print(f"report      : {args.out}")
     return 0
 
 
@@ -226,11 +238,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate format invariants at every construction and "
         "operation (sets REPRO_SANITIZE=1)",
     )
+    p.add_argument(
+        "--cache-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="kernel-row cache budget in megabytes (LIBSVM -m "
+        "semantics); default: a fixed row count",
+    )
     p.set_defaults(func=_cmd_train)
 
     p = sub.add_parser(
+        "bench",
+        help="run a synthetic benchmark suite and write a JSON report",
+    )
+    p.add_argument(
+        "what",
+        choices=("smsv",),
+        help="which suite to run (smsv: blocked SpMM + fused dual-row)",
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="one small shape, fewer repeats (CI smoke mode)",
+    )
+    p.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timing repeats per measurement (default: 3 quick, 7 full)",
+    )
+    p.add_argument(
+        "--out",
+        default="BENCH_smsv.json",
+        help="output JSON path (default: BENCH_smsv.json)",
+    )
+    p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
         "lint",
-        help="run the RDL static-analysis rules (RDL001-RDL006)",
+        help="run the RDL static-analysis rules (RDL001-RDL007)",
     )
     p.add_argument(
         "paths",

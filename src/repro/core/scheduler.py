@@ -57,7 +57,13 @@ def _quantise(x: float) -> float:
 
 
 class DecisionCache:
-    """Profile-keyed memo of past decisions."""
+    """Profile-keyed memo of past decisions.
+
+    The key also carries the scheduler's ``batch_k``: the same profile
+    can legitimately map to different formats for single-vector and
+    blocked sweeps (the amortisation shifts the ranking), so the two
+    workloads must not share cache entries.
+    """
 
     def __init__(self, maxsize: int = 1024) -> None:
         if maxsize < 1:
@@ -66,17 +72,17 @@ class DecisionCache:
         self._store: Dict[Tuple, str] = {}
 
     @staticmethod
-    def key(p: DatasetProfile) -> Tuple:
-        return tuple(_quantise(v) for v in p.as_vector())
+    def key(p: DatasetProfile, batch_k: int = 1) -> Tuple:
+        return tuple(_quantise(v) for v in p.as_vector()) + (int(batch_k),)
 
-    def get(self, p: DatasetProfile) -> Optional[str]:
-        return self._store.get(self.key(p))
+    def get(self, p: DatasetProfile, batch_k: int = 1) -> Optional[str]:
+        return self._store.get(self.key(p, batch_k))
 
-    def put(self, p: DatasetProfile, fmt: str) -> None:
+    def put(self, p: DatasetProfile, fmt: str, batch_k: int = 1) -> None:
         if len(self._store) >= self.maxsize:
             # FIFO eviction: oldest insertion order (dicts preserve it).
             self._store.pop(next(iter(self._store)))
-        self._store[self.key(p)] = fmt
+        self._store[self.key(p, batch_k)] = fmt
 
     def __len__(self) -> int:
         return len(self._store)
@@ -100,6 +106,13 @@ class LayoutScheduler:
         Probe configuration for the probe/hybrid strategies.
     shortlist:
         How many model-ranked candidates the hybrid strategy probes.
+    batch_k:
+        Kernel-row block width the workload will run at (the tenth
+        knob of the decision system).  ``1`` models classic per-vector
+        SMSV; larger values amortise index traversal across columns in
+        the cost model, which can shift the winning layout for batched
+        (SpMM) workloads such as the fused dual-row SMO path
+        (``batch_k=2``).
     cache:
         Optional shared decision cache.
     candidates:
@@ -119,6 +132,7 @@ class LayoutScheduler:
         thresholds: Optional[RuleThresholds] = None,
         tuner: Optional[AutoTuner] = None,
         shortlist: int = 2,
+        batch_k: int = 1,
         cache: Optional[DecisionCache] = None,
         candidates: Optional[Tuple[str, ...]] = None,
     ) -> None:
@@ -128,6 +142,8 @@ class LayoutScheduler:
             )
         if shortlist < 1:
             raise ValueError("shortlist must be >= 1")
+        if batch_k < 1:
+            raise ValueError("batch_k must be >= 1")
         if candidates is not None:
             if not candidates:
                 raise ValueError("candidates must be non-empty")
@@ -144,6 +160,7 @@ class LayoutScheduler:
         self.thresholds = thresholds or RuleThresholds()
         self.tuner = tuner or AutoTuner()
         self.shortlist = shortlist
+        self.batch_k = batch_k
         self.cache = cache if cache is not None else DecisionCache()
         self.candidates = tuple(candidates) if candidates else None
 
@@ -157,7 +174,7 @@ class LayoutScheduler:
     ) -> Decision:
         """Decide the layout for a matrix given as COO triples."""
         profile = profile_from_coo(rows, cols, shape)
-        cached = self.cache.get(profile)
+        cached = self.cache.get(profile, self.batch_k)
         if cached is not None:
             return Decision(
                 fmt=cached,
@@ -176,7 +193,7 @@ class LayoutScheduler:
                 profile=profile,
             )
         elif self.strategy == "cost":
-            ranked = self.cost_model.rank(profile)
+            ranked = self.cost_model.rank(profile, batch_k=self.batch_k)
             decision = Decision(
                 fmt=ranked[0].fmt,
                 strategy="cost",
@@ -200,7 +217,9 @@ class LayoutScheduler:
                 profile=profile,
             )
         else:  # hybrid
-            short = self.cost_model.shortlist(profile, self.shortlist)
+            short = self.cost_model.shortlist(
+                profile, self.shortlist, batch_k=self.batch_k
+            )
             if self.candidates:
                 # extended candidates join the probe round directly
                 short = list(
@@ -228,7 +247,7 @@ class LayoutScheduler:
                     profile=profile,
                 )
 
-        self.cache.put(profile, decision.fmt)
+        self.cache.put(profile, decision.fmt, self.batch_k)
         return decision
 
     def decide(self, matrix: MatrixFormat) -> Decision:
@@ -268,7 +287,11 @@ class LayoutScheduler:
             and decision.fmt in FORMAT_NAMES
         )
         if hint_applicable and not self.cost_model.worthwhile(
-            decision.profile, matrix.name, decision.fmt, iterations_hint
+            decision.profile,
+            matrix.name,
+            decision.fmt,
+            iterations_hint,
+            batch_k=self.batch_k,
         ):
             decision = Decision(
                 fmt=matrix.name,

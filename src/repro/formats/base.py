@@ -199,6 +199,69 @@ class MatrixFormat(abc.ABC):
             counter.add_write(x.nbytes)
         return self.matvec(x, counter)
 
+    def _coerce_rhs_block(self, V: np.ndarray) -> np.ndarray:
+        """Validate a ``(N, k)`` right-hand-side block for :meth:`matmat`."""
+        V = np.asarray(V, dtype=VALUE_DTYPE)
+        if V.ndim != 2 or V.shape[0] != self.shape[1]:
+            raise ValueError(
+                f"matmat expects V of shape ({self.shape[1]}, k), "
+                f"got {V.shape}"
+            )
+        return V
+
+    def matmat(
+        self, V: np.ndarray, counter: Optional[OpCounter] = None
+    ) -> np.ndarray:
+        """Blocked product ``Y = A @ V`` for a dense ``(N, k)`` block.
+
+        Column ``c`` of the result is bit-for-bit identical to
+        ``matvec(V[:, c])`` — the contract every override must keep, so
+        fused SpMM callers (the dual-row SMO path) reproduce the exact
+        floating-point trajectory of the single-vector kernels.  The
+        default runs k independent matvec sweeps; formats override it to
+        traverse their storage once and amortise index gathers across
+        the column block.
+        """
+        V = self._coerce_rhs_block(V)
+        k = V.shape[1]
+        if counter is not None:
+            counter.add_spmm(k)
+        y = np.empty((self.shape[0], k), dtype=VALUE_DTYPE)
+        for c in range(k):  # repro: noqa RDL001 — fallback path: trip count is batch_k, each pass a full vectorised matvec
+            y[:, c] = self.matvec(V[:, c], counter)
+        return y
+
+    def smsv_multi(
+        self, vectors, counter: Optional[OpCounter] = None
+    ) -> np.ndarray:
+        """Multi-vector SMSV: ``Y[:, c] = A @ vectors[c]`` in one sweep.
+
+        Each sparse vector is scattered into a column of one dense
+        ``(N, k)`` block (exactly what :meth:`smsv` does per vector), so
+        column ``c`` matches ``smsv(vectors[c])`` bit-for-bit; the block
+        then goes through :meth:`matmat` so the matrix is traversed once
+        for all k right-hand sides.
+
+        The block is built transposed — ``(k, N)`` C-order, passed as
+        its ``(N, k)`` F-order view — so each scatter writes a
+        contiguous row and each per-column gather in the format kernels
+        reads contiguous memory.  Layout only; the values are the same.
+        """
+        vectors = list(vectors)
+        n = self.shape[1]
+        for v in vectors:  # repro: noqa RDL001 — trip count is batch_k; O(1) length validation per vector
+            if v.length != n:
+                raise ValueError(
+                    f"smsv_multi expects vectors of length {n}, "
+                    f"got {v.length}"
+                )
+        Vk = np.zeros((len(vectors), n), dtype=VALUE_DTYPE)
+        for c, v in enumerate(vectors):  # repro: noqa RDL001 — trip count is batch_k; each pass is one O(nnz_v) scatter
+            Vk[c, v.indices] = v.values
+        if counter is not None:
+            counter.add_write(Vk.nbytes)
+        return self.matmat(Vk.T, counter)
+
     @abc.abstractmethod
     def row(self, i: int) -> SparseVector:
         """Extract row ``i`` as a sparse vector (SMO's X_high / X_low)."""

@@ -162,6 +162,28 @@ class CSCMatrix(MatrixFormat):
             counter.add_write(y.nbytes)
         return y
 
+    def smsv_multi(
+        self, vectors, counter: Optional[OpCounter] = None
+    ) -> np.ndarray:
+        """Per-vector support loops: CSC's smsv advantage is touching
+        only the columns in each vector's support, which a shared dense
+        block would forfeit.  Each column of the result is exactly one
+        :meth:`smsv` call, so bit-for-bit identity is structural."""
+        vectors = list(vectors)
+        m, n = self.shape
+        for v in vectors:  # repro: noqa RDL001 — trip count is batch_k; O(1) length validation per vector
+            if v.length != n:
+                raise ValueError(
+                    f"smsv_multi expects vectors of length {n}, "
+                    f"got {v.length}"
+                )
+        yT = np.zeros((len(vectors), m), dtype=VALUE_DTYPE)
+        if counter is not None:
+            counter.add_spmm(len(vectors))
+        for c, v in enumerate(vectors):  # repro: noqa RDL001 — trip count is batch_k; each pass is one support-driven smsv
+            yT[c] = self.smsv(v, counter)
+        return yT.T
+
     def row(self, i: int) -> SparseVector:
         if not 0 <= i < self.shape[0]:
             raise IndexError("row index out of range")

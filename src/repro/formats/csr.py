@@ -147,6 +147,47 @@ class CSRMatrix(MatrixFormat):
         # columns, so the scatter is O(N) prep against O(nnz) work.
         return super().smsv(v, counter)
 
+    def matmat(
+        self, V: np.ndarray, counter: Optional[OpCounter] = None
+    ) -> np.ndarray:
+        # One traversal for all k columns: the per-column gather+multiply
+        # lands in one contiguous (k, nnz) buffer, so a single reduceat
+        # along axis=1 segments every column at once.  Per column this is
+        # the same gather, multiply, and reduceat as matvec — bit-for-bit
+        # identical — but the row_ptr walk, the nonempty mask, and the
+        # output allocation are paid once, and the k reduceat passes run
+        # inside one ufunc call instead of k dispatches.
+        V = self._coerce_rhs_block(V)
+        k = V.shape[1]
+        m = self.shape[0]
+        # (k, M) C-order accumulator returned as its (M, k) transposed
+        # view: the segment sums land in contiguous rows (no transposed
+        # copy) and downstream column extraction is contiguous.
+        yT = np.zeros((k, m), dtype=VALUE_DTYPE)
+        y = yT.T
+        if self.nnz and k:
+            starts = self.row_ptr[:-1]
+            nonempty = starts < self.row_ptr[1:]
+            prod = np.empty((k, self.nnz), dtype=VALUE_DTYPE)
+            for c in range(k):  # repro: noqa RDL001 — trip count is batch_k; each pass is one vectorised gather+multiply
+                np.multiply(
+                    self.values, V[:, c].take(self.col_idx), out=prod[c]
+                )
+            if np.any(nonempty):
+                segs = np.add.reduceat(prod, starts[nonempty], axis=1)
+                yT[:, nonempty] = segs
+        if counter is not None:
+            counter.add_spmm(k)
+            counter.add_flops(2 * self.nnz * k)
+            counter.add_read(
+                self.values.nbytes
+                + self.col_idx.nbytes
+                + self.row_ptr.nbytes  # matrix streams: once per sweep
+                + self.nnz * V.itemsize * k  # gathered V elements
+            )
+            counter.add_write(y.nbytes)
+        return y
+
     def row(self, i: int) -> SparseVector:
         if not 0 <= i < self.shape[0]:
             raise IndexError("row index out of range")

@@ -90,6 +90,31 @@ class DenseMatrix(MatrixFormat):
             counter.add_write(y.nbytes)
         return y
 
+    def matmat(
+        self, V: np.ndarray, counter: Optional[OpCounter] = None
+    ) -> np.ndarray:
+        # k GEMV calls over a column-contiguous copy of V, NOT one GEMM:
+        # BLAS-3 blocks the reduction differently, which breaks the
+        # bit-for-bit column contract with matvec.  DEN gains nothing
+        # from traversal amortisation anyway (there is no index stream),
+        # so the model assigns it a zero batch amortisation fraction.
+        V = self._coerce_rhs_block(V)
+        k = V.shape[1]
+        m, n = self.shape
+        VF = np.asfortranarray(V)
+        # (k, M) C-order accumulator returned transposed: each GEMV
+        # result lands in a contiguous row instead of a strided column.
+        yT = np.empty((k, m), dtype=VALUE_DTYPE)
+        y = yT.T
+        for c in range(k):  # repro: noqa RDL001 — trip count is batch_k; per-column GEMV keeps bit-identity with matvec
+            yT[c] = self.array @ VF[:, c]
+        if counter is not None:
+            counter.add_spmm(k)
+            counter.add_flops(2 * m * n * k)
+            counter.add_read(self.array.nbytes + V.nbytes)
+            counter.add_write(y.nbytes)
+        return y
+
     def row(self, i: int) -> SparseVector:
         if not 0 <= i < self.shape[0]:
             raise IndexError("row index out of range")

@@ -139,6 +139,38 @@ class ELLMatrix(MatrixFormat):
             counter.add_write(y.nbytes)
         return y
 
+    def matmat(
+        self, V: np.ndarray, counter: Optional[OpCounter] = None
+    ) -> np.ndarray:
+        # The padded-index gather is the traversal cost of ELL; doing it
+        # once as a contiguous (k, M, mdim) block amortises it across
+        # the column block.  Each per-column einsum then sees exactly
+        # the operands of matvec (a C-contiguous (M, mdim) slice equal
+        # to x[self.indices]), so columns are bit-for-bit identical.
+        V = self._coerce_rhs_block(V)
+        k = V.shape[1]
+        m, mdim = self.data.shape
+        # (k, M) C-order accumulator returned transposed: each einsum
+        # writes a contiguous row instead of a strided column.
+        yT = np.zeros((k, m), dtype=VALUE_DTYPE)
+        y = yT.T
+        if mdim and k:
+            VT = np.ascontiguousarray(V.T)
+            gathered = VT.take(self.indices, axis=1)
+            for c in range(k):  # repro: noqa RDL001 — trip count is batch_k; each pass is one vectorised einsum
+                yT[c] = np.einsum("ij,ij->i", self.data, gathered[c])
+        if counter is not None:
+            padded = m * mdim
+            counter.add_spmm(k)
+            counter.add_flops(2 * padded * k)
+            counter.add_read(
+                self.data.nbytes
+                + self.indices.nbytes  # padded views streamed once
+                + padded * V.itemsize * k
+            )
+            counter.add_write(y.nbytes)
+        return y
+
     def row(self, i: int) -> SparseVector:
         if not 0 <= i < self.shape[0]:
             raise IndexError("row index out of range")

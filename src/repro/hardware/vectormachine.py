@@ -137,11 +137,16 @@ class VectorMachine:
     def _ceil_w(self, x: float) -> int:
         return int(math.ceil(x / self.w))
 
-    def count(self, matrix: MatrixFormat) -> VectorCost:
-        """Count vector ops + traffic for one SMSV of ``matrix``.
+    def _streams(self, matrix: MatrixFormat):
+        """Decompose one SMSV into ``(vops, startup, matrix_bytes,
+        percol_bytes)``.
 
-        CSR is counted exactly from the true row lengths; the other
-        formats are exact functions of the profile.
+        ``matrix_bytes`` is the traffic of the matrix's own storage
+        streams (values, indices, pointers) — read once per sweep no
+        matter how many right-hand sides ride along.  ``percol_bytes``
+        is the ``x``-gather traffic, paid per column.  ``count`` charges
+        ``matrix_bytes + percol_bytes`` (one column), exactly the
+        historical totals.
         """
         fmt = matrix.name
         m, n = matrix.shape
@@ -160,32 +165,47 @@ class VectorMachine:
             vops = int(groups.max(axis=1).sum())
             startup = int(self.row_startup * groups.shape[0])
             nnz = matrix.nnz
-            bytes_moved = nnz * (_VB + _IB) + (m + 1) * 8 + nnz * _VB
+            matrix_bytes = nnz * (_VB + _IB) + (m + 1) * 8
+            percol_bytes = nnz * _VB
         elif fmt == "DEN":
             vops = m * self._ceil_w(n)
             startup = 0
-            bytes_moved = m * n * _VB + n * _VB
+            matrix_bytes = m * n * _VB
+            percol_bytes = n * _VB
         elif fmt == "COO":
             nnz = matrix.nnz
             # One flat element stream: nnz / W lane-steps, scaled by the
             # per-element overhead of the extra row stream + scatter.
             vops = int(math.ceil(self.coo_streams * nnz / self.w))
             startup = 0
-            bytes_moved = nnz * (_VB + 2 * _IB) + nnz * _VB
+            matrix_bytes = nnz * (_VB + 2 * _IB)
+            percol_bytes = nnz * _VB
         elif fmt == "ELL":
             mdim = matrix.data.shape[1]  # type: ignore[attr-defined]
             vops = m * self._ceil_w(mdim)
             startup = int(self.row_startup * m) // 2  # regular rows
-            bytes_moved = m * mdim * (_VB + _IB) + m * mdim * _VB
+            matrix_bytes = m * mdim * (_VB + _IB)
+            percol_bytes = m * mdim * _VB
         elif fmt == "DIA":
             ndig = matrix.ndig  # type: ignore[attr-defined]
             ldiag = min(m, n)
             vops = ndig * self._ceil_w(ldiag)
             startup = int(self.diag_startup * ndig)
-            bytes_moved = ndig * ldiag * 2 * _VB
+            matrix_bytes = ndig * ldiag * _VB
+            percol_bytes = ndig * ldiag * _VB
         else:
             raise ValueError(f"unknown format {fmt!r}")
+        return vops, startup, matrix_bytes, percol_bytes
 
+    def count(self, matrix: MatrixFormat) -> VectorCost:
+        """Count vector ops + traffic for one SMSV of ``matrix``.
+
+        CSR is counted exactly from the true row lengths; the other
+        formats are exact functions of the profile.
+        """
+        fmt = matrix.name
+        vops, startup, matrix_bytes, percol_bytes = self._streams(matrix)
+        bytes_moved = matrix_bytes + percol_bytes
         seconds = self._time(fmt, vops + startup, bytes_moved)
         return VectorCost(
             fmt=fmt,
@@ -194,6 +214,37 @@ class VectorMachine:
             bytes_moved=bytes_moved,
             seconds=seconds,
         )
+
+    def count_multi(self, matrix: MatrixFormat, k: int) -> VectorCost:
+        """Count one blocked SpMM sweep with ``k`` right-hand sides.
+
+        Arithmetic lane-steps scale with ``k``; pipeline startups and
+        the matrix's own storage streams are paid once per sweep, the
+        per-column ``x``-gather traffic ``k`` times.  ``k=1`` equals
+        :meth:`count` exactly — the single-vector model is the
+        degenerate sweep.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        fmt = matrix.name
+        vops, startup, matrix_bytes, percol_bytes = self._streams(matrix)
+        vops_k = vops * k
+        bytes_moved = matrix_bytes + k * percol_bytes
+        seconds = self._time(fmt, vops_k + startup, bytes_moved)
+        return VectorCost(
+            fmt=fmt,
+            vector_ops=vops_k,
+            startup_ops=startup,
+            bytes_moved=bytes_moved,
+            seconds=seconds,
+        )
+
+    def batched_speedup(self, matrix: MatrixFormat, k: int) -> float:
+        """Modelled speedup of one k-wide sweep over k single SMSVs."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        single = self.count(matrix).seconds
+        return (k * single) / self.count_multi(matrix, k).seconds
 
     def _time(self, fmt: str, total_ops: float, bytes_moved: float) -> float:
         rate = self.issue_rate * self.issue_efficiency[fmt]

@@ -14,7 +14,12 @@ their own output arrays.
 
 from repro.parallel.pool import WorkerPool, parallel_map, parallel_reduce
 from repro.parallel.partition import balanced_chunks, row_blocks
-from repro.parallel.kernels import parallel_matvec, parallel_smsv
+from repro.parallel.kernels import (
+    parallel_matmat,
+    parallel_matvec,
+    parallel_smsv,
+    parallel_smsv_multi,
+)
 
 __all__ = [
     "WorkerPool",
@@ -24,4 +29,6 @@ __all__ = [
     "balanced_chunks",
     "parallel_matvec",
     "parallel_smsv",
+    "parallel_matmat",
+    "parallel_smsv_multi",
 ]

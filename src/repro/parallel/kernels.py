@@ -24,13 +24,28 @@ from repro.formats.csr import CSRMatrix
 from repro.formats.dense import DenseMatrix
 from repro.formats.ell import ELLMatrix
 from repro.parallel.partition import balanced_chunks, row_blocks
-from repro.parallel.pool import WorkerPool, shared_pool
+from repro.parallel.pool import WorkerPool, default_workers, shared_pool
 
 
 def _blocks_for(matrix: MatrixFormat, n_blocks: int):
     if isinstance(matrix, CSRMatrix):
         return balanced_chunks(matrix.row_lengths, n_blocks)
     return row_blocks(matrix.shape[0], n_blocks)
+
+
+def _plan_blocks(
+    matrix: MatrixFormat,
+    pool: Optional[WorkerPool],
+    min_rows_per_block: int,
+) -> int:
+    """Row-block count for the partition, without touching the pool.
+
+    Uses the pool's width when one was handed in, otherwise the
+    configured default — so the single-block (serial) case is decided
+    *before* any executor exists and never constructs one.
+    """
+    workers = pool.n_workers if pool is not None else default_workers()
+    return min(workers, max(1, matrix.shape[0] // min_rows_per_block))
 
 
 def parallel_matvec(
@@ -56,13 +71,14 @@ def parallel_matvec(
         raise ValueError(
             f"matvec expects x of shape ({matrix.shape[1]},), got {x.shape}"
         )
-    pool = pool if pool is not None else shared_pool()
     m = matrix.shape[0]
-    n_blocks = min(pool.n_workers, max(1, m // min_rows_per_block))
+    n_blocks = _plan_blocks(matrix, pool, min_rows_per_block)
     if n_blocks <= 1 or not isinstance(
         matrix, (DenseMatrix, CSRMatrix, ELLMatrix)
     ):
+        # Serial path: never touches (or lazily constructs) a pool.
         return matrix.matvec(x)
+    pool = pool if pool is not None else shared_pool()
 
     y = np.empty(m, dtype=VALUE_DTYPE)
     blocks = _blocks_for(matrix, n_blocks)
@@ -116,4 +132,111 @@ def parallel_smsv(
     """Parallel sparse-matrix x sparse-vector (scatter + blocked matvec)."""
     return parallel_matvec(
         matrix, v.to_dense(), pool=pool, min_rows_per_block=min_rows_per_block
+    )
+
+
+def parallel_matmat(
+    matrix: MatrixFormat,
+    V: np.ndarray,
+    *,
+    pool: Optional[WorkerPool] = None,
+    min_rows_per_block: int = 256,
+) -> np.ndarray:
+    """Row-block parallel SpMM: ``Y = A @ V`` for a dense ``(N, k)`` block.
+
+    Each pool thread runs the serial :meth:`~repro.formats.base.
+    MatrixFormat.matmat` column recipe on its contiguous row block —
+    so every output element is computed by the exact serial op sequence
+    (bit-for-bit identical to ``matrix.matmat(V)``), and blocks write
+    disjoint ``y[s:e]`` slices.  Formats without a row-sliced path
+    (COO/DIA/CSC/BCSR) and single-block partitions fall back to the
+    serial kernel without constructing a pool.
+    """
+    V = np.asarray(V, dtype=VALUE_DTYPE)
+    if V.ndim != 2 or V.shape[0] != matrix.shape[1]:
+        raise ValueError(
+            f"matmat expects V of shape ({matrix.shape[1]}, k), "
+            f"got {V.shape}"
+        )
+    m, k = matrix.shape[0], V.shape[1]
+    n_blocks = _plan_blocks(matrix, pool, min_rows_per_block)
+    if (
+        n_blocks <= 1
+        or k == 0
+        or not isinstance(matrix, (DenseMatrix, CSRMatrix, ELLMatrix))
+    ):
+        return matrix.matmat(V)
+    pool = pool if pool is not None else shared_pool()
+
+    y = np.empty((m, k), dtype=VALUE_DTYPE)
+    blocks = _blocks_for(matrix, n_blocks)
+
+    if isinstance(matrix, DenseMatrix):
+        VF = np.asfortranarray(V)
+
+        def work(block):
+            s, e = block
+            sub = matrix.array[s:e]
+            for c in range(k):
+                y[s:e, c] = sub @ VF[:, c]
+
+    elif isinstance(matrix, ELLMatrix):
+        data, indices = matrix.data, matrix.indices
+        VT = np.ascontiguousarray(V.T)
+
+        def work(block):
+            s, e = block
+            if data.shape[1]:
+                gathered = VT.take(indices[s:e], axis=1)
+                for c in range(k):
+                    y[s:e, c] = np.einsum(
+                        "ij,ij->i", data[s:e], gathered[c]
+                    )
+            else:
+                y[s:e] = 0.0
+
+    else:  # CSR
+        vals, cols, ptr = matrix.values, matrix.col_idx, matrix.row_ptr
+
+        def work(block):
+            s, e = block
+            lo, hi = int(ptr[s]), int(ptr[e])
+            y[s:e] = 0.0
+            if hi > lo:
+                starts = ptr[s:e] - lo
+                nonempty = starts < (ptr[s + 1 : e + 1] - lo)
+                prod = np.empty((k, hi - lo), dtype=VALUE_DTYPE)
+                for c in range(k):
+                    np.multiply(
+                        vals[lo:hi], V[:, c].take(cols[lo:hi]), out=prod[c]
+                    )
+                if np.any(nonempty):
+                    segs = np.add.reduceat(prod, starts[nonempty], axis=1)
+                    out = np.zeros((e - s, k), dtype=VALUE_DTYPE)
+                    out[nonempty] = segs.T
+                    y[s:e] = out
+
+    pool.map(work, blocks)
+    return y
+
+
+def parallel_smsv_multi(
+    matrix: MatrixFormat,
+    vectors,
+    *,
+    pool: Optional[WorkerPool] = None,
+    min_rows_per_block: int = 256,
+) -> np.ndarray:
+    """Parallel multi-vector SMSV (scatter the block + blocked SpMM)."""
+    vectors = list(vectors)
+    n = matrix.shape[1]
+    V = np.zeros((n, len(vectors)), dtype=VALUE_DTYPE)
+    for c, v in enumerate(vectors):
+        if v.length != n:
+            raise ValueError(
+                f"smsv_multi expects vectors of length {n}, got {v.length}"
+            )
+        V[v.indices, c] = v.values
+    return parallel_matmat(
+        matrix, V, pool=pool, min_rows_per_block=min_rows_per_block
     )

@@ -87,7 +87,19 @@ class WorkerPool:
             self._executor = ThreadPoolExecutor(max_workers=self.n_workers)
         return self._executor
 
+    @property
+    def executor_active(self) -> bool:
+        """Whether a ThreadPoolExecutor has actually been constructed.
+
+        The serial fast path (``n_workers == 1`` or a single work item)
+        never constructs one; the row-block kernels assert this so a
+        one-block partition costs zero threading overhead.
+        """
+        return self._executor is not None
+
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        # Serial fast path: one worker or one item never spins up an
+        # executor — the closure runs inline on the calling thread.
         if self.n_workers == 1 or len(items) <= 1:
             return [fn(item) for item in items]
         executor = self._ensure()

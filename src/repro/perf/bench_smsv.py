@@ -1,0 +1,290 @@
+"""Synthetic SpMM benchmark: blocked multi-vector SMSV vs repeated SMSV.
+
+Two experiments, both on the synthetic generators the rest of the
+reproduction uses:
+
+1. **k-trajectory** — for each format, time ``k`` independent
+   :meth:`~repro.formats.base.MatrixFormat.smsv` calls against one
+   :meth:`~repro.formats.base.MatrixFormat.smsv_multi` sweep over the
+   same ``k`` vectors, for growing ``k``.  This shows where the blocked
+   kernels amortise traversal (CSR/ELL/COO) and where they cannot (the
+   per-column fallback formats stay near 1x by construction).
+
+2. **dual-row headline** — the fused SMO hot path: one iteration needs
+   the kernel rows of *two* training samples.  We time the unfused
+   sequence (two :meth:`~repro.svm.kernels.Kernel.row` calls, each with
+   its own row extraction) against the fused one (one
+   :meth:`~repro.svm.kernels.Kernel.rows` dual-row SpMM) exactly as
+   ``smo_train`` issues them on a double cache miss.  The acceptance
+   criterion for this PR is a >= 1.4x median speedup.
+
+Run via ``repro bench smsv [--quick]``; results land in
+``BENCH_smsv.json``.  Both paths are bit-for-bit identical in output
+(property-tested in ``tests/formats/test_spmm.py``), so this file only
+measures time.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.synthetic import uniform_rows_matrix
+from repro.formats.base import FORMAT_NAMES, MatrixFormat
+from repro.formats.convert import convert
+from repro.formats.csr import CSRMatrix
+from repro.perf.timers import benchmark
+from repro.svm.kernels import make_kernel
+
+#: The acceptance threshold for the fused dual-row path.
+HEADLINE_CRITERION = 1.4
+
+#: (m, n, row_nnz) triples shaped like the SMO workloads the SVM layer
+#: runs: tall-ish sample matrices with tens of features per row.
+FULL_SHAPES: Tuple[Tuple[int, int, int], ...] = (
+    (512, 256, 24),
+    (1000, 400, 32),
+    (2000, 600, 40),
+)
+QUICK_SHAPES: Tuple[Tuple[int, int, int], ...] = ((512, 256, 24),)
+
+TRAJECTORY_KS: Tuple[int, ...] = (1, 2, 4, 8)
+
+
+def _build(m: int, n: int, row_nnz: int, seed: int = 0) -> CSRMatrix:
+    rows, cols, vals, shape = uniform_rows_matrix(m, n, row_nnz, seed=seed)
+    return CSRMatrix.from_coo(rows, cols, vals, shape)
+
+
+def _sample_rows(X: MatrixFormat, k: int, seed: int = 0) -> List:
+    """``k`` training-sample rows of ``X`` as sparse vectors."""
+    rng = np.random.default_rng(seed)
+    ids = rng.choice(X.shape[0], size=k, replace=False)
+    return [X.row(int(i)) for i in ids]
+
+
+def _bench_seconds(fn, repeats: int) -> float:
+    # A generous min_time matters more than the repeat count here: the
+    # individual kernel calls are tens of microseconds, so a short
+    # window makes the median hostage to scheduler noise.
+    return benchmark(fn, repeats=repeats, warmup=3, min_time=0.1).median
+
+
+def _paired_ratio(
+    slow: Callable[[], object],
+    fast: Callable[[], object],
+    *,
+    samples: int,
+    batch_seconds: float = 0.01,
+) -> Tuple[float, float, float]:
+    """Median of interleaved per-sample time ratios ``slow / fast``.
+
+    Timing the two variants in separate windows lets CPU frequency
+    drift bias the ratio; alternating batches inside one loop makes
+    each sample a same-conditions comparison.  Returns
+    ``(ratio, slow_seconds, fast_seconds)`` with per-call medians.
+    """
+    for fn in (slow, fast):
+        fn()
+        fn()
+    t0 = time.perf_counter()
+    slow()
+    dt = time.perf_counter() - t0
+    reps = max(1, int(batch_seconds / max(dt, 1e-9)))
+    ratios: List[float] = []
+    t_slow: List[float] = []
+    t_fast: List[float] = []
+    for _ in range(samples):
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            slow()
+        a = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            fast()
+        b = time.perf_counter() - t0
+        ratios.append(a / b)
+        t_slow.append(a / reps)
+        t_fast.append(b / reps)
+
+    def med(xs: List[float]) -> float:
+        xs = sorted(xs)
+        mid = len(xs) // 2
+        if len(xs) % 2:
+            return xs[mid]
+        return 0.5 * (xs[mid - 1] + xs[mid])
+
+    return med(ratios), med(t_slow), med(t_fast)
+
+
+def run_trajectory(
+    shapes: Sequence[Tuple[int, int, int]],
+    *,
+    repeats: int,
+    formats: Sequence[str] = FORMAT_NAMES,
+    ks: Sequence[int] = TRAJECTORY_KS,
+) -> List[Dict]:
+    """Single-vs-batched medians for every format x shape x k."""
+    records: List[Dict] = []
+    for m, n, row_nnz in shapes:
+        base = _build(m, n, row_nnz)
+        vectors = _sample_rows(base, max(ks), seed=1)
+        for fmt in formats:
+            X = convert(base, fmt)
+            for k in ks:
+                vs = vectors[:k]
+
+                def single() -> None:
+                    for v in vs:
+                        X.smsv(v)
+
+                def multi() -> None:
+                    X.smsv_multi(vs)
+
+                t_single = _bench_seconds(single, repeats)
+                t_multi = _bench_seconds(multi, repeats)
+                records.append(
+                    {
+                        "fmt": fmt,
+                        "m": m,
+                        "n": n,
+                        "row_nnz": row_nnz,
+                        "k": k,
+                        "single_seconds": t_single,
+                        "multi_seconds": t_multi,
+                        "speedup": t_single / t_multi,
+                    }
+                )
+    return records
+
+
+def run_dual_row(
+    shapes: Sequence[Tuple[int, int, int]],
+    *,
+    repeats: int,
+    kernels: Sequence[str] = ("gaussian", "linear"),
+) -> List[Dict]:
+    """Fused vs unfused dual-row kernel evaluation (the SMO hot path).
+
+    Both timed closures include the ``X.row(i)`` extraction and norm
+    lookups, because the real cache-miss path pays them too.
+    """
+    records: List[Dict] = []
+    for m, n, row_nnz in shapes:
+        X = _build(m, n, row_nnz)
+        row_norms = X.row_norms_sq()
+        rng = np.random.default_rng(2)
+        i, j = (int(x) for x in rng.choice(m, size=2, replace=False))
+        for name in kernels:
+            params = {"gamma": 0.5} if name == "gaussian" else {}
+            kernel = make_kernel(name, **params)
+
+            def unfused() -> None:
+                for idx in (i, j):
+                    v = X.row(idx)
+                    kernel.row(X, v, float(row_norms[idx]), row_norms)
+
+            def fused() -> None:
+                vi, vj = X.row(i), X.row(j)
+                kernel.rows(
+                    X,
+                    (vi, vj),
+                    np.array([float(row_norms[i]), float(row_norms[j])]),
+                    row_norms,
+                )
+
+            speedup, t_unfused, t_fused = _paired_ratio(
+                unfused, fused, samples=2 * repeats + 1
+            )
+            records.append(
+                {
+                    "kernel": name,
+                    "m": m,
+                    "n": n,
+                    "row_nnz": row_nnz,
+                    "unfused_seconds": t_unfused,
+                    "fused_seconds": t_fused,
+                    "speedup": speedup,
+                }
+            )
+    return records
+
+
+def run_suite(
+    *,
+    quick: bool = False,
+    repeats: Optional[int] = None,
+) -> Dict:
+    """Run both experiments and assemble the ``BENCH_smsv.json`` payload.
+
+    The headline number is the *median* dual-row speedup across the
+    suite — robust to one noisy config, honest about the typical case.
+    """
+    shapes = QUICK_SHAPES if quick else FULL_SHAPES
+    if repeats is None:
+        repeats = 3 if quick else 7
+    trajectory = run_trajectory(shapes, repeats=repeats)
+    dual_row = run_dual_row(shapes, repeats=repeats)
+    speedups = sorted(r["speedup"] for r in dual_row)
+    mid = len(speedups) // 2
+    if len(speedups) % 2:
+        headline = speedups[mid]
+    else:
+        headline = 0.5 * (speedups[mid - 1] + speedups[mid])
+    return {
+        "meta": {
+            "suite": "smsv",
+            "quick": quick,
+            "repeats": repeats,
+            "shapes": [list(s) for s in shapes],
+            "trajectory_ks": list(TRAJECTORY_KS),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "trajectory": trajectory,
+        "dual_row": dual_row,
+        "headline": {
+            "dual_row_speedup": headline,
+            "criterion": HEADLINE_CRITERION,
+            "pass": headline >= HEADLINE_CRITERION,
+        },
+    }
+
+
+def write_report(payload: Dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def render_summary(payload: Dict) -> str:
+    """Terminal summary: headline plus the per-format best-k speedups."""
+    lines = []
+    head = payload["headline"]
+    verdict = "PASS" if head["pass"] else "FAIL"
+    lines.append(
+        f"dual-row fused speedup (median): {head['dual_row_speedup']:.2f}x "
+        f"(criterion {head['criterion']:.1f}x) [{verdict}]"
+    )
+    for r in payload["dual_row"]:
+        lines.append(
+            f"  {r['kernel']:<9} m={r['m']:<5} {r['speedup']:.2f}x "
+            f"({r['unfused_seconds'] * 1e6:.0f} -> "
+            f"{r['fused_seconds'] * 1e6:.0f} us)"
+        )
+    best: Dict[str, Dict] = {}
+    for r in payload["trajectory"]:
+        cur = best.get(r["fmt"])
+        if cur is None or r["speedup"] > cur["speedup"]:
+            best[r["fmt"]] = r
+    lines.append("best batched-sweep speedup per format:")
+    for fmt, r in sorted(best.items()):
+        lines.append(
+            f"  {fmt:<4} k={r['k']}: {r['speedup']:.2f}x (m={r['m']})"
+        )
+    return "\n".join(lines)

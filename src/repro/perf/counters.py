@@ -35,12 +35,19 @@ class OpCounter:
     vector_ops:
         Width-``W`` SIMD instructions issued, as counted by the
         vector-machine model.  Zero unless that model is in use.
+    spmm_calls / spmm_columns:
+        Number of blocked multi-vector sweeps (``matmat`` /
+        ``smsv_multi``) and the total right-hand-side columns they
+        carried.  ``spmm_columns / spmm_calls`` is the achieved batch
+        width — the quantity the ``batch_k`` cost-model knob predicts.
     """
 
     flops: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
     vector_ops: int = 0
+    spmm_calls: int = 0
+    spmm_columns: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -61,6 +68,12 @@ class OpCounter:
         with self._lock:
             self.vector_ops += int(n)
 
+    def add_spmm(self, k: int) -> None:
+        """Record one blocked sweep carrying ``k`` right-hand sides."""
+        with self._lock:
+            self.spmm_calls += 1
+            self.spmm_columns += int(k)
+
     @property
     def bytes_total(self) -> int:
         return self.bytes_read + self.bytes_written
@@ -71,6 +84,8 @@ class OpCounter:
             self.bytes_read = 0
             self.bytes_written = 0
             self.vector_ops = 0
+            self.spmm_calls = 0
+            self.spmm_columns = 0
 
     def snapshot(self) -> "OpCounter":
         """Return an independent copy of the current totals."""
@@ -80,6 +95,8 @@ class OpCounter:
             out.bytes_read = self.bytes_read
             out.bytes_written = self.bytes_written
             out.vector_ops = self.vector_ops
+            out.spmm_calls = self.spmm_calls
+            out.spmm_columns = self.spmm_columns
             return out
 
     def merge(self, other: "OpCounter") -> None:
@@ -89,6 +106,8 @@ class OpCounter:
             self.bytes_read += other.bytes_read
             self.bytes_written += other.bytes_written
             self.vector_ops += other.vector_ops
+            self.spmm_calls += other.spmm_calls
+            self.spmm_columns += other.spmm_columns
 
     def arithmetic_intensity(self) -> float:
         """Flops per byte of traffic; the x-axis of a roofline plot."""

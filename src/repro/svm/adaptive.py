@@ -48,8 +48,10 @@ class AdaptiveSVC(SVC):
         tol: float = 1e-3,
         max_iter: int = 100_000,
         cache_rows: int = 256,
+        cache_mb: Optional[float] = None,
         working_set: str = "first",
         shrink_every: int = 0,
+        fuse_rows: bool = True,
         scheduler: Optional[LayoutScheduler] = None,
         iterations_hint: Optional[int] = None,
         **kernel_params: float,
@@ -60,8 +62,10 @@ class AdaptiveSVC(SVC):
             tol=tol,
             max_iter=max_iter,
             cache_rows=cache_rows,
+            cache_mb=cache_mb,
             working_set=working_set,
             shrink_every=shrink_every,
+            fuse_rows=fuse_rows,
             **kernel_params,
         )
         self.scheduler = scheduler or LayoutScheduler("hybrid")

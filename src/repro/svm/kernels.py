@@ -54,6 +54,36 @@ class Kernel(abc.ABC):
             passing them in keeps the hot loop allocation-free).
         """
 
+    def rows(
+        self,
+        X: MatrixFormat,
+        vectors,
+        v_norms_sq: np.ndarray,
+        row_norms_sq: np.ndarray,
+        counter: Optional[OpCounter] = None,
+    ) -> np.ndarray:
+        """Blocked kernel rows: column ``c`` is ``row(X, vectors[c])``.
+
+        One fused SpMM (:meth:`MatrixFormat.smsv_multi`) replaces the k
+        per-vector SMSVs, and the Mercer transform runs once over the
+        whole ``(M, k)`` block.  Because the SpMM contract is bit-for-bit
+        per column and the transforms are elementwise, every column is
+        identical to the single-row path — the property the fused SMO
+        hot path relies on.  The default stacks :meth:`row` calls so
+        exotic kernel subclasses stay correct without an override.
+        """
+        vectors = list(vectors)
+        v_norms_sq = np.asarray(v_norms_sq, dtype=float)
+        if v_norms_sq.shape[0] != len(vectors):
+            raise ValueError("v_norms_sq must have one entry per vector")
+        if not vectors:
+            return np.zeros((X.shape[0], 0))
+        cols = [
+            self.row(X, v, float(nv), row_norms_sq, counter)
+            for v, nv in zip(vectors, v_norms_sq)
+        ]
+        return np.stack(cols, axis=1)
+
     def single(self, x: SparseVector, y: SparseVector) -> float:
         """``K(x, y)`` for two individual samples (prediction path)."""
         return float(
@@ -86,6 +116,9 @@ class LinearKernel(Kernel):
     def row(self, X, v, v_norm_sq, row_norms_sq, counter=None):
         return X.smsv(v, counter)
 
+    def rows(self, X, vectors, v_norms_sq, row_norms_sq, counter=None):
+        return X.smsv_multi(vectors, counter)
+
     def _transform_scalar(self, dot, nx, ny):
         return dot
 
@@ -104,6 +137,12 @@ class PolynomialKernel(Kernel):
 
     def row(self, X, v, v_norm_sq, row_norms_sq, counter=None):
         dots = X.smsv(v, counter)
+        return (self.a * dots + self.r) ** self.degree
+
+    def rows(self, X, vectors, v_norms_sq, row_norms_sq, counter=None):
+        dots = X.smsv_multi(vectors, counter)
+        # Elementwise transform over the whole block: identical scalar
+        # op sequence per column as row(), one ufunc dispatch for all k.
         return (self.a * dots + self.r) ** self.degree
 
     def _transform_scalar(self, dot, nx, ny):
@@ -136,6 +175,22 @@ class GaussianKernel(Kernel):
         dots *= -self.gamma
         return np.exp(dots, out=dots)
 
+    def rows(self, X, vectors, v_norms_sq, row_norms_sq, counter=None):
+        vectors = list(vectors)
+        v_norms_sq = np.asarray(v_norms_sq, dtype=float)
+        if v_norms_sq.shape[0] != len(vectors):
+            raise ValueError("v_norms_sq must have one entry per vector")
+        dots = X.smsv_multi(vectors, counter)
+        # Same in-place sequence as row(), broadcast over the (M, k)
+        # block: per element it is d*(-2) + ||X_i||^2 + ||v_c||^2 in the
+        # same order, so columns stay bit-for-bit identical.
+        dots *= -2.0
+        dots += np.asarray(row_norms_sq, dtype=float)[:, None]
+        dots += v_norms_sq[None, :]
+        np.clip(dots, 0.0, None, out=dots)
+        dots *= -self.gamma
+        return np.exp(dots, out=dots)
+
     def _transform_scalar(self, dot, nx, ny):
         d2 = max(nx + ny - 2.0 * dot, 0.0)
         return np.exp(-self.gamma * d2)
@@ -152,6 +207,12 @@ class SigmoidKernel(Kernel):
 
     def row(self, X, v, v_norm_sq, row_norms_sq, counter=None):
         dots = X.smsv(v, counter)
+        dots *= self.a
+        dots += self.r
+        return np.tanh(dots, out=dots)
+
+    def rows(self, X, vectors, v_norms_sq, row_norms_sq, counter=None):
+        dots = X.smsv_multi(vectors, counter)
         dots *= self.a
         dots += self.r
         return np.tanh(dots, out=dots)

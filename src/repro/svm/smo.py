@@ -83,13 +83,35 @@ class SMOResult:
 
 
 class _RowCache:
-    """Bounded LRU cache of kernel rows keyed by sample index."""
+    """Bounded LRU cache of kernel rows keyed by sample index.
+
+    ``get`` refreshes recency (true LRU, not FIFO): a row that keeps
+    re-entering the working set stays resident while cold rows age out.
+    Capacity can be given directly in rows or derived from a memory
+    budget via :meth:`from_budget_mb` — LIBSVM's ``-m`` semantics, where
+    the budget buys ``floor(mb * 2^20 / row_bytes)`` resident rows.
+    """
 
     def __init__(self, capacity: int) -> None:
         self.capacity = max(0, int(capacity))
         self._store: "OrderedDict[int, np.ndarray]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+
+    @classmethod
+    def from_budget_mb(cls, mb: float, row_bytes: int) -> "_RowCache":
+        """Cache sized by a memory budget in MB (LIBSVM ``-m``).
+
+        ``row_bytes`` is the footprint of one cached kernel row
+        (``8 * M`` for float64 rows of an M-sample problem).  A budget
+        too small for even one row disables caching, mirroring
+        ``cache_rows=0``.
+        """
+        if mb < 0:
+            raise ValueError("cache budget must be >= 0 MB")
+        if row_bytes <= 0:
+            return cls(0)
+        return cls(int(mb * 1024 * 1024) // int(row_bytes))
 
     def get(self, i: int) -> Optional[np.ndarray]:
         if self.capacity == 0:
@@ -180,8 +202,10 @@ def smo_train(
     tol: float = 1e-3,
     max_iter: int = 100_000,
     cache_rows: int = 256,
+    cache_mb: Optional[float] = None,
     working_set: str = "first",
     shrink_every: int = 0,
+    fuse_rows: bool = True,
     initial_alpha: Optional[np.ndarray] = None,
     counter: Optional[OpCounter] = None,
     on_iteration: Optional[Callable[[int, float, float], None]] = None,
@@ -205,6 +229,11 @@ def smo_train(
         Iteration cap (an iteration = one working-set pair update).
     cache_rows:
         LRU kernel-row cache capacity (0 disables caching).
+    cache_mb:
+        Alternative cache sizing by memory budget in MB (LIBSVM's
+        ``-m`` semantics): the cache holds as many float64 rows of
+        length M as fit the budget.  Overrides ``cache_rows`` when
+        given; 0 disables caching.
     working_set:
         ``"first"`` — the paper's maximal-violating pair;
         ``"second"`` — LIBSVM's second-order gain rule (usually fewer
@@ -213,6 +242,15 @@ def smo_train(
         If > 0, run the shrinking heuristic every this many iterations
         (0 disables).  Shrinking never changes the solution: the full
         problem is re-verified before reporting convergence.
+    fuse_rows:
+        When True (the default), an iteration whose high/low rows both
+        miss the cache computes them with a single dual-row SpMM
+        (:meth:`Kernel.rows` over ``[v_high, v_low]``) instead of two
+        SMSVs — the matrix is traversed once per iteration instead of
+        twice.  The fused block is bit-for-bit identical per column to
+        the single-row path, so the training trajectory (iterations,
+        support set, bias) is unchanged; set False to force the unfused
+        path (used by the equivalence tests and the benchmark harness).
     initial_alpha:
         Optional warm start: a feasible multiplier vector (within the
         box ``[0, C]`` and satisfying ``sum alpha_i y_i = 0``), e.g.
@@ -274,7 +312,10 @@ def smo_train(
 
     row_norms = X.row_norms_sq()
     k_diag = kernel.diagonal(row_norms) if working_set == "second" else None
-    cache = _RowCache(cache_rows)
+    if cache_mb is not None:
+        cache = _RowCache.from_budget_mb(cache_mb, 8 * m)
+    else:
+        cache = _RowCache(cache_rows)
     rows_computed = 0
 
     aset = _ActiveSet(X)
@@ -282,29 +323,74 @@ def smo_train(
     unshrink_events = 0
     min_active = m
 
-    def kernel_row(i: int) -> np.ndarray:
-        """Kernel row of global sample i over the *active* rows,
-        scattered into a global-length array (inactive entries stay 0,
-        matching the frozen-f semantics of shrinking)."""
+    def scatter_row(local: np.ndarray) -> np.ndarray:
+        """Lift a row over the active submatrix to global length
+        (inactive entries stay 0, matching the frozen-f semantics of
+        shrinking)."""
+        if aset.n_active == m:
+            return local
+        row = np.zeros(m, dtype=np.float64)
+        row[aset.sub_ids] = local
+        return row
+
+    def compute_row(i: int) -> np.ndarray:
+        """Compute, cache, and return one kernel row (cache already
+        known to miss)."""
         nonlocal rows_computed
+        v = X.row(i)
+        local = kernel.row(
+            aset.sub,
+            v,
+            float(row_norms[i]),
+            row_norms[aset.sub_ids],
+            counter,
+        )
+        row = scatter_row(local)
+        cache.put(i, row)
+        rows_computed += 1
+        return row
+
+    def kernel_row(i: int) -> np.ndarray:
+        """Kernel row of global sample i over the *active* rows."""
         row = cache.get(i)
         if row is None:
-            v = X.row(i)
-            local = kernel.row(
-                aset.sub,
-                v,
-                float(row_norms[i]),
-                row_norms[aset.sub_ids],
-                counter,
-            )
-            if aset.n_active == m:
-                row = local
-            else:
-                row = np.zeros(m, dtype=np.float64)
-                row[aset.sub_ids] = local
-            cache.put(i, row)
-            rows_computed += 1
+            row = compute_row(i)
         return row
+
+    def kernel_row_pair(i: int, j: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The per-iteration high/low rows, fused when both miss.
+
+        Cache probes keep the same order as two ``kernel_row`` calls
+        (i first, then j) so hit/miss statistics line up between the
+        fused and unfused paths.  A double miss triggers one dual-row
+        SpMM; any hit falls back to the single-row path for the other
+        index.  ``i == j`` degenerates to a single row — batching it
+        would compute the same column twice.
+        """
+        nonlocal rows_computed
+        if not fuse_rows or i == j:
+            ri = kernel_row(i)
+            return ri, kernel_row(j)
+        ri = cache.get(i)
+        if ri is not None:
+            return ri, kernel_row(j)
+        rj = cache.get(j)
+        if rj is not None:
+            return compute_row(i), rj
+        vi, vj = X.row(i), X.row(j)
+        block = kernel.rows(
+            aset.sub,
+            (vi, vj),
+            np.array([float(row_norms[i]), float(row_norms[j])]),
+            row_norms[aset.sub_ids],
+            counter,
+        )
+        ri = scatter_row(np.ascontiguousarray(block[:, 0]))
+        rj = scatter_row(np.ascontiguousarray(block[:, 1]))
+        cache.put(i, ri)
+        cache.put(j, rj)
+        rows_computed += 2
+        return ri, rj
 
     def index_sets(active: np.ndarray):
         free = (alpha > eps_a) & (alpha < C - eps_a)
@@ -385,8 +471,9 @@ def smo_train(
     converged = False
     while iterations < max_iter:
         # Steps 4/11: analytic two-variable update with box clipping.
-        k_high = kernel_row(high)
-        k_low = kernel_row(low)
+        # The two rows are the per-iteration bottleneck; on a double
+        # cache miss they come out of one fused dual-row SpMM.
+        k_high, k_low = kernel_row_pair(high, low)
         eta = k_high[high] + k_low[low] - 2.0 * k_high[low]
         if eta <= 1e-12:
             eta = 1e-12  # degenerate pair; take a tiny safe step

@@ -40,10 +40,13 @@ class SVC:
     kernel:
         Kernel name (``linear`` / ``polynomial`` / ``gaussian`` /
         ``sigmoid``) or a :class:`~repro.svm.kernels.Kernel` instance.
-    C, tol, max_iter, cache_rows, working_set, shrink_every:
+    C, tol, max_iter, cache_rows, cache_mb, working_set, shrink_every,
+    fuse_rows:
         Passed through to :func:`repro.svm.smo.smo_train`
         (``working_set="second"`` enables LIBSVM's second-order pair
-        selection; ``shrink_every > 0`` enables shrinking).
+        selection; ``shrink_every > 0`` enables shrinking; ``cache_mb``
+        sizes the row cache by memory budget, LIBSVM ``-m`` style;
+        ``fuse_rows=False`` disables the dual-row SpMM hot path).
     kernel_params:
         Keyword parameters for a kernel given by name (e.g.
         ``gamma=0.5``).
@@ -63,8 +66,10 @@ class SVC:
         tol: float = 1e-3,
         max_iter: int = 100_000,
         cache_rows: int = 256,
+        cache_mb: Optional[float] = None,
         working_set: str = "first",
         shrink_every: int = 0,
+        fuse_rows: bool = True,
         **kernel_params: float,
     ) -> None:
         if isinstance(kernel, str):
@@ -78,8 +83,10 @@ class SVC:
         self.tol = tol
         self.max_iter = max_iter
         self.cache_rows = cache_rows
+        self.cache_mb = cache_mb
         self.working_set = working_set
         self.shrink_every = shrink_every
+        self.fuse_rows = fuse_rows
         # fitted state
         self.result_: Optional[SMOResult] = None
         self._sv_vectors: List[SparseVector] = []
@@ -105,8 +112,10 @@ class SVC:
             tol=self.tol,
             max_iter=self.max_iter,
             cache_rows=self.cache_rows,
+            cache_mb=self.cache_mb,
             working_set=self.working_set,
             shrink_every=self.shrink_every,
+            fuse_rows=self.fuse_rows,
             counter=counter,
         )
         self.result_ = result

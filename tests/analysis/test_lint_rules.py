@@ -41,8 +41,8 @@ def codes(findings):
 
 
 class TestEngine:
-    def test_registry_has_all_six_rules(self):
-        assert ALL_CODES == tuple(f"RDL00{i}" for i in range(1, 7))
+    def test_registry_has_all_seven_rules(self):
+        assert ALL_CODES == tuple(f"RDL00{i}" for i in range(1, 8))
         assert [r.code for r in iter_rules()] == list(ALL_CODES)
 
     def test_every_rule_has_name_and_rationale(self):
@@ -498,3 +498,62 @@ class TestSwallowedException:
                 return None
         """
         assert lint(src, DATA, "RDL006") == []
+
+
+# -- RDL007: missing SpMM OpCounter accounting -------------------------
+
+
+class TestMissingSpmmCounter:
+    def test_fires_on_silent_matmat(self):
+        src = """
+        class FakeMatrix:
+            def matmat(self, V, counter=None):
+                return self.data @ V
+        """
+        findings = lint(src, FORMATS, "RDL007")
+        assert codes(findings) == ["RDL007"]
+        assert "never reports" in findings[0].message
+
+    def test_fires_on_silent_smsv_multi(self):
+        src = """
+        class FakeMatrix:
+            def smsv_multi(self, vectors, counter=None):
+                return self.data @ scatter(vectors)
+        """
+        assert codes(lint(src, FORMATS, "RDL007")) == ["RDL007"]
+
+    def test_clean_when_add_spmm_called(self):
+        src = """
+        class FakeMatrix:
+            def matmat(self, V, counter=None):
+                y = self.data @ V
+                if counter is not None:
+                    counter.add_spmm(V.shape[1])
+                return y
+        """
+        assert lint(src, FORMATS, "RDL007") == []
+
+    def test_clean_when_counter_forwarded(self):
+        src = """
+        class FakeMatrix:
+            def smsv_multi(self, vectors, counter=None):
+                return self.matmat(scatter(vectors), counter)
+        """
+        assert lint(src, FORMATS, "RDL007") == []
+
+    def test_single_vector_kernels_out_of_scope(self):
+        # matvec/smsv belong to RDL004, not RDL007.
+        src = """
+        class FakeMatrix:
+            def matvec(self, x, counter=None):
+                return self.data @ x
+        """
+        assert lint(src, FORMATS, "RDL007") == []
+
+    def test_outside_formats_out_of_scope(self):
+        src = """
+        class Proxy:
+            def matmat(self, V, counter=None):
+                return self.inner.matmat(V)
+        """
+        assert lint(src, NEUTRAL, "RDL007") == []

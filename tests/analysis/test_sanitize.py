@@ -177,6 +177,24 @@ class TestSanitizedMatrix:
         with pytest.raises(FormatInvariantError):
             s.row(0)
 
+    def test_matmat_and_smsv_multi_delegate_and_check(self, dense, rng):
+        from repro.formats import SparseVector
+
+        m = from_dense(dense, "CSR")
+        s = sanitize_format(m)
+        V = rng.standard_normal((dense.shape[1], 3))
+        np.testing.assert_array_equal(s.matmat(V), m.matmat(V))
+        vecs = [m.row(0), m.row(5)]
+        np.testing.assert_array_equal(
+            s.smsv_multi(vecs), m.smsv_multi(vecs)
+        )
+        assert s.smsv_multi(iter(vecs)).shape == (dense.shape[0], 2)
+        assert isinstance(vecs[0], SparseVector)
+        # corruption after wrap is caught on the SpMM path too
+        m.col_idx[-1] = dense.shape[1] + 5
+        with pytest.raises(FormatInvariantError, match="col_idx"):
+            s.matmat(V)
+
     def test_double_wrap_unwraps(self, dense):
         m = from_dense(dense, "COO")
         s = sanitize_format(sanitize_format(m))

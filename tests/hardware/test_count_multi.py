@@ -1,0 +1,67 @@
+"""Vector-machine SpMM accounting: ``count_multi`` and its speedup."""
+
+import pytest
+
+from repro.data.synthetic import uniform_rows_matrix
+from repro.formats import FORMAT_NAMES, from_dense
+from repro.formats.convert import convert
+from repro.formats.csr import CSRMatrix
+from repro.hardware.specs import get_machine
+from repro.hardware.vectormachine import VectorMachine
+
+
+@pytest.fixture
+def base_matrix():
+    rows, cols, vals, shape = uniform_rows_matrix(300, 120, 10, seed=1)
+    return CSRMatrix.from_coo(rows, cols, vals, shape)
+
+
+@pytest.fixture
+def vm():
+    return VectorMachine(get_machine("knl"))
+
+
+class TestCountMulti:
+    @pytest.mark.parametrize("fmt", FORMAT_NAMES)
+    def test_k_one_equals_count_exactly(self, base_matrix, vm, fmt):
+        m = convert(base_matrix, fmt)
+        single = vm.count(m)
+        multi = vm.count_multi(m, 1)
+        assert multi.vector_ops == single.vector_ops
+        assert multi.startup_ops == single.startup_ops
+        assert multi.bytes_moved == single.bytes_moved
+        assert multi.seconds == single.seconds
+
+    @pytest.mark.parametrize("fmt", FORMAT_NAMES)
+    def test_arithmetic_scales_matrix_bytes_do_not(
+        self, base_matrix, vm, fmt
+    ):
+        # k columns issue k times the vector instructions but re-read
+        # the matrix streams only once; total bytes therefore grow
+        # strictly slower than k-fold (matrix bytes are never zero).
+        m = convert(base_matrix, fmt)
+        single = vm.count(m)
+        k = 6
+        multi = vm.count_multi(m, k)
+        assert multi.vector_ops == k * single.vector_ops
+        assert multi.startup_ops == single.startup_ops
+        assert multi.bytes_moved < k * single.bytes_moved
+        assert multi.bytes_moved > single.bytes_moved
+
+    def test_k_validation(self, base_matrix, vm):
+        with pytest.raises(ValueError, match=">= 1"):
+            vm.count_multi(base_matrix, 0)
+
+    @pytest.mark.parametrize("fmt", FORMAT_NAMES)
+    def test_batched_speedup_at_least_one(self, base_matrix, vm, fmt):
+        m = convert(base_matrix, fmt)
+        assert vm.batched_speedup(m, 1) == pytest.approx(1.0)
+        s = vm.batched_speedup(m, 8)
+        assert s >= 1.0
+
+    def test_sparse_speedup_grows_with_k(self, base_matrix, vm):
+        # CSR re-reads value + index streams every single sweep; the
+        # modelled batched speedup must be monotone in k.
+        speeds = [vm.batched_speedup(base_matrix, k) for k in (1, 2, 4, 8)]
+        assert speeds == sorted(speeds)
+        assert speeds[-1] > speeds[0]

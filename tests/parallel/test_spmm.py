@@ -1,0 +1,107 @@
+"""Row-block parallel SpMM: serial identity, serial fast path."""
+
+import numpy as np
+import pytest
+
+from repro.formats import SparseVector, from_dense
+from repro.parallel import (
+    WorkerPool,
+    parallel_matmat,
+    parallel_smsv_multi,
+)
+
+
+@pytest.fixture
+def big_sparse(rng):
+    a = (rng.random((2000, 150)) < 0.1) * rng.standard_normal((2000, 150))
+    a[7] = 0.0  # an empty row inside a block
+    return a
+
+
+def _sparse_vectors(rng, n, k):
+    out = []
+    for _ in range(k):
+        x = rng.standard_normal(n)
+        x[rng.random(n) < 0.6] = 0.0
+        out.append(SparseVector.from_dense(x))
+    return out
+
+
+class TestParallelMatmat:
+    @pytest.mark.parametrize("fmt", ["DEN", "CSR", "ELL"])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_bitwise_identical_to_serial(
+        self, big_sparse, rng, fmt, workers
+    ):
+        m = from_dense(big_sparse, fmt)
+        V = rng.standard_normal((150, 3))
+        with WorkerPool(workers) as pool:
+            Y = parallel_matmat(m, V, pool=pool, min_rows_per_block=100)
+        # Blocks run the serial column recipe on contiguous slices, so
+        # the result is exactly the serial one — not just close.
+        np.testing.assert_array_equal(Y, m.matmat(V))
+
+    @pytest.mark.parametrize("fmt", ["COO", "DIA"])
+    def test_unsupported_formats_fall_back(self, big_sparse, rng, fmt):
+        m = from_dense(big_sparse[:100], fmt)
+        V = rng.standard_normal((150, 2))
+        with WorkerPool(4) as pool:
+            Y = parallel_matmat(m, V, pool=pool, min_rows_per_block=10)
+        np.testing.assert_array_equal(Y, m.matmat(V))
+
+    def test_k_zero_falls_back(self, big_sparse):
+        m = from_dense(big_sparse, "CSR")
+        with WorkerPool(4) as pool:
+            Y = parallel_matmat(
+                m, np.zeros((150, 0)), pool=pool, min_rows_per_block=10
+            )
+        assert Y.shape == (2000, 0)
+
+    def test_shape_validation(self, big_sparse, rng):
+        m = from_dense(big_sparse, "CSR")
+        with pytest.raises(ValueError, match="matmat expects"):
+            parallel_matmat(m, rng.standard_normal((3, 2)))
+
+    def test_single_block_skips_executor(self, rng):
+        # Satellite contract: one block (small matrix) must never
+        # construct a ThreadPoolExecutor.
+        a = rng.standard_normal((50, 10))
+        m = from_dense(a, "CSR")
+        pool = WorkerPool(4)
+        Y = parallel_matmat(m, rng.standard_normal((10, 2)), pool=pool)
+        assert not pool.executor_active
+        assert Y.shape == (50, 2)
+        pool.shutdown()
+
+    def test_single_worker_skips_executor(self, big_sparse, rng):
+        m = from_dense(big_sparse, "CSR")
+        V = rng.standard_normal((150, 2))
+        pool = WorkerPool(1)
+        Y = parallel_matmat(m, V, pool=pool, min_rows_per_block=100)
+        assert not pool.executor_active
+        np.testing.assert_array_equal(Y, m.matmat(V))
+        pool.shutdown()
+
+
+class TestParallelSmsvMulti:
+    @pytest.mark.parametrize("fmt", ["DEN", "CSR", "ELL"])
+    def test_bitwise_identical_to_serial(self, big_sparse, rng, fmt):
+        m = from_dense(big_sparse, fmt)
+        vectors = _sparse_vectors(rng, 150, 3)
+        with WorkerPool(4) as pool:
+            Y = parallel_smsv_multi(
+                m, vectors, pool=pool, min_rows_per_block=100
+            )
+        np.testing.assert_array_equal(Y, m.smsv_multi(vectors))
+
+    def test_length_validation(self, big_sparse):
+        m = from_dense(big_sparse, "CSR")
+        bad = SparseVector.from_dense(np.ones(7))
+        with pytest.raises(ValueError, match="length"):
+            parallel_smsv_multi(m, [bad])
+
+    def test_empty_batch(self, big_sparse):
+        m = from_dense(big_sparse, "CSR")
+        with WorkerPool(2) as pool:
+            Y = parallel_smsv_multi(m, [], pool=pool)
+        assert Y.shape == (2000, 0)

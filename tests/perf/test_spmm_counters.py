@@ -1,0 +1,80 @@
+"""SpMM counter fields and the ``bench smsv`` harness."""
+
+import json
+
+import numpy as np
+
+from repro.formats import from_dense
+from repro.perf import OpCounter
+from repro.perf.bench_smsv import (
+    HEADLINE_CRITERION,
+    render_summary,
+    run_suite,
+    write_report,
+)
+
+
+class TestSpmmCounterFields:
+    def test_add_spmm_accumulates(self):
+        c = OpCounter()
+        c.add_spmm(4)
+        c.add_spmm(2)
+        assert c.spmm_calls == 2
+        assert c.spmm_columns == 6
+
+    def test_reset_clears_spmm(self):
+        c = OpCounter()
+        c.add_spmm(3)
+        c.reset()
+        assert c.spmm_calls == 0
+        assert c.spmm_columns == 0
+
+    def test_snapshot_copies_spmm(self):
+        c = OpCounter()
+        c.add_spmm(5)
+        snap = c.snapshot()
+        c.add_spmm(1)
+        assert snap.spmm_calls == 1
+        assert snap.spmm_columns == 5
+
+    def test_merge_folds_spmm(self):
+        a, b = OpCounter(), OpCounter()
+        a.add_spmm(2)
+        b.add_spmm(3)
+        a.merge(b)
+        assert a.spmm_calls == 2
+        assert a.spmm_columns == 5
+
+    def test_single_vector_kernels_do_not_count(self, small_sparse, rng):
+        m = from_dense(small_sparse, "CSR")
+        c = OpCounter()
+        m.matvec(rng.standard_normal(30), c)
+        assert c.spmm_calls == 0
+
+
+class TestBenchHarness:
+    def test_quick_suite_payload_shape(self, tmp_path):
+        payload = run_suite(quick=True, repeats=1)
+        assert payload["meta"]["quick"] is True
+        assert payload["trajectory"], "trajectory records missing"
+        assert payload["dual_row"], "dual-row records missing"
+        head = payload["headline"]
+        assert head["criterion"] == HEADLINE_CRITERION
+        assert head["dual_row_speedup"] > 0
+        assert isinstance(head["pass"], bool)
+        # every record carries its config and a finite speedup
+        for r in payload["trajectory"]:
+            assert r["fmt"] and r["k"] >= 1
+            assert np.isfinite(r["speedup"])
+        for r in payload["dual_row"]:
+            assert r["kernel"] in ("gaussian", "linear")
+            assert np.isfinite(r["speedup"])
+
+        out = tmp_path / "BENCH_smsv.json"
+        write_report(payload, str(out))
+        blob = json.loads(out.read_text())
+        assert blob["headline"]["criterion"] == HEADLINE_CRITERION
+
+        text = render_summary(payload)
+        assert "dual-row fused speedup" in text
+        assert "best batched-sweep speedup" in text

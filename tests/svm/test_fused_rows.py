@@ -1,0 +1,200 @@
+"""Fused dual-row kernel path: identity with the single-row path.
+
+Two layers of equivalence, both required by the PR's acceptance
+criterion:
+
+- ``Kernel.rows`` must be column-for-column bitwise identical to
+  stacked ``Kernel.row`` calls, for all four Mercer kernels;
+- ``smo_train(fuse_rows=True)`` must reproduce the *exact* training
+  run of ``fuse_rows=False``: same iteration count, same support set,
+  same bias and f vector bitwise.
+
+Cache hit/miss statistics are deliberately NOT compared: eviction
+timing can differ by one row between the two paths, and the contract
+is about the solution trajectory, not the cache diagnostics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.formats import FORMAT_NAMES, from_dense
+from repro.svm.kernels import make_kernel
+from repro.svm.smo import _RowCache, smo_train
+from tests.conftest import make_labels
+
+KERNEL_PARAMS = {
+    "linear": {},
+    "polynomial": {"a": 1.0, "r": 1.0, "degree": 2},
+    "gaussian": {"gamma": 0.5},
+    "sigmoid": {"a": 0.1, "r": 0.0},
+}
+
+
+@pytest.fixture
+def problem(rng):
+    x = rng.standard_normal((60, 8))
+    x[rng.random((60, 8)) < 0.4] = 0.0
+    y = make_labels(rng, x)
+    return x, y
+
+
+class TestKernelRowsIdentity:
+    @pytest.mark.parametrize("name", sorted(KERNEL_PARAMS))
+    @pytest.mark.parametrize("fmt", FORMAT_NAMES)
+    def test_rows_bitwise_equal_stacked_row(self, problem, name, fmt):
+        x, _y = problem
+        X = from_dense(x, fmt)
+        kernel = make_kernel(name, **KERNEL_PARAMS[name])
+        norms = X.row_norms_sq()
+        vi, vj = X.row(5), X.row(17)
+        v_norms = np.array([float(norms[5]), float(norms[17])])
+        block = kernel.rows(X, (vi, vj), v_norms, norms)
+        assert block.shape == (60, 2)
+        np.testing.assert_array_equal(
+            block[:, 0], kernel.row(X, vi, v_norms[0], norms)
+        )
+        np.testing.assert_array_equal(
+            block[:, 1], kernel.row(X, vj, v_norms[1], norms)
+        )
+
+    def test_rows_empty_batch(self, problem):
+        x, _y = problem
+        X = from_dense(x, "CSR")
+        kernel = make_kernel("gaussian", gamma=0.5)
+        block = kernel.rows(X, [], np.zeros(0), X.row_norms_sq())
+        assert block.shape == (60, 0)
+
+    def test_rows_norm_length_mismatch(self, problem):
+        x, _y = problem
+        X = from_dense(x, "CSR")
+        kernel = make_kernel("gaussian", gamma=0.5)
+        with pytest.raises(ValueError, match="one entry per vector"):
+            kernel.rows(X, [X.row(0)], np.zeros(2), X.row_norms_sq())
+
+
+class TestFusedSmoIdentity:
+    @pytest.mark.parametrize("name", sorted(KERNEL_PARAMS))
+    def test_same_trajectory_all_kernels(self, problem, name):
+        x, y = problem
+        X = from_dense(x, "CSR")
+        kernel = make_kernel(name, **KERNEL_PARAMS[name])
+        runs = [
+            smo_train(
+                X, y, kernel, C=1.0, max_iter=2_000, fuse_rows=fused
+            )
+            for fused in (False, True)
+        ]
+        a, b = runs
+        assert a.iterations == b.iterations
+        assert a.converged == b.converged
+        np.testing.assert_array_equal(a.alpha, b.alpha)
+        np.testing.assert_array_equal(a.f, b.f)
+        assert a.b == b.b
+
+    @pytest.mark.parametrize("working_set", ["first", "second"])
+    @pytest.mark.parametrize("shrink_every", [0, 25])
+    def test_same_trajectory_refinements(
+        self, problem, working_set, shrink_every
+    ):
+        x, y = problem
+        X = from_dense(x, "CSR")
+        kernel = make_kernel("gaussian", gamma=0.5)
+        runs = [
+            smo_train(
+                X,
+                y,
+                kernel,
+                C=1.0,
+                max_iter=2_000,
+                working_set=working_set,
+                shrink_every=shrink_every,
+                fuse_rows=fused,
+            )
+            for fused in (False, True)
+        ]
+        a, b = runs
+        assert a.iterations == b.iterations
+        np.testing.assert_array_equal(a.alpha, b.alpha)
+        assert a.b == b.b
+
+    @pytest.mark.parametrize("cache_rows", [0, 8])
+    def test_same_trajectory_cache_sizes(self, problem, cache_rows):
+        # cache_rows=0 forces a double miss every iteration — the fused
+        # path runs a dual-row SpMM on every single step.
+        x, y = problem
+        X = from_dense(x, "CSR")
+        kernel = make_kernel("linear")
+        runs = [
+            smo_train(
+                X,
+                y,
+                kernel,
+                C=1.0,
+                max_iter=2_000,
+                cache_rows=cache_rows,
+                fuse_rows=fused,
+            )
+            for fused in (False, True)
+        ]
+        a, b = runs
+        assert a.iterations == b.iterations
+        np.testing.assert_array_equal(a.alpha, b.alpha)
+
+    def test_rows_computed_matches_unfused(self, problem):
+        # The fused path computes the same number of rows — it batches
+        # them, it does not skip or duplicate work.
+        x, y = problem
+        X = from_dense(x, "CSR")
+        kernel = make_kernel("linear")
+        a = smo_train(X, y, kernel, C=1.0, cache_rows=0, fuse_rows=False)
+        b = smo_train(X, y, kernel, C=1.0, cache_rows=0, fuse_rows=True)
+        assert a.kernel_rows_computed == b.kernel_rows_computed
+
+
+class TestRowCache:
+    def test_from_budget_mb_row_count(self):
+        # 1 MB buys floor(2^20 / row_bytes) rows.
+        cache = _RowCache.from_budget_mb(1.0, 8 * 1024)
+        assert cache.capacity == 128
+
+    def test_budget_too_small_disables(self):
+        cache = _RowCache.from_budget_mb(0.001, 8 * 1_000_000)
+        assert cache.capacity == 0
+        cache.put(3, np.zeros(4))
+        assert cache.get(3) is None
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            _RowCache.from_budget_mb(-1.0, 8)
+
+    def test_get_refreshes_recency(self):
+        # True LRU: touching row 0 keeps it resident while the
+        # untouched row 1 ages out.
+        cache = _RowCache(2)
+        cache.put(0, np.array([0.0]))
+        cache.put(1, np.array([1.0]))
+        assert cache.get(0) is not None  # refresh 0
+        cache.put(2, np.array([2.0]))  # evicts 1, not 0
+        assert cache.get(1) is None
+        assert cache.get(0) is not None
+        assert cache.get(2) is not None
+
+    def test_smo_cache_mb_same_solution(self, problem):
+        # Sizing by MB is a capacity knob only — the solution is
+        # untouched.
+        x, y = problem
+        X = from_dense(x, "CSR")
+        kernel = make_kernel("linear")
+        by_rows = smo_train(X, y, kernel, C=1.0, cache_rows=64)
+        by_mb = smo_train(X, y, kernel, C=1.0, cache_mb=1.0)
+        assert by_rows.iterations == by_mb.iterations
+        np.testing.assert_array_equal(by_rows.alpha, by_mb.alpha)
+
+    def test_smo_cache_mb_zero_disables(self, problem):
+        x, y = problem
+        X = from_dense(x, "CSR")
+        res = smo_train(
+            X, y, make_kernel("linear"), C=1.0, cache_mb=0.0
+        )
+        assert res.kernel_rows_cached == 0
+        assert res.converged

@@ -81,6 +81,43 @@ class TestCLI:
         assert main(["train", str(path)]) == 2
         assert "binary" in capsys.readouterr().err
 
+    def test_train_cache_mb(self, libsvm_file, capsys):
+        path, n = libsvm_file
+        assert (
+            main(
+                [
+                    "train", path, "--n-features", str(n),
+                    "--strategy", "cost", "--max-iter", "500",
+                    "--cache-mb", "1",
+                ]
+            )
+            == 0
+        )
+        assert "train acc" in capsys.readouterr().out
+
+    def test_bench_smsv_quick(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_smsv.json"
+        assert (
+            main(
+                [
+                    "bench", "smsv", "--quick", "--repeats", "1",
+                    "--out", str(out),
+                ]
+            )
+            == 0
+        )
+        stdout = capsys.readouterr().out
+        assert "dual-row fused speedup" in stdout
+        blob = json.loads(out.read_text())
+        assert blob["meta"]["quick"] is True
+        assert blob["headline"]["criterion"] == 1.4
+
+    def test_bench_rejects_unknown_suite(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "nosuch"])
+
     def test_datasets(self, capsys):
         assert main(["datasets"]) == 0
         out = capsys.readouterr().out
