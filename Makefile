@@ -5,7 +5,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: lint test test-sanitize bench check
+.PHONY: lint test test-sanitize bench serve-bench check
 
 ## Static analysis: the seven RDL rules over the whole tree, JSON mode,
 ## non-zero exit on any finding.  See docs/analysis.md.
@@ -25,6 +25,12 @@ test-sanitize:
 ## for the CI smoke variant.
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench smsv $(if $(QUICK),--quick)
+
+## Serving benchmark suite (writes BENCH_serve.json): batched-vs-
+## unbatched throughput plus the mid-stream re-schedule demo.
+## `make serve-bench QUICK=1` for the CI smoke variant.
+serve-bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench serve $(if $(QUICK),--smoke)
 
 ## Everything CI gates on.
 check: lint test test-sanitize

@@ -6,7 +6,9 @@
 profile   print the nine Table IV parameters of a LIBSVM file
 schedule  decide (and explain) the storage format for a LIBSVM file
 train     train an adaptive SVM on a LIBSVM file and report accuracy
-bench     run a synthetic benchmark suite (currently: smsv)
+serve     simulate an online serving session (micro-batching + runtime
+          layout re-scheduling) and report metrics
+bench     run a synthetic benchmark suite (smsv, serve)
 datasets  list the built-in Table V dataset clones
 table7    print the regenerated Table VII
 machines  list the hardware catalog (Table VII platforms + prices)
@@ -112,13 +114,139 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.perf.bench_smsv import render_summary, run_suite, write_report
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
 
-    payload = run_suite(quick=args.quick, repeats=args.repeats)
-    write_report(payload, args.out)
+    from repro.serve import (
+        AdmissionController,
+        FormatRescheduler,
+        InferenceEngine,
+        ServedModel,
+        closed_loop,
+        open_loop,
+        phase_shift,
+        query_sampler,
+        simulate,
+    )
+
+    if args.model:
+        from repro.svm.persist import load_model
+
+        model = ServedModel.from_model(load_model(args.model))
+    else:
+        # The synthetic demo model whose cost ranking flips with the
+        # observed batch width — the workload below walks it across
+        # the crossover so the session shows a runtime re-schedule.
+        from repro.serve.bench import flip_model
+
+        model = flip_model(seed=args.seed)
+    resch = FormatRescheduler(min_gain=0.0 if args.model is None else 0.05)
+    fmt0 = resch.initial_format(model.matrix)
+    engine = InferenceEngine(model)
+    engine.convert_to(fmt0)
+
+    _r, _c, vals = model.matrix.to_coo()
+    mean_nnz = max(1, round(vals.shape[0] / model.matrix.shape[0]))
+    sampler = query_sampler(
+        model.n_features, min(mean_nnz, model.n_features)
+    )
+    if args.workload == "phase-shift":
+        workload = phase_shift(
+            sampler,
+            singles=max(1, args.requests // 4),
+            bursts=max(1, args.requests // 10),
+            burst_size=args.max_batch,
+            seed=args.seed,
+            deadline_ms=args.deadline_ms,
+        )
+    elif args.workload == "closed":
+        workload = closed_loop(
+            args.requests,
+            concurrency=args.max_batch,
+            sampler=sampler,
+            seed=args.seed,
+            deadline_ms=args.deadline_ms,
+        )
+    else:
+        workload = open_loop(
+            args.requests,
+            args.rate,
+            sampler,
+            seed=args.seed,
+            deadline_ms=args.deadline_ms,
+        )
+    admission = AdmissionController(
+        capacity=args.capacity, shed_at=args.shed_at
+    )
+    report = simulate(
+        engine,
+        workload,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        admission=admission,
+        rescheduler=resch,
+    )
+    snap = report.metrics.snapshot()
+    if args.json:
+        snap["workload"] = report.workload
+        snap["initial_format"] = fmt0
+        snap["final_format"] = report.final_format
+        snap["events"] = [e.reason for e in report.events]
+        print(json.dumps(snap, indent=2, sort_keys=True))
+        return 0
+    lat = snap["latency"]
+    print(f"workload    : {report.workload} ({len(workload)} requests)")
+    print(
+        f"served      : {snap['served']} in {snap['batches']} batches "
+        f"(mean width {snap['mean_batch']:.2f})"
+    )
+    print(
+        f"shed        : {snap['rejected']} rejected, "
+        f"{snap['expired']} expired, {snap['degraded']} degraded"
+    )
+    print(
+        f"latency ms  : p50 {lat['p50_ms']:.3f}  p95 {lat['p95_ms']:.3f}  "
+        f"p99 {lat['p99_ms']:.3f} (virtual: coalescing wait)"
+    )
+    print(f"throughput  : {snap['throughput_rps']:.0f} rps (virtual time)")
+    print(
+        f"spmm        : {snap['ops']['spmm_calls']} sweeps over "
+        f"{snap['ops']['spmm_columns']} columns"
+    )
+    print(f"format      : {fmt0} -> {report.final_format}")
+    for e in report.events:
+        print(
+            f"  reschedule at batch {e.batch_seq}: {e.from_fmt} -> "
+            f"{e.to_fmt} ({e.reason})"
+        )
+    if not report.events:
+        print("  (no runtime re-schedule was warranted)")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    smoke = args.smoke or args.quick
+    if args.what == "smsv":
+        from repro.perf.bench_smsv import (
+            render_summary,
+            run_suite,
+            write_report,
+        )
+
+        payload = run_suite(quick=smoke, repeats=args.repeats)
+        out = args.out or "BENCH_smsv.json"
+    else:
+        from repro.serve.bench import (
+            render_summary,
+            run_suite,
+            write_report,
+        )
+
+        payload = run_suite(smoke=smoke, samples=args.repeats)
+        out = args.out or "BENCH_serve.json"
+    write_report(payload, out)
     print(render_summary(payload))
-    print(f"report      : {args.out}")
+    print(f"report      : {out}")
     return 0
 
 
@@ -249,13 +377,53 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_train)
 
     p = sub.add_parser(
+        "serve",
+        help="simulate an online serving session on the virtual clock",
+    )
+    p.add_argument(
+        "--model",
+        default=None,
+        metavar="FILE",
+        help="saved model (.npz from SVC.save / MulticlassSVC.save); "
+        "default: a synthetic demo model whose format flips with "
+        "batch width",
+    )
+    p.add_argument(
+        "--workload",
+        choices=("open", "closed", "phase-shift"),
+        default="phase-shift",
+        help="arrival pattern (default: phase-shift, which drifts the "
+        "batch width to trigger a runtime re-schedule)",
+    )
+    p.add_argument("--requests", type=int, default=256)
+    p.add_argument(
+        "--rate",
+        type=float,
+        default=2000.0,
+        help="open-loop arrival rate in requests/s (virtual time)",
+    )
+    p.add_argument("--max-batch", type=int, default=8)
+    p.add_argument("--max-wait-ms", type=float, default=2.0)
+    p.add_argument("--capacity", type=int, default=64)
+    p.add_argument("--shed-at", type=float, default=0.75)
+    p.add_argument("--deadline-ms", type=float, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable metrics snapshot",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
         "bench",
         help="run a synthetic benchmark suite and write a JSON report",
     )
     p.add_argument(
         "what",
-        choices=("smsv",),
-        help="which suite to run (smsv: blocked SpMM + fused dual-row)",
+        choices=("smsv", "serve"),
+        help="which suite to run (smsv: blocked SpMM + fused dual-row; "
+        "serve: micro-batched serving throughput + re-schedule demo)",
     )
     p.add_argument(
         "--quick",
@@ -263,15 +431,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="one small shape, fewer repeats (CI smoke mode)",
     )
     p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="alias for --quick",
+    )
+    p.add_argument(
         "--repeats",
         type=int,
         default=None,
-        help="timing repeats per measurement (default: 3 quick, 7 full)",
+        help="timing repeats/samples per measurement (default: suite-"
+        "specific)",
     )
     p.add_argument(
         "--out",
-        default="BENCH_smsv.json",
-        help="output JSON path (default: BENCH_smsv.json)",
+        default=None,
+        help="output JSON path (default: BENCH_<suite>.json)",
     )
     p.set_defaults(func=_cmd_bench)
 

@@ -18,6 +18,7 @@ runtime scheduling stays cheap.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -63,6 +64,15 @@ class DecisionCache:
     can legitimately map to different formats for single-vector and
     blocked sweeps (the amortisation shifts the ranking), so the two
     workloads must not share cache entries.
+
+    Thread-safe: the serving layer shares one scheduler (and hence one
+    cache) across concurrent request threads, so the read-check-evict
+    sequence in :meth:`put` must be atomic — without the lock, two
+    threads can both observe a full store and both evict, and on a
+    one-entry cache the second ``next(iter(...))`` raises
+    ``StopIteration`` on the emptied dict.  Entries are assumed to come
+    from schedulers with the same candidate set; schedulers with
+    different candidate restrictions must not share a cache.
     """
 
     def __init__(self, maxsize: int = 1024) -> None:
@@ -70,25 +80,34 @@ class DecisionCache:
             raise ValueError("maxsize must be >= 1")
         self.maxsize = maxsize
         self._store: Dict[Tuple, str] = {}
+        self._lock = threading.Lock()
 
     @staticmethod
     def key(p: DatasetProfile, batch_k: int = 1) -> Tuple:
         return tuple(_quantise(v) for v in p.as_vector()) + (int(batch_k),)
 
     def get(self, p: DatasetProfile, batch_k: int = 1) -> Optional[str]:
-        return self._store.get(self.key(p, batch_k))
+        key = self.key(p, batch_k)
+        with self._lock:
+            return self._store.get(key)
 
     def put(self, p: DatasetProfile, fmt: str, batch_k: int = 1) -> None:
-        if len(self._store) >= self.maxsize:
-            # FIFO eviction: oldest insertion order (dicts preserve it).
-            self._store.pop(next(iter(self._store)))
-        self._store[self.key(p, batch_k)] = fmt
+        key = self.key(p, batch_k)
+        with self._lock:
+            if key not in self._store and len(self._store) >= self.maxsize:
+                # FIFO eviction: oldest insertion order (dicts preserve
+                # it).  Guarded by the lock so concurrent puts cannot
+                # both evict from (and then exhaust) the same store.
+                self._store.pop(next(iter(self._store)))
+            self._store[key] = fmt
 
     def __len__(self) -> int:
-        return len(self._store)
+        with self._lock:
+            return len(self._store)
 
     def clear(self) -> None:
-        self._store.clear()
+        with self._lock:
+            self._store.clear()
 
 
 class LayoutScheduler:
@@ -116,12 +135,16 @@ class LayoutScheduler:
     cache:
         Optional shared decision cache.
     candidates:
-        Formats the *probe* strategy measures (default: the paper's
-        five).  Extended formats (CSC, BCSR) may be included here —
-        their fitness depends on structure the nine-parameter profile
-        does not capture (column stats, block fill), so only empirical
-        probing can rank them; the rules/cost strategies always decide
-        among the five basic formats.
+        Formats the scheduler decides among (default: the paper's
+        five).  Extended formats (CSC, BCSR) may be included for the
+        probe/hybrid strategies — their fitness depends on structure
+        the nine-parameter profile does not capture (column stats,
+        block fill), so only empirical probing can rank them.  The
+        *cost* strategy accepts a restriction to a subset of the five
+        basic formats (the analytic model ranks any of them), which is
+        how the serving layer pins decisions to the bitwise-exact
+        kernel family; the rules strategy's decision list is fixed and
+        accepts no restriction.
     """
 
     def __init__(
@@ -149,12 +172,24 @@ class LayoutScheduler:
                 raise ValueError("candidates must be non-empty")
             for c in candidates:
                 format_class(c)  # validate eagerly
-            if strategy in ("rules", "cost"):
+            from repro.formats.base import FORMAT_NAMES
+
+            basic_only = all(
+                c.upper() in FORMAT_NAMES for c in candidates
+            )
+            if strategy == "rules":
                 raise ValueError(
-                    "extended candidates require the probe or hybrid "
-                    "strategy (profile-based strategies only rank the "
-                    "five basic formats)"
+                    "the rules strategy decides with a fixed decision "
+                    "list and cannot restrict candidates; use the "
+                    "cost, probe or hybrid strategy"
                 )
+            if strategy == "cost" and not basic_only:
+                raise ValueError(
+                    "extended candidates (CSC/BCSR) require the probe "
+                    "or hybrid strategy (the analytic model only ranks "
+                    "the five basic formats)"
+                )
+            candidates = tuple(c.upper() for c in candidates)
         self.strategy = strategy
         self.cost_model = CostModel(calibration)
         self.thresholds = thresholds or RuleThresholds()
@@ -193,14 +228,23 @@ class LayoutScheduler:
                 profile=profile,
             )
         elif self.strategy == "cost":
-            ranked = self.cost_model.rank(profile, batch_k=self.batch_k)
+            ranked = self.cost_model.rank(
+                profile, self.candidates, batch_k=self.batch_k
+            )
+            if len(ranked) > 1:
+                reason = (
+                    f"model cost {ranked[0].cost:.3g} vs runner-up "
+                    f"{ranked[1].fmt} at {ranked[1].cost:.3g}"
+                )
+            else:
+                reason = (
+                    f"model cost {ranked[0].cost:.3g} "
+                    f"(only candidate)"
+                )
             decision = Decision(
                 fmt=ranked[0].fmt,
                 strategy="cost",
-                reason=(
-                    f"model cost {ranked[0].cost:.3g} vs runner-up "
-                    f"{ranked[1].fmt} at {ranked[1].cost:.3g}"
-                ),
+                reason=reason,
                 profile=profile,
             )
         elif self.strategy == "probe":
@@ -217,17 +261,35 @@ class LayoutScheduler:
                 profile=profile,
             )
         else:  # hybrid
-            short = self.cost_model.shortlist(
-                profile, self.shortlist, batch_k=self.batch_k
-            )
-            if self.candidates:
-                # extended candidates join the probe round directly
-                short = list(
-                    dict.fromkeys(
-                        short
-                        + [c for c in self.candidates if c not in short]
-                    )
+            from repro.formats.base import FORMAT_NAMES
+
+            if self.candidates and all(
+                c in FORMAT_NAMES for c in self.candidates
+            ):
+                # basic-only restriction: the model ranks exactly the
+                # allowed set, the probe decides among its cheapest
+                short = [
+                    c.fmt
+                    for c in self.cost_model.rank(
+                        profile, self.candidates, batch_k=self.batch_k
+                    )[: self.shortlist]
+                ]
+            else:
+                short = self.cost_model.shortlist(
+                    profile, self.shortlist, batch_k=self.batch_k
                 )
+                if self.candidates:
+                    # extended candidates join the probe round directly
+                    short = list(
+                        dict.fromkeys(
+                            short
+                            + [
+                                c
+                                for c in self.candidates
+                                if c not in short
+                            ]
+                        )
+                    )
             if len(short) == 1:
                 decision = Decision(
                     fmt=short[0],

@@ -82,6 +82,37 @@ def uniform_rows_matrix(
     )
 
 
+def bimodal_rows_matrix(
+    m: int,
+    n: int,
+    short_nnz: int,
+    long_nnz: int,
+    long_frac: float,
+    *,
+    seed: int = 0,
+) -> CooTriples:
+    """Mostly-``short_nnz`` rows with a ``long_frac`` tail of longer rows.
+
+    The batch-sensitive shape: with ``long_nnz / short_nnz`` around 1.4
+    and a thin long tail, ELL's global padding is cheap enough to win
+    single-vector sweeps while COO's flat stream (which amortises a
+    larger traversal fraction across SpMM columns) wins blocked ones —
+    the cost-model crossover the serving re-scheduler acts on when the
+    observed batch width drifts.
+    """
+    if not 0.0 <= long_frac <= 1.0:
+        raise ValueError("long_frac must be in [0, 1]")
+    if long_nnz < short_nnz:
+        raise ValueError("long_nnz must be >= short_nnz")
+    rng = np.random.default_rng(seed)
+    lengths = np.where(
+        rng.random(m) < long_frac, long_nnz, short_nnz
+    ).astype(np.int64)
+    if m and lengths.max(initial=0) < long_nnz:
+        lengths[0] = long_nnz  # keep mdim deterministic for tiny m
+    return variable_rows_matrix(m, n, lengths, seed=seed + 1)
+
+
 def row_lengths_for(
     m: int,
     *,

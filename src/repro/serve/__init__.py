@@ -1,0 +1,63 @@
+"""repro.serve — online inference with runtime layout re-scheduling.
+
+The serving pipeline: ``admission -> micro-batcher -> engine``, with a
+:class:`~repro.serve.rescheduler.FormatRescheduler` watching the
+observed batch-size mix and swapping the support-vector matrix's
+storage format when the cost model's ``batch_k`` amortisation moves
+the winner — the paper's runtime data layout scheduling applied at
+serving time instead of training time.
+"""
+
+from repro.serve.admission import AdmissionController, Request, Verdict
+from repro.serve.batcher import MicroBatcher
+from repro.serve.engine import (
+    EXACT_SERVE_FORMATS,
+    InferenceEngine,
+    PairSlice,
+    ServedModel,
+)
+from repro.serve.loadgen import (
+    ServeReport,
+    TimedRequest,
+    Workload,
+    closed_loop,
+    open_loop,
+    phase_shift,
+    query_sampler,
+    replay_unbatched,
+    simulate,
+)
+from repro.serve.metrics import LatencySummary, ServeMetrics, summarise_latencies
+from repro.serve.registry import ModelRegistry
+from repro.serve.rescheduler import (
+    BatchSizeHistogram,
+    FormatRescheduler,
+    RescheduleEvent,
+)
+
+__all__ = [
+    "AdmissionController",
+    "BatchSizeHistogram",
+    "EXACT_SERVE_FORMATS",
+    "FormatRescheduler",
+    "InferenceEngine",
+    "LatencySummary",
+    "MicroBatcher",
+    "ModelRegistry",
+    "PairSlice",
+    "RescheduleEvent",
+    "Request",
+    "ServeMetrics",
+    "ServeReport",
+    "ServedModel",
+    "TimedRequest",
+    "Verdict",
+    "Workload",
+    "closed_loop",
+    "open_loop",
+    "phase_shift",
+    "query_sampler",
+    "replay_unbatched",
+    "simulate",
+    "summarise_latencies",
+]

@@ -1,0 +1,121 @@
+"""Admission control: bounded queue, backpressure, graceful shedding.
+
+The serving pipeline is ``admission -> micro-batcher -> engine``.  This
+stage decides, per arriving request, one of three verdicts:
+
+``ACCEPTED``
+    Normal path: the request joins the micro-batcher and rides the next
+    SpMM sweep.
+``DEGRADED``
+    The queue is above the shed threshold.  The request is still
+    answered — through the engine's single-vector path, bypassing the
+    batcher — so it adds no coalescing latency to the queue it found
+    congested.  Answers are bitwise identical either way (the blocked
+    kernels' per-column contract), so degradation trades throughput for
+    latency without changing results.
+``REJECTED``
+    The queue is full; the caller gets backpressure instead of an
+    unbounded buffer.
+
+Deadlines are *checked at serve time*, not admission time: a request
+admitted with headroom can still expire while coalescing, and the
+engine drops it then (``EXPIRED`` outcome in the metrics).
+
+All time values are caller-provided timestamps on an arbitrary
+monotonic clock — this module never reads a clock, so simulations under
+:mod:`repro.serve.loadgen`'s virtual clock are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.formats.base import SparseVector
+
+
+class Verdict(enum.Enum):
+    ACCEPTED = "accepted"
+    DEGRADED = "degraded"
+    REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class Request:
+    """One prediction request: a query vector plus bookkeeping.
+
+    ``deadline`` is an absolute timestamp (same clock as arrivals) or
+    ``None`` for no deadline; ``arrived_at`` feeds the latency
+    histograms.
+    """
+
+    req_id: int
+    vector: SparseVector
+    arrived_at: float
+    deadline: Optional[float] = None
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now > self.deadline
+
+
+class AdmissionController:
+    """Bounded in-flight window with a shed threshold.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum requests in flight (queued in the batcher, not yet
+        served).  Beyond it requests are ``REJECTED``.
+    shed_at:
+        Occupancy fraction in ``(0, 1]`` above which newly admitted
+        requests are ``DEGRADED`` to the single-vector path.  ``1.0``
+        disables shedding (only hard rejection remains).
+
+    ``admit`` reserves a slot; the serving loop must ``release`` once
+    per admitted (non-rejected) request after it is answered or
+    dropped.  The counter is lock-protected so concurrent request
+    threads can share one controller.
+    """
+
+    def __init__(self, capacity: int = 64, shed_at: float = 0.75) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if not 0.0 < shed_at <= 1.0:
+            raise ValueError("shed_at must be in (0, 1]")
+        self.capacity = capacity
+        self.shed_at = shed_at
+        self._in_flight = 0
+        self._lock = threading.Lock()
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    @property
+    def occupancy(self) -> float:
+        with self._lock:
+            return self._in_flight / self.capacity
+
+    def admit(self) -> Verdict:
+        """Reserve a slot; the verdict says which path the request takes."""
+        with self._lock:
+            if self._in_flight >= self.capacity:
+                return Verdict.REJECTED
+            self._in_flight += 1
+            if self._in_flight / self.capacity > self.shed_at:
+                return Verdict.DEGRADED
+            return Verdict.ACCEPTED
+
+    def release(self, n: int = 1) -> None:
+        """Return ``n`` slots after requests finish (or expire)."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        with self._lock:
+            if n > self._in_flight:
+                raise RuntimeError(
+                    f"release({n}) exceeds {self._in_flight} in flight"
+                )
+            self._in_flight -= n

@@ -1,0 +1,309 @@
+"""Deterministic load generation and virtual-time serving simulation.
+
+Everything runs on a **virtual clock**: arrival times are drawn from a
+seeded RNG when the workload is built, the simulation advances time by
+jumping between arrival timestamps and batcher flush deadlines, and
+service cost (if modelled at all) is a fixed virtual constant.  No
+wall-clock reading happens anywhere in the logic, so a given
+``(workload, engine, knobs)`` triple replays bit-for-bit — the property
+the serving determinism tests and the re-schedule demo rely on.
+
+Two workload shapes:
+
+* :func:`open_loop` — Poisson arrivals at a target rate; requests
+  arrive whether or not the server keeps up (the shape that exposes
+  queueing and shedding).
+* :func:`closed_loop` — ``concurrency`` synthetic clients that each
+  wait for their previous answer (modelled at a fixed virtual service
+  time) plus a think time before issuing the next request; arrival
+  times are precomputed deterministically from that model.
+* :func:`phase_shift` — the re-scheduling demo: a phase of paced
+  singles (effective batch width 1) followed by a phase of
+  simultaneous bursts (width ``max_batch``), which moves the cost
+  model's ``batch_k`` amortisation enough to flip the winning format
+  mid-stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.formats.base import SparseVector
+from repro.serve.admission import AdmissionController, Request, Verdict
+from repro.serve.batcher import MicroBatcher
+from repro.serve.engine import InferenceEngine
+from repro.serve.metrics import ServeMetrics
+from repro.serve.rescheduler import FormatRescheduler, RescheduleEvent
+
+VectorSampler = Callable[[np.random.Generator], SparseVector]
+
+
+def query_sampler(
+    n_features: int, nnz: int, *, scale: float = 1.0
+) -> VectorSampler:
+    """A sampler drawing sparse query vectors with ``nnz`` non-zeros."""
+    if not 0 < nnz <= n_features:
+        raise ValueError("need 0 < nnz <= n_features")
+
+    def sample(rng: np.random.Generator) -> SparseVector:
+        idx = np.sort(
+            rng.choice(n_features, size=nnz, replace=False)
+        ).astype(np.int32)
+        vals = rng.standard_normal(nnz) * scale
+        return SparseVector(idx, vals, n_features)
+
+    return sample
+
+
+@dataclass(frozen=True)
+class TimedRequest:
+    """One workload arrival on the virtual clock."""
+
+    req_id: int
+    t: float
+    vector: SparseVector
+    deadline: Optional[float] = None
+
+
+@dataclass
+class Workload:
+    """A named, fully materialised arrival schedule (time-sorted)."""
+
+    name: str
+    arrivals: List[TimedRequest] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.arrivals)
+
+
+def _deadline(t: float, deadline_ms: Optional[float]) -> Optional[float]:
+    return None if deadline_ms is None else t + deadline_ms / 1e3
+
+
+def open_loop(
+    n: int,
+    rate_rps: float,
+    sampler: VectorSampler,
+    *,
+    seed: int = 0,
+    deadline_ms: Optional[float] = None,
+    name: str = "open-loop",
+) -> Workload:
+    """Poisson arrivals: exponential interarrival gaps at ``rate_rps``."""
+    if rate_rps <= 0.0:
+        raise ValueError("rate_rps must be positive")
+    rng = np.random.default_rng(seed)
+    t = 0.0
+    arrivals = []
+    for i in range(n):
+        t += float(rng.exponential(1.0 / rate_rps))
+        arrivals.append(
+            TimedRequest(i, t, sampler(rng), _deadline(t, deadline_ms))
+        )
+    return Workload(name=name, arrivals=arrivals)
+
+
+def closed_loop(
+    n: int,
+    concurrency: int,
+    sampler: VectorSampler,
+    *,
+    service_ms: float = 1.0,
+    think_ms: float = 0.0,
+    seed: int = 0,
+    deadline_ms: Optional[float] = None,
+    name: str = "closed-loop",
+) -> Workload:
+    """``concurrency`` clients, each issuing after its previous answer.
+
+    Completion is modelled at a fixed virtual ``service_ms`` so the
+    whole schedule is precomputed and deterministic; the simulation
+    then serves it like any other workload.
+    """
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    if service_ms < 0.0 or think_ms < 0.0:
+        raise ValueError("service_ms and think_ms must be >= 0")
+    rng = np.random.default_rng(seed)
+    next_issue = [0.0] * concurrency
+    arrivals = []
+    for i in range(n):
+        client = int(np.argmin(next_issue))
+        t = next_issue[client]
+        arrivals.append(
+            TimedRequest(i, t, sampler(rng), _deadline(t, deadline_ms))
+        )
+        next_issue[client] = t + (service_ms + think_ms) / 1e3
+    arrivals.sort(key=lambda r: (r.t, r.req_id))
+    return Workload(name=name, arrivals=arrivals)
+
+
+def phase_shift(
+    sampler: VectorSampler,
+    *,
+    singles: int = 64,
+    single_gap_ms: float = 5.0,
+    bursts: int = 24,
+    burst_size: int = 8,
+    burst_gap_ms: float = 5.0,
+    seed: int = 0,
+    deadline_ms: Optional[float] = None,
+    name: str = "phase-shift",
+) -> Workload:
+    """Paced singles, then simultaneous bursts — the batch-width drift.
+
+    Phase one's gaps exceed any sane ``max_wait_ms``, so every batch
+    serves one request (effective ``k`` = 1).  Phase two drops
+    ``burst_size`` requests on identical timestamps, so the batcher
+    coalesces whole bursts (effective ``k`` = ``burst_size``) and the
+    re-scheduler sees the amortisation regime change.
+    """
+    rng = np.random.default_rng(seed)
+    arrivals = []
+    rid = 0
+    t = 0.0
+    for _ in range(singles):
+        arrivals.append(
+            TimedRequest(rid, t, sampler(rng), _deadline(t, deadline_ms))
+        )
+        rid += 1
+        t += single_gap_ms / 1e3
+    for _ in range(bursts):
+        for _ in range(burst_size):
+            arrivals.append(
+                TimedRequest(rid, t, sampler(rng), _deadline(t, deadline_ms))
+            )
+            rid += 1
+        t += burst_gap_ms / 1e3
+    return Workload(name=name, arrivals=arrivals)
+
+
+@dataclass
+class ServeReport:
+    """Everything one simulated serving session produced."""
+
+    workload: str
+    responses: Dict[int, float]
+    metrics: ServeMetrics
+    events: List[RescheduleEvent]
+    final_format: str
+    format_history: List[Tuple[int, str]] = field(default_factory=list)
+
+
+def simulate(
+    engine: InferenceEngine,
+    workload: Workload,
+    *,
+    max_batch: int = 8,
+    max_wait_ms: float = 2.0,
+    admission: Optional[AdmissionController] = None,
+    rescheduler: Optional[FormatRescheduler] = None,
+    metrics: Optional[ServeMetrics] = None,
+    service_ms: float = 0.0,
+) -> ServeReport:
+    """Serve a workload on the virtual clock; returns the full report.
+
+    The event loop interleaves arrivals with batcher flush deadlines in
+    timestamp order: before admitting an arrival at ``t``, any pending
+    batch whose ``max_wait_ms`` deadline falls at or before ``t`` is
+    flushed and served at that deadline.  Expired requests are dropped
+    at serve time; degraded requests bypass the batcher through the
+    single-vector path.  With ``service_ms=0`` (default) the latency
+    histograms measure pure coalescing wait.
+    """
+    if metrics is None:
+        metrics = ServeMetrics(counter=engine.counter)
+    batcher = MicroBatcher(max_batch=max_batch, max_wait_ms=max_wait_ms)
+    responses: Dict[int, float] = {}
+    events: List[RescheduleEvent] = []
+    history: List[Tuple[int, str]] = []
+    service = service_ms / 1e3
+
+    def serve_batch(batch: List[Request], at: float) -> None:
+        live = [r for r in batch if not r.expired(at)]
+        dropped = len(batch) - len(live)
+        if dropped:
+            metrics.record_expired(dropped)
+        if admission is not None:
+            admission.release(len(batch))
+        if not live:
+            return
+        labels = engine.predict([r.vector for r in live])
+        finished = at + service
+        metrics.record_batch(
+            len(live), at, finished, queued_at=[r.arrived_at for r in live]
+        )
+        for r, label in zip(live, labels):
+            responses[r.req_id] = float(label)
+        if rescheduler is not None:
+            evt = rescheduler.after_batch(len(live), engine.model.matrix)
+            if evt is not None:
+                engine.convert_to(evt.to_fmt)
+                metrics.record_reschedule()
+                events.append(evt)
+                history.append((evt.batch_seq, evt.to_fmt))
+
+    def drain_until(t: Optional[float]) -> None:
+        """Serve every batch whose flush deadline is <= t (all if None)."""
+        while True:
+            fa = batcher.next_flush_at()
+            if fa is None or (t is not None and fa > t):
+                return
+            batch = batcher.poll(fa)
+            if batch:
+                serve_batch(batch, fa)
+
+    for req in workload.arrivals:
+        drain_until(req.t)
+        verdict = (
+            admission.admit() if admission is not None else Verdict.ACCEPTED
+        )
+        if verdict is Verdict.REJECTED:
+            metrics.record_rejected()
+            continue
+        r = Request(req.req_id, req.vector, req.t, req.deadline)
+        if verdict is Verdict.DEGRADED:
+            # Shed path: answer immediately, single-vector kernel, no
+            # coalescing wait added to a queue that is already deep.
+            if r.expired(req.t):
+                metrics.record_expired()
+            else:
+                responses[r.req_id] = engine.predict_one(r.vector)
+                metrics.record_single(req.t, req.t + service)
+                metrics.record_degraded()
+            admission.release()
+            continue
+        full = batcher.submit(r, req.t)
+        if full:
+            serve_batch(full, req.t)
+    drain_until(None)
+    tail = batcher.flush()
+    if tail:
+        serve_batch(tail, tail[-1].arrived_at + batcher.max_wait)
+
+    return ServeReport(
+        workload=workload.name,
+        responses=responses,
+        metrics=metrics,
+        events=events,
+        final_format=engine.format,
+        format_history=history,
+    )
+
+
+def replay_unbatched(
+    engine: InferenceEngine, workload: Workload
+) -> Dict[int, float]:
+    """Reference answers: every request through the single-vector path.
+
+    Used by the determinism tests and the re-schedule demo to assert
+    micro-batched (and mid-stream re-scheduled) serving is bitwise
+    identical to unbatched serving.
+    """
+    return {
+        req.req_id: engine.predict_one(req.vector)
+        for req in workload.arrivals
+    }

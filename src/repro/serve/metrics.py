@@ -1,0 +1,187 @@
+"""Serving metrics: latency histograms, throughput, batch-size mix.
+
+Everything here is deterministic given the numbers recorded into it —
+the serving stack injects (virtual or monotonic) timestamps; this
+module never reads a clock itself, which is what keeps the loadgen
+simulations and the determinism property tests exactly replayable.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.perf.counters import OpCounter
+
+#: Percentiles every latency summary reports.
+PERCENTILES = (50.0, 95.0, 99.0)
+
+
+@dataclass
+class LatencySummary:
+    """Percentile view over a set of recorded latencies (seconds)."""
+
+    count: int
+    p50: float
+    p95: float
+    p99: float
+    mean: float
+    max: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "p50_ms": self.p50 * 1e3,
+            "p95_ms": self.p95 * 1e3,
+            "p99_ms": self.p99 * 1e3,
+            "mean_ms": self.mean * 1e3,
+            "max_ms": self.max * 1e3,
+        }
+
+
+def summarise_latencies(samples: List[float]) -> LatencySummary:
+    """Percentile summary of a latency sample list.
+
+    Uses the ``lower`` interpolation so the reported percentiles are
+    actual observed samples (and the summary is exactly reproducible
+    across numpy versions).
+    """
+    if not samples:
+        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    arr = np.asarray(samples, dtype=np.float64)
+    p50, p95, p99 = (
+        float(np.percentile(arr, q, method="lower")) for q in PERCENTILES
+    )
+    return LatencySummary(
+        count=int(arr.shape[0]),
+        p50=p50,
+        p95=p95,
+        p99=p99,
+        mean=float(arr.mean()),
+        max=float(arr.max()),
+    )
+
+
+@dataclass
+class ServeMetrics:
+    """Rolling counters and samples for one serving session.
+
+    ``record_batch`` is the single write point for served work; the
+    admission controller reports rejected / expired / degraded requests
+    through their own hooks.  ``snapshot()`` freezes everything into a
+    plain dict (JSON-ready, used by the bench payload and the CLI).
+    """
+
+    counter: OpCounter = field(default_factory=OpCounter)
+    latencies: List[float] = field(default_factory=list)
+    batch_sizes: Counter = field(default_factory=Counter)
+    served: int = 0
+    batches: int = 0
+    rejected: int = 0
+    expired: int = 0
+    degraded: int = 0
+    reschedules: int = 0
+    first_t: Optional[float] = None
+    last_t: Optional[float] = None
+
+    # -- write side ------------------------------------------------------
+    def record_batch(
+        self, size: int, started_at: float, finished_at: float,
+        queued_at: Optional[List[float]] = None,
+    ) -> None:
+        """One served SpMM batch of ``size`` requests.
+
+        ``queued_at`` (one entry per request, same clock as the other
+        timestamps) yields per-request latencies *including* the
+        coalescing wait; without it the batch service time is recorded
+        once per request.
+        """
+        if size < 1:
+            raise ValueError("batch size must be >= 1")
+        self.batches += 1
+        self.served += size
+        self.batch_sizes[int(size)] += 1
+        if queued_at is not None:
+            self.latencies.extend(finished_at - q for q in queued_at)
+        else:
+            self.latencies.extend([finished_at - started_at] * size)
+        if self.first_t is None or started_at < self.first_t:
+            self.first_t = started_at
+        if self.last_t is None or finished_at > self.last_t:
+            self.last_t = finished_at
+
+    def record_single(self, arrived_at: float, finished_at: float) -> None:
+        """One request served outside the batcher (degraded path).
+
+        Counts toward served totals and latency but not the batch
+        histogram — the effective-``k`` statistics describe only what
+        the SpMM path achieved.
+        """
+        self.served += 1
+        self.latencies.append(finished_at - arrived_at)
+        if self.first_t is None or arrived_at < self.first_t:
+            self.first_t = arrived_at
+        if self.last_t is None or finished_at > self.last_t:
+            self.last_t = finished_at
+
+    def record_rejected(self, n: int = 1) -> None:
+        self.rejected += n
+
+    def record_expired(self, n: int = 1) -> None:
+        self.expired += n
+
+    def record_degraded(self, n: int = 1) -> None:
+        """Requests served through the single-vector shed path."""
+        self.degraded += n
+
+    def record_reschedule(self) -> None:
+        self.reschedules += 1
+
+    # -- read side -------------------------------------------------------
+    @property
+    def elapsed(self) -> float:
+        if self.first_t is None or self.last_t is None:
+            return 0.0
+        return max(self.last_t - self.first_t, 0.0)
+
+    @property
+    def throughput(self) -> float:
+        """Served requests per second of active serving time."""
+        el = self.elapsed
+        return self.served / el if el > 0.0 else 0.0
+
+    @property
+    def mean_batch(self) -> float:
+        if not self.batches:
+            return 0.0
+        return self.served / self.batches
+
+    def batch_histogram(self) -> Dict[int, int]:
+        return dict(sorted(self.batch_sizes.items()))
+
+    def snapshot(self) -> Dict:
+        lat = summarise_latencies(self.latencies)
+        return {
+            "served": self.served,
+            "batches": self.batches,
+            "rejected": self.rejected,
+            "expired": self.expired,
+            "degraded": self.degraded,
+            "reschedules": self.reschedules,
+            "mean_batch": self.mean_batch,
+            "batch_histogram": {
+                str(k): v for k, v in self.batch_histogram().items()
+            },
+            "elapsed_s": self.elapsed,
+            "throughput_rps": self.throughput,
+            "latency": lat.as_dict(),
+            "ops": {
+                "flops": self.counter.flops,
+                "bytes_total": self.counter.bytes_total,
+                "spmm_calls": self.counter.spmm_calls,
+                "spmm_columns": self.counter.spmm_columns,
+            },
+        }

@@ -1,0 +1,157 @@
+"""Model registry: named, versioned model storage for serving.
+
+A thin layer over :mod:`repro.svm.persist`: each registered model lives
+at ``<root>/<name>/v<NNNN>.npz`` (binary SVC or one-vs-one multiclass —
+the persist header's ``kind`` field keeps loading agnostic).  Loading
+for serving flattens the model into a
+:class:`~repro.serve.engine.ServedModel` and memoises it per
+``(name, version, fmt)``, so hot models skip both the disk read and
+the stacking work — the registry-level counterpart of the engine's
+warm per-format matrix cache.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.serve.engine import ServedModel
+from repro.svm.persist import load_model, save_multiclass, save_svc
+
+PathLike = Union[str, Path]
+
+_VERSION_RE = re.compile(r"^v(\d{4})\.npz$")
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+class ModelRegistry:
+    """Filesystem-backed registry of named model versions."""
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._served_cache: Dict[Tuple[str, int, str], ServedModel] = {}
+        self._lock = threading.Lock()
+
+    # -- paths -----------------------------------------------------------
+    @staticmethod
+    def _check_name(name: str) -> str:
+        if not _NAME_RE.match(name):
+            raise ValueError(
+                f"invalid model name {name!r}; use letters, digits, "
+                f"'.', '_' or '-'"
+            )
+        return name
+
+    def _model_dir(self, name: str) -> Path:
+        return self.root / self._check_name(name)
+
+    def _version_path(self, name: str, version: int) -> Path:
+        return self._model_dir(name) / f"v{version:04d}.npz"
+
+    # -- write side ------------------------------------------------------
+    def register(self, name: str, model) -> int:
+        """Persist ``model`` as the next version of ``name``.
+
+        Accepts a fitted :class:`~repro.svm.svc.SVC` or
+        :class:`~repro.svm.svc.MulticlassSVC`; returns the new version
+        number (1-based, monotonically increasing).
+        """
+        from repro.svm.svc import SVC, MulticlassSVC
+
+        d = self._model_dir(name)
+        with self._lock:
+            d.mkdir(parents=True, exist_ok=True)
+            version = (self._latest_in(d) or 0) + 1
+            path = self._version_path(name, version)
+            if isinstance(model, SVC):
+                save_svc(model, path)
+            elif isinstance(model, MulticlassSVC):
+                save_multiclass(model, path)
+            else:
+                raise TypeError(
+                    f"cannot register a {type(model).__name__}; "
+                    f"expected SVC or MulticlassSVC"
+                )
+        return version
+
+    # -- read side -------------------------------------------------------
+    @staticmethod
+    def _versions_in(d: Path) -> List[int]:
+        if not d.is_dir():
+            return []
+        out = []
+        for p in d.iterdir():
+            m = _VERSION_RE.match(p.name)
+            if m:
+                out.append(int(m.group(1)))
+        return sorted(out)
+
+    @classmethod
+    def _latest_in(cls, d: Path) -> Optional[int]:
+        versions = cls._versions_in(d)
+        return versions[-1] if versions else None
+
+    def models(self) -> List[str]:
+        return sorted(
+            p.name for p in self.root.iterdir()
+            if p.is_dir() and self._versions_in(p)
+        )
+
+    def versions(self, name: str) -> List[int]:
+        return self._versions_in(self._model_dir(name))
+
+    def latest(self, name: str) -> int:
+        v = self._latest_in(self._model_dir(name))
+        if v is None:
+            raise KeyError(f"no versions registered for model {name!r}")
+        return v
+
+    def load(self, name: str, version: Optional[int] = None):
+        """Load the raw model object (SVC or MulticlassSVC)."""
+        if version is None:
+            version = self.latest(name)
+        path = self._version_path(name, version)
+        if not path.exists():
+            raise KeyError(f"model {name!r} has no version {version}")
+        return load_model(path)
+
+    def serve(
+        self,
+        name: str,
+        version: Optional[int] = None,
+        *,
+        fmt: str = "CSR",
+    ) -> ServedModel:
+        """A :class:`ServedModel` for ``name``, memoised while warm.
+
+        The cache is keyed by ``(name, version, fmt)``.  Every call
+        returns a :meth:`~repro.serve.engine.ServedModel.clone` of the
+        warm entry — the clone shares the heavy arrays but owns its
+        matrix *reference*, so concurrent engines re-scheduling the
+        same model never see each other's format swaps.
+        """
+        if version is None:
+            version = self.latest(name)
+        key = (name, int(version), fmt.upper())
+        with self._lock:
+            cached = self._served_cache.get(key)
+        if cached is not None:
+            return cached.clone()
+        served = ServedModel.from_model(self.load(name, version), fmt)
+        with self._lock:
+            self._served_cache[key] = served
+        return served.clone()
+
+    def evict(self, name: Optional[str] = None) -> None:
+        """Drop warm served models (all of them, or one name's)."""
+        with self._lock:
+            if name is None:
+                self._served_cache.clear()
+            else:
+                for key in [
+                    k for k in self._served_cache if k[0] == name
+                ]:
+                    del self._served_cache[key]

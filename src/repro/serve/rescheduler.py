@@ -1,0 +1,175 @@
+"""Runtime layout re-scheduling driven by the observed batch mix.
+
+The paper schedules a layout *before* a training run from the dataset
+profile.  At serving time one more input appears that the profile
+cannot see: the **effective batch width** the micro-batcher actually
+achieves, which moves the cost model's amortisation term (``batch_k``)
+and with it the winning format.  :class:`FormatRescheduler` closes the
+loop — it keeps a rolling histogram of served batch sizes, periodically
+re-invokes the :class:`~repro.core.scheduler.LayoutScheduler` at the
+observed effective ``batch_k``, and tells the engine to convert when
+the winner changed by enough to matter.
+
+Candidates are restricted to
+:data:`~repro.serve.engine.EXACT_SERVE_FORMATS` so a swap can never
+perturb predictions (the bitwise-identical kernel family); the matrix
+profile is format-invariant and cached once.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+from repro.core.scheduler import LayoutScheduler
+from repro.features.extract import extract_profile
+from repro.formats.base import MatrixFormat
+from repro.serve.engine import EXACT_SERVE_FORMATS
+
+
+@dataclass(frozen=True)
+class RescheduleEvent:
+    """Audit record of one runtime format change."""
+
+    batch_seq: int
+    effective_k: int
+    from_fmt: str
+    to_fmt: str
+    reason: str
+
+
+class BatchSizeHistogram:
+    """Rolling window of served batch widths.
+
+    ``effective_k`` is the *column-weighted* mean — ``sum(k^2) /
+    sum(k)`` — because a request in a width-8 batch experiences width-8
+    amortisation: weighting by batches would let a stream of stray
+    singles mask a bulk-batched majority of the traffic.
+    """
+
+    def __init__(self, window: int = 64) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self._sizes: Deque[int] = deque(maxlen=window)
+
+    def observe(self, k: int) -> None:
+        if k < 1:
+            raise ValueError("batch size must be >= 1")
+        self._sizes.append(int(k))
+
+    def __len__(self) -> int:
+        return len(self._sizes)
+
+    def effective_k(self) -> int:
+        if not self._sizes:
+            return 1
+        total = sum(self._sizes)
+        weighted = sum(k * k for k in self._sizes)
+        return max(1, round(weighted / total))
+
+
+class FormatRescheduler:
+    """Policy: when and to what the engine's matrix is converted.
+
+    Parameters
+    ----------
+    window:
+        Batch-size observations kept in the rolling histogram.
+    check_every:
+        Re-decide cadence, in served batches.  Deciding is cheap (a
+        cached cost-model rank) but there is no reason to run it per
+        batch.
+    min_gain:
+        Hysteresis: convert only if the model predicts the new format
+        is at least this fraction faster than staying put (e.g. ``0.05``
+        = 5 %).  Keeps the engine from thrashing between two formats
+        whose costs straddle the crossover.
+    candidates:
+        Formats the runtime decision may pick.  Defaults to the
+        bitwise-exact serving family; callers who do not need bitwise
+        stability across swaps may widen it.
+    """
+
+    def __init__(
+        self,
+        *,
+        window: int = 64,
+        check_every: int = 16,
+        min_gain: float = 0.05,
+        candidates: Tuple[str, ...] = EXACT_SERVE_FORMATS,
+        scheduler: Optional[LayoutScheduler] = None,
+    ) -> None:
+        if check_every < 1:
+            raise ValueError("check_every must be >= 1")
+        if min_gain < 0.0:
+            raise ValueError("min_gain must be >= 0")
+        self.hist = BatchSizeHistogram(window)
+        self.check_every = check_every
+        self.min_gain = min_gain
+        self.scheduler = scheduler or LayoutScheduler(
+            "cost", candidates=candidates
+        )
+        self.events: List[RescheduleEvent] = []
+        self._batches_seen = 0
+        self._profile = None
+        self._last_k: Optional[int] = None
+
+    def initial_format(self, matrix: MatrixFormat) -> str:
+        """The format to start serving in (decided at ``batch_k=1``)."""
+        self._profile = extract_profile(matrix)
+        self.scheduler.batch_k = 1
+        ranked = self.scheduler.cost_model.rank(
+            self._profile, self.scheduler.candidates, batch_k=1
+        )
+        return ranked[0].fmt
+
+    # -- the runtime loop ------------------------------------------------
+    def after_batch(
+        self, batch_size: int, matrix: MatrixFormat
+    ) -> Optional[RescheduleEvent]:
+        """Observe one served batch; maybe decide a new format.
+
+        Returns the event to apply (caller converts the engine and
+        records the metric) or ``None``.  Call under the serving loop's
+        policy lock if multiple threads serve batches.
+        """
+        self.hist.observe(batch_size)
+        self._batches_seen += 1
+        if self._batches_seen % self.check_every != 0:
+            return None
+        eff = self.hist.effective_k()
+        if eff == self._last_k:
+            return None  # batch mix unchanged; ranking cannot move
+        self._last_k = eff
+        if self._profile is None:
+            self._profile = extract_profile(matrix)
+        self.scheduler.batch_k = eff
+        ranked = self.scheduler.cost_model.rank(
+            self._profile, self.scheduler.candidates, batch_k=eff
+        )
+        winner = ranked[0].fmt
+        if winner == matrix.name:
+            return None
+        current_cost = next(
+            (c.cost for c in ranked if c.fmt == matrix.name), None
+        )
+        if current_cost is not None and current_cost < ranked[0].cost * (
+            1.0 + self.min_gain
+        ):
+            return None  # inside the hysteresis band; not worth a swap
+        event = RescheduleEvent(
+            batch_seq=self._batches_seen,
+            effective_k=eff,
+            from_fmt=matrix.name,
+            to_fmt=winner,
+            reason=(
+                f"effective batch_k={eff}: model cost "
+                f"{ranked[0].cost:.3g} ({winner}) vs "
+                f"{current_cost:.3g} ({matrix.name})"
+                if current_cost is not None
+                else f"effective batch_k={eff}: {winner} ranked first"
+            ),
+        )
+        self.events.append(event)
+        return event

@@ -5,6 +5,13 @@ the kernel configuration — all flat arrays plus a small JSON header, so
 one compressed ``.npz`` file round-trips a model exactly (prediction-
 identical, asserted by tests).
 
+Binary :class:`~repro.svm.svc.SVC` and one-vs-one
+:class:`~repro.svm.svc.MulticlassSVC` both persist; a multiclass file
+stores every pairwise model's support vectors in one concatenated CSR-
+style arena with a per-pair pointer array.  :func:`load_model`
+dispatches on the header's ``kind`` field, which is how the serving
+model registry stays agnostic to what was registered.
+
 Only named kernels (Table I) are serialisable; a custom
 :class:`~repro.svm.kernels.Kernel` instance has code we cannot persist.
 """
@@ -63,6 +70,7 @@ def save_svc(model, path: PathLike) -> None:
     model._check_fitted()
     header = {
         "format_version": 1,
+        "kind": "svc",
         "kernel": _kernel_config(model.kernel),
         "C": model.C,
         "tol": model.tol,
@@ -107,6 +115,12 @@ def load_svc(path: PathLike):
                 f"unsupported model format version "
                 f"{header.get('format_version')!r}"
             )
+        if header.get("kind", "svc") != "svc":
+            raise ValueError(
+                f"expected a binary SVC file, found kind "
+                f"{header.get('kind')!r}; use load_multiclass or "
+                f"load_model"
+            )
         ptr = data["sv_ptr"]
         indices = data["sv_indices"]
         values = data["sv_values"]
@@ -134,3 +148,165 @@ def load_svc(path: PathLike):
         f=None,
     )
     return model
+
+
+def save_multiclass(model, path: PathLike) -> None:
+    """Persist a fitted :class:`~repro.svm.svc.MulticlassSVC`.
+
+    All pairwise models share one kernel configuration by construction
+    (they are built from the same constructor arguments), so the header
+    stores it once; per-pair state is the class pair, the bias, and a
+    slice of the concatenated support-vector arena.
+
+    Raises
+    ------
+    RuntimeError
+        If the model is not fitted.
+    ValueError
+        If the kernel is a non-serialisable custom instance.
+    """
+    if not model.models_:
+        raise RuntimeError(
+            "MulticlassSVC is not fitted; call fit() first"
+        )
+    first = model.models_[0].svc
+    n_features = 0
+    for pm in model.models_:
+        if pm.svc._sv_vectors:
+            n_features = int(pm.svc._sv_vectors[0].length)
+            break
+    header = {
+        "format_version": 1,
+        "kind": "multiclass",
+        "kernel": _kernel_config(first.kernel),
+        "C": first.C,
+        "tol": first.tol,
+        "classes": [float(c) for c in model.classes_.tolist()],
+        "n_features": n_features,
+        "pairs": [
+            {
+                "classes": [float(pm.classes[0]), float(pm.classes[1])],
+                "b": pm.svc.result_.b,
+            }
+            for pm in model.models_
+        ],
+    }
+    svs = [sv for pm in model.models_ for sv in pm.svc._sv_vectors]
+    pair_ptr = np.zeros(len(model.models_) + 1, dtype=np.int64)
+    for i, pm in enumerate(model.models_):
+        pair_ptr[i + 1] = pair_ptr[i] + len(pm.svc._sv_vectors)
+    ptr = np.zeros(len(svs) + 1, dtype=np.int64)
+    for i, sv in enumerate(svs):
+        ptr[i + 1] = ptr[i] + sv.nnz
+    indices = (
+        np.concatenate([sv.indices for sv in svs])
+        if svs
+        else np.empty(0, dtype=np.int32)
+    )
+    values = np.concatenate([sv.values for sv in svs]) if svs else np.empty(0)
+    coef = (
+        np.concatenate(
+            [np.asarray(pm.svc._sv_coef) for pm in model.models_]
+        )
+        if svs
+        else np.empty(0)
+    )
+    np.savez_compressed(
+        path,
+        header=np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        ),
+        pair_ptr=pair_ptr,
+        sv_ptr=ptr,
+        sv_indices=indices,
+        sv_values=values,
+        sv_coef=coef,
+    )
+
+
+def load_multiclass(path: PathLike):
+    """Load a model saved by :func:`save_multiclass`."""
+    from repro.svm.svc import SVC, MulticlassSVC, _PairModel
+
+    with np.load(path) as data:
+        header = json.loads(bytes(data["header"]).decode("utf-8"))
+        if header.get("format_version") != 1:
+            raise ValueError(
+                f"unsupported model format version "
+                f"{header.get('format_version')!r}"
+            )
+        if header.get("kind") != "multiclass":
+            raise ValueError(
+                f"expected a multiclass file, found kind "
+                f"{header.get('kind')!r}; use load_svc or load_model"
+            )
+        pair_ptr = data["pair_ptr"]
+        ptr = data["sv_ptr"]
+        indices = data["sv_indices"]
+        values = data["sv_values"]
+        coef = data["sv_coef"]
+
+    kcfg = header["kernel"]
+    n = int(header["n_features"])
+    model = MulticlassSVC(
+        make_kernel(kcfg["name"], **kcfg["params"]),
+        C=header["C"],
+        tol=header["tol"],
+    )
+    model.classes_ = np.asarray(header["classes"], dtype=float)
+    model.models_ = []
+    for p, pair in enumerate(header["pairs"]):
+        svc = SVC(
+            make_kernel(kcfg["name"], **kcfg["params"]),
+            C=header["C"],
+            tol=header["tol"],
+        )
+        lo, hi = int(pair_ptr[p]), int(pair_ptr[p + 1])
+        svc._sv_vectors = [
+            SparseVector(
+                indices[ptr[i] : ptr[i + 1]],
+                values[ptr[i] : ptr[i + 1]],
+                n,
+            )
+            for i in range(lo, hi)
+        ]
+        pair_coef = coef[lo:hi]
+        svc._sv_coef = pair_coef
+        b = float(pair["b"])
+        svc.result_ = SMOResult(
+            alpha=np.abs(pair_coef),
+            b=b,
+            iterations=0,
+            converged=True,
+            b_high=b,
+            b_low=b,
+            f=None,
+        )
+        model.models_.append(
+            _PairModel(
+                classes=(float(pair["classes"][0]), float(pair["classes"][1])),
+                svc=svc,
+            )
+        )
+    return model
+
+
+def read_kind(path: PathLike) -> str:
+    """The ``kind`` field of a saved model file (``svc``/``multiclass``).
+
+    Old binary files written before the field existed default to
+    ``svc``.
+    """
+    with np.load(path) as data:
+        header = json.loads(bytes(data["header"]).decode("utf-8"))
+    return header.get("kind", "svc")
+
+
+def load_model(path: PathLike):
+    """Load any saved model, dispatching on the header ``kind``."""
+    kind = read_kind(path)
+    if kind == "svc":
+        return load_svc(path)
+    if kind == "multiclass":
+        return load_multiclass(path)
+    raise ValueError(f"unknown saved model kind {kind!r}")

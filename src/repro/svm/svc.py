@@ -47,6 +47,13 @@ class SVC:
         selection; ``shrink_every > 0`` enables shrinking; ``cache_mb``
         sizes the row cache by memory budget, LIBSVM ``-m`` style;
         ``fuse_rows=False`` disables the dual-row SpMM hot path).
+    sv_block:
+        Support vectors per blocked SpMM sweep in
+        :meth:`decision_function` (``1`` disables blocking and
+        reproduces the historical per-vector loop).  Each sweep's
+        columns are bit-for-bit identical to the per-vector SMSVs and
+        the accumulation order is unchanged, so the blocked path is
+        bitwise identical to the sequential one for any block size.
     kernel_params:
         Keyword parameters for a kernel given by name (e.g.
         ``gamma=0.5``).
@@ -70,6 +77,7 @@ class SVC:
         working_set: str = "first",
         shrink_every: int = 0,
         fuse_rows: bool = True,
+        sv_block: int = 32,
         **kernel_params: float,
     ) -> None:
         if isinstance(kernel, str):
@@ -78,6 +86,8 @@ class SVC:
             raise ValueError(
                 "kernel_params only apply when kernel is given by name"
             )
+        if sv_block < 1:
+            raise ValueError("sv_block must be >= 1")
         self.kernel = kernel
         self.C = C
         self.tol = tol
@@ -87,6 +97,7 @@ class SVC:
         self.working_set = working_set
         self.shrink_every = shrink_every
         self.fuse_rows = fuse_rows
+        self.sv_block = int(sv_block)
         # fitted state
         self.result_: Optional[SMOResult] = None
         self._sv_vectors: List[SparseVector] = []
@@ -138,24 +149,56 @@ class SVC:
             raise RuntimeError("SVC is not fitted; call fit() first")
 
     # -- inference ---------------------------------------------------------
-    def decision_function(self, X: MatrixLike) -> np.ndarray:
-        """``sum_sv coef_s K(X_s, x) - b`` for every query row."""
+    def decision_function(
+        self, X: MatrixLike, *, counter: Optional[OpCounter] = None
+    ) -> np.ndarray:
+        """``sum_sv coef_s K(X_s, x) - b`` for every query row.
+
+        Support vectors are evaluated against the query matrix in
+        blocks of ``sv_block`` through one fused SpMM per block
+        (:meth:`~repro.svm.kernels.Kernel.rows`) instead of one SMSV
+        per support vector: the matrix side — the queries — is
+        traversed once per block rather than once per vector.  Each
+        SpMM column is bit-for-bit the corresponding single-vector
+        kernel row and the per-vector accumulation order is preserved,
+        so the result is bitwise identical to the sequential loop.
+        """
         self._check_fitted()
         X = _as_matrix(X)
         m = X.shape[0]
         out = np.full(m, -self.result_.b, dtype=np.float64)
-        # One SMSV per *support vector* against the query matrix:
-        # queries usually outnumber SVs, so this orientation does the
-        # fewest kernel evaluations.
+        # Blocked SMSVs of the *support vectors* against the query
+        # matrix: queries usually outnumber SVs, so this orientation
+        # does the fewest kernel evaluations.
         norms = X.row_norms_sq()
+        n_sv = len(self._sv_vectors)
+        if self.sv_block > 1 and n_sv > 1:
+            for lo in range(0, n_sv, self.sv_block):
+                block = self._sv_vectors[lo : lo + self.sv_block]
+                K = self.kernel.rows(
+                    X,
+                    block,
+                    np.array([sv.norm_sq() for sv in block]),
+                    norms,
+                    counter,
+                )
+                for c, coef in enumerate(
+                    self._sv_coef[lo : lo + self.sv_block]
+                ):
+                    out += coef * K[:, c]
+            return out
         for coef, sv in zip(self._sv_coef, self._sv_vectors):
-            krow = self.kernel.row(X, sv, sv.norm_sq(), norms)
+            krow = self.kernel.row(X, sv, sv.norm_sq(), norms, counter)
             out += coef * krow
         return out
 
-    def predict(self, X: MatrixLike) -> np.ndarray:
+    def predict(
+        self, X: MatrixLike, *, counter: Optional[OpCounter] = None
+    ) -> np.ndarray:
         """±1 labels for every query row."""
-        return np.where(self.decision_function(X) >= 0.0, 1.0, -1.0)
+        return np.where(
+            self.decision_function(X, counter=counter) >= 0.0, 1.0, -1.0
+        )
 
     def score(self, X: MatrixLike, y: np.ndarray) -> float:
         """Classification accuracy on (X, y)."""
@@ -257,9 +300,13 @@ class MulticlassSVC:
         self.models_ = parallel_map(train_pair, pairs, n_workers=self.n_workers)
         return self
 
-    def predict(self, X: MatrixLike) -> np.ndarray:
+    def predict(
+        self, X: MatrixLike, *, counter: Optional[OpCounter] = None
+    ) -> np.ndarray:
         if not self.models_:
             raise RuntimeError("MulticlassSVC is not fitted; call fit() first")
+        # Convert once; every pairwise model then votes through the
+        # blocked SpMM inference path of SVC.decision_function.
         X = _as_matrix(X)
         m = X.shape[0]
         class_index: Dict[float, int] = {
@@ -267,7 +314,7 @@ class MulticlassSVC:
         }
         votes = np.zeros((m, len(class_index)), dtype=np.int64)
         for pm in self.models_:
-            pred = pm.svc.predict(X)
+            pred = pm.svc.predict(X, counter=counter)
             a, b = pm.classes
             votes[:, class_index[a]] += pred > 0
             votes[:, class_index[b]] += pred < 0
@@ -276,3 +323,17 @@ class MulticlassSVC:
     def score(self, X: MatrixLike, y: np.ndarray) -> float:
         y = np.asarray(y, dtype=np.float64).ravel()
         return float(np.mean(self.predict(X) == y))
+
+    # -- persistence -----------------------------------------------------
+    def save(self, path) -> None:
+        """Persist the fitted model (see :mod:`repro.svm.persist`)."""
+        from repro.svm.persist import save_multiclass
+
+        save_multiclass(self, path)
+
+    @classmethod
+    def load(cls, path) -> "MulticlassSVC":
+        """Load a model saved by :meth:`save`; prediction-identical."""
+        from repro.svm.persist import load_multiclass
+
+        return load_multiclass(path)

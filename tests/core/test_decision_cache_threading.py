@@ -1,0 +1,146 @@
+"""DecisionCache thread-safety: the serving layer shares one scheduler
+(and its cache) across concurrent request threads.
+
+Regression context: the pre-lock cache did check-then-evict on a bare
+dict.  Two threads observing a full store could both evict; on a small
+cache the second ``pop(next(iter(...)))`` hits an emptied dict and
+raises ``StopIteration``, and interleaved put/iterate pairs can raise
+``RuntimeError: dictionary changed size during iteration``.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import LayoutScheduler
+from repro.core.scheduler import DecisionCache
+from repro.features import profile_from_coo
+
+
+def _rand_coords(rng, m, n):
+    """Duplicate-free COO coordinates via a boolean occupancy mask."""
+    mask = rng.random((m, n)) < rng.uniform(0.02, 0.5)
+    if not mask.any():
+        mask[0, 0] = True
+    return np.nonzero(mask)
+
+
+def _profiles(count, seed=0):
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(count):
+        m = int(rng.integers(4, 120))
+        n = int(rng.integers(4, 120))
+        rows, cols = _rand_coords(rng, m, n)
+        out.append(profile_from_coo(rows, cols, (m, n)))
+    return out
+
+
+class TestConcurrentAccess:
+    @pytest.mark.parametrize("maxsize", [1, 2, 8])
+    def test_hammering_put_get_never_raises(self, maxsize):
+        cache = DecisionCache(maxsize=maxsize)
+        profiles = _profiles(24, seed=maxsize)
+        errors = []
+        start = threading.Barrier(8)
+
+        def worker(wid):
+            try:
+                start.wait()
+                rng = np.random.default_rng(wid)
+                for _ in range(400):
+                    p = profiles[int(rng.integers(len(profiles)))]
+                    k = int(rng.integers(1, 4))
+                    cache.put(p, "CSR", batch_k=k)
+                    cache.get(p, batch_k=k)
+                    len(cache)
+            except BaseException as exc:  # capture across the thread edge
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(cache) <= maxsize
+
+    def test_eviction_keeps_bound_under_contention(self):
+        cache = DecisionCache(maxsize=4)
+        profiles = _profiles(40, seed=7)
+
+        def worker(chunk):
+            for p in chunk:
+                cache.put(p, "ELL")
+
+        threads = [
+            threading.Thread(target=worker, args=(profiles[i::4],))
+            for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(cache) <= 4
+
+    def test_shared_scheduler_concurrent_decides(self):
+        """The end-to-end shape: one scheduler, many request threads."""
+        sched = LayoutScheduler("cost", cache=DecisionCache(maxsize=2))
+        rng = np.random.default_rng(3)
+        matrices = []
+        for _ in range(6):
+            m, n = int(rng.integers(8, 40)), int(rng.integers(8, 40))
+            rows, cols = _rand_coords(rng, m, n)
+            matrices.append(
+                (rows, cols, rng.random(len(rows)), (m, n))
+            )
+        errors = []
+
+        def worker(wid):
+            try:
+                for i in range(60):
+                    r, c, v, shape = matrices[(wid + i) % len(matrices)]
+                    d = sched.decide_from_coo(r, c, v, shape)
+                    assert d.fmt
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+
+
+class TestSingleThreadSemantics:
+    def test_fifo_eviction_order(self):
+        cache = DecisionCache(maxsize=2)
+        p1, p2, p3 = _profiles(3, seed=11)
+        cache.put(p1, "CSR")
+        cache.put(p2, "ELL")
+        cache.put(p3, "COO")  # evicts p1
+        assert cache.get(p1) is None
+        assert cache.get(p2) == "ELL"
+        assert cache.get(p3) == "COO"
+
+    def test_update_existing_key_does_not_evict(self):
+        cache = DecisionCache(maxsize=2)
+        p1, p2 = _profiles(2, seed=12)
+        cache.put(p1, "CSR")
+        cache.put(p2, "ELL")
+        cache.put(p1, "DIA")  # overwrite, no eviction
+        assert cache.get(p1) == "DIA"
+        assert cache.get(p2) == "ELL"
+
+    def test_clear(self):
+        cache = DecisionCache()
+        (p,) = _profiles(1, seed=13)
+        cache.put(p, "CSR")
+        cache.clear()
+        assert len(cache) == 0

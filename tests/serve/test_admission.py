@@ -1,0 +1,98 @@
+"""Admission control: verdicts, backpressure, deadline semantics."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.formats.base import SparseVector
+from repro.serve import AdmissionController, Request, Verdict
+
+
+def _vec():
+    return SparseVector(np.array([0], dtype=np.int32), np.array([1.0]), 4)
+
+
+class TestVerdicts:
+    def test_accept_until_shed_threshold(self):
+        a = AdmissionController(capacity=4, shed_at=0.5)
+        assert a.admit() is Verdict.ACCEPTED  # 1/4
+        assert a.admit() is Verdict.ACCEPTED  # 2/4 == 0.5, not above
+        assert a.admit() is Verdict.DEGRADED  # 3/4
+        assert a.admit() is Verdict.DEGRADED  # 4/4
+        assert a.admit() is Verdict.REJECTED  # full
+
+    def test_shed_at_one_disables_degradation(self):
+        a = AdmissionController(capacity=2, shed_at=1.0)
+        assert a.admit() is Verdict.ACCEPTED
+        assert a.admit() is Verdict.ACCEPTED
+        assert a.admit() is Verdict.REJECTED
+
+    def test_release_reopens_slots(self):
+        a = AdmissionController(capacity=1, shed_at=1.0)
+        assert a.admit() is Verdict.ACCEPTED
+        assert a.admit() is Verdict.REJECTED
+        a.release()
+        assert a.admit() is Verdict.ACCEPTED
+
+    def test_occupancy(self):
+        a = AdmissionController(capacity=4)
+        a.admit()
+        a.admit()
+        assert a.occupancy == pytest.approx(0.5)
+        assert a.in_flight == 2
+
+
+class TestValidation:
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            AdmissionController(capacity=0)
+
+    def test_bad_shed_at(self):
+        with pytest.raises(ValueError, match="shed_at"):
+            AdmissionController(shed_at=0.0)
+        with pytest.raises(ValueError, match="shed_at"):
+            AdmissionController(shed_at=1.5)
+
+    def test_over_release_raises(self):
+        a = AdmissionController(capacity=2)
+        a.admit()
+        with pytest.raises(RuntimeError, match="exceeds"):
+            a.release(2)
+
+
+class TestDeadlines:
+    def test_expiry_is_checked_against_now(self):
+        r = Request(0, _vec(), arrived_at=1.0, deadline=1.5)
+        assert not r.expired(1.5)
+        assert r.expired(1.6)
+
+    def test_no_deadline_never_expires(self):
+        r = Request(0, _vec(), arrived_at=1.0)
+        assert not r.expired(1e9)
+
+
+class TestConcurrency:
+    def test_slots_never_exceed_capacity_under_contention(self):
+        a = AdmissionController(capacity=16, shed_at=1.0)
+        admitted = []
+        lock = threading.Lock()
+
+        def worker():
+            got = 0
+            for _ in range(200):
+                v = a.admit()
+                if v is not Verdict.REJECTED:
+                    got += 1
+            with lock:
+                admitted.append(got)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(admitted) == 16  # exactly capacity slots were granted
+        assert a.in_flight == 16
+        a.release(16)
+        assert a.in_flight == 0

@@ -1,0 +1,201 @@
+"""ServedModel / InferenceEngine: flattening, bitwise contracts, swaps."""
+
+import numpy as np
+import pytest
+
+from repro.perf.counters import OpCounter
+from repro.serve import (
+    EXACT_SERVE_FORMATS,
+    InferenceEngine,
+    PairSlice,
+    ServedModel,
+)
+from repro.serve.loadgen import query_sampler
+from repro.svm import SVC, MulticlassSVC
+from repro.svm.kernels import make_kernel
+from tests.conftest import make_labels
+
+
+@pytest.fixture(scope="module")
+def binary_fitted():
+    rng = np.random.default_rng(11)
+    x = rng.standard_normal((90, 7))
+    y = make_labels(rng, x)
+    return SVC("gaussian", gamma=0.4, C=2.0).fit(x, y), x
+
+
+@pytest.fixture(scope="module")
+def multiclass_fitted():
+    rng = np.random.default_rng(12)
+    centers = np.array([[2.0, 0, 0, 0, 0], [0, 2.0, 0, 0, 0],
+                        [0, 0, 2.0, 0, 0]])
+    x = np.vstack(
+        [rng.standard_normal((30, 5)) * 0.6 + c for c in centers]
+    )
+    y = np.repeat([0.0, 1.0, 2.0], 30)
+    return MulticlassSVC("gaussian", gamma=0.5, C=2.0).fit(x, y), x, y
+
+
+@pytest.fixture(scope="module")
+def queries():
+    rng = np.random.default_rng(13)
+    s = query_sampler(7, 4)
+    return [s(rng) for _ in range(9)]
+
+
+class TestServedModelConstruction:
+    def test_from_svc_shapes(self, binary_fitted):
+        clf, _x = binary_fitted
+        m = ServedModel.from_svc(clf)
+        assert m.n_support == clf.n_support
+        assert m.n_pairs == 1
+        assert m.classes is None
+        assert m.pairs[0].bias == pytest.approx(clf.result_.b)
+
+    def test_from_multiclass_shapes(self, multiclass_fitted):
+        model, _x, _y = multiclass_fitted
+        m = ServedModel.from_multiclass(model)
+        assert m.n_pairs == 3  # 3 classes -> 3 pairwise models
+        assert m.n_support == sum(
+            len(pm.svc._sv_vectors) for pm in model.models_
+        )
+        # slices tile the arena exactly
+        assert m.pairs[0].lo == 0
+        for a, b in zip(m.pairs, m.pairs[1:]):
+            assert a.hi == b.lo
+        assert m.pairs[-1].hi == m.n_support
+
+    def test_from_model_dispatch(self, binary_fitted, multiclass_fitted):
+        assert ServedModel.from_model(binary_fitted[0]).classes is None
+        assert ServedModel.from_model(
+            multiclass_fitted[0]
+        ).classes is not None
+        with pytest.raises(TypeError, match="expected SVC"):
+            ServedModel.from_model(object())
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            ServedModel.from_svc(SVC())
+        with pytest.raises(RuntimeError):
+            ServedModel.from_multiclass(MulticlassSVC())
+
+    def test_coef_shape_validated(self):
+        from repro.formats.csr import CSRMatrix
+
+        matrix = CSRMatrix.from_coo(
+            np.array([0]), np.array([0]), np.array([1.0]), (1, 2)
+        )
+        with pytest.raises(ValueError, match="coef shape"):
+            ServedModel(
+                matrix,
+                np.ones(3),
+                [PairSlice((1.0, -1.0), 0, 1, 0.0)],
+                make_kernel("linear"),
+            )
+
+
+class TestBitwiseContracts:
+    def test_batched_equals_single_per_format(self, binary_fitted, queries):
+        engine = InferenceEngine(ServedModel.from_svc(binary_fitted[0]))
+        for fmt in EXACT_SERVE_FORMATS:
+            engine.convert_to(fmt)
+            batched = engine.decision_function(queries)
+            singles = np.stack([engine.decision_one(v) for v in queries])
+            assert np.array_equal(batched, singles), fmt
+
+    def test_cross_format_decisions_agree(self, multiclass_fitted):
+        """Dense row/query overlaps: formats agree to 1 ULP, labels
+        exactly.  (The multiclass training data is dense, so every
+        stacked SV row is full-width — the regime where reduceat /
+        bincount / einsum association orders can differ.)"""
+        model = ServedModel.from_multiclass(multiclass_fitted[0])
+        engine = InferenceEngine(model)
+        rng = np.random.default_rng(14)
+        s = query_sampler(model.n_features, 3)
+        qs = [s(rng) for _ in range(8)]
+        ref_dec = ref_lab = None
+        for fmt in EXACT_SERVE_FORMATS:
+            engine.convert_to(fmt)
+            dec = engine.decision_function(qs)
+            lab = engine.predict(qs)
+            if ref_dec is None:
+                ref_dec, ref_lab = dec, lab
+            else:
+                assert np.allclose(ref_dec, dec, rtol=0.0, atol=1e-12)
+                assert np.array_equal(ref_lab, lab), fmt
+
+    def test_cross_format_bitwise_on_sparse_workload(self):
+        """Sparse overlaps (the serving regime): every format in the
+        family produces the same bits."""
+        from repro.serve.bench import flip_model
+
+        model = flip_model(seed=1)
+        sampler = query_sampler(model.n_features, 10)
+        rng = np.random.default_rng(15)
+        qs = [sampler(rng) for _ in range(32)]
+        engine = InferenceEngine(model)
+        reference = None
+        for fmt in EXACT_SERVE_FORMATS:
+            engine.convert_to(fmt)
+            dec = engine.decision_function(qs)
+            if reference is None:
+                reference = dec
+            else:
+                assert np.array_equal(reference, dec), fmt
+
+    def test_labels_match_training_stack(self, multiclass_fitted):
+        model, x, _y = multiclass_fitted
+        engine = InferenceEngine(ServedModel.from_multiclass(model))
+        from repro.formats.convert import from_dense
+
+        X = from_dense(x, "CSR")
+        vectors = [X.row(i) for i in range(X.shape[0])]
+        served = engine.predict(vectors)
+        assert np.array_equal(served, model.predict(x))
+
+    def test_binary_labels_are_pm_one(self, binary_fitted, queries):
+        engine = InferenceEngine(ServedModel.from_svc(binary_fitted[0]))
+        labels = engine.predict(queries)
+        assert set(np.unique(labels)) <= {-1.0, 1.0}
+        assert engine.predict_one(queries[0]) in (-1.0, 1.0)
+
+    def test_empty_batch(self, binary_fitted):
+        engine = InferenceEngine(ServedModel.from_svc(binary_fitted[0]))
+        assert engine.decision_function([]).shape == (0, 1)
+        assert engine.predict([]).shape == (0,)
+
+
+class TestLayoutSwaps:
+    def test_convert_to_swaps_and_reports(self, binary_fitted):
+        engine = InferenceEngine(ServedModel.from_svc(binary_fitted[0]))
+        assert engine.format == "CSR"
+        assert engine.convert_to("ELL") is True
+        assert engine.format == "ELL"
+        assert engine.convert_to("ELL") is False
+
+    def test_warm_cache_reuses_objects(self, binary_fitted):
+        engine = InferenceEngine(ServedModel.from_svc(binary_fitted[0]))
+        engine.convert_to("COO")
+        first = engine.model.matrix
+        engine.convert_to("CSR")
+        engine.convert_to("COO")
+        assert engine.model.matrix is first
+
+    def test_clone_isolates_format_state(self, binary_fitted):
+        base = ServedModel.from_svc(binary_fitted[0])
+        a, b = base.clone(), base.clone()
+        InferenceEngine(a).convert_to("ELL")
+        assert a.matrix.name == "ELL"
+        assert b.matrix.name == "CSR"
+        # heavy arrays stay shared
+        assert a.coef is b.coef
+        assert a.sv_norms is b.sv_norms
+
+    def test_counter_records_spmm(self, binary_fitted, queries):
+        counter = OpCounter()
+        engine = InferenceEngine(
+            ServedModel.from_svc(binary_fitted[0]), counter=counter
+        )
+        engine.predict(queries)
+        assert counter.spmm_calls == 1
+        assert counter.spmm_columns == len(queries)

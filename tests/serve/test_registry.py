@@ -1,0 +1,112 @@
+"""ModelRegistry: versioning, dispatch, warm served-model cache."""
+
+import numpy as np
+import pytest
+
+from repro.serve import InferenceEngine, ModelRegistry
+from repro.svm import SVC, MulticlassSVC
+from tests.conftest import make_labels
+
+
+@pytest.fixture(scope="module")
+def fitted_svc():
+    rng = np.random.default_rng(21)
+    x = rng.standard_normal((80, 6))
+    y = make_labels(rng, x)
+    return SVC("gaussian", gamma=0.3).fit(x, y), x
+
+
+@pytest.fixture(scope="module")
+def fitted_multiclass():
+    rng = np.random.default_rng(22)
+    x = np.vstack(
+        [rng.standard_normal((25, 4)) + c for c in ([2, 0, 0, 0],
+                                                    [0, 2, 0, 0],
+                                                    [0, 0, 2, 0])]
+    )
+    y = np.repeat([0.0, 1.0, 2.0], 25)
+    return MulticlassSVC("gaussian", gamma=0.5).fit(x, y), x
+
+
+class TestVersioning:
+    def test_register_assigns_monotonic_versions(self, fitted_svc, tmp_path):
+        clf, _x = fitted_svc
+        reg = ModelRegistry(tmp_path)
+        assert reg.register("spam", clf) == 1
+        assert reg.register("spam", clf) == 2
+        assert reg.versions("spam") == [1, 2]
+        assert reg.latest("spam") == 2
+        assert reg.models() == ["spam"]
+
+    def test_unknown_model_raises(self, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        with pytest.raises(KeyError):
+            reg.latest("nope")
+        with pytest.raises(KeyError):
+            reg.load("nope", 1)
+
+    def test_invalid_names_rejected(self, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        for bad in ("", "../evil", "a b", ".hidden"):
+            with pytest.raises(ValueError, match="invalid model name"):
+                reg.versions(bad)
+
+    def test_register_rejects_foreign_objects(self, tmp_path):
+        with pytest.raises(TypeError, match="expected SVC"):
+            ModelRegistry(tmp_path).register("x", object())
+
+
+class TestLoadAndServe:
+    def test_round_trip_both_kinds(
+        self, fitted_svc, fitted_multiclass, tmp_path
+    ):
+        reg = ModelRegistry(tmp_path)
+        svc, x_b = fitted_svc
+        mc, x_m = fitted_multiclass
+        reg.register("binary", svc)
+        reg.register("multi", mc)
+        assert np.array_equal(
+            reg.load("binary").predict(x_b), svc.predict(x_b)
+        )
+        assert np.array_equal(
+            reg.load("multi").predict(x_m), mc.predict(x_m)
+        )
+
+    def test_serve_flattens_and_caches(self, fitted_svc, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        clf, _x = fitted_svc
+        reg.register("m", clf)
+        a = reg.serve("m")
+        b = reg.serve("m")
+        # clones of one warm entry: distinct objects, shared arrays
+        assert a is not b
+        assert a.coef is b.coef
+        assert a.n_support == clf.n_support
+
+    def test_served_clones_do_not_share_format_state(
+        self, fitted_svc, tmp_path
+    ):
+        reg = ModelRegistry(tmp_path)
+        reg.register("m", fitted_svc[0])
+        a = reg.serve("m")
+        b = reg.serve("m")
+        InferenceEngine(a).convert_to("COO")
+        assert a.matrix.name == "COO"
+        assert b.matrix.name == "CSR"
+
+    def test_serve_specific_version(self, fitted_svc, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        reg.register("m", fitted_svc[0])
+        reg.register("m", fitted_svc[0])
+        assert reg.serve("m", 1).n_support == fitted_svc[0].n_support
+
+    def test_evict_clears_cache(self, fitted_svc, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        reg.register("m", fitted_svc[0])
+        a = reg.serve("m")
+        reg.evict("m")
+        b = reg.serve("m")
+        assert a.coef is not b.coef  # rebuilt from disk
+        reg.serve("m")
+        reg.evict()
+        assert reg._served_cache == {}

@@ -1,0 +1,123 @@
+"""FormatRescheduler: histogram, cadence, hysteresis, the k-flip."""
+
+import pytest
+
+from repro.data.synthetic import bimodal_rows_matrix
+from repro.formats.csr import CSRMatrix
+from repro.serve import BatchSizeHistogram, FormatRescheduler
+from repro.serve.engine import EXACT_SERVE_FORMATS
+
+
+def flip_matrix(seed=0):
+    rows, cols, vals, shape = bimodal_rows_matrix(
+        600, 400, 10, 14, 0.1, seed=seed
+    )
+    return CSRMatrix.from_coo(rows, cols, vals, shape)
+
+
+class TestBatchSizeHistogram:
+    def test_empty_defaults_to_one(self):
+        assert BatchSizeHistogram().effective_k() == 1
+
+    def test_uniform_width(self):
+        h = BatchSizeHistogram()
+        for _ in range(5):
+            h.observe(4)
+        assert h.effective_k() == 4
+
+    def test_column_weighted_mean(self):
+        # 8 singles + 2 batches of 8: batch-weighted mean is 2.4, but
+        # 16 of the 24 requests ride width-8 sweeps -> effective 6.
+        h = BatchSizeHistogram()
+        for _ in range(8):
+            h.observe(1)
+        for _ in range(2):
+            h.observe(8)
+        assert h.effective_k() == round((8 + 2 * 64) / 24)
+
+    def test_window_forgets_old_mix(self):
+        h = BatchSizeHistogram(window=4)
+        for _ in range(50):
+            h.observe(1)
+        for _ in range(4):
+            h.observe(8)
+        assert h.effective_k() == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchSizeHistogram(window=0)
+        with pytest.raises(ValueError):
+            BatchSizeHistogram().observe(0)
+
+
+class TestPolicy:
+    def test_initial_format_is_an_exact_family_member(self):
+        r = FormatRescheduler()
+        assert r.initial_format(flip_matrix()) in EXACT_SERVE_FORMATS
+
+    def test_checks_only_on_cadence(self):
+        r = FormatRescheduler(check_every=4, min_gain=0.0)
+        X = flip_matrix()
+        fmt0 = r.initial_format(X)
+        X0 = X if X.name == fmt0 else None
+        assert X0 is None or X0.name == fmt0
+        for i in range(3):
+            assert r.after_batch(8, X) is None  # before the cadence tick
+        # 4th batch is the first decision point
+        r.after_batch(8, X)
+        assert r._batches_seen == 4
+
+    def test_flip_fires_when_batch_width_grows(self):
+        X = flip_matrix()
+        r = FormatRescheduler(window=16, check_every=4, min_gain=0.0)
+        fmt0 = r.initial_format(X)
+        from repro.formats.convert import convert
+
+        X = convert(X, fmt0)
+        events = []
+        for _ in range(16):
+            e = r.after_batch(8, X)
+            if e is not None:
+                events.append(e)
+                X = convert(X, e.to_fmt)
+        assert events, "wide batches must flip the bimodal matrix"
+        assert events[0].from_fmt == fmt0
+        assert events[0].to_fmt in EXACT_SERVE_FORMATS
+        assert events[0].to_fmt != fmt0
+        assert events[0].effective_k >= 4
+        assert r.events == events
+
+    def test_no_flip_when_mix_is_stable_at_one(self):
+        X = flip_matrix()
+        r = FormatRescheduler(check_every=2, min_gain=0.0)
+        fmt0 = r.initial_format(X)
+        from repro.formats.convert import convert
+
+        X = convert(X, fmt0)
+        for _ in range(20):
+            assert r.after_batch(1, X) is None
+
+    def test_hysteresis_suppresses_marginal_wins(self):
+        X = flip_matrix()
+        r = FormatRescheduler(check_every=4, min_gain=10.0)  # absurd bar
+        fmt0 = r.initial_format(X)
+        from repro.formats.convert import convert
+
+        X = convert(X, fmt0)
+        for _ in range(16):
+            assert r.after_batch(8, X) is None
+
+    def test_unchanged_effective_k_skips_redecision(self):
+        X = flip_matrix()
+        r = FormatRescheduler(check_every=1, min_gain=0.0)
+        r.initial_format(X)
+        r.after_batch(1, X)
+        seen = r._last_k
+        r.after_batch(1, X)
+        assert r._last_k == seen
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FormatRescheduler(check_every=0)
+        with pytest.raises(ValueError):
+            FormatRescheduler(min_gain=-0.1)

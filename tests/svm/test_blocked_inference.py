@@ -1,0 +1,108 @@
+"""Blocked (SpMM) inference in SVC / MulticlassSVC.
+
+The contract: routing multi-row inputs through the PR 2 ``smsv_multi``
+path in blocks of ``sv_block`` support vectors is bitwise identical to
+the historical per-vector loop, for every kernel and any block size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.perf.counters import OpCounter
+from repro.svm import SVC, MulticlassSVC
+from tests.conftest import make_labels
+
+
+def _sequential_df(clf, X):
+    """The model's own sequential path (sv_block=1), restored after."""
+    saved = clf.sv_block
+    clf.sv_block = 1
+    try:
+        return clf.decision_function(X)
+    finally:
+        clf.sv_block = saved
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(51)
+    x = rng.standard_normal((110, 8))
+    y = make_labels(rng, x)
+    x_test = rng.standard_normal((37, 8))
+    return x, y, x_test
+
+
+KERNEL_CONFIGS = [
+    ("linear", {}),
+    ("gaussian", {"gamma": 0.4}),
+    ("polynomial", {"a": 0.7, "r": 1.0, "degree": 3}),
+    ("sigmoid", {"a": 0.05, "r": -0.2}),
+]
+
+
+class TestBitwiseIdentity:
+    @pytest.mark.parametrize(
+        "kernel,params", KERNEL_CONFIGS, ids=[k for k, _ in KERNEL_CONFIGS]
+    )
+    def test_blocked_equals_sequential(self, data, kernel, params):
+        x, y, x_test = data
+        clf = SVC(kernel, C=1.5, **params).fit(x, y)
+        blocked = clf.decision_function(x_test)
+        sequential = _sequential_df(clf, x_test)
+        assert np.array_equal(blocked, sequential)
+
+    @pytest.mark.parametrize("sv_block", [2, 3, 7, 32, 1000])
+    def test_any_block_size(self, data, sv_block):
+        x, y, x_test = data
+        clf = SVC("gaussian", gamma=0.3, sv_block=sv_block).fit(x, y)
+        assert np.array_equal(
+            clf.decision_function(x_test), _sequential_df(clf, x_test)
+        )
+
+    def test_predictions_identical(self, data):
+        x, y, x_test = data
+        clf = SVC("gaussian", gamma=0.3).fit(x, y)
+        blocked = clf.predict(x_test)
+        clf.sv_block = 1
+        assert np.array_equal(blocked, clf.predict(x_test))
+
+
+class TestSpmmRouting:
+    def test_blocked_path_issues_spmm(self, data):
+        x, y, x_test = data
+        clf = SVC("gaussian", gamma=0.3, sv_block=16).fit(x, y)
+        counter = OpCounter()
+        clf.decision_function(x_test, counter=counter)
+        n_sv = clf.n_support
+        assert counter.spmm_calls == -(-n_sv // 16)  # ceil division
+        assert counter.spmm_columns == n_sv
+
+    def test_sequential_path_issues_no_spmm(self, data):
+        x, y, x_test = data
+        clf = SVC("gaussian", gamma=0.3, sv_block=1).fit(x, y)
+        counter = OpCounter()
+        clf.decision_function(x_test, counter=counter)
+        assert counter.spmm_calls == 0
+        assert counter.flops > 0  # but the SMSVs were counted
+
+    def test_multiclass_predict_forwards_counter(self):
+        rng = np.random.default_rng(52)
+        x = np.vstack(
+            [rng.standard_normal((25, 4)) + c for c in ([2, 0, 0, 0],
+                                                        [0, 2, 0, 0],
+                                                        [0, 0, 2, 0])]
+        )
+        y = np.repeat([0.0, 1.0, 2.0], 25)
+        clf = MulticlassSVC("gaussian", gamma=0.5).fit(x, y)
+        counter = OpCounter()
+        clf.predict(x[:10], counter=counter)
+        assert counter.spmm_calls >= len(clf.models_)
+        assert counter.spmm_columns == sum(
+            pm.svc.n_support for pm in clf.models_
+        )
+
+
+class TestValidation:
+    def test_sv_block_must_be_positive(self):
+        with pytest.raises(ValueError, match="sv_block"):
+            SVC(sv_block=0)
