@@ -5,7 +5,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: lint test test-sanitize bench serve-bench check
+.PHONY: lint test test-sanitize bench bench-sell serve-bench check
 
 ## Static analysis: the seven RDL rules over the whole tree, JSON mode,
 ## non-zero exit on any finding.  See docs/analysis.md.
@@ -25,6 +25,13 @@ test-sanitize:
 ## for the CI smoke variant.
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench smsv $(if $(QUICK),--quick)
+
+## SELL-C-sigma benchmark suite (writes BENCH_sell.json): scheduled
+## reordered layouts vs fixed formats, the (sigma, C) trajectory and
+## the bitwise SMO gate.  `make bench-sell QUICK=1` for the CI smoke
+## variant.
+bench-sell:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench sell $(if $(QUICK),--quick)
 
 ## Serving benchmark suite (writes BENCH_serve.json): batched-vs-
 ## unbatched throughput plus the mid-stream re-schedule demo.

@@ -235,6 +235,130 @@ def _check_ell(m: MatrixFormat) -> List[str]:
     return v
 
 
+def _check_sell(m: MatrixFormat) -> List[str]:
+    rows_n, cols_n = m.shape
+    v: List[str] = []
+    v += _check_dtype("data", m.data, VALUE_DTYPE)
+    v += _check_dtype("indices", m.indices, INDEX_DTYPE)
+    if m.data.ndim != 1 or m.data.shape != m.indices.shape:
+        return v + [
+            f"data {m.data.shape} and indices {m.indices.shape} must "
+            f"be flat with equal length"
+        ]
+    lengths = m.row_lengths
+    if lengths.shape != (rows_n,):
+        return v + [
+            f"row_lengths has shape {lengths.shape}, expected "
+            f"({rows_n},)"
+        ]
+    if np.any(lengths < 0):
+        return v + ["row_lengths contains negative entries"]
+    C = int(m.chunk)
+    if C < 1:
+        return v + [f"chunk must be >= 1, got {C}"]
+    # Tight slice widths: each slice padded exactly to its own longest
+    # row (recomputed here rather than trusted from the instance).
+    n_slices = -(-rows_n // C) if rows_n else 0
+    padded_len = np.zeros(n_slices * C, dtype=np.int64)
+    padded_len[:rows_n] = lengths
+    widths = (
+        padded_len.reshape(n_slices, C).max(axis=1)
+        if n_slices
+        else np.zeros(0, dtype=np.int64)
+    )
+    if not np.array_equal(np.asarray(m.slice_widths), widths):
+        v.append(
+            "slice_widths not tight against row_lengths "
+            f"(expected {widths.tolist()}, got "
+            f"{np.asarray(m.slice_widths).tolist()})"
+        )
+        return v
+    widths_per_row = (
+        np.repeat(widths, C)[:rows_n]
+        if rows_n
+        else np.zeros(0, dtype=np.int64)
+    )
+    starts = np.zeros(rows_n + 1, dtype=np.int64)
+    np.cumsum(widths_per_row, out=starts[1:])
+    if m.data.shape[0] != int(starts[-1]):
+        return v + [
+            f"data length {m.data.shape[0]} inconsistent with slice "
+            f"widths (expected {int(starts[-1])})"
+        ]
+    total = m.data.shape[0]
+    if total:
+        row_of_flat = np.repeat(
+            np.arange(rows_n, dtype=np.int64), widths_per_row
+        )
+        pos = np.arange(total, dtype=np.int64) - starts[row_of_flat]
+        pad = pos >= lengths[row_of_flat]
+        bad_val = np.nonzero(pad & (m.data != 0.0))[0]
+        if bad_val.size:
+            j = int(bad_val[0])
+            v.append(
+                f"padding slot data[{j}] holds non-zero value "
+                f"{m.data[j]!r} (padding must be 0.0)"
+            )
+        bad_idx = np.nonzero(pad & (m.indices != 0))[0]
+        if bad_idx.size:
+            j = int(bad_idx[0])
+            v.append(
+                f"padding slot indices[{j}] holds column "
+                f"{int(m.indices[j])} (padding must be index 0)"
+            )
+        valid = ~pad
+        if valid.any():
+            v += _check_index_range(
+                "indices (valid region)", m.indices[valid], cols_n
+            )
+            cols = m.indices[valid].astype(np.int64)
+            if cols.size > 1:
+                csr_starts = np.zeros(rows_n + 1, dtype=np.int64)
+                np.cumsum(lengths, out=csr_starts[1:])
+                d = np.diff(cols)
+                boundary = np.zeros(d.shape[0], dtype=bool)
+                ends = csr_starts[1:-1] - 1
+                ends = ends[(ends >= 0) & (ends < d.shape[0])]
+                boundary[ends] = True
+                bad_col = np.nonzero((d <= 0) & ~boundary)[0]
+                if bad_col.size:
+                    v.append(
+                        f"columns not strictly increasing within a row "
+                        f"at compressed position {int(bad_col[0])}"
+                    )
+    return v
+
+
+def _check_permuted(m: MatrixFormat) -> List[str]:
+    rows_n, _ = m.shape
+    v: List[str] = []
+    perm = np.asarray(m.perm)
+    if perm.shape != (rows_n,):
+        return v + [
+            f"perm has shape {perm.shape}, expected ({rows_n},)"
+        ]
+    if rows_n and not np.array_equal(
+        np.sort(perm.astype(np.int64)), np.arange(rows_n)
+    ):
+        return v + ["perm is not a permutation of 0..M-1"]
+    inv = np.asarray(m.inv_perm)
+    if rows_n and not np.array_equal(
+        inv.astype(np.int64)[perm.astype(np.int64)], np.arange(rows_n)
+    ):
+        v.append("inv_perm is not the inverse of perm")
+    if tuple(m.stored.shape) != tuple(m.shape):
+        v.append(
+            f"stored matrix shape {m.stored.shape} disagrees with "
+            f"wrapper shape {m.shape}"
+        )
+        return v
+    # Structural pass on the wrapped core, prefixed for attribution.
+    checker = _CHECKERS.get(getattr(m.stored, "name", ""))
+    if checker is not None:
+        v += [f"stored {m.stored.name}: {text}" for text in checker(m.stored)]
+    return v
+
+
 def _check_dia(m: MatrixFormat) -> List[str]:
     rows_n, cols_n = m.shape
     ldiag = min(rows_n, cols_n)
@@ -326,6 +450,11 @@ _CHECKERS: Dict[str, Callable[[MatrixFormat], List[str]]] = {
     "DIA": _check_dia,
     "DEN": _check_den,
     "BCSR": _check_bcsr,
+    "SELL": _check_sell,
+    "RCSR": _check_permuted,
+    "RELL": _check_permuted,
+    "RSELL": _check_permuted,
+    "PERM": _check_permuted,
 }
 
 

@@ -39,6 +39,17 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.features.profile import DatasetProfile
 from repro.formats.base import FORMAT_NAMES
 
+#: Formats the analytic model can rank: the paper's five basic layouts
+#: plus PR 4's sliced-ELL (SELL-C) and the row-reordered variants
+#: (RCSR / RELL / RSELL = SELL-C-sigma).  The probe strategies accept
+#: anything in ``FORMAT_CLASSES``; the cost strategy accepts these.
+ANALYTIC_FORMATS: Tuple[str, ...] = FORMAT_NAMES + (
+    "SELL",
+    "RCSR",
+    "RELL",
+    "RSELL",
+)
+
 
 @dataclass(frozen=True)
 class ArchCalibration:
@@ -68,6 +79,10 @@ class ArchCalibration:
             "COO": 1.35,
             "ELL": 0.9,
             "DIA": 0.55,  # values only, contiguous x: no index stream
+            "SELL": 0.9,  # ELL-like regular streams, per-slice padded
+            "RCSR": 1.0,
+            "RELL": 0.9,
+            "RSELL": 0.9,
         }
     )
     row_overhead: Dict[str, float] = field(
@@ -77,6 +92,10 @@ class ArchCalibration:
             "COO": 0.0,
             "ELL": 0.2,
             "DIA": 0.0,
+            "SELL": 0.2,
+            "RCSR": 1.0,
+            "RELL": 0.2,
+            "RSELL": 0.2,
         }
     )
     diag_overhead: float = 180.0
@@ -99,8 +118,22 @@ class ArchCalibration:
             "COO": 0.45,
             "ELL": 0.35,
             "DIA": 0.15,
+            "SELL": 0.35,
+            "RCSR": 0.35,
+            "RELL": 0.35,
+            "RSELL": 0.35,
         }
     )
+    #: Fraction of the *excess over nnz* (SIMD padding + lane
+    #: imbalance) that survives a descending-length row sort.  Sorting
+    #: makes W-row groups / C-row slices internally near-uniform, so
+    #: most — not all — of the padded work collapses; window-boundary
+    #: residuals keep it non-zero.
+    sorted_residual: float = 0.15
+    #: Per-row boundary cost of permutation transparency, in effective
+    #: elements: one scattered write per output row per column, plus
+    #: the permutation-vector stream.
+    reorder_scatter: float = 1.0
 
     @classmethod
     def numpy_default(cls) -> "ArchCalibration":
@@ -169,7 +202,57 @@ class CostModel:
                 + self.calibration.csr_spread * math.sqrt(p.vdim) / w
             )
             return padded * imbalance
+        if fmt == "SELL":
+            return self._sell_elements(p)
+        if fmt == "RSELL":
+            # Sorted rows collapse the within-slice spread; only the
+            # boundary residual of the padding excess survives, plus
+            # the permutation scatter at the output boundary.
+            unsorted = self._sell_elements(p)
+            nnz = float(p.nnz)
+            return (
+                nnz
+                + self.calibration.sorted_residual * max(0.0, unsorted - nnz)
+                + self.calibration.reorder_scatter * p.m
+            )
+        if fmt == "RCSR":
+            # Same collapse for the lockstep-SIMD CSR row groups: the
+            # per-group max approaches the group mean after sorting.
+            base = self.effective_elements("CSR", p)
+            nnz = float(p.nnz)
+            return (
+                nnz
+                + self.calibration.sorted_residual * max(0.0, base - nnz)
+                + self.calibration.reorder_scatter * p.m
+            )
+        if fmt == "RELL":
+            # ELL pads to the *global* max row length, which no row
+            # order can reduce — reordering only adds scatter cost.
+            return (
+                self.effective_elements("ELL", p)
+                + self.calibration.reorder_scatter * p.m
+            )
         raise ValueError(f"unknown format {fmt!r}")
+
+    def _sell_elements(self, p: DatasetProfile) -> float:
+        """Expected SELL-C padded elements for rows in natural order.
+
+        Each C-row slice pads to its own max; for row lengths of mean
+        ``adim`` and variance ``vdim`` the Gaussian extreme-value
+        asymptotic gives ``E[slice max] ~ adim + sqrt(vdim * 2 ln C)``
+        (the same approximation ``csr_cost_from_profile`` uses for
+        W-row lockstep groups), capped at the hard bound ``mdim``.
+        Slice height C defaults to the SIMD width, matching
+        ``repro.formats.sell.DEFAULT_CHUNK``.
+        """
+        if p.m == 0:
+            return 0.0
+        c = max(self.calibration.simd_width, 2)
+        slice_max = p.adim + math.sqrt(
+            max(p.vdim, 0.0) * 2.0 * math.log(c)
+        )
+        per_row = min(float(p.mdim), slice_max)
+        return max(float(p.nnz), p.m * per_row)
 
     def cost(
         self, fmt: str, p: DatasetProfile, batch_k: int = 1
@@ -242,6 +325,10 @@ class CostModel:
         iteration budgets.
         """
         build = 4.0 * p.nnz
+        if target.upper() in ("RCSR", "RELL", "RSELL"):
+            # Reordered targets also sort the row-length keys (the
+            # sigma-window permutation) and gather rows through it.
+            build += p.m * math.log2(max(p.m, 2)) + p.nnz
         write = self.effective_elements(target, p)
         return build + write
 

@@ -140,11 +140,14 @@ class LayoutScheduler:
         probe/hybrid strategies — their fitness depends on structure
         the nine-parameter profile does not capture (column stats,
         block fill), so only empirical probing can rank them.  The
-        *cost* strategy accepts a restriction to a subset of the five
-        basic formats (the analytic model ranks any of them), which is
-        how the serving layer pins decisions to the bitwise-exact
-        kernel family; the rules strategy's decision list is fixed and
-        accepts no restriction.
+        *cost* strategy accepts any subset of ``ANALYTIC_FORMATS`` —
+        the five basic formats plus SELL and the reordered layouts
+        (RCSR/RELL/RSELL), all of which the analytic model prices,
+        including the reordering's scatter overhead — which is how the
+        serving layer pins decisions to the bitwise-exact kernel family
+        and how ``repro bench sell`` adds "reorder + SELL" to the race;
+        the rules strategy's decision list is fixed and accepts no
+        restriction.
     """
 
     def __init__(
@@ -172,10 +175,10 @@ class LayoutScheduler:
                 raise ValueError("candidates must be non-empty")
             for c in candidates:
                 format_class(c)  # validate eagerly
-            from repro.formats.base import FORMAT_NAMES
+            from repro.core.cost_model import ANALYTIC_FORMATS
 
-            basic_only = all(
-                c.upper() in FORMAT_NAMES for c in candidates
+            analytic_only = all(
+                c.upper() in ANALYTIC_FORMATS for c in candidates
             )
             if strategy == "rules":
                 raise ValueError(
@@ -183,11 +186,12 @@ class LayoutScheduler:
                     "list and cannot restrict candidates; use the "
                     "cost, probe or hybrid strategy"
                 )
-            if strategy == "cost" and not basic_only:
+            if strategy == "cost" and not analytic_only:
                 raise ValueError(
                     "extended candidates (CSC/BCSR) require the probe "
                     "or hybrid strategy (the analytic model only ranks "
-                    "the five basic formats)"
+                    "the basic formats plus SELL and the reordered "
+                    "layouts)"
                 )
             candidates = tuple(c.upper() for c in candidates)
         self.strategy = strategy
@@ -261,13 +265,14 @@ class LayoutScheduler:
                 profile=profile,
             )
         else:  # hybrid
-            from repro.formats.base import FORMAT_NAMES
+            from repro.core.cost_model import ANALYTIC_FORMATS
 
             if self.candidates and all(
-                c in FORMAT_NAMES for c in self.candidates
+                c in ANALYTIC_FORMATS for c in self.candidates
             ):
-                # basic-only restriction: the model ranks exactly the
-                # allowed set, the probe decides among its cheapest
+                # analytically-rankable restriction: the model ranks
+                # exactly the allowed set, the probe decides among its
+                # cheapest
                 short = [
                     c.fmt
                     for c in self.cost_model.rank(
@@ -339,14 +344,14 @@ class LayoutScheduler:
             thousands of iterations.
         """
         decision = self.decide(matrix)
-        from repro.formats.base import FORMAT_NAMES
+        from repro.core.cost_model import ANALYTIC_FORMATS
 
         hint_applicable = (
             iterations_hint is not None
             and decision.fmt != matrix.name
-            # the amortisation model only covers the five basic formats
-            and matrix.name in FORMAT_NAMES
-            and decision.fmt in FORMAT_NAMES
+            # the amortisation model covers the analytic formats only
+            and matrix.name in ANALYTIC_FORMATS
+            and decision.fmt in ANALYTIC_FORMATS
         )
         if hint_applicable and not self.cost_model.worthwhile(
             decision.profile,

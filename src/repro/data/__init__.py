@@ -20,9 +20,11 @@ synthetic matrices with one structural parameter swept at a time (Figs.
 from repro.data.synthetic import (
     attach_labels,
     banded_matrix,
+    bimodal_rows_matrix,
     matrix_with_mdim,
     matrix_with_ndig,
     matrix_with_vdim,
+    powerlaw_rows_matrix,
     row_lengths_for,
     uniform_rows_matrix,
     variable_rows_matrix,
@@ -41,6 +43,8 @@ from repro.data.mtx_io import read_mtx, write_mtx
 __all__ = [
     "uniform_rows_matrix",
     "variable_rows_matrix",
+    "bimodal_rows_matrix",
+    "powerlaw_rows_matrix",
     "banded_matrix",
     "matrix_with_ndig",
     "matrix_with_mdim",

@@ -113,6 +113,42 @@ def bimodal_rows_matrix(
     return variable_rows_matrix(m, n, lengths, seed=seed + 1)
 
 
+def powerlaw_rows_matrix(
+    m: int,
+    n: int,
+    *,
+    alpha: float = 2.0,
+    min_nnz: int = 1,
+    max_nnz: Optional[int] = None,
+    seed: int = 0,
+) -> CooTriples:
+    """Row lengths drawn from a discrete Pareto tail (exponent ``alpha``).
+
+    The high-``vdim`` stress shape for SELL-C-sigma: most rows are short
+    but a heavy tail of long rows inflates ``mdim`` far beyond ``adim``,
+    so plain ELL pads catastrophically while per-slice padding after a
+    descending sort stays near nnz.  Lengths follow the inverse-CDF
+    sample ``min_nnz * u^(-1/(alpha-1))`` clipped to ``[min_nnz,
+    max_nnz]`` (default cap ``n``); smaller ``alpha`` means a heavier
+    tail.  Deterministic given ``seed``; the longest draw is placed on a
+    seeded row so ``mdim`` does not wobble between parameter tweaks.
+    """
+    if alpha <= 1.0:
+        raise ValueError("alpha must be > 1 for a normalisable tail")
+    if min_nnz < 1:
+        raise ValueError("min_nnz must be >= 1")
+    cap = n if max_nnz is None else int(max_nnz)
+    if not min_nnz <= cap <= n:
+        raise ValueError("need min_nnz <= max_nnz <= n")
+    rng = np.random.default_rng(seed)
+    u = rng.random(m)
+    lengths = np.floor(min_nnz * u ** (-1.0 / (alpha - 1.0))).astype(
+        np.int64
+    )
+    np.clip(lengths, min_nnz, cap, out=lengths)
+    return variable_rows_matrix(m, n, lengths, seed=seed + 1)
+
+
 def row_lengths_for(
     m: int,
     *,

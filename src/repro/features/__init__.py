@@ -14,7 +14,10 @@ from repro.features.profile import (
     TABLE_IV_SIGNS,
 )
 from repro.features.extract import (
+    LayoutFeatures,
     extract_profile,
+    layout_features,
+    layout_features_from_matrix,
     profile_from_coo,
     profile_from_dense,
 )
@@ -28,5 +31,8 @@ __all__ = [
     "extract_profile",
     "profile_from_coo",
     "profile_from_dense",
+    "LayoutFeatures",
+    "layout_features",
+    "layout_features_from_matrix",
     "StreamingProfiler",
 ]

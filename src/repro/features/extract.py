@@ -9,7 +9,8 @@ iteration, which is what makes *runtime* scheduling viable.
 
 from __future__ import annotations
 
-from typing import Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -80,3 +81,119 @@ def profile_from_dense(array: np.ndarray) -> DatasetProfile:
         raise ValueError("expected a 2-D array")
     rows, cols = np.nonzero(array)
     return profile_from_coo(rows, cols, array.shape, validated=True)
+
+
+# -- layout features (PR 4) -------------------------------------------
+#
+# The nine canonical parameters stay exactly the paper's; the padding
+# features below are *derived* quantities the SELL/reordering machinery
+# consumes (and the bench reports).  They are deliberately kept out of
+# DatasetProfile so decision-cache keys and the Table IV canon are
+# untouched.
+
+
+@dataclass(frozen=True)
+class LayoutFeatures:
+    """Row-length-variance and padding-ratio features of one matrix.
+
+    All ratios are padded-storage over nnz (1.0 = no padding, i.e. the
+    layout stores exactly the non-zeros); ``inf``-free by construction
+    (an all-zero matrix reports 1.0 everywhere).
+
+    Attributes
+    ----------
+    row_nnz_variance:
+        Population variance of the row lengths (``vdim``).
+    row_nnz_cv:
+        Coefficient of variation ``sqrt(vdim) / adim`` (0 for empty).
+    ell_padding_ratio:
+        ``M * mdim / nnz`` — what plain ELL pays.
+    sell_padding_ratio:
+        Per-slice padding of SELL-C over rows in natural order.
+    sell_sorted_padding_ratio:
+        Per-slice padding after the sigma-window descending sort —
+        what RSELL (SELL-C-sigma) actually stores.  The gap between
+        the last two is the value of reordering.
+    """
+
+    row_nnz_variance: float
+    row_nnz_cv: float
+    ell_padding_ratio: float
+    sell_padding_ratio: float
+    sell_sorted_padding_ratio: float
+
+
+def _sell_padded_count(lengths: np.ndarray, chunk: int) -> int:
+    m = lengths.shape[0]
+    n_slices = -(-m // chunk) if m else 0
+    if n_slices == 0:
+        return 0
+    padded = np.zeros(n_slices * chunk, dtype=np.int64)
+    padded[:m] = lengths
+    widths = padded.reshape(n_slices, chunk).max(axis=1)
+    heights = np.minimum(chunk, m - chunk * np.arange(n_slices))
+    return int((widths * heights).sum())
+
+
+def layout_features(
+    row_lengths: np.ndarray,
+    *,
+    chunk: int = 8,
+    sigma: Optional[int] = None,
+) -> LayoutFeatures:
+    """Padding features of a row-length distribution.
+
+    ``chunk`` is the SELL slice height C; ``sigma`` the sort-window
+    size (None = global sort), matching
+    :func:`repro.formats.reorder.sigma_window_permutation`.
+    """
+    lengths = np.asarray(row_lengths, dtype=np.int64)
+    if np.any(lengths < 0):
+        raise ValueError("row lengths must be non-negative")
+    if chunk < 1:
+        raise ValueError("chunk must be >= 1")
+    m = lengths.shape[0]
+    nnz = int(lengths.sum())
+    mdim = int(lengths.max()) if m else 0
+    adim = nnz / m if m else 0.0
+    vdim = float(np.mean((lengths - adim) ** 2)) if m else 0.0
+    cv = float(np.sqrt(vdim) / adim) if adim > 0 else 0.0
+    if nnz == 0:
+        return LayoutFeatures(
+            row_nnz_variance=vdim,
+            row_nnz_cv=cv,
+            ell_padding_ratio=1.0,
+            sell_padding_ratio=1.0,
+            sell_sorted_padding_ratio=1.0,
+        )
+    if sigma is None:
+        sigma = max(m, 1)
+    if sigma < 1:
+        raise ValueError("sigma must be >= 1")
+    window = np.arange(m, dtype=np.int64) // int(sigma)
+    order = np.lexsort((np.arange(m, dtype=np.int64), -lengths, window))
+    return LayoutFeatures(
+        row_nnz_variance=vdim,
+        row_nnz_cv=cv,
+        ell_padding_ratio=m * mdim / nnz,
+        sell_padding_ratio=_sell_padded_count(lengths, chunk) / nnz,
+        sell_sorted_padding_ratio=(
+            _sell_padded_count(lengths[order], chunk) / nnz
+        ),
+    )
+
+
+def layout_features_from_matrix(
+    matrix: MatrixFormat,
+    *,
+    chunk: int = 8,
+    sigma: Optional[int] = None,
+) -> LayoutFeatures:
+    """Layout features of any stored format (one O(nnz) pass)."""
+    lengths = getattr(matrix, "row_lengths", None)
+    if lengths is None:
+        rows, _, _ = matrix.to_coo()
+        lengths = np.bincount(rows, minlength=matrix.shape[0])
+    return layout_features(
+        np.asarray(lengths, dtype=np.int64), chunk=chunk, sigma=sigma
+    )

@@ -33,6 +33,20 @@ from repro.formats.ell import ELLMatrix
 from repro.formats.dia import DIAMatrix
 from repro.formats.csc import CSCMatrix
 from repro.formats.bcsr import BCSRMatrix
+from repro.formats.sell import (
+    DEFAULT_CHUNK,
+    SELLMatrix,
+    sell_storage_elements,
+    slice_widths_for,
+)
+from repro.formats.reorder import (
+    PermutedMatrix,
+    RCSRMatrix,
+    RELLMatrix,
+    RSELLMatrix,
+    invert_permutation,
+    sigma_window_permutation,
+)
 from repro.formats.convert import (
     FORMAT_CLASSES,
     convert,
@@ -59,6 +73,16 @@ __all__ = [
     "DIAMatrix",
     "CSCMatrix",
     "BCSRMatrix",
+    "SELLMatrix",
+    "DEFAULT_CHUNK",
+    "sell_storage_elements",
+    "slice_widths_for",
+    "PermutedMatrix",
+    "RCSRMatrix",
+    "RELLMatrix",
+    "RSELLMatrix",
+    "sigma_window_permutation",
+    "invert_permutation",
     "FORMAT_CLASSES",
     "convert",
     "format_class",

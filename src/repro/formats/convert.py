@@ -22,11 +22,14 @@ from repro.formats.csr import CSRMatrix
 from repro.formats.dense import DenseMatrix
 from repro.formats.dia import DIAMatrix
 from repro.formats.ell import ELLMatrix
+from repro.formats.reorder import RCSRMatrix, RELLMatrix, RSELLMatrix
+from repro.formats.sell import SELLMatrix
 
 #: Registry keyed by format name.  The first five are the paper's basic
 #: formats (the scheduler's default candidate set, ``FORMAT_NAMES``);
 #: CSC and BCSR are the derived formats Section III-A mentions, opt-in
-#: as extra candidates.
+#: as extra candidates; SELL and the reordered layouts (RCSR / RELL /
+#: RSELL = SELL-C-sigma) are PR 4's padding-variance cures.
 FORMAT_CLASSES: Dict[str, Type[MatrixFormat]] = {
     "DEN": DenseMatrix,
     "CSR": CSRMatrix,
@@ -35,6 +38,10 @@ FORMAT_CLASSES: Dict[str, Type[MatrixFormat]] = {
     "DIA": DIAMatrix,
     "CSC": CSCMatrix,
     "BCSR": BCSRMatrix,
+    "SELL": SELLMatrix,
+    "RCSR": RCSRMatrix,
+    "RELL": RELLMatrix,
+    "RSELL": RSELLMatrix,
 }
 
 

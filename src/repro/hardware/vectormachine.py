@@ -105,6 +105,13 @@ class VectorMachine:
         "CSR": 0.25,
         "COO": 0.25,
         "ELL": 0.25,
+        # SELL issues the same gather per lane-step as ELL; the
+        # reordered wrappers add only a boundary scatter, so the inner
+        # format's gather rate dominates.
+        "SELL": 0.25,
+        "RCSR": 0.25,
+        "RELL": 0.25,
+        "RSELL": 0.25,
     }
 
     def __init__(
@@ -193,6 +200,30 @@ class VectorMachine:
             startup = int(self.diag_startup * ndig)
             matrix_bytes = ndig * ldiag * _VB
             percol_bytes = ndig * ldiag * _VB
+        elif fmt == "SELL":
+            # One vector instruction per stored column of each slice,
+            # lanes across the slice's rows: sum_s w_s * ceil(C_s / W).
+            widths = np.asarray(matrix.slice_widths, dtype=np.int64)  # type: ignore[attr-defined]
+            chunk = int(matrix.chunk)  # type: ignore[attr-defined]
+            heights = np.minimum(
+                chunk, m - chunk * np.arange(widths.shape[0], dtype=np.int64)
+            )
+            lane_groups = -(-heights // self.w)
+            vops = int((widths * lane_groups).sum())
+            startup = int(self.row_startup * widths.shape[0])
+            padded = int(matrix.padded_elements)  # type: ignore[attr-defined]
+            matrix_bytes = padded * (_VB + _IB) + (widths.shape[0] + 1) * 8
+            percol_bytes = padded * _VB
+        elif fmt in ("RCSR", "RELL", "RSELL"):
+            # Permutation-transparent wrapper: the stored core pays its
+            # own streams; transparency adds the permutation stream
+            # (once per sweep) and a scattered output write per column.
+            vops, startup, matrix_bytes, percol_bytes = self._streams(
+                matrix.stored  # type: ignore[attr-defined]
+            )
+            vops += self._ceil_w(m)
+            matrix_bytes += m * 8  # perm vector (int64)
+            percol_bytes += m * _VB  # scattered y write-back
         else:
             raise ValueError(f"unknown format {fmt!r}")
         return vops, startup, matrix_bytes, percol_bytes

@@ -6,11 +6,17 @@ output rows, run each block's kernel on a pool thread (NumPy's ufuncs
 and BLAS release the GIL for large blocks), write into disjoint output
 slices.
 
-Partitioning is format-aware: uniform-work formats (DEN, ELL) use
-equal-count blocks; CSR uses :func:`~repro.parallel.partition.
-balanced_chunks` weighted by ``dim_i`` so one dense row cannot
-serialise the whole product — the same load-balancing concern behind
-the paper's ``vdim`` parameter.
+Partitioning is nnz-balanced, not row-count-balanced: every format
+with per-row work variation (CSR by ``dim_i``, SELL by its padded
+slice width) partitions with :func:`~repro.parallel.partition.
+balanced_chunks` over its per-row work weights, so one dense row —
+or one wide slice — cannot serialise the whole product on a single
+hot block.  That is the same load-balancing concern behind the
+paper's ``vdim`` parameter.  Uniform-work formats (DEN, ELL) reduce
+to equal-count blocks, which *is* their nnz-balanced partition.  The
+planned per-block work is reported to an :class:`~repro.perf.
+counters.OpCounter` (``parallel_blocks`` / ``parallel_work_total`` /
+``parallel_work_max``) so tests and benches can assert balance.
 """
 
 from __future__ import annotations
@@ -23,14 +29,49 @@ from repro.formats.base import VALUE_DTYPE, MatrixFormat, SparseVector
 from repro.formats.csr import CSRMatrix
 from repro.formats.dense import DenseMatrix
 from repro.formats.ell import ELLMatrix
+from repro.formats.sell import SELLMatrix
 from repro.parallel.partition import balanced_chunks, row_blocks
 from repro.parallel.pool import WorkerPool, default_workers, shared_pool
+from repro.perf.counters import OpCounter
+
+#: Formats with a contiguous row-sliced kernel path.
+_SLICEABLE = (DenseMatrix, CSRMatrix, ELLMatrix, SELLMatrix)
 
 
-def _blocks_for(matrix: MatrixFormat, n_blocks: int):
+def _work_weights(matrix: MatrixFormat) -> Optional[np.ndarray]:
+    """Per-row work weights, or None when rows cost uniformly.
+
+    CSR streams ``dim_i`` elements per row; SELL streams its padded
+    per-row slice width (padding is real work); DEN and ELL pad every
+    row to the same width, so equal row counts are already balanced.
+    """
     if isinstance(matrix, CSRMatrix):
-        return balanced_chunks(matrix.row_lengths, n_blocks)
-    return row_blocks(matrix.shape[0], n_blocks)
+        return np.asarray(matrix.row_lengths, dtype=np.int64)
+    if isinstance(matrix, SELLMatrix):
+        return np.diff(matrix.row_starts)
+    return None
+
+
+def _blocks_for(
+    matrix: MatrixFormat,
+    n_blocks: int,
+    counter: Optional[OpCounter] = None,
+):
+    weights = _work_weights(matrix)
+    if weights is not None:
+        blocks = balanced_chunks(weights, n_blocks)
+    else:
+        blocks = row_blocks(matrix.shape[0], n_blocks)
+    if counter is not None:
+        m = matrix.shape[0]
+        if weights is None:
+            weights = np.ones(m, dtype=np.int64)
+        starts = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(weights, out=starts[1:])
+        counter.add_parallel_blocks(
+            int(starts[e] - starts[s]) for s, e in blocks
+        )
+    return blocks
 
 
 def _plan_blocks(
@@ -54,17 +95,22 @@ def parallel_matvec(
     *,
     pool: Optional[WorkerPool] = None,
     min_rows_per_block: int = 256,
+    counter: Optional[OpCounter] = None,
 ) -> np.ndarray:
     """``y = A @ x`` with row blocks on pool threads.
 
-    Supported formats: DEN, CSR, ELL (the row-sliceable layouts).
-    Falls back to the serial kernel when the matrix is too small for
-    blocking to pay (``min_rows_per_block``) or the format has no
-    row-sliced path (COO/DIA partition by elements/diagonals, not
-    rows).
+    Supported formats: DEN, CSR, ELL, SELL (the row-sliceable
+    layouts).  Falls back to the serial kernel when the matrix is too
+    small for blocking to pay (``min_rows_per_block``) or the format
+    has no row-sliced path (COO/DIA partition by elements/diagonals,
+    not rows; permuted wrappers scatter outputs, so their row blocks
+    are not contiguous in the original index space).
 
     The result is numerically identical to the serial kernel: every
     block computes the same contiguous slice the serial kernel would.
+    ``counter`` receives the planned per-block work of the partition
+    (``parallel_*`` fields); on the serial fallback it is forwarded to
+    the format kernel instead.
     """
     x = np.asarray(x, dtype=VALUE_DTYPE)
     if x.shape != (matrix.shape[1],):
@@ -73,15 +119,13 @@ def parallel_matvec(
         )
     m = matrix.shape[0]
     n_blocks = _plan_blocks(matrix, pool, min_rows_per_block)
-    if n_blocks <= 1 or not isinstance(
-        matrix, (DenseMatrix, CSRMatrix, ELLMatrix)
-    ):
+    if n_blocks <= 1 or not isinstance(matrix, _SLICEABLE):
         # Serial path: never touches (or lazily constructs) a pool.
-        return matrix.matvec(x)
+        return matrix.matvec(x, counter)
     pool = pool if pool is not None else shared_pool()
 
     y = np.empty(m, dtype=VALUE_DTYPE)
-    blocks = _blocks_for(matrix, n_blocks)
+    blocks = _blocks_for(matrix, n_blocks, counter)
 
     if isinstance(matrix, DenseMatrix):
 
@@ -100,6 +144,28 @@ def parallel_matvec(
                 )
             else:
                 y[s:e] = 0.0
+
+    elif isinstance(matrix, SELLMatrix):
+        data, indices = matrix.data, matrix.indices
+        flat_starts = matrix.row_starts
+        valid, cstarts = matrix._valid, matrix._csr_starts
+
+        def work(block):
+            s, e = block
+            lo, hi = int(flat_starts[s]), int(flat_starts[e])
+            y[s:e] = 0.0
+            if hi > lo:
+                # Padded multiply over the block's flat slots, then
+                # compress — the serial kernel's exact op sequence.
+                prod = (data[lo:hi] * x[indices[lo:hi]])[valid[lo:hi]]
+                clo = int(cstarts[s])
+                starts = cstarts[s:e] - clo
+                nonempty = starts < (cstarts[s + 1 : e + 1] - clo)
+                if np.any(nonempty):
+                    seg = np.add.reduceat(prod, starts[nonempty])
+                    out = np.zeros(e - s)
+                    out[nonempty] = seg
+                    y[s:e] = out
 
     else:  # CSR
         vals, cols, ptr = matrix.values, matrix.col_idx, matrix.row_ptr
@@ -128,10 +194,15 @@ def parallel_smsv(
     *,
     pool: Optional[WorkerPool] = None,
     min_rows_per_block: int = 256,
+    counter: Optional[OpCounter] = None,
 ) -> np.ndarray:
     """Parallel sparse-matrix x sparse-vector (scatter + blocked matvec)."""
     return parallel_matvec(
-        matrix, v.to_dense(), pool=pool, min_rows_per_block=min_rows_per_block
+        matrix,
+        v.to_dense(),
+        pool=pool,
+        min_rows_per_block=min_rows_per_block,
+        counter=counter,
     )
 
 
@@ -141,6 +212,7 @@ def parallel_matmat(
     *,
     pool: Optional[WorkerPool] = None,
     min_rows_per_block: int = 256,
+    counter: Optional[OpCounter] = None,
 ) -> np.ndarray:
     """Row-block parallel SpMM: ``Y = A @ V`` for a dense ``(N, k)`` block.
 
@@ -149,8 +221,10 @@ def parallel_matmat(
     so every output element is computed by the exact serial op sequence
     (bit-for-bit identical to ``matrix.matmat(V)``), and blocks write
     disjoint ``y[s:e]`` slices.  Formats without a row-sliced path
-    (COO/DIA/CSC/BCSR) and single-block partitions fall back to the
-    serial kernel without constructing a pool.
+    (COO/DIA/CSC/BCSR, permuted wrappers) and single-block partitions
+    fall back to the serial kernel without constructing a pool.
+    ``counter`` receives the partition's per-block work, or is
+    forwarded to the serial kernel on the fallback path.
     """
     V = np.asarray(V, dtype=VALUE_DTYPE)
     if V.ndim != 2 or V.shape[0] != matrix.shape[1]:
@@ -160,16 +234,12 @@ def parallel_matmat(
         )
     m, k = matrix.shape[0], V.shape[1]
     n_blocks = _plan_blocks(matrix, pool, min_rows_per_block)
-    if (
-        n_blocks <= 1
-        or k == 0
-        or not isinstance(matrix, (DenseMatrix, CSRMatrix, ELLMatrix))
-    ):
-        return matrix.matmat(V)
+    if n_blocks <= 1 or k == 0 or not isinstance(matrix, _SLICEABLE):
+        return matrix.matmat(V, counter)
     pool = pool if pool is not None else shared_pool()
 
     y = np.empty((m, k), dtype=VALUE_DTYPE)
-    blocks = _blocks_for(matrix, n_blocks)
+    blocks = _blocks_for(matrix, n_blocks, counter)
 
     if isinstance(matrix, DenseMatrix):
         VF = np.asfortranarray(V)
@@ -194,6 +264,34 @@ def parallel_matmat(
                     )
             else:
                 y[s:e] = 0.0
+
+    elif isinstance(matrix, SELLMatrix):
+        data, indices = matrix.data, matrix.indices
+        flat_starts = matrix.row_starts
+        valid, cstarts = matrix._valid, matrix._csr_starts
+
+        def work(block):
+            s, e = block
+            lo, hi = int(flat_starts[s]), int(flat_starts[e])
+            y[s:e] = 0.0
+            if hi > lo:
+                bvalid = valid[lo:hi]
+                clo = int(cstarts[s])
+                nnz_blk = int(cstarts[e]) - clo
+                starts = cstarts[s:e] - clo
+                nonempty = starts < (cstarts[s + 1 : e + 1] - clo)
+                prod = np.empty((k, nnz_blk), dtype=VALUE_DTYPE)
+                for c in range(k):
+                    np.compress(
+                        bvalid,
+                        data[lo:hi] * V[:, c].take(indices[lo:hi]),
+                        out=prod[c],
+                    )
+                if np.any(nonempty):
+                    segs = np.add.reduceat(prod, starts[nonempty], axis=1)
+                    out = np.zeros((e - s, k), dtype=VALUE_DTYPE)
+                    out[nonempty] = segs.T
+                    y[s:e] = out
 
     else:  # CSR
         vals, cols, ptr = matrix.values, matrix.col_idx, matrix.row_ptr
@@ -226,6 +324,7 @@ def parallel_smsv_multi(
     *,
     pool: Optional[WorkerPool] = None,
     min_rows_per_block: int = 256,
+    counter: Optional[OpCounter] = None,
 ) -> np.ndarray:
     """Parallel multi-vector SMSV (scatter the block + blocked SpMM)."""
     vectors = list(vectors)
@@ -238,5 +337,9 @@ def parallel_smsv_multi(
             )
         V[v.indices, c] = v.values
     return parallel_matmat(
-        matrix, V, pool=pool, min_rows_per_block=min_rows_per_block
+        matrix,
+        V,
+        pool=pool,
+        min_rows_per_block=min_rows_per_block,
+        counter=counter,
     )

@@ -40,6 +40,13 @@ class OpCounter:
         ``smsv_multi``) and the total right-hand-side columns they
         carried.  ``spmm_columns / spmm_calls`` is the achieved batch
         width — the quantity the ``batch_k`` cost-model knob predicts.
+    parallel_blocks / parallel_work_total / parallel_work_max:
+        Row-block partition accounting from :mod:`repro.parallel`:
+        blocks dispatched, their summed work weight (non-zeros for
+        weighted formats, rows otherwise), and the heaviest single
+        block seen.  ``parallel_work_max * parallel_blocks /
+        parallel_work_total`` ~ 1 means the partition was balanced; a
+        large value means one hot block would have serialised the pool.
     """
 
     flops: int = 0
@@ -48,6 +55,9 @@ class OpCounter:
     vector_ops: int = 0
     spmm_calls: int = 0
     spmm_columns: int = 0
+    parallel_blocks: int = 0
+    parallel_work_total: int = 0
+    parallel_work_max: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -74,6 +84,16 @@ class OpCounter:
             self.spmm_calls += 1
             self.spmm_columns += int(k)
 
+    def add_parallel_blocks(self, block_work) -> None:
+        """Record one row-block partition's per-block work weights."""
+        work = [int(w) for w in block_work]
+        if not work:
+            return
+        with self._lock:
+            self.parallel_blocks += len(work)
+            self.parallel_work_total += sum(work)
+            self.parallel_work_max = max(self.parallel_work_max, max(work))
+
     @property
     def bytes_total(self) -> int:
         return self.bytes_read + self.bytes_written
@@ -86,6 +106,9 @@ class OpCounter:
             self.vector_ops = 0
             self.spmm_calls = 0
             self.spmm_columns = 0
+            self.parallel_blocks = 0
+            self.parallel_work_total = 0
+            self.parallel_work_max = 0
 
     def snapshot(self) -> "OpCounter":
         """Return an independent copy of the current totals."""
@@ -97,6 +120,9 @@ class OpCounter:
             out.vector_ops = self.vector_ops
             out.spmm_calls = self.spmm_calls
             out.spmm_columns = self.spmm_columns
+            out.parallel_blocks = self.parallel_blocks
+            out.parallel_work_total = self.parallel_work_total
+            out.parallel_work_max = self.parallel_work_max
             return out
 
     def merge(self, other: "OpCounter") -> None:
@@ -108,6 +134,11 @@ class OpCounter:
             self.vector_ops += other.vector_ops
             self.spmm_calls += other.spmm_calls
             self.spmm_columns += other.spmm_columns
+            self.parallel_blocks += other.parallel_blocks
+            self.parallel_work_total += other.parallel_work_total
+            self.parallel_work_max = max(
+                self.parallel_work_max, other.parallel_work_max
+            )
 
     def arithmetic_intensity(self) -> float:
         """Flops per byte of traffic; the x-axis of a roofline plot."""

@@ -92,14 +92,24 @@ def synthetic_model(
     )
 
 
+#: The unreordered half of the exact serving family.  The reschedule
+#: *demo* restricts itself to these four: with the full candidate set
+#: the sorted layouts (RSELL) dominate the bimodal demo matrix at
+#: every batch width, so no crossover exists to demonstrate.  The
+#: SELL-family runtime flip has its own coverage (``repro bench
+#: sell``'s SMO gate and ``tests/serve/test_sell_flip.py``).
+CLASSIC_SERVE_FORMATS: Tuple[str, ...] = ("CSR", "COO", "ELL", "DIA")
+
+
 def flip_model(*, seed: int = 0) -> ServedModel:
     """A served model whose cost ranking flips with batch width.
 
     Bimodal rows (mostly 10 nnz, a 10 % tail at 14) on a 600 x 400
     matrix: at effective ``batch_k=1`` the model ranks ELL first within
-    the exact serving family, at ``batch_k>=4`` COO's flat stream
-    amortises ahead — the crossover the phase-shift workload walks the
-    re-scheduler across.
+    the *unreordered* exact serving family
+    (:data:`CLASSIC_SERVE_FORMATS`), at ``batch_k>=4`` COO's flat
+    stream amortises ahead — the crossover the phase-shift workload
+    walks the re-scheduler across.
     """
     rows, cols, vals, shape = bimodal_rows_matrix(
         600, 400, 10, 14, 0.1, seed=seed
@@ -173,7 +183,12 @@ def run_reschedule_demo(*, smoke: bool = False) -> Dict:
     value of the post-swap engine against that same pinned engine.
     """
     model = flip_model(seed=0)
-    resch = FormatRescheduler(window=32, check_every=8, min_gain=0.0)
+    resch = FormatRescheduler(
+        window=32,
+        check_every=8,
+        min_gain=0.0,
+        candidates=CLASSIC_SERVE_FORMATS,
+    )
     fmt0 = resch.initial_format(model.matrix)
     engine = InferenceEngine(model)
     engine.convert_to(fmt0)

@@ -56,8 +56,21 @@ from repro.svm.kernels import Kernel
 #: order.  Within the family a layout swap preserves predictions
 #: bitwise on sparse row/query overlaps (≤2 non-zero products per sum)
 #: and to 1 ULP otherwise; BLAS-backed formats (DEN, BCSR) re-associate
-#: freely and are excluded.  See the module docstring.
-EXACT_SERVE_FORMATS: Tuple[str, ...] = ("CSR", "COO", "ELL", "DIA")
+#: freely and are excluded.  SELL and the permutation-transparent
+#: sorted layouts (RCSR, RSELL) qualify with a *stronger* guarantee:
+#: their kernels reduce exactly CSR's product array in CSR's order (the
+#: wrapper only scatters finished row sums), so a swap between CSR,
+#: SELL, RCSR and RSELL is bitwise invisible on any overlap, not just
+#: sparse ones.  See the module docstring.
+EXACT_SERVE_FORMATS: Tuple[str, ...] = (
+    "CSR",
+    "COO",
+    "ELL",
+    "DIA",
+    "SELL",
+    "RCSR",
+    "RSELL",
+)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,156 @@
+"""Cost model + scheduler coverage for SELL and the reordered layouts."""
+
+import numpy as np
+import pytest
+
+from repro.core import LayoutScheduler
+from repro.core.cost_model import ANALYTIC_FORMATS, CostModel
+from repro.data.synthetic import powerlaw_rows_matrix, uniform_rows_matrix
+from repro.features import profile_from_coo
+from repro.formats.csr import CSRMatrix
+
+
+def _profile(triples):
+    rows, cols, _v, shape = triples
+    return profile_from_coo(rows, cols, shape, validated=True)
+
+
+@pytest.fixture
+def highvar_profile():
+    return _profile(
+        powerlaw_rows_matrix(
+            2048, 1024, alpha=1.6, min_nnz=32, max_nnz=512, seed=7
+        )
+    )
+
+
+@pytest.fixture
+def uniform_profile():
+    return _profile(uniform_rows_matrix(512, 256, 24, seed=0))
+
+
+class TestCostModel:
+    def test_analytic_formats_all_price(self, highvar_profile):
+        model = CostModel()
+        for fmt in ANALYTIC_FORMATS:
+            c = model.cost(fmt, highvar_profile)
+            assert np.isfinite(c.cost) and c.cost > 0
+
+    def test_sorted_layouts_win_on_high_variance(self, highvar_profile):
+        model = CostModel()
+        ranked = model.rank(highvar_profile, ANALYTIC_FORMATS)
+        sparse_unordered = {"CSR", "COO", "ELL", "DIA"}
+        best_sorted = min(
+            c.cost for c in ranked if c.fmt in ("RCSR", "RSELL")
+        )
+        best_fixed = min(
+            c.cost for c in ranked if c.fmt in sparse_unordered
+        )
+        assert best_sorted < best_fixed
+
+    def test_reordering_does_not_pay_on_uniform_rows(
+        self, uniform_profile
+    ):
+        model = CostModel()
+        # vdim = 0: sorting buys nothing but still costs the scatter.
+        assert (
+            model.cost("RCSR", uniform_profile).cost
+            > model.cost("CSR", uniform_profile).cost
+        )
+        assert (
+            model.cost("RSELL", uniform_profile).cost
+            > model.cost("SELL", uniform_profile).cost
+        )
+
+    def test_rell_never_beats_ell(self, highvar_profile, uniform_profile):
+        model = CostModel()
+        for p in (highvar_profile, uniform_profile):
+            assert (
+                model.cost("RELL", p).cost > model.cost("ELL", p).cost
+            )
+
+    def test_sell_elements_between_nnz_and_ell(self, highvar_profile):
+        model = CostModel()
+        p = highvar_profile
+        sell = model.effective_elements("SELL", p)
+        ell = model.effective_elements("ELL", p)
+        assert p.nnz <= sell <= ell
+
+    def test_reordered_conversion_carries_sort_surcharge(
+        self, highvar_profile
+    ):
+        import math
+
+        model = CostModel()
+        p = highvar_profile
+        # Strip the (format-dependent) write cost; the remaining build
+        # cost must differ by exactly the sort + gather surcharge.
+        build_rcsr = model.conversion_cost(
+            p, "RCSR"
+        ) - model.effective_elements("RCSR", p)
+        build_csr = model.conversion_cost(
+            p, "CSR"
+        ) - model.effective_elements("CSR", p)
+        surcharge = p.m * math.log2(max(p.m, 2)) + p.nnz
+        assert build_rcsr == pytest.approx(build_csr + surcharge)
+
+    def test_worthwhile_amortizes_reorder_conversion(
+        self, highvar_profile
+    ):
+        model = CostModel()
+        # a few iterations cannot amortise the sort+gather...
+        assert not model.worthwhile(highvar_profile, "CSR", "RCSR", 1)
+        # ...an SMO-scale run can
+        assert model.worthwhile(highvar_profile, "CSR", "RCSR", 10_000)
+
+
+class TestScheduler:
+    def test_cost_strategy_accepts_reordered_candidates(
+        self, highvar_profile
+    ):
+        sched = LayoutScheduler("cost", candidates=ANALYTIC_FORMATS)
+        rows, cols, vals, shape = powerlaw_rows_matrix(
+            2048, 1024, alpha=1.6, min_nnz=32, max_nnz=512, seed=7
+        )
+        d = sched.decide_from_coo(rows, cols, vals, shape)
+        assert d.fmt in ANALYTIC_FORMATS
+
+    def test_cost_strategy_rejects_extended_candidates(self):
+        with pytest.raises(ValueError, match="probe"):
+            LayoutScheduler("cost", candidates=("SELL", "CSC"))
+
+    def test_hybrid_fast_path_with_analytic_candidates(self):
+        rows, cols, vals, shape = powerlaw_rows_matrix(
+            512, 256, alpha=1.6, min_nnz=8, max_nnz=128, seed=3
+        )
+        sched = LayoutScheduler(
+            "hybrid", candidates=("CSR", "RCSR", "RSELL"), shortlist=2
+        )
+        d = sched.decide_from_coo(rows, cols, vals, shape)
+        assert d.fmt in ("CSR", "RCSR", "RSELL")
+
+    def test_apply_converts_into_reordered_layout(self):
+        rows, cols, vals, shape = powerlaw_rows_matrix(
+            1024, 512, alpha=1.5, min_nnz=32, max_nnz=256, seed=5
+        )
+        base = CSRMatrix.from_coo(rows, cols, vals, shape)
+        sched = LayoutScheduler(
+            "cost", candidates=("CSR", "RCSR", "RSELL")
+        )
+        converted, decision = sched.apply(base, iterations_hint=50_000)
+        assert converted.name == decision.fmt
+        assert decision.fmt in ("RCSR", "RSELL")
+        # conversion preserved the logical matrix bitwise
+        r2, c2, v2 = converted.to_coo()
+        assert np.array_equal(v2, vals)
+
+    def test_apply_tiny_iteration_hint_stays_put(self):
+        rows, cols, vals, shape = powerlaw_rows_matrix(
+            1024, 512, alpha=1.5, min_nnz=32, max_nnz=256, seed=5
+        )
+        base = CSRMatrix.from_coo(rows, cols, vals, shape)
+        sched = LayoutScheduler(
+            "cost", candidates=("CSR", "RCSR", "RSELL")
+        )
+        converted, _ = sched.apply(base, iterations_hint=1)
+        assert converted.name == "CSR"

@@ -11,6 +11,7 @@ from repro.data.synthetic import (
     matrix_with_mdim,
     matrix_with_ndig,
     matrix_with_vdim,
+    powerlaw_rows_matrix,
     row_lengths_for,
     uniform_rows_matrix,
     variable_rows_matrix,
@@ -163,3 +164,47 @@ def test_generators_produce_valid_coo(m, n, seed):
     for fmt in ("CSR", "DIA", "ELL"):
         mx = format_class(fmt).from_coo(rows, cols, vals, shape)
         assert mx.nnz == m * k
+
+
+class TestPowerlawRows:
+    def test_deterministic_given_seed(self):
+        a = powerlaw_rows_matrix(100, 60, alpha=1.8, seed=4)
+        b = powerlaw_rows_matrix(100, 60, alpha=1.8, seed=4)
+        for x, y in zip(a[:3], b[:3]):
+            assert np.array_equal(x, y)
+
+    def test_heavy_tail_inflates_mdim(self):
+        p = profile(
+            powerlaw_rows_matrix(
+                2000, 500, alpha=1.5, min_nnz=4, max_nnz=400, seed=1
+            )
+        )
+        # the whole point of the shape: max row far above the mean
+        assert p.mdim > 5 * p.adim
+        assert p.vdim > p.adim**2
+
+    def test_respects_bounds(self):
+        rows, cols, _v, shape = powerlaw_rows_matrix(
+            300, 50, alpha=2.0, min_nnz=3, max_nnz=20, seed=2
+        )
+        lengths = np.bincount(rows, minlength=shape[0])
+        assert lengths.min() >= 3 and lengths.max() <= 20
+
+    def test_smaller_alpha_heavier_tail(self):
+        kw = dict(min_nnz=2, max_nnz=400, seed=0)
+        heavy = profile(powerlaw_rows_matrix(2000, 500, alpha=1.4, **kw))
+        light = profile(powerlaw_rows_matrix(2000, 500, alpha=2.5, **kw))
+        assert heavy.adim > light.adim
+        assert heavy.vdim > light.vdim
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="alpha"):
+            powerlaw_rows_matrix(10, 10, alpha=1.0)
+        with pytest.raises(ValueError, match="min_nnz"):
+            powerlaw_rows_matrix(10, 10, min_nnz=0)
+        with pytest.raises(ValueError, match="max_nnz"):
+            powerlaw_rows_matrix(10, 10, min_nnz=5, max_nnz=3)
+
+    def test_zero_rows(self):
+        rows, cols, vals, shape = powerlaw_rows_matrix(0, 8, seed=0)
+        assert rows.size == 0 and shape == (0, 8)

@@ -1,0 +1,100 @@
+"""Layout features: padding ratios that drive the SELL scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import powerlaw_rows_matrix
+from repro.features import layout_features, layout_features_from_matrix
+from repro.formats import from_dense
+from repro.formats.sell import SELLMatrix, sell_storage_elements
+
+
+class TestLayoutFeatures:
+    def test_uniform_rows_pad_nothing(self):
+        f = layout_features(np.full(64, 7, dtype=np.int64), chunk=8)
+        assert f.row_nnz_variance == 0.0
+        assert f.row_nnz_cv == 0.0
+        assert f.ell_padding_ratio == 1.0
+        assert f.sell_padding_ratio == 1.0
+        assert f.sell_sorted_padding_ratio == 1.0
+
+    def test_all_zero_rows_are_degenerate_but_finite(self):
+        f = layout_features(np.zeros(10, dtype=np.int64))
+        assert f.ell_padding_ratio == 1.0
+        assert f.sell_padding_ratio == 1.0
+        assert f.sell_sorted_padding_ratio == 1.0
+
+    def test_empty_length_vector(self):
+        f = layout_features(np.zeros(0, dtype=np.int64))
+        assert f.row_nnz_variance == 0.0
+        assert f.sell_padding_ratio == 1.0
+
+    def test_ell_ratio_is_m_mdim_over_nnz(self):
+        lengths = np.array([1, 2, 10, 3], dtype=np.int64)
+        f = layout_features(lengths, chunk=2)
+        assert f.ell_padding_ratio == pytest.approx(4 * 10 / 16)
+
+    def test_sell_between_one_and_ell(self):
+        rows, cols, _v, shape = powerlaw_rows_matrix(
+            400, 100, alpha=1.5, min_nnz=2, max_nnz=80, seed=3
+        )
+        lengths = np.bincount(rows, minlength=shape[0]).astype(np.int64)
+        f = layout_features(lengths, chunk=8)
+        assert 1.0 <= f.sell_padding_ratio <= f.ell_padding_ratio
+
+    def test_sorting_never_hurts(self):
+        rows, _c, _v, shape = powerlaw_rows_matrix(
+            600, 120, alpha=1.4, min_nnz=1, max_nnz=100, seed=5
+        )
+        lengths = np.bincount(rows, minlength=shape[0]).astype(np.int64)
+        for sigma in (None, 8, 64):
+            f = layout_features(lengths, chunk=8, sigma=sigma)
+            assert f.sell_sorted_padding_ratio <= f.sell_padding_ratio
+
+    def test_global_sigma_at_least_as_good_as_windows(self):
+        rows, _c, _v, shape = powerlaw_rows_matrix(
+            600, 120, alpha=1.4, min_nnz=1, max_nnz=100, seed=5
+        )
+        lengths = np.bincount(rows, minlength=shape[0]).astype(np.int64)
+        g = layout_features(lengths, chunk=8, sigma=None)
+        w = layout_features(lengths, chunk=8, sigma=16)
+        assert (
+            g.sell_sorted_padding_ratio <= w.sell_sorted_padding_ratio
+        )
+
+    def test_ratio_matches_built_sell_matrix(self):
+        rows, cols, vals, shape = powerlaw_rows_matrix(
+            300, 80, alpha=1.6, min_nnz=2, max_nnz=60, seed=7
+        )
+        sell = SELLMatrix.from_coo(rows, cols, vals, shape, chunk=8)
+        lengths = np.bincount(rows, minlength=shape[0]).astype(np.int64)
+        f = layout_features(lengths, chunk=8)
+        assert f.sell_padding_ratio == pytest.approx(
+            sell.padded_elements / sell.nnz
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            layout_features(np.array([1, -2]))
+        with pytest.raises(ValueError, match="chunk"):
+            layout_features(np.array([1, 2]), chunk=0)
+        with pytest.raises(ValueError, match="sigma"):
+            layout_features(np.array([1, 2]), sigma=0)
+
+
+class TestFromMatrix:
+    def test_any_format_yields_same_features(self, rng):
+        a = (rng.random((50, 30)) < 0.3) * rng.standard_normal((50, 30))
+        ref = layout_features_from_matrix(from_dense(a, "CSR"))
+        for fmt in ("COO", "ELL", "SELL", "RCSR"):
+            got = layout_features_from_matrix(from_dense(a, fmt))
+            assert got == ref
+
+    def test_storage_helper_agrees_with_padding_ratio(self):
+        lengths = np.array([3, 0, 5, 2, 2, 9], dtype=np.int64)
+        f = layout_features(lengths, chunk=2)
+        storage = sell_storage_elements(lengths, 2)
+        m, nnz = lengths.shape[0], int(lengths.sum())
+        n_slices = -(-m // 2)
+        padded = (storage - (n_slices + 1) - m) // 2
+        assert f.sell_padding_ratio == pytest.approx(padded / nnz)

@@ -4,10 +4,10 @@ import numpy as np
 import pytest
 
 from repro.features import profile_from_dense
-from repro.formats import FORMAT_NAMES, SparseVector, from_dense
+from repro.formats import FORMAT_NAMES, SparseVector, convert, from_dense
 
 
-ALL_FORMATS = FORMAT_NAMES + ("CSC", "BCSR")
+ALL_FORMATS = FORMAT_NAMES + ("CSC", "BCSR", "SELL", "RCSR", "RELL", "RSELL")
 
 
 class TestEmptyAndTiny:
@@ -57,6 +57,25 @@ class TestEmptyAndTiny:
         m = from_dense(small_sparse, fmt)
         v = SparseVector.from_dense(np.zeros(30))
         assert np.allclose(m.smsv(v), np.zeros(40))
+
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    @pytest.mark.parametrize("shape", [(0, 5), (5, 0), (0, 0)])
+    def test_zero_dimension_shapes(self, fmt, shape):
+        m = from_dense(np.zeros(shape), fmt)
+        assert m.nnz == 0
+        y = m.matvec(np.zeros(shape[1]))
+        assert y.shape == (shape[0],)
+        assert m.to_dense().shape == shape
+        r, c, v = m.to_coo()
+        assert r.size == c.size == v.size == 0
+
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_zero_dimension_conversions(self, fmt):
+        for shape in [(0, 5), (5, 0), (0, 0)]:
+            m = from_dense(np.zeros(shape), fmt)
+            for dst in ALL_FORMATS:
+                d = convert(m, dst)
+                assert d.shape == shape and d.nnz == 0
 
 
 class TestProfileEdgeCases:

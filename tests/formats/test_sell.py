@@ -1,0 +1,190 @@
+"""SELL-C slice storage: construction, kernels, storage, sanitizer.
+
+The load-bearing claim everything else builds on: the SELL kernels
+compress their padded product stream back to exactly CSR's product
+array before reducing, so every result is *bitwise* identical to CSR —
+stronger than ELL's documented 1-ULP tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import FormatInvariantError, check_format, format_violations
+from repro.data.synthetic import powerlaw_rows_matrix
+from repro.formats import from_dense
+from repro.formats.csr import CSRMatrix
+from repro.formats.sell import (
+    DEFAULT_CHUNK,
+    SELLMatrix,
+    sell_storage_elements,
+    slice_widths_for,
+)
+from repro.perf.counters import OpCounter
+
+
+@pytest.fixture
+def triples():
+    return powerlaw_rows_matrix(
+        100, 40, alpha=1.7, min_nnz=1, max_nnz=30, seed=3
+    )
+
+
+@pytest.fixture
+def pair(triples):
+    rows, cols, vals, shape = triples
+    sell = SELLMatrix.from_coo(rows, cols, vals, shape)
+    csr = CSRMatrix.from_coo(rows, cols, vals, shape)
+    return sell, csr
+
+
+class TestConstruction:
+    def test_slice_widths_are_tight(self, pair):
+        sell, _ = pair
+        lengths = sell.row_lengths
+        assert np.array_equal(
+            sell.slice_widths, slice_widths_for(lengths, sell.chunk)
+        )
+        # every slice width is attained by some row in that slice
+        m = sell.shape[0]
+        for s, w in enumerate(sell.slice_widths):
+            lo, hi = s * sell.chunk, min((s + 1) * sell.chunk, m)
+            assert lengths[lo:hi].max(initial=0) == w
+
+    def test_padding_slots_are_zero(self, pair):
+        sell, _ = pair
+        pad = ~sell._valid
+        assert np.all(sell.data[pad] == 0.0)
+        assert np.all(sell.indices[pad] == 0)
+
+    @pytest.mark.parametrize("chunk", [1, 3, DEFAULT_CHUNK, 64, 1000])
+    def test_any_chunk_roundtrips(self, triples, chunk):
+        rows, cols, vals, shape = triples
+        sell = SELLMatrix.from_coo(rows, cols, vals, shape, chunk=chunk)
+        r2, c2, v2 = sell.to_coo()
+        assert np.array_equal(r2, rows)
+        assert np.array_equal(c2, cols)
+        assert np.array_equal(v2, vals)
+
+    def test_storage_accounting(self, pair):
+        sell, _ = pair
+        assert sell.storage_elements() == sell_storage_elements(
+            sell.row_lengths, sell.chunk
+        )
+        assert sell.padded_elements >= sell.nnz
+        assert sell.nnz == int(sell.row_lengths.sum())
+
+    def test_rejects_bad_chunk(self, triples):
+        rows, cols, vals, shape = triples
+        with pytest.raises(ValueError):
+            SELLMatrix.from_coo(rows, cols, vals, shape, chunk=0)
+
+
+class TestKernelsBitwiseCSR:
+    @pytest.mark.parametrize("chunk", [1, 4, DEFAULT_CHUNK, 17])
+    def test_matvec_bitwise(self, triples, rng, chunk):
+        rows, cols, vals, shape = triples
+        sell = SELLMatrix.from_coo(rows, cols, vals, shape, chunk=chunk)
+        csr = CSRMatrix.from_coo(rows, cols, vals, shape)
+        x = rng.standard_normal(shape[1])
+        assert np.array_equal(sell.matvec(x), csr.matvec(x))
+
+    @pytest.mark.parametrize("k", [1, 2, 5])
+    def test_matmat_bitwise(self, pair, rng, k):
+        sell, csr = pair
+        V = rng.standard_normal((sell.shape[1], k))
+        assert np.array_equal(sell.matmat(V), csr.matmat(V))
+
+    def test_row_and_norms_bitwise(self, pair):
+        sell, csr = pair
+        assert np.array_equal(sell.row_norms_sq(), csr.row_norms_sq())
+        for i in range(sell.shape[0]):
+            a, b = sell.row(i), csr.row(i)
+            assert np.array_equal(a.indices, b.indices)
+            assert np.array_equal(a.values, b.values)
+
+    def test_counter_charges_padded_work(self, pair, rng):
+        sell, _ = pair
+        c = OpCounter()
+        sell.matvec(rng.standard_normal(sell.shape[1]), c)
+        assert c.flops == 2 * sell.padded_elements
+        assert c.bytes_read > 0 and c.bytes_written > 0
+
+    def test_matmat_reports_spmm(self, pair, rng):
+        sell, _ = pair
+        c = OpCounter()
+        sell.matmat(rng.standard_normal((sell.shape[1], 3)), c)
+        assert c.spmm_calls == 1 and c.spmm_columns == 3
+
+
+class TestDegenerateShapes:
+    def test_all_zero_matrix(self):
+        m = from_dense(np.zeros((5, 4)), "SELL")
+        assert m.nnz == 0 and m.padded_elements == 0
+        assert np.array_equal(m.matvec(np.ones(4)), np.zeros(5))
+
+    def test_zero_rows(self):
+        m = from_dense(np.zeros((0, 4)), "SELL")
+        assert m.n_slices == 0
+        assert m.matvec(np.ones(4)).shape == (0,)
+
+    def test_single_row(self, rng):
+        a = rng.standard_normal((1, 9)) * (rng.random((1, 9)) < 0.5)
+        m = from_dense(a, "SELL")
+        x = rng.standard_normal(9)
+        ref = from_dense(a, "CSR")
+        assert np.array_equal(m.matvec(x), ref.matvec(x))
+
+    def test_empty_rows_between_full_ones(self, rng):
+        a = (rng.random((20, 8)) < 0.4) * rng.standard_normal((20, 8))
+        a[0] = a[7] = a[19] = 0.0
+        m = from_dense(a, "SELL")
+        ref = from_dense(a, "CSR")
+        x = rng.standard_normal(8)
+        assert np.array_equal(m.matvec(x), ref.matvec(x))
+        assert m.row(7).nnz == 0
+
+
+class TestSanitizer:
+    def test_healthy_matrix_passes(self, pair):
+        sell, _ = pair
+        assert format_violations(sell) == []
+        assert format_violations(sell, deep=True) == []
+
+    def test_corrupt_pad_value(self, pair):
+        sell, _ = pair
+        pad = np.nonzero(~sell._valid)[0]
+        assert pad.size, "fixture must have at least one padding slot"
+        sell.data[pad[0]] = 7.5
+        with pytest.raises(FormatInvariantError, match="padding slot data"):
+            check_format(sell)
+
+    def test_corrupt_pad_index(self, pair):
+        sell, _ = pair
+        pad = np.nonzero(~sell._valid)[0]
+        sell.indices[pad[0]] = 3
+        with pytest.raises(
+            FormatInvariantError, match="padding slot indices"
+        ):
+            check_format(sell)
+
+    def test_corrupt_column_order(self, pair):
+        sell, _ = pair
+        # find a row with >= 2 entries and swap its first two columns
+        lengths = sell.row_lengths
+        r = int(np.nonzero(lengths >= 2)[0][0])
+        lo = int(sell.row_starts[r])
+        sell.indices[lo], sell.indices[lo + 1] = (
+            int(sell.indices[lo + 1]),
+            int(sell.indices[lo]),
+        )
+        with pytest.raises(
+            FormatInvariantError, match="not strictly increasing"
+        ):
+            check_format(sell)
+
+    def test_corrupt_index_out_of_range(self, pair):
+        sell, _ = pair
+        j = int(np.nonzero(sell._valid)[0][0])
+        sell.indices[j] = sell.shape[1] + 2
+        with pytest.raises(FormatInvariantError, match="out of range"):
+            check_format(sell)

@@ -68,3 +68,117 @@ class TestParallelSMSV:
         with WorkerPool(4) as pool:
             y = parallel_smsv(m, v, pool=pool, min_rows_per_block=100)
         assert np.allclose(y, m.smsv(v))
+
+
+class TestParallelSell:
+    """PR 4: SELL row-block kernels + nnz-balanced work accounting."""
+
+    def _sell(self, rng, m=1200, n=300, chunk=8):
+        from repro.data.synthetic import powerlaw_rows_matrix
+        from repro.formats.sell import SELLMatrix
+
+        rows, cols, vals, shape = powerlaw_rows_matrix(
+            m, n, alpha=1.6, min_nnz=2, max_nnz=n // 2, seed=11
+        )
+        return SELLMatrix.from_coo(rows, cols, vals, shape, chunk=chunk)
+
+    def test_sell_matvec_bitwise_matches_serial(self, rng):
+        from repro.parallel import parallel_matvec
+
+        m = self._sell(rng)
+        x = rng.standard_normal(300)
+        with WorkerPool(4) as pool:
+            y = parallel_matvec(m, x, pool=pool, min_rows_per_block=50)
+        assert np.array_equal(y, m.matvec(x))
+
+    def test_sell_matmat_bitwise_matches_serial(self, rng):
+        from repro.parallel import parallel_matmat
+
+        m = self._sell(rng)
+        V = rng.standard_normal((300, 4))
+        with WorkerPool(4) as pool:
+            Y = parallel_matmat(m, V, pool=pool, min_rows_per_block=50)
+        assert np.array_equal(Y, m.matmat(V))
+
+    def test_sell_matvec_bitwise_matches_csr(self, rng):
+        from repro.parallel import parallel_matvec
+
+        m = self._sell(rng)
+        r, c, v = m.to_coo()
+        ref = CSRMatrix.from_coo(r, c, v, m.shape)
+        x = rng.standard_normal(300)
+        with WorkerPool(3) as pool:
+            y = parallel_matvec(m, x, pool=pool, min_rows_per_block=50)
+        assert np.array_equal(y, ref.matvec(x))
+
+    def test_counter_reports_nnz_balanced_blocks(self, rng):
+        from repro.parallel import parallel_matvec
+        from repro.perf.counters import OpCounter
+
+        m = self._sell(rng)
+        counter = OpCounter()
+        with WorkerPool(4) as pool:
+            parallel_matvec(
+                m, np.zeros(300), pool=pool,
+                min_rows_per_block=50, counter=counter,
+            )
+        assert counter.parallel_blocks >= 2
+        # per-block work sums to the stored (padded) element count...
+        assert counter.parallel_work_total == m.padded_elements
+        # ...and the nnz-weighted split keeps the largest block well
+        # under a naive even-rows split would on this skewed matrix.
+        assert (
+            counter.parallel_work_max
+            < 2 * m.padded_elements / counter.parallel_blocks
+        )
+
+    def test_csr_counter_work_is_true_nnz(self, rng):
+        from repro.parallel import parallel_matvec
+        from repro.perf.counters import OpCounter
+
+        a = (rng.random((1500, 100)) < 0.1) * rng.standard_normal(
+            (1500, 100)
+        )
+        m = from_dense(a, "CSR")
+        counter = OpCounter()
+        with WorkerPool(4) as pool:
+            parallel_matvec(
+                m, np.zeros(100), pool=pool,
+                min_rows_per_block=50, counter=counter,
+            )
+        assert counter.parallel_work_total == m.nnz
+
+    def test_fallback_forwards_counter_without_blocks(self, rng):
+        from repro.parallel import parallel_matvec
+        from repro.perf.counters import OpCounter
+
+        a = (rng.random((400, 60)) < 0.2) * rng.standard_normal((400, 60))
+        m = from_dense(a, "COO")  # no row-sliced path
+        counter = OpCounter()
+        with WorkerPool(2) as pool:
+            y = parallel_matvec(
+                m, np.zeros(60), pool=pool,
+                min_rows_per_block=10, counter=counter,
+            )
+        assert counter.parallel_blocks == 0
+        assert counter.flops > 0  # serial kernel still counted
+        assert np.allclose(y, np.zeros(400))
+
+    def test_smsv_multi_forwards_counter(self, rng):
+        from repro.parallel import parallel_smsv_multi
+        from repro.perf.counters import OpCounter
+
+        m = self._sell(rng)
+        vs = [
+            SparseVector.from_dense(
+                rng.standard_normal(300) * (rng.random(300) < 0.3)
+            )
+            for _ in range(3)
+        ]
+        counter = OpCounter()
+        with WorkerPool(4) as pool:
+            Y = parallel_smsv_multi(
+                m, vs, pool=pool, min_rows_per_block=50, counter=counter
+            )
+        assert np.array_equal(Y, m.smsv_multi(vs))
+        assert counter.parallel_blocks >= 2

@@ -1,0 +1,105 @@
+"""repro bench sell: headline harness, trajectory sweep, SMO gate."""
+
+import json
+
+import pytest
+
+from repro.data.synthetic import powerlaw_rows_matrix
+from repro.perf.bench_sell import (
+    FIXED_BASELINES,
+    SPARSE_CANDIDATES,
+    render_summary,
+    run_headline,
+    run_smo_gate,
+    run_suite,
+    run_trajectory,
+    write_report,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_suite():
+    return [
+        (
+            "tiny-powerlaw",
+            powerlaw_rows_matrix(
+                256, 128, alpha=1.6, min_nnz=8, max_nnz=96, seed=17
+            ),
+        )
+    ]
+
+
+class TestHeadline:
+    def test_records_are_complete(self, tiny_suite):
+        recs = run_headline(tiny_suite, samples=2)
+        assert len(recs) == 1
+        r = recs[0]
+        assert r["picked_fmt"] in SPARSE_CANDIDATES
+        assert r["best_fixed_fmt"] in FIXED_BASELINES
+        assert set(r["fixed_seconds"]) == set(FIXED_BASELINES)
+        assert r["modelled_speedup"] == pytest.approx(
+            r["best_fixed_seconds"] / r["picked_seconds"]
+        )
+        assert r["picked_seconds"] > 0
+        assert r["wallclock_ratio"] > 0
+
+    def test_deterministic_modelled_side(self, tiny_suite):
+        a = run_headline(tiny_suite, samples=1)[0]
+        b = run_headline(tiny_suite, samples=1)[0]
+        # wall-clock fields jitter; the modelled verdict must not
+        for key in (
+            "picked_fmt",
+            "picked_seconds",
+            "best_fixed_fmt",
+            "modelled_speedup",
+        ):
+            assert a[key] == b[key]
+
+
+class TestTrajectory:
+    def test_sweep_covers_grid(self, tiny_suite):
+        _, triples = tiny_suite[0]
+        recs = run_trajectory(
+            triples, sigmas=(None, 16), chunks=(4, 8)
+        )
+        assert len(recs) == 4
+        assert {(r["chunk"], r["sigma"]) for r in recs} == {
+            (4, None),
+            (4, 16),
+            (8, None),
+            (8, 16),
+        }
+
+    def test_sorted_padding_never_worse(self, tiny_suite):
+        _, triples = tiny_suite[0]
+        for r in run_trajectory(triples, sigmas=(None, 8), chunks=(8,)):
+            assert (
+                r["padding_ratio_sorted"]
+                <= r["padding_ratio_natural"] + 1e-12
+            )
+            assert r["modelled_seconds"] > 0
+
+
+class TestSmoGate:
+    def test_bitwise_gate_passes(self):
+        gate = run_smo_gate(max_iter=120)
+        assert gate["pass"], gate["checks"]
+        assert all(gate["checks"].values())
+
+
+class TestSuitePlumbing:
+    def test_quick_suite_report_roundtrip(self, tmp_path):
+        payload = run_suite(quick=True, samples=1)
+        path = tmp_path / "BENCH_sell.json"
+        write_report(payload, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["headline"]["criterion"] == 1.4
+        assert "pass" in loaded["headline"]
+        assert loaded["smo_gate"]["pass"] is True
+        assert loaded["trajectory"]
+
+    def test_summary_renders(self):
+        payload = run_suite(quick=True, samples=1)
+        text = render_summary(payload)
+        assert "SMO" in text
+        assert "speedup" in text.lower()

@@ -1,0 +1,101 @@
+"""Mid-stream re-scheduling into the SELL family stays bitwise exact."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import powerlaw_rows_matrix
+from repro.formats import SparseVector
+from repro.formats.csr import CSRMatrix
+from repro.serve import (
+    EXACT_SERVE_FORMATS,
+    FormatRescheduler,
+    InferenceEngine,
+    PairSlice,
+    ServedModel,
+)
+from repro.svm.kernels import make_kernel
+
+
+def highvar_model(seed=0):
+    """A served binary model whose SV arena is heavy-tailed."""
+    rows, cols, vals, shape = powerlaw_rows_matrix(
+        500, 120, alpha=1.5, min_nnz=4, max_nnz=100, seed=seed
+    )
+    X = CSRMatrix.from_coo(rows, cols, vals, shape)
+    rng = np.random.default_rng(seed + 1)
+    coef = rng.standard_normal(shape[0])
+    pairs = [PairSlice(classes=(-1.0, 1.0), lo=0, hi=shape[0], bias=0.3)]
+    return ServedModel(X, coef, pairs, make_kernel("gaussian", gamma=0.2))
+
+
+def queries(n, dim, k, seed=0):
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(n):
+        xv = rng.standard_normal(dim) * (rng.random(dim) < 0.3)
+        out.append(SparseVector.from_dense(xv))
+    return out
+
+
+class TestSellFamilyInServe:
+    def test_initial_format_can_pick_a_sorted_layout(self):
+        model = highvar_model()
+        fmt = FormatRescheduler().initial_format(model.matrix)
+        assert fmt in ("RCSR", "RSELL", "SELL")
+
+    def test_convert_to_sell_family_is_bitwise_invisible(self):
+        model = highvar_model()
+        engine = InferenceEngine(model)
+        q = queries(6, 120, 4, seed=9)
+        want = engine.decision_function(q)
+        for fmt in ("SELL", "RCSR", "RSELL"):
+            assert engine.convert_to(fmt)
+            got = engine.decision_function(q)
+            assert np.array_equal(got, want), fmt
+            assert engine.convert_to("CSR")
+
+    def test_rescheduler_flips_stream_into_sorted_layout(self):
+        model = highvar_model(seed=3)
+        engine = InferenceEngine(model)
+        resched = FormatRescheduler(
+            window=16, check_every=4, min_gain=0.0
+        )
+        # pin the starting layout to CSR deliberately: the stream of
+        # wide batches must pull the engine into a sorted layout.
+        assert engine.format == "CSR"
+        q = queries(8, 120, 8, seed=5)
+        reference = engine.decision_function(q)
+
+        events = []
+        for _ in range(16):
+            engine.decision_function(q)
+            e = resched.after_batch(len(q), engine._matrix())
+            if e is not None:
+                events.append(e)
+                engine.convert_to(e.to_fmt)
+
+        assert events, "high-variance arena must trigger a flip"
+        assert events[0].from_fmt == "CSR"
+        assert events[0].to_fmt in ("RCSR", "RSELL", "SELL")
+        # after the flip the served answers are still bitwise the same
+        assert np.array_equal(engine.decision_function(q), reference)
+
+    def test_exact_serve_set_includes_sell_family(self):
+        assert {"SELL", "RCSR", "RSELL"} <= set(EXACT_SERVE_FORMATS)
+
+    def test_warm_cache_returns_identical_object(self):
+        model = highvar_model()
+        engine = InferenceEngine(model)
+        engine.convert_to("RSELL")
+        first = engine._matrix()
+        engine.convert_to("CSR")
+        engine.convert_to("RSELL")
+        assert engine._matrix() is first
+
+    def test_single_vector_path_bitwise_across_flip(self):
+        model = highvar_model(seed=7)
+        engine = InferenceEngine(model)
+        v = queries(1, 120, 1, seed=2)[0]
+        want = engine.decision_one(v)
+        engine.convert_to("RSELL")
+        assert np.array_equal(engine.decision_one(v), want)
