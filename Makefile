@@ -5,9 +5,9 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: lint test test-sanitize bench bench-sell serve-bench check
+.PHONY: lint test test-sanitize test-trace bench bench-sell serve-bench bench-obs check
 
-## Static analysis: the seven RDL rules over the whole tree, JSON mode,
+## Static analysis: the eight RDL rules over the whole tree, JSON mode,
 ## non-zero exit on any finding.  See docs/analysis.md.
 lint:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.analysis src tests
@@ -20,6 +20,11 @@ test:
 ## structural invariants (the runtime sanitizer's blanket switch).
 test-sanitize:
 	REPRO_SANITIZE=1 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+## Tier-1 suite with the global tracer enabled: observation must never
+## change behaviour (docs/observability.md).
+test-trace:
+	REPRO_TRACE=1 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
 ## SpMM benchmark suite (writes BENCH_smsv.json); `make bench QUICK=1`
 ## for the CI smoke variant.
@@ -39,5 +44,12 @@ bench-sell:
 serve-bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench serve $(if $(QUICK),--smoke)
 
+## Tracing-overhead gate (writes BENCH_obs.json): disabled-mode span
+## cost must stay under 2% of one SMSV call, and the no-op singleton
+## checks are deterministic.  `make bench-obs QUICK=1` for the CI
+## smoke variant (same gate, smaller matrix).
+bench-obs:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench obs $(if $(QUICK),--quick)
+
 ## Everything CI gates on.
-check: lint test test-sanitize
+check: lint test test-sanitize test-trace

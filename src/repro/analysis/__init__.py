@@ -7,7 +7,7 @@ cache keys — are stated in docstrings but were historically enforced by
 nothing.  This package enforces them with two cooperating layers:
 
 - :mod:`repro.analysis.lint` — an AST-based lint pass with the
-  repo-specific rule catalogue RDL001–RDL007 (``repro lint``).
+  repo-specific rule catalogue RDL001–RDL008 (``repro lint``).
 - :mod:`repro.analysis.sanitize` — a runtime sanitizer that validates
   the structural invariants of every storage format (CSR indptr
   monotonicity, COO canonical ordering, ELL padding, DIA offset bounds,

@@ -1,4 +1,4 @@
-"""The RDL rule catalogue: seven repo-specific invariants, enforced.
+"""The RDL rule catalogue: eight repo-specific invariants, enforced.
 
 Each rule encodes one convention the rest of the library relies on but
 cannot express in code.  The scopes are deliberately narrow — a rule
@@ -11,7 +11,7 @@ from __future__ import annotations
 import ast
 import re
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set
 
 from repro.analysis.lint import Finding, Rule, register
 
@@ -680,6 +680,208 @@ class SwallowedExceptionRule(Rule):
                     "re-raise with context, warn, or return an error "
                     "status",
                 )
+
+
+@register
+class SpanAllocationRule(Rule):
+    """RDL008: hot-path span sites must be free when tracing is off."""
+
+    code = "RDL008"
+    name = "span-allocation-unguarded"
+    rationale = """
+    The tracer's whole bargain is that instrumentation may live
+    permanently inside the SMO loop, the format kernels, and the
+    serving path because a disabled span costs one method call and
+    nothing else.  That bargain is broken at the *call site*, not in
+    the tracer: an f-string span name, a dict-literal attribute
+    payload, or a ``span.set(...)`` call outside an ``if
+    tracer.enabled:`` guard allocates and computes on every iteration
+    whether or not anyone is tracing — and the overhead gate
+    (``repro bench obs``) then fails for code the tracer itself cannot
+    see.  In the hot-path packages, arguments to ``.span(...)`` must
+    be allocation-free constants and every ``<span>.set(...)`` on a
+    ``with ....span(...) as <span>:`` target must sit under an
+    enabled guard (an enclosing ``if ....enabled:`` block counts).
+    """
+
+    _HOT = ("formats", "svm", "parallel", "serve", "core")
+    _ALLOC_NODES = (
+        ast.JoinedStr,
+        ast.Dict,
+        ast.List,
+        ast.Set,
+        ast.ListComp,
+        ast.SetComp,
+        ast.DictComp,
+        ast.GeneratorExp,
+    )
+    _ALLOC_CALL_NAMES = frozenset({"dict", "list", "set", "tuple"})
+    _ALLOC_CALL_ATTRS = frozenset({"format", "join"})
+
+    def applies_to(self, path: str) -> bool:
+        return _in_package(path, *self._HOT)
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        yield from self._walk(tree.body, False, frozenset(), path)
+
+    # -- statement walk carrying the guard state -----------------------
+    def _walk(
+        self,
+        stmts: List[ast.stmt],
+        guarded: bool,
+        span_vars: FrozenSet[str],
+        path: str,
+    ) -> Iterator[Finding]:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                names = set(span_vars)
+                for item in stmt.items:
+                    yield from self._scan_expr(
+                        item.context_expr, guarded, span_vars, path
+                    )
+                    if self._is_span_call(item.context_expr) and isinstance(
+                        item.optional_vars, ast.Name
+                    ):
+                        names.add(item.optional_vars.id)
+                yield from self._walk(
+                    stmt.body, guarded, frozenset(names), path
+                )
+            elif isinstance(stmt, ast.If):
+                yield from self._scan_expr(
+                    stmt.test, guarded, span_vars, path
+                )
+                yield from self._walk(
+                    stmt.body,
+                    guarded or self._is_enabled_guard(stmt.test),
+                    span_vars,
+                    path,
+                )
+                yield from self._walk(
+                    stmt.orelse, guarded, span_vars, path
+                )
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                yield from self._scan_expr(
+                    stmt.iter, guarded, span_vars, path
+                )
+                yield from self._walk(stmt.body, guarded, span_vars, path)
+                yield from self._walk(
+                    stmt.orelse, guarded, span_vars, path
+                )
+            elif isinstance(stmt, ast.While):
+                yield from self._scan_expr(
+                    stmt.test, guarded, span_vars, path
+                )
+                yield from self._walk(stmt.body, guarded, span_vars, path)
+                yield from self._walk(
+                    stmt.orelse, guarded, span_vars, path
+                )
+            elif isinstance(stmt, ast.Try):
+                yield from self._walk(stmt.body, guarded, span_vars, path)
+                for handler in stmt.handlers:
+                    yield from self._walk(
+                        handler.body, guarded, span_vars, path
+                    )
+                yield from self._walk(
+                    stmt.orelse, guarded, span_vars, path
+                )
+                yield from self._walk(
+                    stmt.finalbody, guarded, span_vars, path
+                )
+            elif isinstance(
+                stmt,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                # New scope: a guard outside a def does not protect the
+                # def's body at its (later) call time, and span targets
+                # do not leak in.
+                yield from self._walk(
+                    stmt.body, False, frozenset(), path
+                )
+            else:
+                yield from self._scan_expr(
+                    stmt, guarded, span_vars, path
+                )
+
+    def _scan_expr(
+        self,
+        node: ast.AST,
+        guarded: bool,
+        span_vars: FrozenSet[str],
+        path: str,
+    ) -> Iterator[Finding]:
+        if guarded:
+            return
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call) or not isinstance(
+                sub.func, ast.Attribute
+            ):
+                continue
+            args = list(sub.args) + [kw.value for kw in sub.keywords]
+            if sub.func.attr == "span":
+                for arg in args:
+                    if self._allocates(arg):
+                        yield self.finding(
+                            path,
+                            arg,
+                            "allocation in a .span(...) argument runs "
+                            "even with tracing disabled; use a constant "
+                            "name and set attributes under an "
+                            "`if tracer.enabled:` guard",
+                        )
+            elif (
+                sub.func.attr == "set"
+                and isinstance(sub.func.value, ast.Name)
+                and sub.func.value.id in span_vars
+            ):
+                yield self.finding(
+                    path,
+                    sub,
+                    f"span attribute call "
+                    f"{sub.func.value.id}.set(...) outside an "
+                    f"`if tracer.enabled:` guard computes its "
+                    f"arguments even with tracing disabled",
+                )
+
+    @staticmethod
+    def _is_span_call(node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "span"
+        )
+
+    @staticmethod
+    def _is_enabled_guard(test: ast.AST) -> bool:
+        return any(
+            isinstance(n, ast.Attribute) and n.attr == "enabled"
+            for n in ast.walk(test)
+        )
+
+    def _allocates(self, expr: ast.AST) -> bool:
+        for n in ast.walk(expr):
+            if isinstance(n, self._ALLOC_NODES):
+                return True
+            if isinstance(n, ast.Call):
+                f = n.func
+                if (
+                    isinstance(f, ast.Name)
+                    and f.id in self._ALLOC_CALL_NAMES
+                ):
+                    return True
+                if (
+                    isinstance(f, ast.Attribute)
+                    and f.attr in self._ALLOC_CALL_ATTRS
+                ):
+                    return True
+            if isinstance(n, ast.BinOp) and isinstance(
+                n.op, (ast.Mod, ast.Add)
+            ):
+                for side in (n.left, n.right):
+                    if isinstance(side, ast.Constant) and isinstance(
+                        side.value, str
+                    ):
+                        return True
+        return False
 
 
 #: Names of every registered rule code, for docs and tests.

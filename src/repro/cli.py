@@ -8,7 +8,11 @@ schedule  decide (and explain) the storage format for a LIBSVM file
 train     train an adaptive SVM on a LIBSVM file and report accuracy
 serve     simulate an online serving session (micro-batching + runtime
           layout re-scheduling) and report metrics
-bench     run a synthetic benchmark suite (smsv, sell, serve)
+bench     run a synthetic benchmark suite (smsv, sell, serve, obs)
+trace     run any other command with tracing on and export the span
+          tree, decision audit log, and metrics
+obs       observability reports (``obs report``: scheduler regret —
+          predicted vs measured format rankings)
 datasets  list the built-in Table V dataset clones
 table7    print the regenerated Table VII
 machines  list the hardware catalog (Table VII platforms + prices)
@@ -51,8 +55,11 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     (rows, cols, vals, shape), _y = read_libsvm(
         args.file, n_features=args.n_features
     )
+    from repro.obs import audit_dataset
+
     sched = LayoutScheduler(args.strategy)
-    decision = sched.decide_from_coo(rows, cols, vals, shape)
+    with audit_dataset(args.file):
+        decision = sched.decide_from_coo(rows, cols, vals, shape)
     print(f"format   : {decision.fmt}")
     print(f"strategy : {decision.strategy}")
     print(f"reason   : {decision.reason}")
@@ -73,6 +80,10 @@ def _cmd_train(args: argparse.Namespace) -> int:
         import os
 
         os.environ["REPRO_SANITIZE"] = "1"
+    if args.trace:
+        from repro.obs import enable_tracing
+
+        enable_tracing()
 
     (rows, cols, vals, shape), y = read_libsvm(
         args.file, n_features=args.n_features
@@ -102,8 +113,11 @@ def _cmd_train(args: argparse.Namespace) -> int:
         cache_mb=args.cache_mb,
         **({"gamma": args.gamma} if args.kernel in ("gaussian", "rbf") else {}),
     )
+    from repro.obs import audit_dataset
+
     t0 = time.perf_counter()
-    clf.fit(X, y_pm)
+    with audit_dataset(args.file):
+        clf.fit(X, y_pm)
     elapsed = time.perf_counter() - t0
     print(f"format      : {clf.chosen_format}")
     print(f"iterations  : {clf.result_.iterations}")
@@ -116,6 +130,11 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
+
+    if args.trace:
+        from repro.obs import enable_tracing
+
+        enable_tracing()
 
     from repro.serve import (
         AdmissionController,
@@ -187,14 +206,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     admission = AdmissionController(
         capacity=args.capacity, shed_at=args.shed_at
     )
-    report = simulate(
-        engine,
-        workload,
-        max_batch=args.max_batch,
-        max_wait_ms=args.max_wait_ms,
-        admission=admission,
-        rescheduler=resch,
-    )
+    from repro.obs import audit_dataset
+
+    with audit_dataset(workload.name):
+        report = simulate(
+            engine,
+            workload,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            admission=admission,
+            rescheduler=resch,
+        )
     snap = report.metrics.snapshot()
     if args.json:
         snap["workload"] = report.workload
@@ -259,6 +281,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         # Deterministic criteria (modelled speedup + bitwise SMO
         # agreement) — safe to gate on, unlike wall-clock suites.
         rc = 0 if payload["headline"]["pass"] else 1
+    elif args.what == "obs":
+        from repro.obs.bench import (
+            render_summary,
+            run_suite,
+            write_report,
+        )
+
+        payload = run_suite(quick=smoke, repeats=args.repeats)
+        out = args.out or "BENCH_obs.json"
+        # The no-op-singleton checks are deterministic and the timing
+        # gate has 4x headroom over true span cost — safe to gate on.
+        rc = 0 if payload["headline"]["pass"] else 1
     else:
         from repro.serve.bench import (
             render_summary,
@@ -272,6 +306,90 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(render_summary(payload))
     print(f"report      : {out}")
     return rc
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if not args.cmd or args.cmd[0] == "trace":
+        print(
+            "error: usage is `repro trace [--trace-out F ...] "
+            "<command> [args...]`",
+            file=sys.stderr,
+        )
+        return 2
+    misplaced = {
+        "--trace-out", "--chrome", "--audit-out", "--metrics-out"
+    } & set(args.cmd)
+    if misplaced:
+        # argparse.REMAINDER swallows everything after the wrapped
+        # command's name, so export options are only seen before it.
+        print(
+            f"error: {', '.join(sorted(misplaced))} must come before "
+            f"the wrapped command: repro trace [options] "
+            f"{args.cmd[0]} ...",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.obs import audit_log, enable_tracing, get_registry, get_tracer
+    from repro.obs.export import (
+        write_audit_jsonl,
+        write_chrome_trace,
+        write_prometheus,
+        write_spans_jsonl,
+    )
+
+    enable_tracing()
+    tracer = get_tracer()
+    rc = main(args.cmd)
+    spans = tracer.spans()
+    # Exports and the summary go to stderr-adjacent paths so a wrapped
+    # `--json` command's stdout stays machine-parseable.
+    if args.trace_out:
+        write_spans_jsonl(spans, args.trace_out)
+    if args.chrome:
+        write_chrome_trace(spans, args.chrome)
+    if args.audit_out:
+        write_audit_jsonl(audit_log().records(), args.audit_out)
+    if args.metrics_out:
+        write_prometheus(get_registry(), args.metrics_out)
+    outs = [
+        f"{label} -> {path}"
+        for label, path in (
+            ("spans", args.trace_out),
+            ("chrome", args.chrome),
+            ("audit", args.audit_out),
+            ("metrics", args.metrics_out),
+        )
+        if path
+    ]
+    print(
+        f"trace       : {len(spans)} spans, "
+        f"{len(audit_log().records())} audited decisions"
+        + (f" ({'; '.join(outs)})" if outs else ""),
+        file=sys.stderr,
+    )
+    return rc
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.report import (
+        render_report,
+        report_payload,
+        run_report,
+    )
+
+    records = run_report(
+        quick=args.quick,
+        repeats=args.repeats,
+        seed=args.seed,
+        batch_k=args.batch_k,
+    )
+    if args.json:
+        print(json.dumps(report_payload(records), indent=2, sort_keys=True))
+    else:
+        print(render_report(records))
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -398,6 +516,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="kernel-row cache budget in megabytes (LIBSVM -m "
         "semantics); default: a fixed row count",
     )
+    p.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable span tracing for the run (same as REPRO_TRACE=1; "
+        "use `repro trace train ...` to also export the spans)",
+    )
     p.set_defaults(func=_cmd_train)
 
     p = sub.add_parser(
@@ -437,6 +561,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="machine-readable metrics snapshot",
     )
+    p.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable span tracing for the session (same as "
+        "REPRO_TRACE=1; use `repro trace serve ...` to also export)",
+    )
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -445,11 +575,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "what",
-        choices=("smsv", "sell", "serve"),
+        choices=("smsv", "sell", "serve", "obs"),
         help="which suite to run (smsv: blocked SpMM + fused dual-row; "
         "sell: scheduled SELL-C-sigma vs fixed formats + SMO bitwise "
         "gate; serve: micro-batched serving throughput + re-schedule "
-        "demo)",
+        "demo; obs: disabled-mode tracing overhead gate)",
     )
     p.add_argument(
         "--quick",
@@ -485,8 +615,81 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(
+        "trace",
+        help="run another repro command with tracing on, then export "
+        "the span tree, decision audit log, and metrics",
+    )
+    p.add_argument(
+        "cmd",
+        nargs=argparse.REMAINDER,
+        metavar="command",
+        help="the command to run traced, with its own arguments "
+        "(e.g. `repro trace train data.libsvm --max-iter 100`)",
+    )
+    p.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write the spans as JSON-lines",
+    )
+    p.add_argument(
+        "--chrome",
+        default=None,
+        metavar="FILE",
+        help="write a chrome://tracing / Perfetto JSON trace",
+    )
+    p.add_argument(
+        "--audit-out",
+        default=None,
+        metavar="FILE",
+        help="write the scheduler decision audit log as JSON-lines",
+    )
+    p.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the metrics registry in Prometheus text format",
+    )
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "obs",
+        help="observability reports over the decision audit pipeline",
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    pr = obs_sub.add_parser(
+        "report",
+        help="scheduler regret: the cost model's predicted format "
+        "ranking vs the autotuner's measured one, per dataset",
+    )
+    pr.add_argument(
+        "--quick",
+        action="store_true",
+        help="small shapes (CI smoke mode)",
+    )
+    pr.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="autotuner probe repeats per format (default 3)",
+    )
+    pr.add_argument("--seed", type=int, default=0)
+    pr.add_argument(
+        "--batch-k",
+        type=int,
+        default=1,
+        help="batch width the rankings are priced at (default 1)",
+    )
+    pr.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable payload (rows + full decision records)",
+    )
+    pr.set_defaults(func=_cmd_obs_report)
+
+    p = sub.add_parser(
         "lint",
-        help="run the RDL static-analysis rules (RDL001-RDL007)",
+        help="run the RDL static-analysis rules (RDL001-RDL008)",
     )
     p.add_argument(
         "paths",

@@ -29,8 +29,10 @@ from repro.core.cost_model import ArchCalibration, CostModel
 from repro.core.rules import RuleThresholds, rule_based_choice
 from repro.features.extract import extract_profile, profile_from_coo
 from repro.features.profile import DatasetProfile
-from repro.formats.base import MatrixFormat
+from repro.formats.base import FORMAT_NAMES, MatrixFormat
 from repro.formats.convert import convert, format_class
+from repro.obs.audit import DecisionRecord, audit_log, current_dataset
+from repro.obs.trace import get_tracer
 
 STRATEGIES = ("rules", "cost", "probe", "hybrid")
 
@@ -211,18 +213,54 @@ class LayoutScheduler:
         values: np.ndarray,
         shape: Tuple[int, int],
     ) -> Decision:
-        """Decide the layout for a matrix given as COO triples."""
-        profile = profile_from_coo(rows, cols, shape)
-        cached = self.cache.get(profile, self.batch_k)
-        if cached is not None:
-            return Decision(
-                fmt=cached,
-                strategy=self.strategy,
-                reason="cached decision for an equivalent profile",
-                profile=profile,
-                cached=True,
-            )
+        """Decide the layout for a matrix given as COO triples.
 
+        Every call is audited: the nine profile parameters, the
+        model's per-format costs and the chosen format land in the
+        process :func:`~repro.obs.audit.audit_log`.  Under tracing the
+        decision is additionally *measured* (once per quantised
+        profile key) so the audit record can report regret.  The
+        decision itself is identical with and without tracing —
+        observation never changes scheduling.
+        """
+        tracer = get_tracer()
+        with tracer.span("schedule.decide") as sp:
+            profile = profile_from_coo(rows, cols, shape)
+            cached = self.cache.get(profile, self.batch_k)
+            if cached is not None:
+                decision = Decision(
+                    fmt=cached,
+                    strategy=self.strategy,
+                    reason="cached decision for an equivalent profile",
+                    profile=profile,
+                    cached=True,
+                )
+                measured: Dict[str, float] = {}
+            else:
+                decision, measured = self._decide_uncached(
+                    profile, rows, cols, values, shape
+                )
+                self.cache.put(profile, decision.fmt, self.batch_k)
+            if tracer.enabled:
+                sp.set("strategy", decision.strategy)
+                sp.set("fmt", decision.fmt)
+                sp.set("cached", decision.cached)
+                sp.set("batch_k", self.batch_k)
+            self._audit(decision, measured, rows, cols, values, shape)
+        return decision
+
+    def _decide_uncached(
+        self,
+        profile: DatasetProfile,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: np.ndarray,
+        shape: Tuple[int, int],
+    ) -> Tuple[Decision, Dict[str, float]]:
+        """Run the configured strategy; returns ``(decision, measured)``
+        where ``measured`` holds any probe timings the strategy took
+        anyway (free audit measurements for probe/hybrid)."""
+        measured: Dict[str, float] = {}
         if self.strategy == "rules":
             rd = rule_based_choice(profile, self.thresholds)
             decision = Decision(
@@ -255,6 +293,7 @@ class LayoutScheduler:
             results = self.tuner.probe(
                 rows, cols, values, shape, self.candidates
             )
+            measured = {r.fmt: r.median_seconds for r in results}
             decision = Decision(
                 fmt=results[0].fmt,
                 strategy="probe",
@@ -304,6 +343,7 @@ class LayoutScheduler:
                 )
             else:
                 results = self.tuner.probe(rows, cols, values, shape, short)
+                measured = {r.fmt: r.median_seconds for r in results}
                 decision = Decision(
                     fmt=results[0].fmt,
                     strategy="hybrid",
@@ -314,8 +354,76 @@ class LayoutScheduler:
                     profile=profile,
                 )
 
-        self.cache.put(profile, decision.fmt, self.batch_k)
-        return decision
+        return decision, measured
+
+    def _audit(
+        self,
+        decision: Decision,
+        measured: Dict[str, float],
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: np.ndarray,
+        shape: Tuple[int, int],
+    ) -> None:
+        """Leave the decision's audit record (regret inputs included).
+
+        ``predicted`` always carries the analytic model's view of the
+        rankable candidates.  ``measured`` is whatever the strategy
+        probed anyway; when tracing is on and the strategy did not
+        probe, the candidates are measured here — once per quantised
+        profile key (:meth:`AuditLog.seen_measurement`), so traced
+        test suites pay for one probe per distinct shape, not one per
+        ``schedule()`` call.
+        """
+        from repro.core.cost_model import ANALYTIC_FORMATS
+
+        log = audit_log()
+        profile = decision.profile
+        rankable = tuple(
+            c
+            for c in (self.candidates or FORMAT_NAMES)
+            if c in ANALYTIC_FORMATS
+        )
+        predicted: Dict[str, float] = {}
+        if rankable:
+            predicted = {
+                fc.fmt: fc.cost
+                for fc in self.cost_model.rank(
+                    profile, rankable, batch_k=self.batch_k
+                )
+            }
+        tracer = get_tracer()
+        key = DecisionCache.key(profile, self.batch_k)
+        if measured:
+            log.mark_measured(key)
+        elif (
+            tracer.enabled
+            and not decision.cached
+            and rankable
+            and not log.seen_measurement(key)
+        ):
+            with tracer.span("schedule.measure") as sp:
+                results = self.tuner.probe(
+                    rows, cols, values, shape, rankable
+                )
+                measured = {r.fmt: r.median_seconds for r in results}
+                if tracer.enabled:
+                    sp.set("formats", len(measured))
+            log.mark_measured(key)
+        log.record(
+            DecisionRecord(
+                source="schedule",
+                dataset=current_dataset(),
+                strategy=decision.strategy,
+                batch_k=self.batch_k,
+                chosen=decision.fmt,
+                reason=decision.reason,
+                cached=decision.cached,
+                features=profile.as_dict(),
+                predicted=predicted,
+                measured=measured,
+            )
+        )
 
     def decide(self, matrix: MatrixFormat) -> Decision:
         """Decide the layout for an already-stored matrix."""

@@ -15,6 +15,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.formats.base import VALUE_DTYPE, MatrixFormat
+from repro.obs.trace import get_tracer
 from repro.formats.bcsr import BCSRMatrix
 from repro.formats.coo import COOMatrix
 from repro.formats.csc import CSCMatrix
@@ -63,8 +64,14 @@ def convert(
     cls = format_class(target) if isinstance(target, str) else target
     if isinstance(matrix, cls):
         return matrix
-    rows, cols, values = matrix.to_coo()
-    return cls.from_coo(rows, cols, values, matrix.shape)
+    tracer = get_tracer()
+    with tracer.span("formats.convert") as sp:
+        if tracer.enabled:
+            sp.set("from", matrix.name)
+            sp.set("to", cls.name)
+            sp.set("nnz", int(matrix.nnz))
+        rows, cols, values = matrix.to_coo()
+        return cls.from_coo(rows, cols, values, matrix.shape)
 
 
 def from_dense(

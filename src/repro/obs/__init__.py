@@ -1,0 +1,124 @@
+"""repro.obs — unified tracing, metrics, and scheduler-regret auditing.
+
+The observability layer the rest of the repo reports into:
+
+* :mod:`repro.obs.trace` — span tracer (``REPRO_TRACE=1`` /
+  ``--trace``), zero-allocation when disabled;
+* :mod:`repro.obs.metrics` — one registry of counters / gauges /
+  histograms with mergeable per-thread shards;
+* :mod:`repro.obs.audit` — the scheduler decision audit log and
+  regret accounting;
+* :mod:`repro.obs.export` — JSON-lines, Prometheus text, and
+  chrome://tracing exporters;
+* :mod:`repro.obs.report` — the ``repro obs report`` regret suite;
+* :mod:`repro.obs.bench` — the disabled-mode overhead gate
+  (``repro bench obs``).
+"""
+
+from repro.obs.audit import (
+    AuditLog,
+    DecisionRecord,
+    RegretRow,
+    audit_dataset,
+    audit_log,
+    current_dataset,
+    regret_rows,
+    render_regret_table,
+)
+from repro.obs.export import (
+    read_audit_jsonl,
+    read_spans_jsonl,
+    registry_to_prometheus,
+    spans_to_chrome_trace,
+    spans_to_jsonl,
+    validate_chrome_trace,
+    write_audit_jsonl,
+    write_chrome_trace,
+    write_prometheus,
+    write_spans_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsShard,
+    get_registry,
+    opcounter_view,
+)
+from repro.obs.trace import (
+    NOOP_SPAN,
+    SpanNode,
+    SpanRecord,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    span_tree,
+    trace_enabled,
+)
+
+# report/bench sit above the formats/data layers that themselves
+# import repro.obs, so they must resolve lazily to keep this package
+# importable from the bottom of the stack.
+_LAZY = {
+    "REPORT_DATASET_NAMES": "repro.obs.report",
+    "render_report": "repro.obs.report",
+    "report_payload": "repro.obs.report",
+    "run_report": "repro.obs.report",
+    "run_overhead_bench": "repro.obs.bench",
+}
+
+
+def __getattr__(name):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(
+            f"module 'repro.obs' has no attribute {name!r}"
+        )
+    import importlib
+
+    return getattr(importlib.import_module(module), name)
+
+
+__all__ = [
+    "AuditLog",
+    "Counter",
+    "DecisionRecord",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsShard",
+    "NOOP_SPAN",
+    "REPORT_DATASET_NAMES",
+    "RegretRow",
+    "SpanNode",
+    "SpanRecord",
+    "Tracer",
+    "audit_dataset",
+    "audit_log",
+    "current_dataset",
+    "disable_tracing",
+    "enable_tracing",
+    "get_registry",
+    "get_tracer",
+    "opcounter_view",
+    "read_audit_jsonl",
+    "read_spans_jsonl",
+    "regret_rows",
+    "registry_to_prometheus",
+    "render_regret_table",
+    "render_report",
+    "report_payload",
+    "run_overhead_bench",
+    "run_report",
+    "span_tree",
+    "spans_to_chrome_trace",
+    "spans_to_jsonl",
+    "trace_enabled",
+    "validate_chrome_trace",
+    "write_audit_jsonl",
+    "write_chrome_trace",
+    "write_prometheus",
+    "write_spans_jsonl",
+]

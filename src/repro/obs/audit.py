@@ -1,0 +1,241 @@
+"""The scheduler decision audit log and regret accounting.
+
+Every ``schedule()`` call — training-time layout decisions and
+serving-time re-schedule flips alike — leaves a :class:`DecisionRecord`
+here: the nine influencing parameters the paper's decision system runs
+on, the per-format costs the model predicted, and the format that was
+chosen.  When tracing is enabled the scheduler additionally *measures*
+each candidate (the autotuner's probe discipline), so the record can
+answer the question the repo previously could not: did the prediction
+pick the format that actually won?
+
+**Regret** is the measured penalty of trusting the model::
+
+    regret = measured(predicted_best) / measured(measured_best) - 1
+
+0.0 means the model's winner was also the measured winner; 0.25 means
+the run paid 25 % over the best available layout.  ``repro obs
+report`` renders the per-dataset regret table over the synthetic
+suite; per-flip serve records appear in the same log with
+``source="serve"``.
+
+Dataset labels travel on a context variable
+(:func:`audit_dataset`) so the scheduler itself stays label-agnostic.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple
+
+_DATASET: contextvars.ContextVar[str] = contextvars.ContextVar(
+    "repro_obs_audit_dataset", default=""
+)
+
+
+@contextlib.contextmanager
+def audit_dataset(label: str) -> Iterator[None]:
+    """Label every decision recorded inside the block with ``label``."""
+    token = _DATASET.set(label)
+    try:
+        yield
+    finally:
+        _DATASET.reset(token)
+
+
+def current_dataset() -> str:
+    return _DATASET.get()
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One audited scheduling decision.
+
+    ``predicted`` maps format name to model cost (dimensionless model
+    units); ``measured`` maps format name to probed median seconds and
+    is empty unless tracing was on (or the strategy probed anyway).
+    """
+
+    source: str  #: "schedule" (training-time) or "serve" (runtime flip)
+    dataset: str
+    strategy: str
+    batch_k: int
+    chosen: str
+    reason: str
+    cached: bool
+    features: Dict[str, float] = field(default_factory=dict)
+    predicted: Dict[str, float] = field(default_factory=dict)
+    measured: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def predicted_best(self) -> Optional[str]:
+        if not self.predicted:
+            return None
+        return min(self.predicted, key=self.predicted.__getitem__)
+
+    @property
+    def measured_best(self) -> Optional[str]:
+        if not self.measured:
+            return None
+        return min(self.measured, key=self.measured.__getitem__)
+
+    def regret(self) -> Optional[float]:
+        """Measured cost penalty of the model's pick; ``None`` if the
+        record carries no measurement covering the predicted best."""
+        pb, mb = self.predicted_best, self.measured_best
+        if pb is None or mb is None or pb not in self.measured:
+            return None
+        best = self.measured[mb]
+        if best <= 0.0:
+            return 0.0
+        return self.measured[pb] / best - 1.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "source": self.source,
+            "dataset": self.dataset,
+            "strategy": self.strategy,
+            "batch_k": self.batch_k,
+            "chosen": self.chosen,
+            "reason": self.reason,
+            "cached": self.cached,
+            "features": dict(self.features),
+            "predicted": dict(self.predicted),
+            "measured": dict(self.measured),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "DecisionRecord":
+        return cls(
+            source=str(d["source"]),
+            dataset=str(d.get("dataset", "")),
+            strategy=str(d["strategy"]),
+            batch_k=int(d.get("batch_k", 1)),
+            chosen=str(d["chosen"]),
+            reason=str(d.get("reason", "")),
+            cached=bool(d.get("cached", False)),
+            features=dict(d.get("features", {})),
+            predicted=dict(d.get("predicted", {})),
+            measured=dict(d.get("measured", {})),
+        )
+
+
+class AuditLog:
+    """Bounded, thread-safe store of decision records.
+
+    ``seen_measurement`` / ``mark_measured`` implement the probing
+    dedupe: under ``REPRO_TRACE=1`` the scheduler measures candidates
+    once per (quantised profile, batch_k) key, so a test suite that
+    schedules the same shapes hundreds of times pays for one probe,
+    not hundreds.
+    """
+
+    def __init__(self, maxlen: int = 4096) -> None:
+        if maxlen < 1:
+            raise ValueError("maxlen must be >= 1")
+        self._records: Deque[DecisionRecord] = deque(maxlen=maxlen)
+        self._measured_keys: set = set()
+        self._lock = threading.Lock()
+
+    def record(self, rec: DecisionRecord) -> None:
+        with self._lock:
+            self._records.append(rec)
+
+    def records(self, source: Optional[str] = None) -> List[DecisionRecord]:
+        with self._lock:
+            out = list(self._records)
+        if source is not None:
+            out = [r for r in out if r.source == source]
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self._measured_keys.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    # -- measurement dedupe ---------------------------------------------
+    def seen_measurement(self, key: Tuple) -> bool:
+        with self._lock:
+            return key in self._measured_keys
+
+    def mark_measured(self, key: Tuple) -> None:
+        with self._lock:
+            self._measured_keys.add(key)
+
+
+# -- regret rollup -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RegretRow:
+    """One line of the regret table."""
+
+    dataset: str
+    source: str
+    batch_k: int
+    chosen: str
+    predicted_best: Optional[str]
+    measured_best: Optional[str]
+    regret: Optional[float]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "dataset": self.dataset,
+            "source": self.source,
+            "batch_k": self.batch_k,
+            "chosen": self.chosen,
+            "predicted_best": self.predicted_best,
+            "measured_best": self.measured_best,
+            "regret": self.regret,
+        }
+
+
+def regret_rows(records: List[DecisionRecord]) -> List[RegretRow]:
+    """Flatten records into table rows (one per record, input order)."""
+    return [
+        RegretRow(
+            dataset=r.dataset or "<unlabelled>",
+            source=r.source,
+            batch_k=r.batch_k,
+            chosen=r.chosen,
+            predicted_best=r.predicted_best,
+            measured_best=r.measured_best,
+            regret=r.regret(),
+        )
+        for r in records
+    ]
+
+
+def render_regret_table(rows: List[RegretRow]) -> str:
+    """Fixed-width regret table (what ``repro obs report`` prints)."""
+    header = (
+        f"{'dataset':<16s} {'source':<9s} {'k':>3s} {'chosen':<7s} "
+        f"{'predicted':<10s} {'measured':<9s} {'regret':>8s}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        regret = "  --  " if r.regret is None else f"{r.regret * 100:.1f}%"
+        lines.append(
+            f"{r.dataset:<16s} {r.source:<9s} {r.batch_k:>3d} "
+            f"{r.chosen:<7s} {(r.predicted_best or '--'):<10s} "
+            f"{(r.measured_best or '--'):<9s} {regret:>8s}"
+        )
+    return "\n".join(lines)
+
+
+# -- the process-wide log ------------------------------------------------
+
+_GLOBAL = AuditLog()
+
+
+def audit_log() -> AuditLog:
+    """The process-wide decision audit log."""
+    return _GLOBAL

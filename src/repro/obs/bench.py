@@ -1,0 +1,196 @@
+"""The disabled-mode tracing overhead gate (``repro bench obs``).
+
+The tracer's contract is that instrumentation left permanently in hot
+paths is *free when disabled*.  This bench checks that two ways:
+
+1. **Deterministically**: a disabled tracer must hand out the process
+   no-op singleton from every ``span()`` call (identity, not equality
+   — zero allocation) and must record nothing.  These checks cannot
+   flake and are the primary gate.
+2. **Empirically**: the disabled span's per-entry cost is measured
+   directly in a tight loop (nanoseconds, stable even on a loaded
+   box), the bare SMSV kernel's per-call cost is measured the same
+   way, and the gate is their quotient: one disabled span per kernel
+   call must cost under the threshold (default 2 %) of the call.
+   Gating on the quotient of two *directly measured* costs — instead
+   of the difference of two nearly-equal end-to-end timings — is what
+   keeps a 2 % gate stable on a single-core CI container where
+   run-to-run kernel jitter alone exceeds 5 %.  The end-to-end
+   interleaved ratio is still reported, as information.
+
+``pass`` requires both; the payload lands in ``BENCH_obs.json`` and
+CI's ``obs-overhead-smoke`` job gates on it.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.data.synthetic import uniform_rows_matrix
+from repro.formats.csr import CSRMatrix
+from repro.obs.trace import NOOP_SPAN, Tracer
+
+#: Disabled-mode overhead gate: span cost as a fraction of one SMSV
+#: kernel call (0.02 = the 2 % budget).
+OVERHEAD_THRESHOLD = 0.02
+
+
+def run_overhead_bench(
+    *,
+    quick: bool = False,
+    rounds: int = 9,
+    calls: int = 64,
+    seed: int = 0,
+    threshold: float = OVERHEAD_THRESHOLD,
+) -> Dict[str, Any]:
+    """Measure disabled-span overhead on the SMSV hot path.
+
+    Uses a private disabled :class:`Tracer` so the result is
+    independent of ``REPRO_TRACE`` in the environment — the question
+    is what *disabled* instrumentation costs, wherever the global
+    tracer happens to be.
+    """
+    if rounds < 1 or calls < 1:
+        raise ValueError("rounds and calls must be >= 1")
+    # quick shrinks only the matrix, never the round count — with a
+    # smaller per-round time the gate needs MORE samples, not fewer,
+    # to keep timer jitter out of the ratio.
+    m, n, row_nnz = (1024, 256, 16) if quick else (4096, 512, 32)
+
+    rows, cols, values, shape = uniform_rows_matrix(
+        m, n, row_nnz, seed=seed
+    )
+    matrix = CSRMatrix.from_coo(rows, cols, values, shape)
+    v = matrix.row(0)  # the SMO access pattern: a row as the query
+
+    tracer = Tracer(enabled=False)
+    # Deterministic gate: disabled span() returns the shared no-op
+    # singleton — same object every call, nothing allocated, nothing
+    # recorded.
+    noop_singleton = (
+        tracer.span("bench.smsv") is NOOP_SPAN
+        and tracer.span("bench.smsv") is tracer.span("other")
+    )
+
+    clock = time.perf_counter
+
+    # The gated quantity: what one disabled span entry/exit costs,
+    # measured in a tight loop where the cost dominates the loop
+    # overhead it is charged with (a conservative over-estimate).
+    span_iters = 20_000 if quick else 50_000
+
+    def span_only() -> None:
+        for _ in range(span_iters):
+            with tracer.span("smo.iteration"):
+                pass
+
+    def bare() -> None:
+        for _ in range(calls):
+            matrix.smsv(v)
+
+    def instrumented() -> None:
+        for _ in range(calls):
+            with tracer.span("smo.iteration"):
+                matrix.smsv(v)
+
+    # Warm every path once (allocator, caches) before timing.
+    span_only()
+    bare()
+    instrumented()
+
+    t_span = []
+    t_bare = []
+    t_inst = []
+    for _ in range(rounds):
+        t0 = clock()
+        span_only()
+        t_span.append(clock() - t0)
+        t0 = clock()
+        bare()
+        t_bare.append(clock() - t0)
+        t0 = clock()
+        instrumented()
+        t_inst.append(clock() - t0)
+
+    # Minimum, not median: scheduler noise only ever ADDS time, so the
+    # fastest round is the cleanest estimate of each true cost.
+    span_per_call = min(t_span) / span_iters
+    bare_per_call = min(t_bare) / calls
+    overhead = (
+        span_per_call / bare_per_call if bare_per_call > 0 else 1.0
+    )
+    insitu_ratio = (
+        min(t_inst) / min(t_bare) if min(t_bare) > 0 else 1.0
+    )
+    nothing_recorded = len(tracer) == 0 and tracer.dropped == 0
+
+    return {
+        "suite": "obs-overhead",
+        "quick": quick,
+        "shape": [m, n],
+        "row_nnz": row_nnz,
+        "calls_per_round": calls,
+        "rounds": rounds,
+        "span_iters": span_iters,
+        "noop_singleton": bool(noop_singleton),
+        "nothing_recorded": bool(nothing_recorded),
+        "span_cost_s": span_per_call,
+        "smsv_cost_s": bare_per_call,
+        "bare_median_s": statistics.median(t_bare),
+        "instrumented_median_s": statistics.median(t_inst),
+        "insitu_ratio": insitu_ratio,
+        "overhead_fraction": overhead,
+        "threshold": threshold,
+        "headline": {
+            "pass": bool(
+                noop_singleton
+                and nothing_recorded
+                and overhead < threshold
+            ),
+            "overhead_pct": overhead * 100.0,
+        },
+    }
+
+
+#: CLI-facing aliases matching the other bench suites' module shape.
+def run_suite(
+    *, quick: bool = False, repeats: int = None, seed: int = 0
+) -> Dict[str, Any]:
+    kwargs: Dict[str, Any] = {"quick": quick, "seed": seed}
+    if repeats is not None:
+        kwargs["rounds"] = repeats
+    return run_overhead_bench(**kwargs)
+
+
+def render_summary(payload: Dict[str, Any]) -> str:
+    h = payload["headline"]
+    lines = [
+        "obs overhead (disabled-mode tracing on the SMSV hot path)",
+        f"  shape       : {tuple(payload['shape'])} at "
+        f"{payload['row_nnz']} nnz/row, "
+        f"{payload['calls_per_round']} calls x {payload['rounds']} rounds",
+        f"  no-op span  : "
+        f"{'singleton' if payload['noop_singleton'] else 'ALLOCATES'}",
+        f"  recorded    : "
+        f"{'nothing' if payload['nothing_recorded'] else 'SPANS LEAKED'}",
+        f"  span cost   : {payload['span_cost_s'] * 1e9:.0f} ns "
+        f"per disabled span",
+        f"  kernel cost : {payload['smsv_cost_s'] * 1e6:.1f} us "
+        f"per SMSV call",
+        f"  in-situ     : {(payload['insitu_ratio'] - 1) * 100:+.2f}% "
+        f"(interleaved end-to-end; informational)",
+        f"  overhead    : {h['overhead_pct']:.3f}% of one kernel call "
+        f"(gate < {payload['threshold'] * 100:.0f}%)",
+        f"  pass        : {h['pass']}",
+    ]
+    return "\n".join(lines)
+
+
+def write_report(
+    payload: Dict[str, Any], path: Union[str, Path]
+) -> None:
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))

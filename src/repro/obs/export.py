@@ -1,0 +1,211 @@
+"""Exporters: JSON-lines, Prometheus text format, chrome://tracing.
+
+Three consumers, three formats:
+
+* **JSON-lines** is the archival format — one span (or decision
+  record) per line, lossless: reloading a trace yields records equal
+  to the originals (Python's ``json`` round-trips floats exactly via
+  ``repr``), which the round-trip tests pin.
+* **Prometheus text format** (version 0.0.4) exposes a
+  :class:`~repro.obs.metrics.MetricsRegistry` for scraping: counters
+  and gauges as single samples, histograms as cumulative ``_bucket``
+  series plus ``_sum``/``_count``.
+* **chrome://tracing JSON** renders span timelines in any Chromium's
+  ``about:tracing`` (or Perfetto): complete events (``"ph": "X"``)
+  with microsecond timestamps.  :func:`validate_chrome_trace` checks
+  payloads against the event-format schema so CI can gate on a full
+  ``repro train --trace`` run producing a loadable file.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.obs.audit import DecisionRecord
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import SpanRecord
+
+# -- JSON-lines ----------------------------------------------------------
+
+
+def spans_to_jsonl(spans: List[SpanRecord]) -> str:
+    """One span per line; lossless (see the round-trip tests)."""
+    return "\n".join(json.dumps(s.as_dict(), sort_keys=True) for s in spans)
+
+
+def write_spans_jsonl(
+    spans: List[SpanRecord], path: Union[str, Path]
+) -> None:
+    text = spans_to_jsonl(spans)
+    Path(path).write_text(text + ("\n" if text else ""))
+
+
+def read_spans_jsonl(path: Union[str, Path]) -> List[SpanRecord]:
+    out: List[SpanRecord] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            out.append(SpanRecord.from_dict(json.loads(line)))
+    return out
+
+
+def audit_to_jsonl(records: List[DecisionRecord]) -> str:
+    return "\n".join(
+        json.dumps(r.as_dict(), sort_keys=True) for r in records
+    )
+
+
+def write_audit_jsonl(
+    records: List[DecisionRecord], path: Union[str, Path]
+) -> None:
+    text = audit_to_jsonl(records)
+    Path(path).write_text(text + ("\n" if text else ""))
+
+
+def read_audit_jsonl(path: Union[str, Path]) -> List[DecisionRecord]:
+    out: List[DecisionRecord] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            out.append(DecisionRecord.from_dict(json.loads(line)))
+    return out
+
+
+# -- Prometheus text format ----------------------------------------------
+
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """Sanitise a metric name into the Prometheus grammar."""
+    out = _PROM_NAME_RE.sub("_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _prom_value(v: float) -> str:
+    if v == float("inf"):
+        return "+Inf"
+    if v == float("-inf"):
+        return "-Inf"
+    return repr(float(v))
+
+
+def registry_to_prometheus(registry: MetricsRegistry) -> str:
+    """Render a registry in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for metric in registry.collect():
+        name = _prom_name(metric.name)
+        if metric.help:
+            lines.append(f"# HELP {name} {metric.help}")
+        lines.append(f"# TYPE {name} {metric.kind}")
+        if metric.kind in ("counter", "gauge"):
+            lines.append(f"{name} {_prom_value(metric.value)}")
+        else:  # histogram
+            for le, count in metric.bucket_counts():
+                lines.append(
+                    f'{name}_bucket{{le="{_prom_value(le)}"}} {count}'
+                )
+            lines.append(f"{name}_sum {_prom_value(metric.total)}")
+            lines.append(f"{name}_count {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(
+    registry: MetricsRegistry, path: Union[str, Path]
+) -> None:
+    Path(path).write_text(registry_to_prometheus(registry))
+
+
+# -- chrome://tracing ----------------------------------------------------
+
+#: Phase values this exporter emits (complete events only).
+_CHROME_PHASES = {"X"}
+
+
+def spans_to_chrome_trace(
+    spans: List[SpanRecord], *, pid: int = 1
+) -> Dict[str, Any]:
+    """Complete-event (``ph: X``) trace in the chrome JSON object form.
+
+    Timestamps and durations are microseconds per the event-format
+    spec; span attributes land in ``args`` together with the span and
+    parent ids so the hierarchy survives into the viewer.
+    """
+    events: List[Dict[str, Any]] = []
+    for s in spans:
+        args: Dict[str, Any] = {k: v for k, v in s.attrs}
+        args["span_id"] = s.span_id
+        if s.parent_id is not None:
+            args["parent_id"] = s.parent_id
+        events.append(
+            {
+                "name": s.name,
+                "cat": s.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": s.start * 1e6,
+                "dur": max(s.end - s.start, 0.0) * 1e6,
+                "pid": pid,
+                "tid": 1,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    spans: List[SpanRecord], path: Union[str, Path]
+) -> None:
+    payload = spans_to_chrome_trace(spans)
+    validate_chrome_trace(payload)
+    Path(path).write_text(json.dumps(payload))
+
+
+def validate_chrome_trace(payload: Dict[str, Any]) -> None:
+    """Check a payload against the trace-event-format schema.
+
+    Raises ``ValueError`` naming the first offending event.  Checked:
+    the object form (``traceEvents`` list), per-event required keys,
+    known phase, numeric non-negative ``ts``/``dur``, integer
+    ``pid``/``tid``, and JSON-serialisable ``args``.
+    """
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ValueError(
+            "chrome trace must be the object form with a 'traceEvents' key"
+        )
+    events = payload["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            raise ValueError(f"event {i} is not an object")
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in e:
+                raise ValueError(f"event {i} missing required key {key!r}")
+        if e["ph"] not in _CHROME_PHASES:
+            raise ValueError(
+                f"event {i} has unsupported phase {e['ph']!r}"
+            )
+        if not isinstance(e["ts"], (int, float)) or e["ts"] < 0:
+            raise ValueError(f"event {i} has invalid ts {e['ts']!r}")
+        if e["ph"] == "X":
+            if "dur" not in e:
+                raise ValueError(f"complete event {i} missing 'dur'")
+            if not isinstance(e["dur"], (int, float)) or e["dur"] < 0:
+                raise ValueError(
+                    f"event {i} has invalid dur {e['dur']!r}"
+                )
+        for key in ("pid", "tid"):
+            if not isinstance(e[key], int):
+                raise ValueError(f"event {i} has non-integer {key!r}")
+        if "args" in e:
+            try:
+                json.dumps(e["args"])
+            except (TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"event {i} has non-JSON args: {exc}"
+                ) from exc

@@ -1,0 +1,351 @@
+"""The unified metrics registry: counters, gauges, histograms.
+
+One store for every number the runtime reports about itself.  The
+pre-existing instrument classes become *views* over it:
+
+* :class:`~repro.perf.counters.OpCounter` snapshots surface as
+  callback gauges (:func:`opcounter_view`) that read the live counter
+  at collection time;
+* :class:`~repro.serve.metrics.ServeMetrics` computes its p50/95/99
+  through the :class:`Histogram` primitive here (one quantile
+  implementation for the whole repo) and publishes its session totals
+  via :meth:`~repro.serve.metrics.ServeMetrics.registry_view`.
+
+Thread model: the registry itself is lock-protected and safe to share.
+For the parallel kernels — where a lock per block observation would
+serialise exactly the code being parallelised — :meth:`MetricsRegistry.
+shard` hands out lock-free *shards*: registry-shaped local stores a
+single worker fills and the caller merges back in one locked step.
+
+All quantile handling is NaN-free by construction: an empty histogram
+reports zeros (there is nothing to summarise, not an undefined
+number), and a one-sample histogram reports that sample at every
+percentile.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Percentiles the standard summary reports (matches serving SLOs).
+SUMMARY_PERCENTILES = (50.0, 95.0, 99.0)
+
+#: Default histogram bucket upper bounds for the Prometheus exporter
+#: (seconds-flavoured: covers sub-ms kernel spans up to multi-second
+#: runs).  ``+Inf`` is always appended at export time.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value: float = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        if n < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += n
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+
+class Gauge:
+    """A point-in-time value, settable or computed by a callback.
+
+    Callback gauges are what makes existing instruments *views* over
+    the registry: collection calls ``fn()`` so the exported number is
+    always the live one, with no copy kept in sync.
+    """
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self._value: float = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        if self._fn is not None:
+            raise ValueError(f"gauge {self.name!r} is callback-backed")
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self._value
+
+    def merge(self, other: "Gauge") -> None:
+        # Last write wins: a shard's gauge overrides only if it was set.
+        if other._fn is None:
+            self._value = other._value
+
+
+class Histogram:
+    """Raw-sample histogram with exact, NaN-free quantiles.
+
+    This is the repo's single quantile implementation.  ``percentile``
+    uses numpy's ``lower`` interpolation so every reported percentile
+    is an actual observed sample (bit-reproducible across numpy
+    versions); the empty window reports ``0.0`` everywhere and a
+    one-sample window reports that sample at every percentile — never
+    ``NaN``.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str = "",
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.buckets = tuple(sorted(buckets))
+        self.samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.samples.append(float(value))
+
+    def observe_many(self, values: Sequence[float]) -> None:
+        self.samples.extend(float(v) for v in values)
+
+    # -- reading ---------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.samples))
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile ("lower" method); 0.0 when empty."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self.samples:
+            return 0.0
+        arr = np.asarray(self.samples, dtype=np.float64)
+        return float(np.percentile(arr, q, method="lower"))
+
+    def mean(self) -> float:
+        if not self.samples:
+            return 0.0
+        return self.total / len(self.samples)
+
+    def max(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Count, p50/p95/p99, mean and max — all NaN-free."""
+        if not self.samples:
+            return {
+                "count": 0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+                "mean": 0.0, "max": 0.0,
+            }
+        arr = np.asarray(self.samples, dtype=np.float64)
+        p50, p95, p99 = (
+            float(np.percentile(arr, q, method="lower"))
+            for q in SUMMARY_PERCENTILES
+        )
+        return {
+            "count": int(arr.shape[0]),
+            "p50": p50,
+            "p95": p95,
+            "p99": p99,
+            "mean": float(arr.mean()),
+            "max": float(arr.max()),
+        }
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        """Cumulative ``(le, count)`` pairs for the Prometheus format."""
+        arr = np.asarray(self.samples, dtype=np.float64)
+        out = []
+        for b in self.buckets:
+            out.append((b, int((arr <= b).sum()) if arr.size else 0))
+        out.append((float("inf"), int(arr.size)))
+        return out
+
+    def merge(self, other: "Histogram") -> None:
+        self.samples.extend(other.samples)
+
+
+Metric = Any  # Counter | Gauge | Histogram
+
+
+class _MetricStore:
+    """Name -> metric map with get-or-create-by-kind semantics."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get(self, name: str, kind: str, factory) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif metric.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as a {metric.kind}"
+            )
+        return metric
+
+
+class MetricsShard(_MetricStore):
+    """A lock-free, single-thread view of the registry.
+
+    Workers fill a shard with the same ``counter``/``gauge``/
+    ``histogram`` API and the owner merges it back with
+    :meth:`MetricsRegistry.merge` — one lock acquisition per shard
+    instead of one per observation.
+    """
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, "counter", lambda: Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, "gauge", lambda: Gauge(name, help))
+
+    def histogram(
+        self, name: str, help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get(
+            name, "histogram", lambda: Histogram(name, help, buckets)
+        )
+
+
+class MetricsRegistry(_MetricStore):
+    """The process store: thread-safe registration, collection, merge."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._lock = threading.Lock()
+
+    # -- registration ----------------------------------------------------
+    def counter(self, name: str, help: str = "") -> Counter:
+        with self._lock:
+            return self._get(name, "counter", lambda: Counter(name, help))
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        fn: Optional[Callable[[], float]] = None,
+    ) -> Gauge:
+        with self._lock:
+            g = self._get(name, "gauge", lambda: Gauge(name, help, fn))
+            if fn is not None:
+                g._fn = fn
+            return g
+
+    def histogram(
+        self, name: str, help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        with self._lock:
+            return self._get(
+                name, "histogram", lambda: Histogram(name, help, buckets)
+            )
+
+    # -- shards ----------------------------------------------------------
+    def shard(self) -> MetricsShard:
+        """A fresh lock-free shard to be filled by one worker."""
+        return MetricsShard()
+
+    def merge(self, shard: MetricsShard) -> None:
+        """Fold a shard's deltas in (one locked pass)."""
+        with self._lock:
+            for name, metric in shard._metrics.items():
+                if metric.kind == "counter":
+                    self._get(name, "counter",
+                              lambda: Counter(name, metric.help)
+                              ).merge(metric)
+                elif metric.kind == "gauge":
+                    self._get(name, "gauge",
+                              lambda: Gauge(name, metric.help)
+                              ).merge(metric)
+                else:
+                    self._get(
+                        name, "histogram",
+                        lambda: Histogram(name, metric.help, metric.buckets),
+                    ).merge(metric)
+
+    # -- reading ---------------------------------------------------------
+    def collect(self) -> List[Metric]:
+        """All metrics, name-sorted (the exporters' input)."""
+        with self._lock:
+            return [self._metrics[k] for k in sorted(self._metrics)]
+
+    def get(self, name: str) -> Optional[Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready snapshot (histograms as summaries)."""
+        out: Dict[str, Any] = {}
+        for metric in self.collect():
+            if metric.kind == "histogram":
+                out[metric.name] = metric.summary()
+            else:
+                out[metric.name] = metric.value
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+
+def opcounter_view(
+    registry: MetricsRegistry, counter, prefix: str = "repro_ops"
+) -> List[Gauge]:
+    """Register live gauges over every field of an ``OpCounter``.
+
+    The gauges are callback-backed: collection reads the counter at
+    that moment, so the registry is a *view*, not a copy.  Fields are
+    discovered from the dataclass, so counters grown by later PRs are
+    picked up automatically (the same exhaustiveness contract the
+    merge/snapshot regression test locks).
+    """
+    gauges = []
+    for name in counter.as_dict():
+        gauges.append(
+            registry.gauge(
+                f"{prefix}.{name}",
+                help=f"OpCounter field {name}",
+                fn=(lambda n=name: getattr(counter, n)),
+            )
+        )
+    return gauges
+
+
+# -- the process-wide registry -------------------------------------------
+
+_GLOBAL = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _GLOBAL

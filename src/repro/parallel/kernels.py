@@ -21,6 +21,7 @@ counters.OpCounter` (``parallel_blocks`` / ``parallel_work_total`` /
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 import numpy as np
@@ -30,6 +31,8 @@ from repro.formats.csr import CSRMatrix
 from repro.formats.dense import DenseMatrix
 from repro.formats.ell import ELLMatrix
 from repro.formats.sell import SELLMatrix
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.parallel.partition import balanced_chunks, row_blocks
 from repro.parallel.pool import WorkerPool, default_workers, shared_pool
 from repro.perf.counters import OpCounter
@@ -87,6 +90,51 @@ def _plan_blocks(
     """
     workers = pool.n_workers if pool is not None else default_workers()
     return min(workers, max(1, matrix.shape[0] // min_rows_per_block))
+
+
+def _run_blocks(
+    pool: WorkerPool, work, blocks, op: str, matrix: MatrixFormat
+) -> None:
+    """Dispatch the block kernels, observing per-block wall time.
+
+    Disabled tracing takes the bare ``pool.map`` path — no wrapper
+    callable, no shards, no clock reads.  Under tracing, one span
+    brackets the whole parallel region (contextvars do not propagate
+    onto pool threads, so per-block *spans* would detach from the
+    tree) and each block times itself into a lock-free
+    :class:`~repro.obs.metrics.MetricsShard`, merged into the process
+    registry in one locked pass per block — the block kernels
+    themselves stay lock-free.
+    """
+    tracer = get_tracer()
+    if not tracer.enabled:
+        pool.map(work, blocks)
+        return
+    registry = get_registry()
+    shards = [registry.shard() for _ in blocks]
+    clock = time.perf_counter
+
+    def timed(ib):
+        i, block = ib
+        t0 = clock()
+        work(block)
+        shard = shards[i]
+        shard.histogram(
+            "repro_parallel.block_seconds",
+            help="wall time of one row-block kernel",
+        ).observe(clock() - t0)
+        shard.counter(
+            "repro_parallel.blocks", help="row blocks dispatched"
+        ).inc()
+
+    with tracer.span(op) as sp:
+        if tracer.enabled:
+            sp.set("fmt", matrix.name)
+            sp.set("n_blocks", len(blocks))
+            sp.set("m", matrix.shape[0])
+        pool.map(timed, list(enumerate(blocks)))
+    for shard in shards:
+        registry.merge(shard)
 
 
 def parallel_matvec(
@@ -184,7 +232,7 @@ def parallel_matvec(
                     out[nonempty] = seg
                     y[s:e] = out
 
-    pool.map(work, blocks)
+    _run_blocks(pool, work, blocks, "parallel.matvec", matrix)
     return y
 
 
@@ -314,7 +362,7 @@ def parallel_matmat(
                     out[nonempty] = segs.T
                     y[s:e] = out
 
-    pool.map(work, blocks)
+    _run_blocks(pool, work, blocks, "parallel.matmat", matrix)
     return y
 
 

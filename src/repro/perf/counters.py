@@ -16,8 +16,8 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Iterator
+from dataclasses import dataclass, field, fields
+from typing import Dict, Iterator, Tuple
 
 
 @dataclass
@@ -62,6 +62,23 @@ class OpCounter:
         default_factory=threading.Lock, repr=False, compare=False
     )
 
+    #: Fields that fold with ``max`` instead of ``+`` in :meth:`merge`
+    #: (high-water marks, not additive totals).  Everything else sums.
+    _MAX_FIELDS = frozenset({"parallel_work_max"})
+
+    @classmethod
+    def field_names(cls) -> Tuple[str, ...]:
+        """Every accounting field, straight from the dataclass.
+
+        ``reset``/``snapshot``/``merge``/``as_dict`` all iterate this
+        list, so a field added by a future PR is covered by
+        construction — the exhaustiveness regression test only has to
+        check the *semantics* (sum vs max), never the coverage.
+        """
+        return tuple(
+            f.name for f in fields(cls) if not f.name.startswith("_")
+        )
+
     def add_flops(self, n: int) -> None:
         with self._lock:
             self.flops += int(n)
@@ -100,45 +117,45 @@ class OpCounter:
 
     def reset(self) -> None:
         with self._lock:
-            self.flops = 0
-            self.bytes_read = 0
-            self.bytes_written = 0
-            self.vector_ops = 0
-            self.spmm_calls = 0
-            self.spmm_columns = 0
-            self.parallel_blocks = 0
-            self.parallel_work_total = 0
-            self.parallel_work_max = 0
+            for name in self.field_names():
+                setattr(self, name, 0)
 
     def snapshot(self) -> "OpCounter":
         """Return an independent copy of the current totals."""
         with self._lock:
             out = OpCounter()
-            out.flops = self.flops
-            out.bytes_read = self.bytes_read
-            out.bytes_written = self.bytes_written
-            out.vector_ops = self.vector_ops
-            out.spmm_calls = self.spmm_calls
-            out.spmm_columns = self.spmm_columns
-            out.parallel_blocks = self.parallel_blocks
-            out.parallel_work_total = self.parallel_work_total
-            out.parallel_work_max = self.parallel_work_max
+            for name in self.field_names():
+                setattr(out, name, getattr(self, name))
             return out
 
     def merge(self, other: "OpCounter") -> None:
-        """Fold another counter's totals into this one (thread-safe)."""
+        """Fold another counter's totals into this one (thread-safe).
+
+        Additive fields sum; high-water marks (``_MAX_FIELDS``) take
+        the max.  Iterating the dataclass fields means a field added
+        later can never silently drop out of the merge.
+        """
         with self._lock:
-            self.flops += other.flops
-            self.bytes_read += other.bytes_read
-            self.bytes_written += other.bytes_written
-            self.vector_ops += other.vector_ops
-            self.spmm_calls += other.spmm_calls
-            self.spmm_columns += other.spmm_columns
-            self.parallel_blocks += other.parallel_blocks
-            self.parallel_work_total += other.parallel_work_total
-            self.parallel_work_max = max(
-                self.parallel_work_max, other.parallel_work_max
-            )
+            for name in self.field_names():
+                if name in self._MAX_FIELDS:
+                    setattr(
+                        self,
+                        name,
+                        max(getattr(self, name), getattr(other, name)),
+                    )
+                else:
+                    setattr(
+                        self,
+                        name,
+                        getattr(self, name) + getattr(other, name),
+                    )
+
+    def as_dict(self) -> Dict[str, int]:
+        """All accounting fields as a plain dict (metrics-view input)."""
+        with self._lock:
+            return {
+                name: getattr(self, name) for name in self.field_names()
+            }
 
     def arithmetic_intensity(self) -> float:
         """Flops per byte of traffic; the x-axis of a roofline plot."""

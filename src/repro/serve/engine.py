@@ -48,6 +48,7 @@ import numpy as np
 
 from repro.formats.base import MatrixFormat, SparseVector
 from repro.formats.convert import convert, format_class
+from repro.obs.trace import get_tracer
 from repro.perf.counters import OpCounter
 from repro.svm.kernels import Kernel
 
@@ -293,14 +294,20 @@ class InferenceEngine:
         cached so later swaps back are free ("warm format cache").
         """
         fmt = fmt.upper()
+        tracer = get_tracer()
         with self._lock:
             if self.model.matrix.name == fmt:
                 return False
-            warm = self._warm.get(fmt)
-            if warm is None:
-                warm = convert(self.model.matrix, fmt)
-                self._warm[fmt] = warm
-            self.model.matrix = warm
+            with tracer.span("serve.convert") as sp:
+                warm = self._warm.get(fmt)
+                if tracer.enabled:
+                    sp.set("from", self.model.matrix.name)
+                    sp.set("to", fmt)
+                    sp.set("warm", warm is not None)
+                if warm is None:
+                    warm = convert(self.model.matrix, fmt)
+                    self._warm[fmt] = warm
+                self.model.matrix = warm
             return True
 
     def _matrix(self) -> MatrixFormat:
@@ -337,14 +344,21 @@ class InferenceEngine:
             return np.zeros((0, self.model.n_pairs), dtype=np.float64)
         matrix = self._matrix()
         m = self.model
-        q_norms = np.array([v.norm_sq() for v in q], dtype=np.float64)
-        K = m.kernel.rows(matrix, q, q_norms, m.sv_norms, self.counter)
-        out = np.empty((len(q), m.n_pairs), dtype=np.float64)
-        for j in range(len(q)):
-            # Contiguous copy: np.dot on a strided column can take a
-            # different BLAS path than on the contiguous single-vector
-            # kernel row; the copy pins both paths to identical inputs.
-            out[j] = self._contract(np.ascontiguousarray(K[:, j]))
+        tracer = get_tracer()
+        with tracer.span("serve.sweep") as sp:
+            if tracer.enabled:
+                sp.set("k", len(q))
+                sp.set("fmt", matrix.name)
+                sp.set("n_pairs", m.n_pairs)
+            q_norms = np.array([v.norm_sq() for v in q], dtype=np.float64)
+            K = m.kernel.rows(matrix, q, q_norms, m.sv_norms, self.counter)
+            out = np.empty((len(q), m.n_pairs), dtype=np.float64)
+            for j in range(len(q)):
+                # Contiguous copy: np.dot on a strided column can take
+                # a different BLAS path than on the contiguous single-
+                # vector kernel row; the copy pins both paths to
+                # identical inputs.
+                out[j] = self._contract(np.ascontiguousarray(K[:, j]))
         return out
 
     def decision_one(self, v: SparseVector) -> np.ndarray:

@@ -32,6 +32,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.formats.base import SparseVector
+from repro.obs.trace import get_tracer
 from repro.serve.admission import AdmissionController, Request, Verdict
 from repro.serve.batcher import MicroBatcher
 from repro.serve.engine import InferenceEngine
@@ -221,30 +222,39 @@ def simulate(
     events: List[RescheduleEvent] = []
     history: List[Tuple[int, str]] = []
     service = service_ms / 1e3
+    tracer = get_tracer()
 
     def serve_batch(batch: List[Request], at: float) -> None:
-        live = [r for r in batch if not r.expired(at)]
-        dropped = len(batch) - len(live)
-        if dropped:
-            metrics.record_expired(dropped)
-        if admission is not None:
-            admission.release(len(batch))
-        if not live:
-            return
-        labels = engine.predict([r.vector for r in live])
-        finished = at + service
-        metrics.record_batch(
-            len(live), at, finished, queued_at=[r.arrived_at for r in live]
-        )
-        for r, label in zip(live, labels):
-            responses[r.req_id] = float(label)
-        if rescheduler is not None:
-            evt = rescheduler.after_batch(len(live), engine.model.matrix)
-            if evt is not None:
-                engine.convert_to(evt.to_fmt)
-                metrics.record_reschedule()
-                events.append(evt)
-                history.append((evt.batch_seq, evt.to_fmt))
+        with tracer.span("serve.batch") as sp:
+            live = [r for r in batch if not r.expired(at)]
+            if tracer.enabled:
+                sp.set("size", len(batch))
+                sp.set("live", len(live))
+                sp.set("at", at)
+            dropped = len(batch) - len(live)
+            if dropped:
+                metrics.record_expired(dropped)
+            if admission is not None:
+                admission.release(len(batch))
+            if not live:
+                return
+            labels = engine.predict([r.vector for r in live])
+            finished = at + service
+            metrics.record_batch(
+                len(live), at, finished,
+                queued_at=[r.arrived_at for r in live],
+            )
+            for r, label in zip(live, labels):
+                responses[r.req_id] = float(label)
+            if rescheduler is not None:
+                evt = rescheduler.after_batch(
+                    len(live), engine.model.matrix
+                )
+                if evt is not None:
+                    engine.convert_to(evt.to_fmt)
+                    metrics.record_reschedule()
+                    events.append(evt)
+                    history.append((evt.batch_seq, evt.to_fmt))
 
     def drain_until(t: Optional[float]) -> None:
         """Serve every batch whose flush deadline is <= t (all if None)."""
@@ -254,35 +264,50 @@ def simulate(
                 return
             batch = batcher.poll(fa)
             if batch:
-                serve_batch(batch, fa)
+                with tracer.span("serve.flush") as sp:
+                    if tracer.enabled:
+                        sp.set("deadline", fa)
+                        sp.set("size", len(batch))
+                    serve_batch(batch, fa)
 
-    for req in workload.arrivals:
-        drain_until(req.t)
-        verdict = (
-            admission.admit() if admission is not None else Verdict.ACCEPTED
-        )
-        if verdict is Verdict.REJECTED:
-            metrics.record_rejected()
-            continue
-        r = Request(req.req_id, req.vector, req.t, req.deadline)
-        if verdict is Verdict.DEGRADED:
-            # Shed path: answer immediately, single-vector kernel, no
-            # coalescing wait added to a queue that is already deep.
-            if r.expired(req.t):
-                metrics.record_expired()
-            else:
-                responses[r.req_id] = engine.predict_one(r.vector)
-                metrics.record_single(req.t, req.t + service)
-                metrics.record_degraded()
-            admission.release()
-            continue
-        full = batcher.submit(r, req.t)
-        if full:
-            serve_batch(full, req.t)
-    drain_until(None)
-    tail = batcher.flush()
-    if tail:
-        serve_batch(tail, tail[-1].arrived_at + batcher.max_wait)
+    with tracer.span("serve.simulate") as sim_sp:
+        if tracer.enabled:
+            sim_sp.set("workload", workload.name)
+            sim_sp.set("n", len(workload))
+        for req in workload.arrivals:
+            drain_until(req.t)
+            with tracer.span("serve.admit") as sp:
+                verdict = (
+                    admission.admit()
+                    if admission is not None
+                    else Verdict.ACCEPTED
+                )
+                if tracer.enabled:
+                    sp.set("req_id", req.req_id)
+                    sp.set("verdict", verdict.name)
+            if verdict is Verdict.REJECTED:
+                metrics.record_rejected()
+                continue
+            r = Request(req.req_id, req.vector, req.t, req.deadline)
+            if verdict is Verdict.DEGRADED:
+                # Shed path: answer immediately, single-vector kernel,
+                # no coalescing wait added to a queue that is already
+                # deep.
+                if r.expired(req.t):
+                    metrics.record_expired()
+                else:
+                    responses[r.req_id] = engine.predict_one(r.vector)
+                    metrics.record_single(req.t, req.t + service)
+                    metrics.record_degraded()
+                admission.release()
+                continue
+            full = batcher.submit(r, req.t)
+            if full:
+                serve_batch(full, req.t)
+        drain_until(None)
+        tail = batcher.flush()
+        if tail:
+            serve_batch(tail, tail[-1].arrived_at + batcher.max_wait)
 
     return ServeReport(
         workload=workload.name,

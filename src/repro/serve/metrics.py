@@ -12,12 +12,17 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-import numpy as np
-
+from repro.obs.metrics import (
+    SUMMARY_PERCENTILES,
+    Histogram,
+    MetricsRegistry,
+    opcounter_view,
+)
 from repro.perf.counters import OpCounter
 
-#: Percentiles every latency summary reports.
-PERCENTILES = (50.0, 95.0, 99.0)
+#: Percentiles every latency summary reports (the shared histogram
+#: primitive's summary percentiles).
+PERCENTILES = SUMMARY_PERCENTILES
 
 
 @dataclass
@@ -45,23 +50,22 @@ class LatencySummary:
 def summarise_latencies(samples: List[float]) -> LatencySummary:
     """Percentile summary of a latency sample list.
 
-    Uses the ``lower`` interpolation so the reported percentiles are
-    actual observed samples (and the summary is exactly reproducible
-    across numpy versions).
+    Delegates to the :class:`~repro.obs.metrics.Histogram` primitive —
+    the repo's one quantile implementation — which uses the ``lower``
+    interpolation so reported percentiles are actual observed samples
+    (exactly reproducible across numpy versions) and is NaN-free on
+    the empty and one-sample windows by construction.
     """
-    if not samples:
-        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
-    arr = np.asarray(samples, dtype=np.float64)
-    p50, p95, p99 = (
-        float(np.percentile(arr, q, method="lower")) for q in PERCENTILES
-    )
+    hist = Histogram("latency_seconds")
+    hist.observe_many(samples)
+    s = hist.summary()
     return LatencySummary(
-        count=int(arr.shape[0]),
-        p50=p50,
-        p95=p95,
-        p99=p99,
-        mean=float(arr.mean()),
-        max=float(arr.max()),
+        count=int(s["count"]),
+        p50=s["p50"],
+        p95=s["p95"],
+        p99=s["p99"],
+        mean=s["mean"],
+        max=s["max"],
     )
 
 
@@ -161,6 +165,45 @@ class ServeMetrics:
 
     def batch_histogram(self) -> Dict[int, int]:
         return dict(sorted(self.batch_sizes.items()))
+
+    def registry_view(
+        self, registry: MetricsRegistry, prefix: str = "repro_serve"
+    ) -> None:
+        """Expose this session as live views in a metrics registry.
+
+        Session totals become callback gauges (collection reads the
+        live value — the registry is a view over this store, not a
+        copy), the latency samples populate a shared histogram, and
+        the session's :class:`~repro.perf.counters.OpCounter` fields
+        are registered through :func:`~repro.obs.metrics.
+        opcounter_view`.  Intended to be called once per session;
+        re-registering just refreshes the callbacks.
+        """
+        for name in (
+            "served", "batches", "rejected", "expired", "degraded",
+            "reschedules",
+        ):
+            registry.gauge(
+                f"{prefix}.{name}",
+                help=f"ServeMetrics field {name}",
+                fn=(lambda n=name: getattr(self, n)),
+            )
+        registry.gauge(
+            f"{prefix}.throughput_rps",
+            help="served requests per second of active serving time",
+            fn=lambda: self.throughput,
+        )
+        registry.gauge(
+            f"{prefix}.mean_batch",
+            help="mean served batch width",
+            fn=lambda: self.mean_batch,
+        )
+        hist = registry.histogram(
+            f"{prefix}.latency_seconds",
+            help="per-request serving latency (coalescing wait included)",
+        )
+        hist.samples = self.latencies  # live view: same list object
+        opcounter_view(registry, self.counter, prefix=f"{prefix}.ops")
 
     def snapshot(self) -> Dict:
         lat = summarise_latencies(self.latencies)

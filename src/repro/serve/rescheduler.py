@@ -25,6 +25,8 @@ from typing import Deque, List, Optional, Tuple
 from repro.core.scheduler import LayoutScheduler
 from repro.features.extract import extract_profile
 from repro.formats.base import MatrixFormat
+from repro.obs.audit import DecisionRecord, audit_log, current_dataset
+from repro.obs.trace import get_tracer
 from repro.serve.engine import EXACT_SERVE_FORMATS
 
 
@@ -142,34 +144,57 @@ class FormatRescheduler:
         if eff == self._last_k:
             return None  # batch mix unchanged; ranking cannot move
         self._last_k = eff
-        if self._profile is None:
-            self._profile = extract_profile(matrix)
-        self.scheduler.batch_k = eff
-        ranked = self.scheduler.cost_model.rank(
-            self._profile, self.scheduler.candidates, batch_k=eff
-        )
-        winner = ranked[0].fmt
-        if winner == matrix.name:
-            return None
-        current_cost = next(
-            (c.cost for c in ranked if c.fmt == matrix.name), None
-        )
-        if current_cost is not None and current_cost < ranked[0].cost * (
-            1.0 + self.min_gain
-        ):
-            return None  # inside the hysteresis band; not worth a swap
-        event = RescheduleEvent(
-            batch_seq=self._batches_seen,
-            effective_k=eff,
-            from_fmt=matrix.name,
-            to_fmt=winner,
-            reason=(
-                f"effective batch_k={eff}: model cost "
-                f"{ranked[0].cost:.3g} ({winner}) vs "
-                f"{current_cost:.3g} ({matrix.name})"
-                if current_cost is not None
-                else f"effective batch_k={eff}: {winner} ranked first"
-            ),
-        )
-        self.events.append(event)
-        return event
+        tracer = get_tracer()
+        with tracer.span("serve.reschedule") as sp:
+            if self._profile is None:
+                self._profile = extract_profile(matrix)
+            self.scheduler.batch_k = eff
+            ranked = self.scheduler.cost_model.rank(
+                self._profile, self.scheduler.candidates, batch_k=eff
+            )
+            winner = ranked[0].fmt
+            if tracer.enabled:
+                sp.set("effective_k", eff)
+                sp.set("from", matrix.name)
+                sp.set("winner", winner)
+            if winner == matrix.name:
+                return None
+            current_cost = next(
+                (c.cost for c in ranked if c.fmt == matrix.name), None
+            )
+            if current_cost is not None and current_cost < ranked[
+                0
+            ].cost * (1.0 + self.min_gain):
+                return None  # inside the hysteresis band; no swap
+            event = RescheduleEvent(
+                batch_seq=self._batches_seen,
+                effective_k=eff,
+                from_fmt=matrix.name,
+                to_fmt=winner,
+                reason=(
+                    f"effective batch_k={eff}: model cost "
+                    f"{ranked[0].cost:.3g} ({winner}) vs "
+                    f"{current_cost:.3g} ({matrix.name})"
+                    if current_cost is not None
+                    else f"effective batch_k={eff}: {winner} ranked first"
+                ),
+            )
+            self.events.append(event)
+            # Every runtime flip lands in the process audit log with
+            # the same regret inputs as a training-time decision —
+            # `repro obs report` shows them under source="serve".
+            audit_log().record(
+                DecisionRecord(
+                    source="serve",
+                    dataset=current_dataset(),
+                    strategy=self.scheduler.strategy,
+                    batch_k=eff,
+                    chosen=winner,
+                    reason=event.reason,
+                    cached=False,
+                    features=self._profile.as_dict(),
+                    predicted={c.fmt: c.cost for c in ranked},
+                    measured={},
+                )
+            )
+            return event

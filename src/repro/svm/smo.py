@@ -41,6 +41,7 @@ from typing import Callable, Optional, Tuple
 import numpy as np
 
 from repro.formats.base import MatrixFormat
+from repro.obs.trace import get_tracer
 from repro.perf.counters import OpCounter
 from repro.svm.kernels import Kernel
 
@@ -292,6 +293,7 @@ def smo_train(
         raise ValueError("shrink_every must be >= 0")
 
     eps_a = 1e-12 * C  # alpha-at-bound slack
+    tracer = get_tracer()
 
     # Step 2: alpha = 0, f_i = -y_i (or the validated warm start).
     if initial_alpha is not None:
@@ -439,8 +441,12 @@ def smo_train(
         ) & aset.active
         n_shrink = int(shrinkable.sum())
         if n_shrink >= max(8, aset.n_active // 10):
-            aset.active &= ~shrinkable
-            aset.rebuild()
+            with tracer.span("smo.shrink") as sp:
+                aset.active &= ~shrinkable
+                aset.rebuild()
+                if tracer.enabled:
+                    sp.set("n_shrink", n_shrink)
+                    sp.set("n_active", aset.n_active)
             # Cached rows stay valid: they cover a superset of the new
             # active set.  Their entries at newly-inactive positions
             # merely perturb frozen f values, which reconstruction
@@ -450,10 +456,11 @@ def smo_train(
 
     def unshrink() -> None:
         nonlocal unshrink_events
-        reconstruct_inactive_f()
-        aset.active[:] = True
-        aset.rebuild()
-        cache.clear()
+        with tracer.span("smo.unshrink"):
+            reconstruct_inactive_f()
+            aset.active[:] = True
+            aset.rebuild()
+            cache.clear()
         unshrink_events += 1
 
     # Warm start: rebuild f = sum_j alpha_j y_j K_.j - y from the
@@ -469,110 +476,119 @@ def smo_train(
 
     iterations = 0
     converged = False
-    while iterations < max_iter:
-        # Steps 4/11: analytic two-variable update with box clipping.
-        # The two rows are the per-iteration bottleneck; on a double
-        # cache miss they come out of one fused dual-row SpMM.
-        k_high, k_low = kernel_row_pair(high, low)
-        eta = k_high[high] + k_low[low] - 2.0 * k_high[low]
-        if eta <= 1e-12:
-            eta = 1e-12  # degenerate pair; take a tiny safe step
+    with tracer.span("smo.train") as t_span:
+        while iterations < max_iter:
+            # One working-set update: the span brackets exactly the
+            # per-iteration kernel work the layout decision controls.
+            with tracer.span("smo.iteration"):
+                # Steps 4/11: analytic two-variable update with box clipping.
+                # The two rows are the per-iteration bottleneck; on a double
+                # cache miss they come out of one fused dual-row SpMM.
+                k_high, k_low = kernel_row_pair(high, low)
+                eta = k_high[high] + k_low[low] - 2.0 * k_high[low]
+                if eta <= 1e-12:
+                    eta = 1e-12  # degenerate pair; take a tiny safe step
 
-        y_h, y_l = y[high], y[low]
-        s = y_h * y_l
-        a_h, a_l = alpha[high], alpha[low]
-        # Feasible interval for alpha_low given the equality constraint.
-        if s < 0:
-            L = max(0.0, a_l - a_h)
-            H = min(C, C + a_l - a_h)
-        else:
-            L = max(0.0, a_h + a_l - C)
-            H = min(C, a_h + a_l)
+                y_h, y_l = y[high], y[low]
+                s = y_h * y_l
+                a_h, a_l = alpha[high], alpha[low]
+                # Feasible interval for alpha_low given the equality constraint.
+                if s < 0:
+                    L = max(0.0, a_l - a_h)
+                    H = min(C, C + a_l - a_h)
+                else:
+                    L = max(0.0, a_h + a_l - C)
+                    H = min(C, a_h + a_l)
 
-        # Eq. (5): Delta alpha_low = y_low (b_high - b_low) / eta.
-        a_l_new = a_l + y_l * (f[high] - f[low]) / eta
-        a_l_new = min(max(a_l_new, L), H)
-        # Eq. (6) via the equality constraint.
-        a_h_new = a_h + s * (a_l - a_l_new)
+                # Eq. (5): Delta alpha_low = y_low (b_high - b_low) / eta.
+                a_l_new = a_l + y_l * (f[high] - f[low]) / eta
+                a_l_new = min(max(a_l_new, L), H)
+                # Eq. (6) via the equality constraint.
+                a_h_new = a_h + s * (a_l - a_l_new)
 
-        d_low = a_l_new - a_l
-        d_high = a_h_new - a_h
-        alpha[low] = a_l_new
-        alpha[high] = a_h_new
+                d_low = a_l_new - a_l
+                d_high = a_h_new - a_h
+                alpha[low] = a_l_new
+                alpha[high] = a_h_new
 
-        # Step 5 / Eq. (4): incremental f update (in place; inactive
-        # entries of the kernel rows are zero, so frozen f is free).
-        if d_high != 0.0:
-            f += (d_high * y_h) * k_high
-        if d_low != 0.0:
-            f += (d_low * y_l) * k_low
+                # Step 5 / Eq. (4): incremental f update (in place; inactive
+                # entries of the kernel rows are zero, so frozen f is free).
+                if d_high != 0.0:
+                    f += (d_high * y_h) * k_high
+                if d_low != 0.0:
+                    f += (d_low * y_l) * k_low
 
-        # Steps 6-7: index sets over the active problem.
-        i_high, i_low = index_sets(aset.active)
-
-        # Steps 8-10: select the next pair and the gap endpoints.
-        f_hi = np.where(i_high, f, np.inf)
-        f_lo = np.where(i_low, f, -np.inf)
-        high = int(np.argmin(f_hi))
-        b_high = float(f_hi[high])
-        b_low = float(np.max(f_lo))
-
-        if working_set == "second" and np.isfinite(b_high):
-            # Fan-Chen-Lin: maximise the guaranteed gain
-            # (f_j - b_high)^2 / eta_j over violating j in I_low.
-            k_h = kernel_row(high)
-            viol = i_low & (f > b_high)
-            if viol.any():
-                eta_j = np.maximum(
-                    k_diag[high] + k_diag - 2.0 * k_h, 1e-12
-                )
-                gain = np.where(
-                    viol, (f - b_high) ** 2 / eta_j, -np.inf
-                )
-                low = int(np.argmax(gain))
-            else:
-                low = int(np.argmax(f_lo))
-        else:
-            low = int(np.argmax(f_lo))
-
-        iterations += 1
-        if on_iteration is not None:
-            on_iteration(iterations, b_high, b_low)
-
-        # Step 12: duality-gap check (on the active problem).
-        if b_low <= b_high + 2.0 * tol:
-            if aset.n_active < m:
-                # The shrunken problem converged: un-shrink, verify on
-                # the full problem, continue if violations remain.
-                unshrink()
+                # Steps 6-7: index sets over the active problem.
                 i_high, i_low = index_sets(aset.active)
+
+                # Steps 8-10: select the next pair and the gap endpoints.
                 f_hi = np.where(i_high, f, np.inf)
                 f_lo = np.where(i_low, f, -np.inf)
                 high = int(np.argmin(f_hi))
                 b_high = float(f_hi[high])
                 b_low = float(np.max(f_lo))
-                low = int(np.argmax(f_lo))
+
+                if working_set == "second" and np.isfinite(b_high):
+                    # Fan-Chen-Lin: maximise the guaranteed gain
+                    # (f_j - b_high)^2 / eta_j over violating j in I_low.
+                    k_h = kernel_row(high)
+                    viol = i_low & (f > b_high)
+                    if viol.any():
+                        eta_j = np.maximum(
+                            k_diag[high] + k_diag - 2.0 * k_h, 1e-12
+                        )
+                        gain = np.where(
+                            viol, (f - b_high) ** 2 / eta_j, -np.inf
+                        )
+                        low = int(np.argmax(gain))
+                    else:
+                        low = int(np.argmax(f_lo))
+                else:
+                    low = int(np.argmax(f_lo))
+
+                iterations += 1
+                if on_iteration is not None:
+                    on_iteration(iterations, b_high, b_low)
+
+                # Step 12: duality-gap check (on the active problem).
                 if b_low <= b_high + 2.0 * tol:
+                    if aset.n_active < m:
+                        # The shrunken problem converged: un-shrink, verify on
+                        # the full problem, continue if violations remain.
+                        unshrink()
+                        i_high, i_low = index_sets(aset.active)
+                        f_hi = np.where(i_high, f, np.inf)
+                        f_lo = np.where(i_low, f, -np.inf)
+                        high = int(np.argmin(f_hi))
+                        b_high = float(f_hi[high])
+                        b_low = float(np.max(f_lo))
+                        low = int(np.argmax(f_lo))
+                        if b_low <= b_high + 2.0 * tol:
+                            converged = True
+                            break
+                        continue
                     converged = True
                     break
-                continue
-            converged = True
-            break
-        if not np.isfinite(b_high) or not np.isfinite(b_low):
-            break  # index set degenerated (numerically at bounds)
+                if not np.isfinite(b_high) or not np.isfinite(b_low):
+                    break  # index set degenerated (numerically at bounds)
 
-        if shrink_every and iterations % shrink_every == 0:
-            try_shrink(b_high, b_low)
-            if not aset.active[high] or not aset.active[low]:
-                # Selection must come from the active set; reselect.
-                i_high, i_low = index_sets(aset.active)
-                f_hi = np.where(i_high, f, np.inf)
-                f_lo = np.where(i_low, f, -np.inf)
-                high = int(np.argmin(f_hi))
-                low = int(np.argmax(f_lo))
-                b_high = float(f_hi[high])
-                b_low = float(f_lo[low])
+                if shrink_every and iterations % shrink_every == 0:
+                    try_shrink(b_high, b_low)
+                    if not aset.active[high] or not aset.active[low]:
+                        # Selection must come from the active set; reselect.
+                        i_high, i_low = index_sets(aset.active)
+                        f_hi = np.where(i_high, f, np.inf)
+                        f_lo = np.where(i_low, f, -np.inf)
+                        high = int(np.argmin(f_hi))
+                        low = int(np.argmax(f_lo))
+                        b_high = float(f_hi[high])
+                        b_low = float(f_lo[low])
 
+        if tracer.enabled:
+            t_span.set("iterations", iterations)
+            t_span.set("converged", converged)
+            t_span.set("kernel_rows", rows_computed)
+            t_span.set("m", m)
     if aset.n_active < m:
         # Report a consistent full-problem f even on max_iter exit.
         reconstruct_inactive_f()

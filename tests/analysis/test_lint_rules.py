@@ -41,8 +41,8 @@ def codes(findings):
 
 
 class TestEngine:
-    def test_registry_has_all_seven_rules(self):
-        assert ALL_CODES == tuple(f"RDL00{i}" for i in range(1, 8))
+    def test_registry_has_all_eight_rules(self):
+        assert ALL_CODES == tuple(f"RDL00{i}" for i in range(1, 9))
         assert [r.code for r in iter_rules()] == list(ALL_CODES)
 
     def test_every_rule_has_name_and_rationale(self):
@@ -557,3 +557,87 @@ class TestMissingSpmmCounter:
                 return self.inner.matmat(V)
         """
         assert lint(src, NEUTRAL, "RDL007") == []
+
+
+# -- RDL008: unguarded allocation in span instrumentation --------------
+
+
+class TestSpanAllocation:
+    def test_fires_on_fstring_span_name(self):
+        src = """
+        def smsv(self, v):
+            with tracer.span(f"formats.smsv.{self.name}"):
+                return self.data @ v
+        """
+        findings = lint(src, FORMATS, "RDL008")
+        assert codes(findings) == ["RDL008"]
+        assert "tracing disabled" in findings[0].message
+
+    def test_fires_on_unguarded_set(self):
+        src = """
+        def convert(matrix, cls):
+            with tracer.span("formats.convert") as sp:
+                sp.set("from", matrix.name)
+                return cls.from_coo(*matrix.to_coo())
+        """
+        findings = lint(src, FORMATS, "RDL008")
+        assert codes(findings) == ["RDL008"]
+        assert "sp.set" in findings[0].message
+
+    def test_clean_when_set_guarded(self):
+        src = """
+        def convert(matrix, cls):
+            with tracer.span("formats.convert") as sp:
+                if tracer.enabled:
+                    sp.set("from", matrix.name)
+                    sp.set("nnz", int(matrix.nnz))
+                return cls.from_coo(*matrix.to_coo())
+        """
+        assert lint(src, FORMATS, "RDL008") == []
+
+    def test_fires_on_dict_literal_span_argument(self):
+        src = """
+        def smsv(self, v):
+            with tracer.span("formats.smsv", {"fmt": self.name}):
+                return self.data @ v
+        """
+        assert codes(lint(src, FORMATS, "RDL008")) == ["RDL008"]
+
+    def test_constant_names_and_bare_spans_clean(self):
+        src = """
+        def smsv(self, v):
+            with tracer.span("formats.smsv"):
+                return self.data @ v
+        """
+        assert lint(src, FORMATS, "RDL008") == []
+
+    def test_nested_guard_blocks_cover_loops(self):
+        src = """
+        def sweep(self, batches):
+            with tracer.span("serve.sweep") as sp:
+                if tracer.enabled:
+                    for b in batches:
+                        sp.set("k", len(b))
+                return [self.predict(b) for b in batches]
+        """
+        assert lint(src, "src/repro/serve/fake.py", "RDL008") == []
+
+    def test_outside_hot_packages_out_of_scope(self):
+        # repro.obs itself (and the CLI) may pay for convenience.
+        src = """
+        def report(records):
+            with tracer.span(f"obs.report.{len(records)}") as sp:
+                sp.set("n", len(records))
+        """
+        assert lint(src, "src/repro/obs/fake.py", "RDL008") == []
+
+    def test_instrumented_tree_self_check(self):
+        # The real instrumented packages must satisfy their own rule.
+        import pathlib
+
+        import repro
+        from repro.analysis.lint import lint_paths
+
+        pkg = pathlib.Path(repro.__file__).parent
+        findings = lint_paths([pkg], select=["RDL008"])
+        assert findings == []

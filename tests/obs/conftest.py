@@ -1,0 +1,38 @@
+"""Fixtures managing the process-wide observability singletons.
+
+Tests must leave the global tracer/audit-log/registry exactly as they
+found them so the suite passes identically with and without
+``REPRO_TRACE=1`` in the environment (the ``traced-tests`` CI job runs
+everything under it).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.audit import audit_log
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
+
+
+@pytest.fixture
+def global_tracer():
+    """The global tracer: cleared and enabled, prior state restored."""
+    tracer = get_tracer()
+    prev = tracer.enabled
+    tracer.clear()
+    audit_log().clear()
+    tracer.enable()
+    yield tracer
+    tracer.clear()
+    audit_log().clear()
+    tracer.enabled = prev
+
+
+@pytest.fixture
+def global_registry():
+    """The global registry, emptied for the test and after it."""
+    registry = get_registry()
+    registry.clear()
+    yield registry
+    registry.clear()

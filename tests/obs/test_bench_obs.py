@@ -1,0 +1,84 @@
+"""The tracing-overhead gate: deterministic checks plus the ratio."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.bench import (
+    OVERHEAD_THRESHOLD,
+    render_summary,
+    run_overhead_bench,
+    run_suite,
+    write_report,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_payload():
+    """One quick bench run shared across the module."""
+    return run_overhead_bench(quick=True, rounds=3, calls=16)
+
+
+class TestDeterministicGates:
+    def test_noop_singleton_and_nothing_recorded(self, quick_payload):
+        # The structural half of the <2 % claim: disabled-mode spans
+        # are one shared immutable object and leave zero state behind.
+        assert quick_payload["noop_singleton"] is True
+        assert quick_payload["nothing_recorded"] is True
+
+    def test_headline_pass_requires_structural_gates(self, quick_payload):
+        assert quick_payload["headline"]["pass"] in (True, False)
+        if quick_payload["headline"]["pass"]:
+            assert quick_payload["noop_singleton"]
+            assert quick_payload["nothing_recorded"]
+
+
+class TestPayloadShape:
+    def test_fields(self, quick_payload):
+        p = quick_payload
+        assert p["suite"] == "obs-overhead"
+        assert p["quick"] is True
+        assert p["rounds"] == 3
+        assert p["calls_per_round"] == 16
+        assert p["span_iters"] == 20_000
+        assert p["threshold"] == OVERHEAD_THRESHOLD
+        assert p["span_cost_s"] > 0.0
+        assert p["smsv_cost_s"] > 0.0
+        assert p["overhead_fraction"] == pytest.approx(
+            p["span_cost_s"] / p["smsv_cost_s"]
+        )
+        assert p["headline"]["overhead_pct"] == pytest.approx(
+            p["overhead_fraction"] * 100.0
+        )
+
+    def test_disabled_span_is_cheaper_than_a_kernel_call(
+        self, quick_payload
+    ):
+        # The design point: one disabled span() costs far less than one
+        # SMSV call, so instrumenting the hot loop is free in practice.
+        assert quick_payload["span_cost_s"] < quick_payload["smsv_cost_s"]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            run_overhead_bench(rounds=0)
+        with pytest.raises(ValueError):
+            run_overhead_bench(calls=0)
+
+
+class TestSuiteAndRendering:
+    def test_run_suite_maps_repeats_to_rounds(self):
+        payload = run_suite(quick=True, repeats=2)
+        assert payload["rounds"] == 2
+
+    def test_render_summary_mentions_the_gate(self, quick_payload):
+        text = render_summary(quick_payload)
+        assert "overhead" in text
+        assert "span" in text
+
+    def test_write_report_is_json(self, tmp_path, quick_payload):
+        import json
+
+        path = tmp_path / "BENCH_obs.json"
+        write_report(quick_payload, path)
+        reloaded = json.loads(path.read_text())
+        assert reloaded["suite"] == "obs-overhead"

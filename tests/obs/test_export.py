@@ -1,0 +1,200 @@
+"""Exporter round trips: JSON-lines, Prometheus text, chrome trace."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.audit import DecisionRecord
+from repro.obs.export import (
+    audit_to_jsonl,
+    read_audit_jsonl,
+    read_spans_jsonl,
+    registry_to_prometheus,
+    spans_to_chrome_trace,
+    spans_to_jsonl,
+    validate_chrome_trace,
+    write_audit_jsonl,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import SpanRecord, Tracer, span_tree
+
+
+def _make_spans():
+    tracer = Tracer(enabled=True)
+    with tracer.span("outer") as sp:
+        sp.set("fmt", "ELL")
+        sp.set("n", 42)
+        sp.set("ratio", 0.30000000000000004)  # float repr round-trip
+        with tracer.span("inner"):
+            pass
+    with tracer.span("sibling"):
+        pass
+    return tracer.spans()
+
+
+class TestSpansJsonl:
+    def test_round_trip_is_lossless(self, tmp_path):
+        spans = _make_spans()
+        path = tmp_path / "spans.jsonl"
+        write_spans_jsonl(spans, path)
+        assert read_spans_jsonl(path) == spans
+
+    def test_round_trip_preserves_span_tree(self, tmp_path):
+        spans = _make_spans()
+        path = tmp_path / "spans.jsonl"
+        write_spans_jsonl(spans, path)
+        reloaded = read_spans_jsonl(path)
+        original = [n.as_dict() for n in span_tree(spans)]
+        again = [n.as_dict() for n in span_tree(reloaded)]
+        assert original == again
+
+    def test_one_line_per_span(self):
+        spans = _make_spans()
+        assert len(spans_to_jsonl(spans).splitlines()) == len(spans)
+
+    def test_empty_list_round_trips(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        write_spans_jsonl([], path)
+        assert read_spans_jsonl(path) == []
+
+
+class TestAuditJsonl:
+    def test_round_trip(self, tmp_path):
+        records = [
+            DecisionRecord(
+                source="schedule", dataset="d", strategy="cost",
+                batch_k=2, chosen="CSR", reason="r", cached=False,
+                features={"m": 1.0}, predicted={"CSR": 0.5},
+                measured={"CSR": 1e-6},
+            ),
+            DecisionRecord(
+                source="serve", dataset="", strategy="cost",
+                batch_k=8, chosen="DEN", reason="flip", cached=False,
+            ),
+        ]
+        path = tmp_path / "audit.jsonl"
+        write_audit_jsonl(records, path)
+        assert read_audit_jsonl(path) == records
+        assert len(audit_to_jsonl(records).splitlines()) == 2
+
+
+class TestPrometheus:
+    def test_counter_gauge_histogram_rendering(self):
+        reg = MetricsRegistry()
+        reg.counter("repro.ops", help="operations").inc(3)
+        reg.gauge("width").set(2.5)
+        h = reg.histogram("lat", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        text = registry_to_prometheus(reg)
+        assert "# TYPE lat histogram" in text
+        assert '# HELP repro_ops operations' in text
+        assert "repro_ops 3.0" in text
+        assert "width 2.5" in text
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1.0"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 2' in text
+        assert "lat_count 2" in text
+
+    def test_names_sanitised_to_grammar(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.batch-width/mean").inc()
+        text = registry_to_prometheus(reg)
+        assert "serve_batch_width_mean 1.0" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert registry_to_prometheus(MetricsRegistry()) == ""
+
+
+class TestChromeTrace:
+    def test_events_carry_hierarchy_and_microseconds(self):
+        spans = _make_spans()
+        payload = spans_to_chrome_trace(spans)
+        validate_chrome_trace(payload)
+        events = payload["traceEvents"]
+        assert len(events) == len(spans)
+        by_name = {e["name"]: e for e in events}
+        outer = by_name["outer"]
+        inner = by_name["inner"]
+        assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+        assert outer["cat"] == "outer"
+        rec = [s for s in spans if s.name == "outer"][0]
+        assert outer["ts"] == pytest.approx(rec.start * 1e6)
+
+    def test_write_validates_and_is_loadable(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(_make_spans(), path)
+        payload = json.loads(path.read_text())
+        validate_chrome_trace(payload)
+
+    @pytest.mark.parametrize(
+        "payload, message",
+        [
+            ([], "object form"),
+            ({"traceEvents": {}}, "must be a list"),
+            ({"traceEvents": [[]]}, "not an object"),
+            (
+                {"traceEvents": [{"ph": "X"}]},
+                "missing required key",
+            ),
+            (
+                {
+                    "traceEvents": [
+                        {
+                            "name": "x", "ph": "B", "ts": 0,
+                            "pid": 1, "tid": 1,
+                        }
+                    ]
+                },
+                "unsupported phase",
+            ),
+            (
+                {
+                    "traceEvents": [
+                        {
+                            "name": "x", "ph": "X", "ts": -1.0,
+                            "pid": 1, "tid": 1, "dur": 0,
+                        }
+                    ]
+                },
+                "invalid ts",
+            ),
+            (
+                {
+                    "traceEvents": [
+                        {
+                            "name": "x", "ph": "X", "ts": 0.0,
+                            "pid": 1, "tid": 1,
+                        }
+                    ]
+                },
+                "missing 'dur'",
+            ),
+            (
+                {
+                    "traceEvents": [
+                        {
+                            "name": "x", "ph": "X", "ts": 0.0,
+                            "pid": 1.5, "tid": 1, "dur": 0,
+                        }
+                    ]
+                },
+                "non-integer",
+            ),
+        ],
+    )
+    def test_schema_violations_rejected(self, payload, message):
+        with pytest.raises(ValueError, match=message):
+            validate_chrome_trace(payload)
+
+    def test_negative_duration_clamped_not_rejected(self):
+        rec = SpanRecord(
+            span_id=1, parent_id=None, name="x", start=2.0, end=1.0
+        )
+        payload = spans_to_chrome_trace([rec])
+        validate_chrome_trace(payload)
+        assert payload["traceEvents"][0]["dur"] == 0.0

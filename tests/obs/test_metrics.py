@@ -1,0 +1,218 @@
+"""Metrics registry: counters, gauges, NaN-free histograms, shards."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SUMMARY_PERCENTILES,
+    opcounter_view,
+)
+from repro.perf.counters import OpCounter
+
+
+class TestCounter:
+    def test_monotonic(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_merge_sums(self):
+        a, b = Counter("c"), Counter("c")
+        a.inc(2)
+        b.inc(3)
+        a.merge(b)
+        assert a.value == 5.0
+
+
+class TestGauge:
+    def test_settable(self):
+        g = Gauge("g")
+        g.set(3.5)
+        assert g.value == 3.5
+
+    def test_callback_backed_is_live(self):
+        box = {"v": 1.0}
+        g = Gauge("g", fn=lambda: box["v"])
+        assert g.value == 1.0
+        box["v"] = 7.0
+        assert g.value == 7.0
+
+    def test_set_on_callback_gauge_rejected(self):
+        g = Gauge("g", fn=lambda: 0.0)
+        with pytest.raises(ValueError):
+            g.set(1.0)
+
+    def test_merge_last_write_wins(self):
+        a, b = Gauge("g"), Gauge("g")
+        a.set(1.0)
+        b.set(9.0)
+        a.merge(b)
+        assert a.value == 9.0
+
+
+class TestHistogramQuantiles:
+    """The satellite fix: empty/one-sample windows are NaN-free."""
+
+    def test_empty_window_is_all_zeros_never_nan(self):
+        h = Histogram("h")
+        s = h.summary()
+        assert s == {
+            "count": 0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+            "mean": 0.0, "max": 0.0,
+        }
+        assert not any(
+            isinstance(v, float) and math.isnan(v) for v in s.values()
+        )
+        assert h.percentile(99.0) == 0.0
+        assert h.mean() == 0.0 and h.max() == 0.0
+
+    def test_one_sample_reports_that_sample_everywhere(self):
+        h = Histogram("h")
+        h.observe(0.125)
+        s = h.summary()
+        for q in ("p50", "p95", "p99", "mean", "max"):
+            assert s[q] == 0.125
+        assert s["count"] == 1
+        for q in (0.0, 50.0, 99.0, 100.0):
+            assert h.percentile(q) == 0.125
+
+    def test_percentiles_are_observed_samples(self):
+        h = Histogram("h")
+        samples = [0.001 * (i + 1) for i in range(17)]
+        h.observe_many(samples)
+        for q in SUMMARY_PERCENTILES:
+            assert h.percentile(q) in samples
+
+    def test_lower_method_matches_numpy(self):
+        h = Histogram("h")
+        h.observe_many([3.0, 1.0, 2.0, 4.0])
+        arr = np.asarray([3.0, 1.0, 2.0, 4.0])
+        assert h.percentile(50.0) == float(
+            np.percentile(arr, 50.0, method="lower")
+        )
+
+    def test_percentile_range_validated(self):
+        with pytest.raises(ValueError):
+            Histogram("h").percentile(101.0)
+
+    def test_bucket_counts_cumulative_with_inf(self):
+        h = Histogram("h", buckets=(0.1, 1.0))
+        h.observe_many([0.05, 0.5, 5.0])
+        assert h.bucket_counts() == [
+            (0.1, 1), (1.0, 2), (float("inf"), 3),
+        ]
+
+    def test_empty_bucket_counts(self):
+        h = Histogram("h", buckets=(1.0,))
+        assert h.bucket_counts() == [(1.0, 0), (float("inf"), 0)]
+
+    def test_merge_concatenates_samples(self):
+        a, b = Histogram("h"), Histogram("h")
+        a.observe(1.0)
+        b.observe(2.0)
+        a.merge(b)
+        assert a.count == 2
+        assert a.total == 3.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_collect_is_name_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("zz")
+        reg.counter("aa")
+        assert [m.name for m in reg.collect()] == ["aa", "zz"]
+
+    def test_as_dict_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(0.25)
+        d = reg.as_dict()
+        assert d["c"] == 2.0
+        assert d["g"] == 1.5
+        assert d["h"]["count"] == 1 and d["h"]["p50"] == 0.25
+
+    def test_clear_and_len(self):
+        reg = MetricsRegistry()
+        reg.counter("c")
+        assert len(reg) == 1
+        reg.clear()
+        assert len(reg) == 0
+        assert reg.get("c") is None
+
+
+class TestShards:
+    def test_shard_fills_lock_free_and_merges_once(self):
+        reg = MetricsRegistry()
+        reg.counter("blocks").inc(1)
+        shard = reg.shard()
+        shard.counter("blocks").inc(2)
+        shard.histogram("seconds").observe(0.5)
+        shard.gauge("width").set(8.0)
+        reg.merge(shard)
+        assert reg.get("blocks").value == 3.0
+        assert reg.get("seconds").count == 1
+        assert reg.get("width").value == 8.0
+
+    def test_parallel_workers_one_shard_each(self):
+        reg = MetricsRegistry()
+        shards = [reg.shard() for _ in range(4)]
+
+        def work(shard, n):
+            for _ in range(n):
+                shard.counter("ops").inc()
+                shard.histogram("t").observe(0.001)
+
+        threads = [
+            threading.Thread(target=work, args=(s, 25)) for s in shards
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for s in shards:
+            reg.merge(s)
+        assert reg.get("ops").value == 100.0
+        assert reg.get("t").count == 100
+
+
+class TestOpCounterView:
+    def test_gauges_are_live_views_over_every_field(self):
+        reg = MetricsRegistry()
+        counter = OpCounter()
+        gauges = opcounter_view(reg, counter, prefix="ops")
+        assert {g.name for g in gauges} == {
+            f"ops.{name}" for name in OpCounter.field_names()
+        }
+        counter.add_flops(42)
+        counter.add_spmm(8)
+        assert reg.get("ops.flops").value == 42.0
+        assert reg.get("ops.spmm_calls").value == 1.0
+        assert reg.get("ops.spmm_columns").value == 8.0
+        counter.reset()
+        assert reg.get("ops.flops").value == 0.0

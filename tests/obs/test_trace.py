@@ -1,0 +1,206 @@
+"""Tracer core: no-op contract, nesting, ring buffer, span trees."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    NOOP_SPAN,
+    SpanRecord,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    span_tree,
+    trace_enabled,
+)
+
+
+class FakeClock:
+    """A deterministic clock ticking one unit per read."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        self.t += 1.0
+        return self.t
+
+
+class TestDisabledMode:
+    def test_span_is_the_noop_singleton(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("anything") is NOOP_SPAN
+        assert tracer.span("a") is tracer.span("b")
+
+    def test_noop_span_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("x") as sp:
+            sp.set("key", "value")
+        assert len(tracer) == 0
+        assert tracer.spans() == []
+        assert tracer.dropped == 0
+
+    def test_noop_span_has_no_instance_dict(self):
+        # __slots__ = () means a no-op span cannot accumulate state —
+        # the zero-allocation claim, checked structurally.
+        assert not hasattr(NOOP_SPAN, "__dict__")
+
+
+class TestEnabledMode:
+    def test_records_one_span(self):
+        clock = FakeClock()
+        tracer = Tracer(enabled=True, clock=clock)
+        with tracer.span("work") as sp:
+            sp.set("n", 3)
+        spans = tracer.spans()
+        assert len(spans) == 1
+        rec = spans[0]
+        assert rec.name == "work"
+        assert rec.parent_id is None
+        assert rec.attrs == (("n", 3),)
+        assert rec.start == 1.0 and rec.end == 2.0
+        assert rec.duration == 1.0
+
+    def test_nesting_sets_parent_ids(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner"):
+                pass
+        spans = {  # noqa: F841 - readability
+            (s.name, s.parent_id) for s in tracer.spans()
+        }
+        outer_rec = [s for s in tracer.spans() if s.name == "outer"][0]
+        inners = [s for s in tracer.spans() if s.name == "inner"]
+        assert outer_rec.parent_id is None
+        assert all(s.parent_id == outer_rec.span_id for s in inners)
+        assert outer.span_id == outer_rec.span_id
+
+    def test_children_close_before_parents(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        names = [s.name for s in tracer.spans()]
+        assert names == ["inner", "outer"]
+
+    def test_sibling_spans_share_parent_none(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [s.parent_id for s in tracer.spans()] == [None, None]
+
+    def test_attrs_are_sorted_tuples(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        with tracer.span("x") as sp:
+            sp.set("zeta", 1)
+            sp.set("alpha", 2)
+        assert tracer.spans()[0].attrs == (("alpha", 2), ("zeta", 1))
+
+    def test_exceptions_propagate_and_span_still_records(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        assert [s.name for s in tracer.spans()] == ["failing"]
+
+
+class TestRingBuffer:
+    def test_oldest_spans_dropped_and_counted(self):
+        tracer = Tracer(enabled=True, max_spans=3, clock=FakeClock())
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        assert [s.name for s in tracer.spans()] == ["s2", "s3", "s4"]
+
+    def test_clear_resets_buffer_and_drop_count(self):
+        tracer = Tracer(enabled=True, max_spans=1, clock=FakeClock())
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert tracer.dropped == 1
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+
+class TestThreadSafety:
+    def test_concurrent_spans_all_recorded(self):
+        tracer = Tracer(enabled=True)
+
+        def work():
+            for _ in range(50):
+                with tracer.span("t"):
+                    pass
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tracer) == 200
+
+
+class TestSpanTree:
+    def _rec(self, sid, parent, name, start):
+        return SpanRecord(
+            span_id=sid, parent_id=parent, name=name,
+            start=start, end=start + 1.0,
+        )
+
+    def test_forest_reconstruction(self):
+        records = [
+            self._rec(1, None, "root", 0.0),
+            self._rec(2, 1, "child-b", 2.0),
+            self._rec(3, 1, "child-a", 1.0),
+            self._rec(4, 3, "grandchild", 1.5),
+        ]
+        roots = span_tree(records)
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.record.name == "root"
+        # children ordered by start time, not record order
+        assert [c.record.name for c in root.children] == [
+            "child-a", "child-b",
+        ]
+        assert root.children[0].children[0].record.name == "grandchild"
+
+    def test_missing_parent_becomes_root(self):
+        records = [self._rec(7, 99, "orphan", 0.0)]
+        roots = span_tree(records)
+        assert len(roots) == 1
+        assert roots[0].record.name == "orphan"
+
+    def test_as_dict_shape(self):
+        roots = span_tree([self._rec(1, None, "only", 0.0)])
+        d = roots[0].as_dict()
+        assert d["name"] == "only"
+        assert d["children"] == []
+
+
+class TestGlobalTracer:
+    def test_enable_disable_round_trip(self):
+        tracer = get_tracer()
+        prev = tracer.enabled
+        try:
+            enable_tracing()
+            assert trace_enabled()
+            assert get_tracer() is tracer
+            disable_tracing()
+            assert not trace_enabled()
+            assert tracer.span("x") is NOOP_SPAN
+        finally:
+            tracer.enabled = prev

@@ -81,6 +81,79 @@ class TestOpCounter:
         assert global_counter() is global_counter()
 
 
+class TestOpCounterFieldCoverage:
+    """Exhaustive over ``dataclasses.fields``: adding a counter field
+    without snapshot/merge/reset/as_dict support fails here, not in a
+    downstream report that silently drops the new column.
+    """
+
+    def _filled(self, base=1):
+        c = OpCounter()
+        for i, name in enumerate(OpCounter.field_names()):
+            setattr(c, name, base + i)
+        return c
+
+    def test_field_names_cover_every_public_field(self):
+        import dataclasses
+
+        public = [
+            f.name
+            for f in dataclasses.fields(OpCounter)
+            if not f.name.startswith("_")
+        ]
+        assert list(OpCounter.field_names()) == public
+        assert public  # the dataclass actually has counter fields
+
+    def test_max_fields_is_a_subset_of_field_names(self):
+        assert OpCounter._MAX_FIELDS <= frozenset(
+            OpCounter.field_names()
+        )
+
+    def test_snapshot_copies_every_field(self):
+        c = self._filled()
+        s = c.snapshot()
+        for name in OpCounter.field_names():
+            assert getattr(s, name) == getattr(c, name)
+        c.add_flops(1)
+        assert s.flops != c.flops  # snapshot is detached
+
+    def test_reset_zeroes_every_field(self):
+        c = self._filled()
+        c.reset()
+        for name in OpCounter.field_names():
+            assert getattr(c, name) == 0
+
+    def test_as_dict_contains_every_field(self):
+        c = self._filled()
+        d = c.as_dict()
+        assert set(d) == set(OpCounter.field_names())
+        for name in OpCounter.field_names():
+            assert d[name] == getattr(c, name)
+
+    def test_merge_folds_every_field(self):
+        a, b = self._filled(1), self._filled(10)
+        expect = {
+            name: (
+                max(getattr(a, name), getattr(b, name))
+                if name in OpCounter._MAX_FIELDS
+                else getattr(a, name) + getattr(b, name)
+            )
+            for name in OpCounter.field_names()
+        }
+        a.merge(b)
+        for name, want in expect.items():
+            assert getattr(a, name) == want, name
+
+    def test_parallel_work_max_merges_by_max(self):
+        a, b = OpCounter(), OpCounter()
+        a.add_parallel_blocks([5, 3])
+        b.add_parallel_blocks([4, 4])
+        a.merge(b)
+        assert a.parallel_blocks == 4
+        assert a.parallel_work_total == 16
+        assert a.parallel_work_max == 5  # a max, not 5 + 4
+
+
 class TestTimer:
     def test_basic_timing(self):
         t = Timer()

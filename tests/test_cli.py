@@ -176,3 +176,126 @@ class TestExplain:
         text = explain(p)
         assert "banded" in text  # the rule that fires for trefethen
         assert "DIA" in text
+
+
+class TestObservabilityCLI:
+    @pytest.fixture(autouse=True)
+    def _restore_tracer(self):
+        from repro.obs.audit import audit_log
+        from repro.obs.trace import get_tracer
+
+        tracer = get_tracer()
+        prev = tracer.enabled
+        tracer.clear()
+        audit_log().clear()
+        yield
+        tracer.clear()
+        audit_log().clear()
+        tracer.enabled = prev
+
+    def test_train_trace_flag(self, libsvm_file, capsys):
+        from repro.obs.trace import get_tracer
+
+        path, n = libsvm_file
+        assert (
+            main(
+                [
+                    "train", path, "--n-features", str(n),
+                    "--strategy", "cost", "--max-iter", "500",
+                    "--trace",
+                ]
+            )
+            == 0
+        )
+        names = {s.name for s in get_tracer().spans()}
+        assert "smo.train" in names
+        assert "schedule.decide" in names
+
+    def test_trace_verb_exports_all_artifacts(
+        self, libsvm_file, tmp_path, capsys
+    ):
+        import json
+
+        path, n = libsvm_file
+        spans = tmp_path / "spans.jsonl"
+        chrome = tmp_path / "trace.json"
+        audit = tmp_path / "audit.jsonl"
+        assert (
+            main(
+                [
+                    "trace",
+                    "--trace-out", str(spans),
+                    "--chrome", str(chrome),
+                    "--audit-out", str(audit),
+                    "train", path, "--n-features", str(n),
+                    "--strategy", "cost", "--max-iter", "500",
+                ]
+            )
+            == 0
+        )
+        from repro.obs.export import (
+            read_audit_jsonl,
+            read_spans_jsonl,
+            validate_chrome_trace,
+        )
+        from repro.obs.trace import span_tree
+
+        reloaded = read_spans_jsonl(spans)
+        assert reloaded
+        roots = {n_.record.name for n_ in span_tree(reloaded)}
+        assert "smo.train" in roots
+        validate_chrome_trace(json.loads(chrome.read_text()))
+        records = read_audit_jsonl(audit)
+        assert [r.source for r in records] == ["schedule"]
+        assert records[0].dataset == path
+        err = capsys.readouterr().err
+        assert "spans" in err and "audited decisions" in err
+
+    def test_trace_rejects_misplaced_options(self, libsvm_file, capsys):
+        path, _ = libsvm_file
+        assert main(["trace", "train", path, "--trace-out", "x"]) == 2
+        assert "before the wrapped command" in capsys.readouterr().err
+
+    def test_trace_rejects_empty_and_recursive(self, capsys):
+        assert main(["trace"]) == 2
+        assert main(["trace", "trace", "datasets"]) == 2
+
+    def test_bench_obs_quick(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_obs.json"
+        assert (
+            main(
+                [
+                    "bench", "obs", "--quick", "--repeats", "3",
+                    "--out", str(out),
+                ]
+            )
+            == 0
+        )
+        stdout = capsys.readouterr().out
+        assert "overhead" in stdout
+        blob = json.loads(out.read_text())
+        assert blob["suite"] == "obs-overhead"
+        assert blob["noop_singleton"] is True
+        assert blob["headline"]["pass"] is True
+
+    def test_obs_report_quick(self, capsys):
+        assert main(["obs", "report", "--quick", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "dense" in out
+        assert "prediction matched measurement" in out
+
+    def test_obs_report_json(self, capsys):
+        import json
+
+        assert (
+            main(
+                ["obs", "report", "--quick", "--repeats", "1", "--json"]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_datasets"] == 5
+        rows = {r["dataset"]: r for r in payload["rows"]}
+        assert rows["dense"]["regret"] == 0.0
