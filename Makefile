@@ -5,12 +5,18 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: lint test test-sanitize test-trace bench bench-sell serve-bench bench-obs check
+.PHONY: lint race test test-sanitize test-trace test-race bench bench-sell serve-bench bench-obs check
 
-## Static analysis: the eight RDL rules over the whole tree, JSON mode,
-## non-zero exit on any finding.  See docs/analysis.md.
+## Static analysis: the twelve RDL rules over the whole tree, JSON
+## mode, non-zero exit on any finding.  See docs/analysis.md.
 lint:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.analysis src tests
+
+## Static race report: only the concurrency rules (RDL009-RDL012) over
+## the shipped sources — lock discipline, executor closure escapes,
+## lock ordering, double-checked init.
+race:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro race --json src
 
 ## Tier-1 test suite.
 test:
@@ -25,6 +31,12 @@ test-sanitize:
 ## change behaviour (docs/observability.md).
 test-trace:
 	REPRO_TRACE=1 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+## The threaded subsystems under the runtime lockset sanitizer: every
+## tracked shared field touched by two threads must be covered by a
+## common lock, asserted per test (tests/conftest.py).
+test-race:
+	REPRO_RACE=1 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q tests/serve tests/parallel tests/obs tests/analysis
 
 ## SpMM benchmark suite (writes BENCH_smsv.json); `make bench QUICK=1`
 ## for the CI smoke variant.
@@ -52,4 +64,4 @@ bench-obs:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench obs $(if $(QUICK),--quick)
 
 ## Everything CI gates on.
-check: lint test test-sanitize test-trace
+check: lint race test test-sanitize test-trace test-race

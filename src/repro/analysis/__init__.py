@@ -7,12 +7,20 @@ cache keys — are stated in docstrings but were historically enforced by
 nothing.  This package enforces them with two cooperating layers:
 
 - :mod:`repro.analysis.lint` — an AST-based lint pass with the
-  repo-specific rule catalogue RDL001–RDL008 (``repro lint``).
+  repo-specific rule catalogue RDL001–RDL012 (``repro lint``).
+  RDL001–RDL008 live in :mod:`repro.analysis.rules`; the concurrency
+  family RDL009–RDL012 (lock discipline, closure escapes, lock order,
+  double-checked init) lives in :mod:`repro.analysis.concurrency` and
+  is also runnable on its own via ``repro race``.
 - :mod:`repro.analysis.sanitize` — a runtime sanitizer that validates
   the structural invariants of every storage format (CSR indptr
   monotonicity, COO canonical ordering, ELL padding, DIA offset bounds,
   round-trip conservation), enabled globally via ``REPRO_SANITIZE=1``
   or per-matrix via :func:`sanitize_format`.
+- :mod:`repro.analysis.race` — a runtime lockset sanitizer (Eraser
+  style) behind ``REPRO_RACE=1``: instrumented locks plus
+  :func:`track_shared` field tracking report shared fields touched by
+  two threads under disjoint locksets.  Free when disabled.
 
 ``python -m repro.analysis src tests`` is the CI entry point: it lints
 in JSON mode and exits non-zero on any finding.
@@ -28,6 +36,18 @@ from repro.analysis.lint import (
     lint_source,
     render_json,
     render_text,
+)
+from repro.analysis.race import (
+    RaceError,
+    RaceReport,
+    RaceSanitizer,
+    assert_race_clean,
+    clear_race_reports,
+    get_race_sanitizer,
+    make_lock,
+    race_enabled,
+    race_reports,
+    track_shared,
 )
 from repro.analysis.sanitize import (
     FormatInvariantError,
@@ -54,4 +74,14 @@ __all__ = [
     "format_violations",
     "sanitize_enabled",
     "sanitize_format",
+    "RaceError",
+    "RaceReport",
+    "RaceSanitizer",
+    "assert_race_clean",
+    "clear_race_reports",
+    "get_race_sanitizer",
+    "make_lock",
+    "race_enabled",
+    "race_reports",
+    "track_shared",
 ]

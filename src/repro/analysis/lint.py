@@ -99,6 +99,27 @@ def register(cls: type) -> type:
     return cls
 
 
+# -- path-scope helpers shared by every rule module -----------------------
+# These live in the engine (not repro.analysis.rules) so rule modules
+# never import each other: rules.py imports concurrency.py for
+# registration, and an import in the other direction would compute
+# ALL_CODES from a half-populated registry.
+
+
+def _posix(path: str) -> str:
+    return Path(path).as_posix()
+
+
+def _in_package(path: str, *subpackages: str) -> bool:
+    p = _posix(path)
+    return any(f"repro/{sub}/" in p for sub in subpackages)
+
+
+def _ends_with(path: str, *names: str) -> bool:
+    p = _posix(path)
+    return any(p.endswith(f"repro/{name}") for name in names)
+
+
 def iter_rules() -> Tuple[Rule, ...]:
     """All registered rules, sorted by code."""
     # Importing the rules module populates the registry on first use.

@@ -1,19 +1,29 @@
-"""The RDL rule catalogue: eight repo-specific invariants, enforced.
+"""The RDL rule catalogue: repo-specific invariants, enforced.
 
 Each rule encodes one convention the rest of the library relies on but
 cannot express in code.  The scopes are deliberately narrow — a rule
 fires only in the packages where its invariant is load-bearing, so the
 whole tree lints clean without drowning unrelated code in noise.
+
+RDL001–RDL008 live here; the concurrency rules RDL009–RDL012 live in
+:mod:`repro.analysis.concurrency` (imported below so one import of
+this module registers the full catalogue).
 """
 
 from __future__ import annotations
 
 import ast
 import re
-from pathlib import Path
 from typing import Dict, FrozenSet, Iterator, List, Optional, Set
 
-from repro.analysis.lint import Finding, Rule, register
+from repro.analysis.lint import (
+    Finding,
+    Rule,
+    _ends_with,
+    _in_package,
+    _posix,
+    register,
+)
 
 #: Kernel methods where interpreted per-element loops destroy the O(nnz)
 #: NumPy vectorisation the cost model assumes.  The SpMM entry points
@@ -34,20 +44,6 @@ RAW_DTYPES: Dict[str, str] = {
     "float64": "VALUE_DTYPE",
     "int32": "INDEX_DTYPE",
 }
-
-
-def _posix(path: str) -> str:
-    return Path(path).as_posix()
-
-
-def _in_package(path: str, *subpackages: str) -> bool:
-    p = _posix(path)
-    return any(f"repro/{sub}/" in p for sub in subpackages)
-
-
-def _ends_with(path: str, *names: str) -> bool:
-    p = _posix(path)
-    return any(p.endswith(f"repro/{name}") for name in names)
 
 
 def _class_methods(tree: ast.Module) -> Iterator[tuple]:
@@ -883,6 +879,11 @@ class SpanAllocationRule(Rule):
                         return True
         return False
 
+
+# The concurrency rules (RDL009-RDL012) register on import; pulling
+# them in here keeps "import repro.analysis.rules" the single
+# registration entry point iter_rules() relies on.
+import repro.analysis.concurrency  # noqa: E402,F401  (registration side effect)
 
 #: Names of every registered rule code, for docs and tests.
 ALL_CODES = tuple(

@@ -18,11 +18,12 @@ runtime scheduling stays cheap.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 import numpy as np
+
+from repro.analysis.race import make_lock, track_shared
 
 from repro.core.autotune import AutoTuner
 from repro.core.cost_model import ArchCalibration, CostModel
@@ -82,7 +83,8 @@ class DecisionCache:
             raise ValueError("maxsize must be >= 1")
         self.maxsize = maxsize
         self._store: Dict[Tuple, str] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("core.scheduler.cache")
+        track_shared(self, ("_store",))
 
     @staticmethod
     def key(p: DatasetProfile, batch_k: int = 1) -> Tuple:

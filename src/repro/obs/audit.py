@@ -27,10 +27,11 @@ from __future__ import annotations
 
 import contextlib
 import contextvars
-import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.race import make_lock, track_shared
 
 _DATASET: contextvars.ContextVar[str] = contextvars.ContextVar(
     "repro_obs_audit_dataset", default=""
@@ -139,7 +140,8 @@ class AuditLog:
             raise ValueError("maxlen must be >= 1")
         self._records: Deque[DecisionRecord] = deque(maxlen=maxlen)
         self._measured_keys: set = set()
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.audit")
+        track_shared(self, ("_records", "_measured_keys"))
 
     def record(self, rec: DecisionRecord) -> None:
         with self._lock:

@@ -18,18 +18,29 @@ paths is *free when disabled*.  This bench checks that two ways:
    run-to-run kernel jitter alone exceeds 5 %.  The end-to-end
    interleaved ratio is still reported, as information.
 
-``pass`` requires both; the payload lands in ``BENCH_obs.json`` and
-CI's ``obs-overhead-smoke`` job gates on it.
+The race sanitizer (``REPRO_RACE``) makes the same free-when-disabled
+promise and is gated here the same two ways: deterministically
+(disabled :func:`~repro.analysis.race.RaceSanitizer.make_lock` must
+hand out a *plain* ``threading.Lock`` — the exact built-in type, no
+wrapper — and disabled ``track`` must return the object untouched,
+class unchanged) and empirically (the per-call cost of the
+``enabled`` guard that stays in the parallel kernel path must be
+under the same threshold fraction of one SMSV call).
+
+``pass`` requires all of it; the payload lands in ``BENCH_obs.json``
+and CI's ``obs-overhead-smoke`` job gates on it.
 """
 
 from __future__ import annotations
 
 import json
 import statistics
+import threading
 import time
 from pathlib import Path
 from typing import Any, Dict, Union
 
+from repro.analysis.race import RaceSanitizer
 from repro.data.synthetic import uniform_rows_matrix
 from repro.formats.csr import CSRMatrix
 from repro.obs.trace import NOOP_SPAN, Tracer
@@ -76,6 +87,22 @@ def run_overhead_bench(
         and tracer.span("bench.smsv") is tracer.span("other")
     )
 
+    # Same contract, race sanitizer: disabled make_lock() hands out
+    # the exact built-in lock type (no wrapper in any with-block that
+    # guards a hot path), and disabled track() is the identity — the
+    # instance keeps its own class, no descriptors installed.
+    race = RaceSanitizer(enabled=False)
+    race_plain_lock = type(race.make_lock("bench")) is type(
+        threading.Lock()
+    )
+    probe = CSRMatrix.from_coo(rows, cols, values, shape)
+    probe_cls = type(probe)
+    race_track_identity = (
+        race.track(probe, ("values",)) is probe
+        and type(probe) is probe_cls
+        and not race.reports()
+    )
+
     clock = time.perf_counter
 
     # The gated quantity: what one disabled span entry/exit costs,
@@ -88,6 +115,14 @@ def run_overhead_bench(
             with tracer.span("smo.iteration"):
                 pass
 
+    # What the disabled race sanitizer leaves in the parallel kernel
+    # path: one `.enabled` branch per dispatch (see
+    # repro.parallel.kernels._run_blocks).
+    def race_guard_only() -> None:
+        for _ in range(span_iters):
+            if race.enabled:
+                pass  # pragma: no cover - disabled by construction
+
     def bare() -> None:
         for _ in range(calls):
             matrix.smsv(v)
@@ -99,16 +134,21 @@ def run_overhead_bench(
 
     # Warm every path once (allocator, caches) before timing.
     span_only()
+    race_guard_only()
     bare()
     instrumented()
 
     t_span = []
+    t_race = []
     t_bare = []
     t_inst = []
     for _ in range(rounds):
         t0 = clock()
         span_only()
         t_span.append(clock() - t0)
+        t0 = clock()
+        race_guard_only()
+        t_race.append(clock() - t0)
         t0 = clock()
         bare()
         t_bare.append(clock() - t0)
@@ -119,9 +159,13 @@ def run_overhead_bench(
     # Minimum, not median: scheduler noise only ever ADDS time, so the
     # fastest round is the cleanest estimate of each true cost.
     span_per_call = min(t_span) / span_iters
+    race_per_call = min(t_race) / span_iters
     bare_per_call = min(t_bare) / calls
     overhead = (
         span_per_call / bare_per_call if bare_per_call > 0 else 1.0
+    )
+    race_overhead = (
+        race_per_call / bare_per_call if bare_per_call > 0 else 1.0
     )
     insitu_ratio = (
         min(t_inst) / min(t_bare) if min(t_bare) > 0 else 1.0
@@ -138,7 +182,11 @@ def run_overhead_bench(
         "span_iters": span_iters,
         "noop_singleton": bool(noop_singleton),
         "nothing_recorded": bool(nothing_recorded),
+        "race_plain_lock": bool(race_plain_lock),
+        "race_track_identity": bool(race_track_identity),
         "span_cost_s": span_per_call,
+        "race_guard_cost_s": race_per_call,
+        "race_overhead_fraction": race_overhead,
         "smsv_cost_s": bare_per_call,
         "bare_median_s": statistics.median(t_bare),
         "instrumented_median_s": statistics.median(t_inst),
@@ -149,9 +197,13 @@ def run_overhead_bench(
             "pass": bool(
                 noop_singleton
                 and nothing_recorded
+                and race_plain_lock
+                and race_track_identity
                 and overhead < threshold
+                and race_overhead < threshold
             ),
             "overhead_pct": overhead * 100.0,
+            "race_overhead_pct": race_overhead * 100.0,
         },
     }
 
@@ -177,14 +229,22 @@ def render_summary(payload: Dict[str, Any]) -> str:
         f"{'singleton' if payload['noop_singleton'] else 'ALLOCATES'}",
         f"  recorded    : "
         f"{'nothing' if payload['nothing_recorded'] else 'SPANS LEAKED'}",
+        f"  race locks  : "
+        f"{'plain' if payload['race_plain_lock'] else 'WRAPPED'}"
+        f" when disabled; track is "
+        f"{'identity' if payload['race_track_identity'] else 'NOT identity'}",
         f"  span cost   : {payload['span_cost_s'] * 1e9:.0f} ns "
         f"per disabled span",
+        f"  race guard  : {payload['race_guard_cost_s'] * 1e9:.0f} ns "
+        f"per disabled check",
         f"  kernel cost : {payload['smsv_cost_s'] * 1e6:.1f} us "
         f"per SMSV call",
         f"  in-situ     : {(payload['insitu_ratio'] - 1) * 100:+.2f}% "
         f"(interleaved end-to-end; informational)",
         f"  overhead    : {h['overhead_pct']:.3f}% of one kernel call "
         f"(gate < {payload['threshold'] * 100:.0f}%)",
+        f"  race ovhd   : {h['race_overhead_pct']:.3f}% of one kernel "
+        f"call (same gate)",
         f"  pass        : {h['pass']}",
     ]
     return "\n".join(lines)

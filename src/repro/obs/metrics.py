@@ -25,10 +25,11 @@ percentile.
 
 from __future__ import annotations
 
-import threading
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.analysis.race import make_lock, track_shared
 
 #: Percentiles the standard summary reports (matches serving SLOs).
 SUMMARY_PERCENTILES = (50.0, 95.0, 99.0)
@@ -238,7 +239,8 @@ class MetricsRegistry(_MetricStore):
 
     def __init__(self) -> None:
         super().__init__()
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.metrics")
+        track_shared(self, ("_metrics",))
 
     # -- registration ----------------------------------------------------
     def counter(self, name: str, help: str = "") -> Counter:

@@ -26,6 +26,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.analysis.race import check_disjoint_blocks, get_race_sanitizer
 from repro.formats.base import VALUE_DTYPE, MatrixFormat, SparseVector
 from repro.formats.csr import CSRMatrix
 from repro.formats.dense import DenseMatrix
@@ -106,6 +107,11 @@ def _run_blocks(
     registry in one locked pass per block — the block kernels
     themselves stay lock-free.
     """
+    if get_race_sanitizer().enabled:
+        # The block closures write raw NumPy slices the attribute
+        # descriptors cannot see; their race freedom rests entirely on
+        # the partition being disjoint, so check exactly that.
+        check_disjoint_blocks(blocks, matrix.shape[0])
     tracer = get_tracer()
     if not tracer.enabled:
         pool.map(work, blocks)

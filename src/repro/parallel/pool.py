@@ -8,10 +8,13 @@ by construction (the same discipline the paper's OpenMP loops rely on).
 
 from __future__ import annotations
 
+import atexit
 import os
 import warnings
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from repro.analysis.race import make_lock, track_shared
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -81,11 +84,19 @@ class WorkerPool:
         if self.n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self._executor: Optional[ThreadPoolExecutor] = None
+        self._lock = make_lock("parallel.pool")
+        track_shared(self, ("_executor",))
 
     def _ensure(self) -> ThreadPoolExecutor:
-        if self._executor is None:
-            self._executor = ThreadPoolExecutor(max_workers=self.n_workers)
-        return self._executor
+        # Check-then-act under the lock: two threads racing first use
+        # used to each construct a ThreadPoolExecutor, leaking one with
+        # its worker threads (the RDL012 pattern).
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.n_workers
+                )
+            return self._executor
 
     @property
     def executor_active(self) -> bool:
@@ -95,7 +106,8 @@ class WorkerPool:
         never constructs one; the row-block kernels assert this so a
         one-block partition costs zero threading overhead.
         """
-        return self._executor is not None
+        with self._lock:
+            return self._executor is not None
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         # Serial fast path: one worker or one item never spins up an
@@ -110,9 +122,16 @@ class WorkerPool:
         return self.map(lambda thunk: thunk(), thunks)
 
     def shutdown(self) -> None:
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        """Join and drop the executor; idempotent and thread-safe.
+
+        Safe to call any number of times (including concurrently, or
+        again after further use re-created the executor), so the atexit
+        hook and explicit test teardowns can both call it.
+        """
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -122,14 +141,31 @@ class WorkerPool:
 
 
 _shared_pool: Optional[WorkerPool] = None
+_shared_pool_lock = make_lock("parallel.shared_pool")
 
 
 def shared_pool() -> WorkerPool:
     """Lazily constructed process-wide pool used by format kernels."""
     global _shared_pool
-    if _shared_pool is None:
-        _shared_pool = WorkerPool()
-    return _shared_pool
+    with _shared_pool_lock:
+        if _shared_pool is None:
+            _shared_pool = WorkerPool()
+        return _shared_pool
+
+
+@atexit.register
+def _shutdown_shared_pool() -> None:
+    """Join the shared pool's threads at interpreter exit.
+
+    Keeps traced / race-sanitized runs from leaking executor threads
+    past the point where their shutdown can still be observed; a later
+    ``shared_pool()`` call would lazily re-create the executor, so this
+    is safe even if something schedules work after us.
+    """
+    with _shared_pool_lock:
+        pool = _shared_pool
+    if pool is not None:
+        pool.shutdown()
 
 
 def parallel_map(

@@ -29,10 +29,10 @@ monotonic clock — this module never reads a clock, so simulations under
 from __future__ import annotations
 
 import enum
-import threading
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.analysis.race import make_lock, track_shared
 from repro.formats.base import SparseVector
 
 
@@ -87,7 +87,8 @@ class AdmissionController:
         self.capacity = capacity
         self.shed_at = shed_at
         self._in_flight = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock("serve.admission")
+        track_shared(self, ("_in_flight",))
 
     @property
     def in_flight(self) -> int:

@@ -17,8 +17,9 @@ plain list of requests — executing the SpMM is the engine's job.
 
 from __future__ import annotations
 
-import threading
 from typing import List, Optional
+
+from repro.analysis.race import make_lock, track_shared
 
 from repro.serve.admission import Request
 
@@ -46,7 +47,8 @@ class MicroBatcher:
         self.max_wait = max_wait_ms / 1e3
         self._pending: List[Request] = []
         self._oldest_at: Optional[float] = None
-        self._lock = threading.Lock()
+        self._lock = make_lock("serve.batcher")
+        track_shared(self, ("_pending", "_oldest_at"))
 
     def __len__(self) -> int:
         with self._lock:

@@ -40,12 +40,12 @@ bit equality.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.race import make_lock, track_shared
 from repro.formats.base import MatrixFormat, SparseVector
 from repro.formats.convert import convert, format_class
 from repro.obs.trace import get_tracer
@@ -276,10 +276,15 @@ class InferenceEngine:
     ) -> None:
         self.model = model
         self.counter = counter if counter is not None else OpCounter()
-        self._lock = threading.Lock()
+        self._lock = make_lock("serve.engine")
         self._warm: Dict[str, MatrixFormat] = {
             model.matrix.name: model.matrix
         }
+        # The matrix *reference* is the engine's one piece of shared
+        # mutable state (REPRO_RACE watches it); the matrices behind it
+        # are immutable, which is what makes publish-then-swap safe.
+        track_shared(self, ("_warm",))
+        track_shared(self.model, ("matrix",))
 
     # -- layout ----------------------------------------------------------
     @property
@@ -292,6 +297,14 @@ class InferenceEngine:
 
         Returns ``True`` if a swap happened.  The converted matrix is
         cached so later swaps back are free ("warm format cache").
+
+        Publish-then-swap: ``convert`` always *builds a new matrix*
+        (stored formats are immutable after construction), so the only
+        mutation is the reference assignment under ``_lock``.  A reader
+        that grabbed the old reference via :meth:`_matrix` keeps a
+        fully valid matrix for its whole sweep — a concurrent swap can
+        never mutate a matrix a reader may hold, which is what keeps
+        mid-stream re-scheduling bitwise invisible.
         """
         fmt = fmt.upper()
         tracer = get_tracer()

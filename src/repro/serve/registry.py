@@ -13,10 +13,10 @@ warm per-format matrix cache.
 from __future__ import annotations
 
 import re
-import threading
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro.analysis.race import make_lock, track_shared
 from repro.serve.engine import ServedModel
 from repro.svm.persist import load_model, save_multiclass, save_svc
 
@@ -33,7 +33,8 @@ class ModelRegistry:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._served_cache: Dict[Tuple[str, int, str], ServedModel] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("serve.registry")
+        track_shared(self, ("_served_cache",))
 
     # -- paths -----------------------------------------------------------
     @staticmethod

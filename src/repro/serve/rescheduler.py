@@ -22,6 +22,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, List, Optional, Tuple
 
+from repro.analysis.race import make_lock, track_shared
 from repro.core.scheduler import LayoutScheduler
 from repro.features.extract import extract_profile
 from repro.formats.base import MatrixFormat
@@ -116,15 +117,20 @@ class FormatRescheduler:
         self._batches_seen = 0
         self._profile = None
         self._last_k: Optional[int] = None
+        self._lock = make_lock("serve.rescheduler")
+        track_shared(
+            self, ("_batches_seen", "_profile", "_last_k", "events")
+        )
 
     def initial_format(self, matrix: MatrixFormat) -> str:
         """The format to start serving in (decided at ``batch_k=1``)."""
-        self._profile = extract_profile(matrix)
-        self.scheduler.batch_k = 1
-        ranked = self.scheduler.cost_model.rank(
-            self._profile, self.scheduler.candidates, batch_k=1
-        )
-        return ranked[0].fmt
+        with self._lock:
+            self._profile = extract_profile(matrix)
+            self.scheduler.batch_k = 1
+            ranked = self.scheduler.cost_model.rank(
+                self._profile, self.scheduler.candidates, batch_k=1
+            )
+            return ranked[0].fmt
 
     # -- the runtime loop ------------------------------------------------
     def after_batch(
@@ -133,9 +139,16 @@ class FormatRescheduler:
         """Observe one served batch; maybe decide a new format.
 
         Returns the event to apply (caller converts the engine and
-        records the metric) or ``None``.  Call under the serving loop's
-        policy lock if multiple threads serve batches.
+        records the metric) or ``None``.  The histogram, profile and
+        decision state live under an internal policy lock, so multiple
+        serving threads can share one rescheduler.
         """
+        with self._lock:
+            return self._after_batch_locked(batch_size, matrix)
+
+    def _after_batch_locked(
+        self, batch_size: int, matrix: MatrixFormat
+    ) -> Optional[RescheduleEvent]:
         self.hist.observe(batch_size)
         self._batches_seen += 1
         if self._batches_seen % self.check_every != 0:

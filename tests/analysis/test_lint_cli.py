@@ -125,3 +125,46 @@ class TestModuleEntryPoint:
         ok.write_text("X = 1\n")
         assert analysis_main([str(ok)]) == 0
         assert json.loads(capsys.readouterr().out)["ok"] is True
+
+
+RACY_POOL = '''\
+class BlockPool:
+    def ensure(self):
+        if self._executor is None:
+            self._executor = make_executor()
+        return self._executor
+'''
+
+
+class TestRaceCommand:
+    @pytest.fixture
+    def racy_file(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "parallel" / "racy.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(RACY_POOL)
+        return target
+
+    def test_src_tree_is_race_clean(self, capsys):
+        assert main(["race", str(REPO_ROOT / "src")]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_findings_fail_with_text_rendering(self, racy_file, capsys):
+        assert main(["race", str(racy_file)]) == 1
+        out = capsys.readouterr().out
+        assert "RDL012" in out
+        assert f"{racy_file}:3:" in out
+
+    def test_json_mode_for_ci(self, racy_file, capsys):
+        assert main(["race", str(racy_file), "--json"]) == 1
+        blob = json.loads(capsys.readouterr().out)
+        assert blob["ok"] is False
+        assert blob["findings"][0]["code"] == "RDL012"
+
+    def test_only_concurrency_rules_run(self, bad_file, capsys):
+        # RDL001/RDL004 territory: `repro race` must not report it.
+        assert main(["race", str(bad_file)]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_nonexistent_path_exits_2(self, capsys):
+        assert main(["race", "no/such/path"]) == 2
+        assert "no such file" in capsys.readouterr().err

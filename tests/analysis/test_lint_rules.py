@@ -41,8 +41,10 @@ def codes(findings):
 
 
 class TestEngine:
-    def test_registry_has_all_eight_rules(self):
-        assert ALL_CODES == tuple(f"RDL00{i}" for i in range(1, 9))
+    def test_registry_has_all_twelve_rules(self):
+        assert ALL_CODES == tuple(
+            f"RDL{i:03d}" for i in range(1, 13)
+        )
         assert [r.code for r in iter_rules()] == list(ALL_CODES)
 
     def test_every_rule_has_name_and_rationale(self):

@@ -1,0 +1,345 @@
+"""Unit tests for the REPRO_RACE lockset sanitizer.
+
+Every enabled-mode test builds a *private* :class:`RaceSanitizer` so
+the process-wide one (driven by the env var) stays clean — the suite
+runs under ``REPRO_RACE=1`` in CI with an autouse fixture asserting no
+global reports leak from any test.
+"""
+
+import threading
+
+import pytest
+
+from repro.analysis.race import (
+    RaceError,
+    RaceSanitizer,
+    check_disjoint_blocks,
+    cls_tracked,
+    get_race_sanitizer,
+    race_enabled,
+    race_reports,
+    track_shared,
+)
+
+
+class Box:
+    def __init__(self):
+        self.value = 0
+        self.other = "x"
+
+    def bump(self):
+        self.value += 1
+
+
+def run_in_thread(fn, name):
+    t = threading.Thread(target=fn, name=name)
+    t.start()
+    t.join()
+
+
+def run_two(fn1, fn2, names=("t1", "t2")):
+    """Run ``fn1`` then ``fn2`` on two *simultaneously live* threads.
+
+    Sequential started-and-joined threads can be handed the same
+    thread ident (CPython reuses them), which the lockset check would
+    correctly treat as one thread.  Keeping the first thread alive
+    until the second has run guarantees two distinct idents — the
+    shape a real race has.
+    """
+    first_done = threading.Event()
+    release = threading.Event()
+
+    def w1():
+        fn1()
+        first_done.set()
+        release.wait(timeout=10)
+
+    def w2():
+        assert first_done.wait(timeout=10)
+        fn2()
+
+    t1 = threading.Thread(target=w1, name=names[0])
+    t2 = threading.Thread(target=w2, name=names[1])
+    t1.start()
+    t2.start()
+    t2.join()
+    release.set()
+    t1.join()
+
+
+# -- the env switch ------------------------------------------------------
+
+
+class TestEnabledFlag:
+    @pytest.mark.parametrize("flag", ["", "0", "false", "No", " OFF "])
+    def test_disabled_values(self, monkeypatch, flag):
+        monkeypatch.setenv("REPRO_RACE", flag)
+        assert race_enabled() is False
+
+    @pytest.mark.parametrize("flag", ["1", "true", "yes", "on"])
+    def test_enabled_values(self, monkeypatch, flag):
+        monkeypatch.setenv("REPRO_RACE", flag)
+        assert race_enabled() is True
+
+    def test_unset_is_disabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RACE", raising=False)
+        assert race_enabled() is False
+
+
+# -- zero-cost disabled mode ----------------------------------------------
+
+
+class TestDisabledMode:
+    def test_make_lock_returns_plain_lock(self):
+        san = RaceSanitizer(enabled=False)
+        assert type(san.make_lock("x")) is type(threading.Lock())
+
+    def test_track_is_identity(self):
+        san = RaceSanitizer(enabled=False)
+        box = Box()
+        assert san.track(box, ("value",)) is box
+        assert type(box) is Box
+        assert cls_tracked(type(box)) == ()
+        box.value = 7
+        assert box.value == 7
+        assert san.reports() == []
+
+    def test_global_helpers_are_inert_when_disabled(self):
+        if race_enabled():
+            pytest.skip("REPRO_RACE set for this run")
+        box = track_shared(Box(), ("value",))
+        assert type(box) is Box
+        assert get_race_sanitizer().enabled is False
+
+
+# -- lockset maintenance ----------------------------------------------------
+
+
+class TestTrackedLock:
+    def test_context_manager_maintains_lockset(self):
+        san = RaceSanitizer(enabled=True)
+        a, b = san.make_lock("a"), san.make_lock("b")
+        assert san.current_lockset() == ()
+        with a:
+            assert san.current_lockset() == ("a",)
+            with b:
+                assert san.current_lockset() == ("a", "b")
+            assert san.current_lockset() == ("a",)
+        assert san.current_lockset() == ()
+
+    def test_acquire_release_api(self):
+        san = RaceSanitizer(enabled=True)
+        lk = san.make_lock("a")
+        assert lk.acquire() is True
+        assert lk.locked()
+        assert san.current_lockset() == ("a",)
+        lk.release()
+        assert not lk.locked()
+        assert san.current_lockset() == ()
+
+    def test_failed_nonblocking_acquire_leaves_lockset(self):
+        san = RaceSanitizer(enabled=True)
+        lk = san.make_lock("a")
+        grabbed = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with lk:
+                grabbed.set()
+                release.wait(timeout=5)
+
+        t = threading.Thread(target=holder)
+        t.start()
+        grabbed.wait(timeout=5)
+        assert lk.acquire(blocking=False) is False
+        assert san.current_lockset() == ()
+        release.set()
+        t.join()
+
+    def test_lockset_is_per_thread(self):
+        san = RaceSanitizer(enabled=True)
+        lk = san.make_lock("a")
+        seen = {}
+
+        def peek():
+            seen["other"] = san.current_lockset()
+
+        with lk:
+            run_in_thread(peek, "peeker")
+        assert seen["other"] == ()
+
+
+# -- field tracking ----------------------------------------------------------
+
+
+class TestTrack:
+    def test_track_preserves_behaviour(self):
+        san = RaceSanitizer(enabled=True)
+        box = san.track(Box(), ("value",))
+        assert isinstance(box, Box)
+        assert box.value == 0
+        box.bump()
+        assert box.value == 1
+        assert box.other == "x"
+        assert cls_tracked(type(box)) == ("value",)
+
+    def test_tracked_class_is_cached(self):
+        san = RaceSanitizer(enabled=True)
+        a = san.track(Box(), ("value",))
+        b = san.track(Box(), ("value",))
+        assert type(a) is type(b)
+
+    def test_retrack_extends_fields(self):
+        san = RaceSanitizer(enabled=True)
+        box = san.track(Box(), ("value",))
+        box = san.track(box, ("other",))
+        assert cls_tracked(type(box)) == ("other", "value")
+        assert box.value == 0 and box.other == "x"
+
+
+# -- the lockset check: true positives and sanctioned patterns --------------
+
+
+class TestConflictDetection:
+    def test_disjoint_locksets_report(self):
+        """The deliberately racy fixture: two locks that guard nothing.
+
+        Each thread takes *its own* lock around the write — mutual
+        exclusion in name only, exactly the bug pattern Eraser's
+        lockset intersection exists to catch.
+        """
+        san = RaceSanitizer(enabled=True)
+        box = san.track(Box(), ("value",))
+        a, b = san.make_lock("a"), san.make_lock("b")
+
+        def writer(lock):
+            def run():
+                with lock:
+                    box.value += 1
+
+            return run
+
+        run_two(writer(a), writer(b), names=("wa", "wb"))
+        reports = san.reports()
+        assert len(reports) == 1
+        text = reports[0].render()
+        assert "Box.value" in text
+        assert "'wa'" in text and "'wb'" in text
+
+    def test_unlocked_write_vs_locked_write_reports(self):
+        san = RaceSanitizer(enabled=True)
+        box = san.track(Box(), ("value",))
+        a = san.make_lock("a")
+
+        def locked():
+            with a:
+                box.value = 1
+
+        def naked():
+            box.value = 2
+
+        run_two(locked, naked, names=("locked", "naked"))
+        assert len(san.reports()) == 1
+        assert "no locks" in san.reports()[0].render()
+
+    def test_common_lock_is_clean(self):
+        san = RaceSanitizer(enabled=True)
+        box = san.track(Box(), ("value",))
+        a = san.make_lock("a")
+
+        def writer():
+            with a:
+                box.value += 1
+
+        for i in range(4):
+            run_in_thread(writer, f"w{i}")
+        assert san.reports() == []
+
+    def test_concurrent_reads_are_clean(self):
+        san = RaceSanitizer(enabled=True)
+        box = san.track(Box(), ("value",))
+
+        def reader():
+            _ = box.value
+
+        run_in_thread(reader, "r1")
+        run_in_thread(reader, "r2")
+        assert san.reports() == []
+
+    def test_single_thread_never_reports(self):
+        san = RaceSanitizer(enabled=True)
+        box = san.track(Box(), ("value",))
+        box.value = 1
+        with san.make_lock("a"):
+            box.value = 2
+        box.value = 3
+        assert san.reports() == []
+
+    def test_one_report_per_field(self):
+        san = RaceSanitizer(enabled=True)
+        box = san.track(Box(), ("value",))
+
+        def writer():
+            box.value += 1
+
+        run_two(writer, writer, names=("w0", "w1"))
+        run_two(writer, writer, names=("w2", "w3"))
+        assert len(san.reports()) == 1
+
+    def test_assert_clean_raises_with_rendered_report(self):
+        san = RaceSanitizer(enabled=True)
+        box = san.track(Box(), ("value",))
+        run_two(
+            lambda: setattr(box, "value", 1),
+            lambda: setattr(box, "value", 2),
+        )
+        with pytest.raises(RaceError, match="Box.value"):
+            san.assert_clean()
+
+    def test_clear_resets(self):
+        san = RaceSanitizer(enabled=True)
+        box = san.track(Box(), ("value",))
+        run_two(
+            lambda: setattr(box, "value", 1),
+            lambda: setattr(box, "value", 2),
+        )
+        assert san.reports()
+        san.clear()
+        assert san.reports() == []
+        san.assert_clean()
+
+    def test_global_sanitizer_untouched_by_private_ones(self):
+        assert race_reports() == []
+
+
+# -- block-partition runtime check -------------------------------------------
+
+
+class TestDisjointBlocks:
+    def test_valid_partition_passes(self):
+        check_disjoint_blocks([(0, 3), (3, 5), (5, 8)], 8)
+        check_disjoint_blocks([], 4)
+        check_disjoint_blocks([(2, 2)], 4)  # empty block is fine
+
+    def test_overlap_raises(self):
+        with pytest.raises(RaceError, match="overlaps"):
+            check_disjoint_blocks([(0, 3), (2, 5)], 8)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(RaceError, match="escapes"):
+            check_disjoint_blocks([(0, 9)], 8)
+        with pytest.raises(RaceError, match="escapes"):
+            check_disjoint_blocks([(-1, 2)], 8)
+
+
+# -- constructor validation ---------------------------------------------------
+
+
+class TestConstruction:
+    def test_history_floor(self):
+        with pytest.raises(ValueError):
+            RaceSanitizer(history=1)
+
+    def test_max_reports_floor(self):
+        with pytest.raises(ValueError):
+            RaceSanitizer(max_reports=0)

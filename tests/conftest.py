@@ -5,7 +5,37 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.analysis.race import (
+    clear_race_reports,
+    race_enabled,
+    race_reports,
+)
 from repro.formats import FORMAT_NAMES, from_dense
+
+
+@pytest.fixture(autouse=True)
+def _race_report_gate():
+    """Under ``REPRO_RACE=1`` every test must leave the sanitizer clean.
+
+    This is what makes the race shard (``make test-race``) a real
+    gate: any test whose threads touch a tracked field under disjoint
+    locksets fails *that test* with the rendered report, instead of
+    the finding scrolling past in a summary.  Tests exercising the
+    sanitizer's own detection use private ``RaceSanitizer`` instances,
+    so the global one stays clean by construction.  Free when the env
+    var is unset.
+    """
+    if not race_enabled():
+        yield
+        return
+    clear_race_reports()
+    yield
+    reports = race_reports()
+    clear_race_reports()  # one test's leak must not cascade
+    assert not reports, (
+        "lockset sanitizer found potential data races:\n"
+        + "\n".join(f"  {r.render()}" for r in reports)
+    )
 
 
 @pytest.fixture

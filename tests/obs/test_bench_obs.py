@@ -26,11 +26,20 @@ class TestDeterministicGates:
         assert quick_payload["noop_singleton"] is True
         assert quick_payload["nothing_recorded"] is True
 
+    def test_race_disabled_mode_is_structurally_free(self, quick_payload):
+        # The race sanitizer's half of the same bargain: a disabled
+        # make_lock is the exact built-in lock type and a disabled
+        # track is the identity.
+        assert quick_payload["race_plain_lock"] is True
+        assert quick_payload["race_track_identity"] is True
+
     def test_headline_pass_requires_structural_gates(self, quick_payload):
         assert quick_payload["headline"]["pass"] in (True, False)
         if quick_payload["headline"]["pass"]:
             assert quick_payload["noop_singleton"]
             assert quick_payload["nothing_recorded"]
+            assert quick_payload["race_plain_lock"]
+            assert quick_payload["race_track_identity"]
 
 
 class TestPayloadShape:
@@ -50,6 +59,13 @@ class TestPayloadShape:
         assert p["headline"]["overhead_pct"] == pytest.approx(
             p["overhead_fraction"] * 100.0
         )
+        assert p["race_guard_cost_s"] > 0.0
+        assert p["race_overhead_fraction"] == pytest.approx(
+            p["race_guard_cost_s"] / p["smsv_cost_s"]
+        )
+        assert p["headline"]["race_overhead_pct"] == pytest.approx(
+            p["race_overhead_fraction"] * 100.0
+        )
 
     def test_disabled_span_is_cheaper_than_a_kernel_call(
         self, quick_payload
@@ -57,6 +73,14 @@ class TestPayloadShape:
         # The design point: one disabled span() costs far less than one
         # SMSV call, so instrumenting the hot loop is free in practice.
         assert quick_payload["span_cost_s"] < quick_payload["smsv_cost_s"]
+
+    def test_disabled_race_guard_is_cheaper_than_a_kernel_call(
+        self, quick_payload
+    ):
+        assert (
+            quick_payload["race_guard_cost_s"]
+            < quick_payload["smsv_cost_s"]
+        )
 
     def test_rejects_bad_parameters(self):
         with pytest.raises(ValueError):
