@@ -5,7 +5,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: lint race test test-sanitize test-trace test-race bench bench-sell serve-bench bench-obs check
+.PHONY: lint race test test-sanitize test-trace test-race bench bench-sell serve-bench bench-obs bench-fleet check
 
 ## Static analysis: the twelve RDL rules over the whole tree, JSON
 ## mode, non-zero exit on any finding.  See docs/analysis.md.
@@ -62,6 +62,13 @@ serve-bench:
 ## smoke variant (same gate, smaller matrix).
 bench-obs:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench obs $(if $(QUICK),--quick)
+
+## Fleet benchmark suite (writes BENCH_fleet.json): multi-worker
+## virtual-throughput scaling, zero-copy transport accounting and the
+## overload admission bound — all deterministic, so the suite gates.
+## `make bench-fleet QUICK=1` for the CI smoke variant.
+bench-fleet:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench fleet $(if $(QUICK),--smoke)
 
 ## Everything CI gates on.
 check: lint race test test-sanitize test-trace test-race

@@ -7,8 +7,10 @@ profile   print the nine Table IV parameters of a LIBSVM file
 schedule  decide (and explain) the storage format for a LIBSVM file
 train     train an adaptive SVM on a LIBSVM file and report accuracy
 serve     simulate an online serving session (micro-batching + runtime
-          layout re-scheduling) and report metrics
-bench     run a synthetic benchmark suite (smsv, sell, serve, obs)
+          layout re-scheduling) and report metrics; ``--workers N``
+          serves through the sharded multi-process fleet instead
+bench     run a synthetic benchmark suite (smsv, sell, serve, obs,
+          fleet)
 trace     run any other command with tracing on and export the span
           tree, decision audit log, and metrics
 obs       observability reports (``obs report``: scheduler regret —
@@ -130,6 +132,110 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_fleet(args: argparse.Namespace) -> int:
+    """The multi-worker serving path (``repro serve --workers N``)."""
+    import json
+
+    from repro.serve import AdmissionController, ServingFleet, simulate_fleet
+    from repro.serve.bench_fleet import (
+        STRONG_BITWISE_FORMATS,
+        fleet_models,
+        tenant_workload,
+    )
+
+    models = fleet_models(smoke=True)
+    workload = tenant_workload(smoke=True, seed=args.seed)
+    admission = AdmissionController(
+        capacity=args.capacity, shed_at=args.shed_at
+    )
+    with ServingFleet(
+        models,
+        args.workers,
+        backend=args.backend,
+        rescheduler={
+            "min_gain": 0.0,
+            "candidates": STRONG_BITWISE_FORMATS,
+        },
+    ) as fleet:
+        report = simulate_fleet(
+            fleet,
+            workload,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            admission=admission,
+        )
+    snap = report.metrics.snapshot()
+    if args.json:
+        snap["workload"] = report.workload
+        snap["workers"] = args.workers
+        snap["per_shard_served"] = {
+            str(s): c for s, c in report.per_shard_served.items()
+        }
+        snap["rebalances"] = len(report.rebalances)
+        snap["reschedule_events"] = len(report.events)
+        snap["transport"] = {
+            str(w): stats
+            for w, stats in report.snapshot.transport.items()
+        }
+        print(json.dumps(snap, indent=2, sort_keys=True))
+        return 0
+    lat = snap["latency"]
+    print(
+        f"fleet       : {args.workers} {args.backend} worker(s), "
+        f"{len(models)} model(s)"
+    )
+    print(f"workload    : {report.workload} ({len(workload)} requests)")
+    print(
+        f"served      : {snap['served']} in {snap['batches']} batches "
+        f"(mean width {snap['mean_batch']:.2f})"
+    )
+    print(
+        f"shed        : {snap['rejected']} rejected, "
+        f"{snap['expired']} expired, {snap['degraded']} degraded"
+    )
+    print(
+        f"latency ms  : p50 {lat['p50_ms']:.3f}  p95 {lat['p95_ms']:.3f}  "
+        f"p99 {lat['p99_ms']:.3f} (virtual: coalescing wait)"
+    )
+    print(f"throughput  : {snap['throughput_rps']:.0f} rps (virtual time)")
+    print(
+        "per shard   : "
+        + "  ".join(
+            f"w{s}={c}" for s, c in sorted(report.per_shard_served.items())
+        )
+    )
+    for w, stats in sorted(report.snapshot.transport.items()):
+        per_req = (
+            (stats["hot_bytes_sent"] + stats["hot_bytes_received"])
+            / stats["hot_requests"]
+            if stats["hot_requests"]
+            else 0.0
+        )
+        print(
+            f"  w{w} transport: {stats['hot_requests']} reqs, "
+            f"{per_req:.0f} hot B/req, "
+            f"{stats['control_bytes_sent'] + stats['control_bytes_received']} "
+            f"control B"
+        )
+    for event in report.rebalances:
+        print(
+            f"  rebalance #{event.seq}: {event.model} -> shard "
+            f"{event.cold_shard} (hot shard {event.hot_shard}, "
+            f"imbalance {event.imbalance:.2f}x)"
+        )
+    n_flips = len(report.events)
+    print(
+        f"reschedules : {n_flips} per-replica format flip(s)"
+        + ("" if n_flips else " (none warranted)")
+    )
+    for key, shard, e in report.events:
+        print(
+            f"  {key}@w{shard} batch {e.batch_seq}: {e.from_fmt} -> "
+            f"{e.to_fmt} (effective k={e.effective_k})"
+        )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
 
@@ -137,6 +243,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from repro.obs import enable_tracing
 
         enable_tracing()
+
+    if args.workers is not None:
+        if args.workers < 1:
+            print("error: --workers must be >= 1", file=sys.stderr)
+            return 2
+        if args.model is not None:
+            print(
+                "error: --workers runs the synthetic fleet demo and "
+                "cannot load --model",
+                file=sys.stderr,
+            )
+            return 2
+        return _cmd_serve_fleet(args)
 
     from repro.serve import (
         AdmissionController,
@@ -294,6 +413,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         out = args.out or "BENCH_obs.json"
         # The no-op-singleton checks are deterministic and the timing
         # gate has 4x headroom over true span cost — safe to gate on.
+        rc = 0 if payload["headline"]["pass"] else 1
+    elif args.what == "fleet":
+        from repro.serve.bench_fleet import (
+            render_summary,
+            run_suite,
+            write_report,
+        )
+
+        payload = run_suite(smoke=smoke, samples=args.repeats)
+        out = args.out or "BENCH_fleet.json"
+        # Virtual-clock throughput scaling, bitwise replay agreement,
+        # zero-copy byte accounting and the admission bound are all
+        # deterministic — safe to gate on.
         rc = 0 if payload["headline"]["pass"] else 1
     else:
         from repro.serve.bench import (
@@ -574,6 +706,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--deadline-ms", type=float, default=None)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve through a sharded multi-process fleet of N workers "
+        "(zero-copy shared-memory models, per-replica re-scheduling) "
+        "instead of one in-process engine",
+    )
+    p.add_argument(
+        "--backend",
+        choices=("process", "local"),
+        default="process",
+        help="fleet worker backend (--workers only; local runs the "
+        "identical wire protocol in-process)",
+    )
+    p.add_argument(
         "--json",
         action="store_true",
         help="machine-readable metrics snapshot",
@@ -592,11 +740,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "what",
-        choices=("smsv", "sell", "serve", "obs"),
+        choices=("smsv", "sell", "serve", "obs", "fleet"),
         help="which suite to run (smsv: blocked SpMM + fused dual-row; "
         "sell: scheduled SELL-C-sigma vs fixed formats + SMO bitwise "
         "gate; serve: micro-batched serving throughput + re-schedule "
-        "demo; obs: disabled-mode tracing overhead gate)",
+        "demo; obs: disabled-mode tracing overhead gate; fleet: multi-"
+        "worker scaling + zero-copy transport + overload admission)",
     )
     p.add_argument(
         "--quick",

@@ -343,6 +343,29 @@ def opcounter_view(
     return gauges
 
 
+def opcounter_shard(
+    counter, prefix: str = "repro_ops"
+) -> MetricsShard:
+    """Freeze an ``OpCounter`` into a picklable shard.
+
+    The live-view variant (:func:`opcounter_view`) holds callbacks and
+    cannot cross a process boundary; fleet workers instead snapshot
+    their counters into a shard of plain :class:`Counter` metrics and
+    ship it to the front door, where :meth:`MetricsRegistry.merge`
+    folds shards from every worker additively.  High-water-mark fields
+    also sum here (a registry counter has no max semantics) — the
+    fleet's exact per-field merge goes through ``OpCounter.merge``;
+    this shard is the observability export, not the accounting source
+    of truth.
+    """
+    shard = MetricsShard()
+    for name, value in counter.as_dict().items():
+        shard.counter(
+            f"{prefix}.{name}", help=f"OpCounter field {name}"
+        ).inc(float(value))
+    return shard
+
+
 # -- the process-wide registry -------------------------------------------
 
 _GLOBAL = MetricsRegistry()

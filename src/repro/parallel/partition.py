@@ -4,7 +4,9 @@ Partitioning quality matters for the same reason ``vdim`` matters in the
 paper: unbalanced chunks leave lanes (or threads) idle.  ``row_blocks``
 does contiguous equal-count splits (right for DEN/ELL/DIA where work per
 row is uniform); ``balanced_chunks`` does weighted splits (right for
-CSR/COO where work per row is ``dim_i``).
+CSR/COO where work per row is ``dim_i``); ``greedy_bins`` does
+*non-contiguous* weighted assignment (right for placing whole models
+onto fleet shards, where nothing forces neighbours together).
 """
 
 from __future__ import annotations
@@ -91,3 +93,37 @@ def balanced_chunks(
     if start < n:
         blocks.append((start, n))
     return blocks
+
+
+def greedy_bins(
+    weights: Sequence[float] | np.ndarray, n_bins: int
+) -> List[int]:
+    """Assign each item to one of ``n_bins`` bins, balancing totals.
+
+    Longest-processing-time greedy: items are placed heaviest-first
+    into the currently lightest bin (ties to the lowest bin id, so the
+    assignment is deterministic).  Unlike :func:`balanced_chunks` the
+    assignment is not contiguous — this is the placement primitive for
+    mapping served models onto fleet shards by expected load, where
+    the classic 4/3-approximation bound is plenty.
+
+    Returns one bin id per item, in the items' original order.
+
+    >>> greedy_bins([5, 4, 3, 3, 3], 2)
+    [0, 1, 1, 0, 1]
+    """
+    w = np.asarray(weights, dtype=VALUE_DTYPE)
+    if w.ndim != 1:
+        raise ValueError("weights must be one-dimensional")
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    order = sorted(range(w.shape[0]), key=lambda i: (-float(w[i]), i))
+    totals = [0.0] * n_bins
+    assignment = [0] * w.shape[0]
+    for i in order:
+        b = min(range(n_bins), key=lambda j: (totals[j], j))
+        assignment[i] = b
+        totals[b] += float(w[i])
+    return assignment

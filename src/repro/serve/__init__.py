@@ -6,6 +6,12 @@ observed batch-size mix and swapping the support-vector matrix's
 storage format when the cost model's ``batch_k`` amortisation moves
 the winner — the paper's runtime data layout scheduling applied at
 serving time instead of training time.
+
+The fleet tier (:mod:`repro.serve.fleet`) scales that pipeline across
+worker processes: models are published once into shared memory
+(:mod:`repro.serve.shm`), shards attach them as zero-copy views, a
+front door routes and rebalances (:mod:`repro.serve.router`), and each
+replica re-schedules its own layout under its own traffic mix.
 """
 
 from repro.serve.admission import AdmissionController, Request, Verdict
@@ -16,11 +22,23 @@ from repro.serve.engine import (
     PairSlice,
     ServedModel,
 )
+from repro.serve.fleet import (
+    FleetReport,
+    FleetSnapshot,
+    ServiceModel,
+    ServingFleet,
+    fleet_from_registry,
+    simulate_fleet,
+)
 from repro.serve.loadgen import (
     ServeReport,
+    TenantSpec,
     TimedRequest,
     Workload,
+    bursty,
     closed_loop,
+    diurnal,
+    multi_tenant,
     open_loop,
     phase_shift,
     query_sampler,
@@ -34,30 +52,76 @@ from repro.serve.rescheduler import (
     FormatRescheduler,
     RescheduleEvent,
 )
+from repro.serve.router import (
+    HotSpot,
+    HotSpotDetector,
+    RebalanceEvent,
+    Router,
+    ShardTable,
+)
+from repro.serve.shm import (
+    Attachment,
+    ModelHandle,
+    ModelPublication,
+    SegmentGroup,
+    attach_model,
+    pack_model,
+)
+from repro.serve.worker import (
+    FleetWorkerError,
+    LocalShard,
+    ProcessShard,
+    ShardServer,
+)
 
 __all__ = [
     "AdmissionController",
+    "Attachment",
     "BatchSizeHistogram",
     "EXACT_SERVE_FORMATS",
+    "FleetReport",
+    "FleetSnapshot",
+    "FleetWorkerError",
     "FormatRescheduler",
+    "HotSpot",
+    "HotSpotDetector",
     "InferenceEngine",
     "LatencySummary",
+    "LocalShard",
     "MicroBatcher",
+    "ModelHandle",
+    "ModelPublication",
     "ModelRegistry",
     "PairSlice",
+    "ProcessShard",
+    "RebalanceEvent",
     "RescheduleEvent",
     "Request",
+    "Router",
+    "SegmentGroup",
     "ServeMetrics",
     "ServeReport",
     "ServedModel",
+    "ServiceModel",
+    "ServingFleet",
+    "ShardServer",
+    "ShardTable",
+    "TenantSpec",
     "TimedRequest",
     "Verdict",
     "Workload",
+    "attach_model",
+    "bursty",
     "closed_loop",
+    "diurnal",
+    "fleet_from_registry",
+    "multi_tenant",
     "open_loop",
+    "pack_model",
     "phase_shift",
     "query_sampler",
     "replay_unbatched",
     "simulate",
+    "simulate_fleet",
     "summarise_latencies",
 ]

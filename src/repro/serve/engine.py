@@ -101,6 +101,11 @@ class ServedModel:
     classes:
         Sorted class labels for multiclass voting; ``None`` for a
         binary model (labels are ±1 from the single decision value).
+    sv_norms:
+        Precomputed squared row norms.  The fleet's shared-memory
+        transport passes the published norms here so attaching a model
+        in a worker neither copies nor recomputes them; when omitted
+        they are computed from the matrix as before.
     """
 
     def __init__(
@@ -110,6 +115,7 @@ class ServedModel:
         pairs: Sequence[PairSlice],
         kernel: Kernel,
         classes: Optional[np.ndarray] = None,
+        sv_norms: Optional[np.ndarray] = None,
     ) -> None:
         if not pairs:
             raise ValueError("a served model needs at least one pair slice")
@@ -136,8 +142,17 @@ class ServedModel:
         else:
             self._class_index = {}
         # Row norms come from the canonical COO expansion, so this
-        # array survives format conversions bitwise — compute once.
-        self.sv_norms = matrix.row_norms_sq()
+        # array survives format conversions bitwise — compute once
+        # (or accept the published copy from a fleet handle).
+        if sv_norms is not None:
+            if sv_norms.shape != (matrix.shape[0],):
+                raise ValueError(
+                    f"sv_norms shape {sv_norms.shape} does not match "
+                    f"{matrix.shape[0]} stacked support vectors"
+                )
+            self.sv_norms = sv_norms
+        else:
+            self.sv_norms = matrix.row_norms_sq()
 
     def clone(self) -> "ServedModel":
         """A new ServedModel sharing the heavy arrays.
@@ -411,3 +426,23 @@ class InferenceEngine:
     def predict_one(self, v: SparseVector) -> float:
         """Label for one query via the single-vector path."""
         return float(self._labels(self.decision_one(v)[None, :])[0])
+
+    def predict_with_decisions(
+        self, vectors: Sequence[SparseVector]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Labels *and* decision values from one SpMM sweep.
+
+        Fleet workers return both to the front door (the bitwise
+        equivalence contract is over decision values, not just
+        labels), and paying a second sweep for them would double the
+        hot-path cost.
+        """
+        dec = self.decision_function(vectors)
+        return self._labels(dec), dec
+
+    def predict_one_with_decision(
+        self, v: SparseVector
+    ) -> Tuple[float, np.ndarray]:
+        """Degraded-path twin of :meth:`predict_with_decisions`."""
+        dec = self.decision_one(v)
+        return float(self._labels(dec[None, :])[0]), dec

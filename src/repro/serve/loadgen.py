@@ -61,12 +61,21 @@ def query_sampler(
 
 @dataclass(frozen=True)
 class TimedRequest:
-    """One workload arrival on the virtual clock."""
+    """One workload arrival on the virtual clock.
+
+    ``model`` and ``tenant`` are fleet-era annotations: the front door
+    routes on ``model`` (``None`` means "the only model"), and
+    ``tenant`` labels which synthetic client stream produced the
+    arrival so hot-spot analyses can attribute load.  Single-engine
+    code paths ignore both.
+    """
 
     req_id: int
     t: float
     vector: SparseVector
     deadline: Optional[float] = None
+    model: Optional[str] = None
+    tenant: Optional[str] = None
 
 
 @dataclass
@@ -139,6 +148,196 @@ def closed_loop(
         )
         next_issue[client] = t + (service_ms + think_ms) / 1e3
     arrivals.sort(key=lambda r: (r.t, r.req_id))
+    return Workload(name=name, arrivals=arrivals)
+
+
+def _modulated_open_loop(
+    n: int,
+    rate_fn: Callable[[float], float],
+    sampler: VectorSampler,
+    *,
+    seed: int = 0,
+    deadline_ms: Optional[float] = None,
+    name: str = "modulated",
+    model: Optional[str] = None,
+    tenant: Optional[str] = None,
+) -> Workload:
+    """Open-loop arrivals whose rate varies over virtual time.
+
+    Each gap is exponential at the rate *in force when it starts*
+    (piecewise-stationary approximation of a non-homogeneous Poisson
+    process) — exact enough for load shaping, and fully deterministic
+    from the seed, which is what the fleet bench gates on.
+    """
+    rng = np.random.default_rng(seed)
+    t = 0.0
+    arrivals = []
+    for i in range(n):
+        rate = float(rate_fn(t))
+        if rate <= 0.0:
+            raise ValueError(f"rate_fn({t}) = {rate}; rates must stay > 0")
+        t += float(rng.exponential(1.0 / rate))
+        arrivals.append(
+            TimedRequest(
+                i, t, sampler(rng), _deadline(t, deadline_ms),
+                model=model, tenant=tenant,
+            )
+        )
+    return Workload(name=name, arrivals=arrivals)
+
+
+def bursty(
+    n: int,
+    base_rps: float,
+    sampler: VectorSampler,
+    *,
+    burst_factor: float = 8.0,
+    period_s: float = 1.0,
+    duty: float = 0.25,
+    seed: int = 0,
+    deadline_ms: Optional[float] = None,
+    name: str = "bursty",
+    model: Optional[str] = None,
+    tenant: Optional[str] = None,
+) -> Workload:
+    """Square-wave rate modulation: quiet floor, periodic bursts.
+
+    The first ``duty`` fraction of every ``period_s`` window runs at
+    ``base_rps * burst_factor``, the rest at ``base_rps`` — the
+    classic flash-crowd shape that concentrates arrivals and creates
+    the hot shards the rebalancer must detect.
+    """
+    if not 0.0 < duty < 1.0:
+        raise ValueError("duty must be in (0, 1)")
+    if burst_factor < 1.0:
+        raise ValueError("burst_factor must be >= 1")
+
+    def rate(t: float) -> float:
+        phase = (t % period_s) / period_s
+        return base_rps * (burst_factor if phase < duty else 1.0)
+
+    return _modulated_open_loop(
+        n, rate, sampler, seed=seed, deadline_ms=deadline_ms,
+        name=name, model=model, tenant=tenant,
+    )
+
+
+def diurnal(
+    n: int,
+    base_rps: float,
+    sampler: VectorSampler,
+    *,
+    amplitude: float = 0.8,
+    period_s: float = 4.0,
+    phase: float = 0.0,
+    seed: int = 0,
+    deadline_ms: Optional[float] = None,
+    name: str = "diurnal",
+    model: Optional[str] = None,
+    tenant: Optional[str] = None,
+) -> Workload:
+    """Sinusoidal rate modulation (a compressed day-night cycle).
+
+    ``phase`` offsets the cycle so different tenants peak at different
+    virtual hours — staggered peaks are what shift the hot spot from
+    one shard to another mid-run.
+    """
+    if not 0.0 <= amplitude < 1.0:
+        raise ValueError("amplitude must be in [0, 1)")
+
+    def rate(t: float) -> float:
+        return base_rps * (
+            1.0 + amplitude * np.sin(2.0 * np.pi * (t / period_s + phase))
+        )
+
+    return _modulated_open_loop(
+        n, rate, sampler, seed=seed, deadline_ms=deadline_ms,
+        name=name, model=model, tenant=tenant,
+    )
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One synthetic client population in a multi-tenant workload.
+
+    ``pattern`` picks the arrival shape (``steady`` | ``bursty`` |
+    ``diurnal``); ``model`` names which served model this tenant
+    queries, so a mix of specs exercises routing and per-model hot
+    spots.  ``n`` and ``rate_rps`` size the stream; the remaining
+    knobs feed the underlying pattern generator.
+    """
+
+    name: str
+    model: str
+    n: int
+    rate_rps: float
+    pattern: str = "steady"
+    burst_factor: float = 8.0
+    amplitude: float = 0.8
+    period_s: float = 1.0
+    duty: float = 0.25
+    phase: float = 0.0
+    deadline_ms: Optional[float] = None
+
+
+def multi_tenant(
+    tenants: List[TenantSpec],
+    sampler: VectorSampler,
+    *,
+    seed: int = 0,
+    name: str = "multi-tenant",
+) -> Workload:
+    """Merge per-tenant arrival streams into one routed workload.
+
+    Every tenant gets an independent substream seeded from ``seed``
+    and its position (so adding a tenant never perturbs the others),
+    the streams are merged in timestamp order with ties broken by
+    tenant position, and request ids are reassigned to the merged
+    order — ids are unique across the fleet, not per tenant.
+    """
+    if not tenants:
+        raise ValueError("need at least one tenant")
+    streams: List[List[TimedRequest]] = []
+    for idx, spec in enumerate(tenants):
+        sub_seed = seed * 1000 + idx
+        common = dict(
+            seed=sub_seed, deadline_ms=spec.deadline_ms,
+            name=spec.name, model=spec.model, tenant=spec.name,
+        )
+        if spec.pattern == "steady":
+            wl = _modulated_open_loop(
+                spec.n, lambda t: spec.rate_rps, sampler, **common
+            )
+        elif spec.pattern == "bursty":
+            wl = bursty(
+                spec.n, spec.rate_rps, sampler,
+                burst_factor=spec.burst_factor, period_s=spec.period_s,
+                duty=spec.duty, **common,
+            )
+        elif spec.pattern == "diurnal":
+            wl = diurnal(
+                spec.n, spec.rate_rps, sampler,
+                amplitude=spec.amplitude, period_s=spec.period_s,
+                phase=spec.phase, **common,
+            )
+        else:
+            raise ValueError(
+                f"unknown arrival pattern {spec.pattern!r}; expected "
+                f"steady, bursty or diurnal"
+            )
+        streams.append(wl.arrivals)
+    merged: List[Tuple[float, int, int, TimedRequest]] = []
+    for idx, stream in enumerate(streams):
+        for req in stream:
+            merged.append((req.t, idx, req.req_id, req))
+    merged.sort(key=lambda item: item[:3])
+    arrivals = [
+        TimedRequest(
+            rid, req.t, req.vector, req.deadline,
+            model=req.model, tenant=req.tenant,
+        )
+        for rid, (_, _, _, req) in enumerate(merged)
+    ]
     return Workload(name=name, arrivals=arrivals)
 
 

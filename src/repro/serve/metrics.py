@@ -144,6 +144,76 @@ class ServeMetrics:
     def record_reschedule(self) -> None:
         self.reschedules += 1
 
+    # -- cross-process transport and merge -------------------------------
+    def state(self) -> Dict:
+        """Plain picklable state (no locks, no live objects).
+
+        The fleet's workers ship this across the process boundary; the
+        front door rebuilds with :meth:`from_state` and folds shards
+        together with :meth:`merge`.
+        """
+        return {
+            "ops": self.counter.as_dict(),
+            "latencies": list(self.latencies),
+            "batch_sizes": {int(k): int(v) for k, v in self.batch_sizes.items()},
+            "served": self.served,
+            "batches": self.batches,
+            "rejected": self.rejected,
+            "expired": self.expired,
+            "degraded": self.degraded,
+            "reschedules": self.reschedules,
+            "first_t": self.first_t,
+            "last_t": self.last_t,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict) -> "ServeMetrics":
+        """Rebuild a session from :meth:`state` output."""
+        m = cls()
+        for name, value in state["ops"].items():
+            setattr(m.counter, name, value)
+        m.latencies = list(state["latencies"])
+        m.batch_sizes = Counter(
+            {int(k): int(v) for k, v in state["batch_sizes"].items()}
+        )
+        for name in (
+            "served", "batches", "rejected", "expired", "degraded",
+            "reschedules", "first_t", "last_t",
+        ):
+            setattr(m, name, state[name])
+        return m
+
+    def merge(self, other: "ServeMetrics") -> None:
+        """Fold another session's numbers in.
+
+        Latencies merge as the *union of samples*, so the fleet-wide
+        p50/p95/p99 computed afterwards are exactly the percentiles a
+        single process observing every request would report (the
+        ``lower``-method percentile is a selected sample and order-
+        insensitive).  Counts sum; the active window is the envelope
+        ``[min first_t, max last_t]``.  Sums of floats (mean latency,
+        throughput) are association-dependent, so those are *nearly*
+        — not bitwise — equal across merge orders; the regression test
+        pins percentiles exactly and means to tolerance.
+        """
+        self.counter.merge(other.counter)
+        self.latencies.extend(other.latencies)
+        self.batch_sizes.update(other.batch_sizes)
+        self.served += other.served
+        self.batches += other.batches
+        self.rejected += other.rejected
+        self.expired += other.expired
+        self.degraded += other.degraded
+        self.reschedules += other.reschedules
+        if other.first_t is not None and (
+            self.first_t is None or other.first_t < self.first_t
+        ):
+            self.first_t = other.first_t
+        if other.last_t is not None and (
+            self.last_t is None or other.last_t > self.last_t
+        ):
+            self.last_t = other.last_t
+
     # -- read side -------------------------------------------------------
     @property
     def elapsed(self) -> float:

@@ -146,6 +146,24 @@ class ModelRegistry:
             self._served_cache[key] = served
         return served.clone()
 
+    def serve_all(
+        self,
+        names: Optional[List[str]] = None,
+        *,
+        fmt: str = "CSR",
+    ) -> Dict[str, ServedModel]:
+        """Served models for several names at once (the fleet's input).
+
+        ``names=None`` serves everything registered.  Each entry is a
+        fresh clone (own matrix reference), so handing the dict to a
+        :class:`~repro.serve.fleet.ServingFleet` — which publishes the
+        heavy arrays into shared memory — never entangles the fleet
+        with other users of the warm cache.
+        """
+        if names is None:
+            names = self.models()
+        return {name: self.serve(name, fmt=fmt) for name in names}
+
     def evict(self, name: Optional[str] = None) -> None:
         """Drop warm served models (all of them, or one name's)."""
         with self._lock:

@@ -1,0 +1,217 @@
+"""Front-door routing: the shard table, least-loaded dispatch, hot spots.
+
+The fleet's door owns three small pieces of state:
+
+* :class:`ShardTable` — which shards hold a replica of which model,
+  plus per-shard outstanding request counts.  This is the one
+  genuinely shared-mutable structure (the rebalancer adds replicas
+  while dispatches read placements), so every access goes through its
+  lock — the discipline RDL009 and the ``REPRO_RACE=1`` sanitizer
+  both check.
+* :class:`Router` — the dispatch policy: least-loaded replica, ties
+  to the lowest shard id, so routing is a pure deterministic function
+  of the table state (replaying a workload replays the routing).
+* :class:`HotSpotDetector` — a rolling window over recent dispatches;
+  when one shard's share of the window exceeds ``threshold`` times
+  the mean it names the hot shard, its dominant model, and the
+  coldest shard — the rebalancer's cue to add a replica there.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.analysis.race import make_lock, track_shared
+
+
+class ShardTable:
+    """Model -> replica shards, plus per-shard outstanding counts."""
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.n_shards = n_shards
+        self._lock = make_lock("serve.shard_table")
+        self._replicas: Dict[str, List[int]] = {}
+        self._outstanding: List[int] = [0] * n_shards
+        track_shared(self, ("_replicas", "_outstanding"))
+
+    def place(self, model: str, shard: int) -> bool:
+        """Record a replica of ``model`` on ``shard``; False if present."""
+        if not 0 <= shard < self.n_shards:
+            raise ValueError(f"shard {shard} out of range")
+        with self._lock:
+            shards = self._replicas.setdefault(model, [])
+            if shard in shards:
+                return False
+            shards.append(shard)
+            shards.sort()
+            return True
+
+    def replicas(self, model: str) -> Tuple[int, ...]:
+        with self._lock:
+            return tuple(self._replicas.get(model, ()))
+
+    def models(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._replicas))
+
+    def models_on(self, shard: int) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(
+                sorted(
+                    m for m, shards in self._replicas.items()
+                    if shard in shards
+                )
+            )
+
+    def outstanding(self) -> Tuple[int, ...]:
+        with self._lock:
+            return tuple(self._outstanding)
+
+    def acquire(self, model: str) -> int:
+        """Pick the least-loaded replica shard and count the dispatch.
+
+        Selection and increment happen under one lock acquisition so
+        two concurrent dispatches cannot both pick the same "least
+        loaded" shard on stale counts.  Ties break to the lowest shard
+        id — the property that makes routing deterministic.
+        """
+        with self._lock:
+            shards = self._replicas.get(model)
+            if not shards:
+                raise KeyError(f"model {model!r} has no replicas")
+            best = min(shards, key=lambda s: (self._outstanding[s], s))
+            self._outstanding[best] += 1
+            return best
+
+    def release(self, shard: int, n: int = 1) -> None:
+        """Count ``n`` dispatched requests on ``shard`` as finished."""
+        with self._lock:
+            self._outstanding[shard] = max(
+                0, self._outstanding[shard] - n
+            )
+
+
+@dataclass(frozen=True)
+class HotSpot:
+    """One detector firing: where load concentrated and where to go."""
+
+    hot_shard: int
+    cold_shard: int
+    model: str
+    imbalance: float
+
+
+@dataclass(frozen=True)
+class RebalanceEvent:
+    """One replica added by the rebalancer (the audit-trail record)."""
+
+    at: float
+    seq: int
+    model: str
+    hot_shard: int
+    cold_shard: int
+    imbalance: float
+
+
+class HotSpotDetector:
+    """Rolling-window dispatch imbalance over the shard fleet.
+
+    Every ``check_every`` observations the detector compares the
+    busiest shard's window count against the mean over all shards;
+    at ``threshold`` or above it reports the hot shard, the model
+    dominating its window traffic, and the coldest shard (fewest
+    window dispatches, ties low).  Purely counting — no clocks, no
+    randomness — so detection replays exactly with the workload.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        *,
+        window: int = 256,
+        check_every: int = 64,
+        threshold: float = 1.5,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if window < n_shards:
+            raise ValueError("window must cover at least one per shard")
+        if check_every < 1:
+            raise ValueError("check_every must be >= 1")
+        if threshold <= 1.0:
+            raise ValueError("threshold must exceed 1.0")
+        self.n_shards = n_shards
+        self.window = window
+        self.check_every = check_every
+        self.threshold = threshold
+        self._lock = make_lock("serve.hotspot")
+        self._recent: Deque[Tuple[str, int]] = deque(maxlen=window)
+        self._since_check = 0
+        track_shared(self, ("_recent", "_since_check"))
+
+    def observe(self, model: str, shard: int) -> Optional[HotSpot]:
+        """Record one dispatch; maybe report a hot spot."""
+        with self._lock:
+            self._recent.append((model, shard))
+            self._since_check += 1
+            if self._since_check < self.check_every:
+                return None
+            if self.n_shards < 2:
+                # Nothing to rebalance toward.
+                self._since_check = 0
+                return None
+            self._since_check = 0
+            per_shard = Counter(s for _, s in self._recent)
+            mean = len(self._recent) / self.n_shards
+            hot = min(
+                range(self.n_shards),
+                key=lambda s: (-per_shard.get(s, 0), s),
+            )
+            imbalance = per_shard.get(hot, 0) / mean
+            if imbalance < self.threshold:
+                return None
+            cold = min(
+                range(self.n_shards),
+                key=lambda s: (per_shard.get(s, 0), s),
+            )
+            if cold == hot:
+                return None
+            dominant = Counter(
+                m for m, s in self._recent if s == hot
+            )
+            model_name = min(
+                dominant, key=lambda m: (-dominant[m], m)
+            )
+            return HotSpot(
+                hot_shard=hot,
+                cold_shard=cold,
+                model=model_name,
+                imbalance=imbalance,
+            )
+
+
+class Router:
+    """Dispatch policy over a :class:`ShardTable` plus hot-spot feed."""
+
+    def __init__(
+        self, table: ShardTable, detector: Optional[HotSpotDetector] = None
+    ) -> None:
+        self.table = table
+        self.detector = detector
+
+    def dispatch(self, model: str) -> Tuple[int, Optional[HotSpot]]:
+        """Route one request: shard id plus any hot-spot report."""
+        shard = self.table.acquire(model)
+        hotspot = (
+            self.detector.observe(model, shard)
+            if self.detector is not None
+            else None
+        )
+        return shard, hotspot
+
+    def complete(self, shard: int, n: int = 1) -> None:
+        self.table.release(shard, n)

@@ -1,0 +1,362 @@
+"""Fleet workers: the shard server loop and its two transports.
+
+One code path serves both deployment shapes:
+
+* :class:`ShardServer` — the worker-side request handler: holds one
+  warm :class:`~repro.serve.engine.InferenceEngine` (plus its own
+  :class:`~repro.serve.rescheduler.FormatRescheduler`) per attached
+  model, records into a per-worker :class:`~repro.serve.metrics.
+  ServeMetrics`, and answers plain-tuple messages.
+* :class:`ProcessShard` — the real thing: a child process running
+  :func:`fleet_worker_main` over a duplex pipe.  Every message and
+  reply is pickled through ``send_bytes``/``recv_bytes`` so the
+  client can *count the bytes that cross the process boundary* —
+  the measurement behind the zero-copy acceptance test (per-request
+  traffic is O(batch), never O(nnz), because matrices travel once
+  via :mod:`repro.serve.shm` handles).
+* :class:`LocalShard` — the same server called in-process, still
+  through the pickle round-trip so byte accounting and message
+  semantics are identical.  Used by tests and single-process runs.
+
+The wire protocol is deliberately dumb — tuples with a verb first:
+
+===============  =====================================================
+``attach``        ``(key, ModelHandle, fmt0 | None, rcfg | None)``
+``predict``       ``(key, req_ids, vectors, started, finished, queued)``
+``predict_one``   ``(key, req_id, vector, arrived, finished)``
+``snapshot``      worker metrics state + per-model formats
+``shutdown``      goodbye (worker closes attachments and exits)
+===============  =====================================================
+
+Timestamps ride in from the front door (virtual or monotonic — the
+door owns the clock), so worker metrics merge into an exact fleet
+view regardless of which clock the simulation ran on.
+"""
+
+from __future__ import annotations
+
+import pickle
+import traceback
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.race import make_lock, track_shared
+from repro.perf.counters import OpCounter
+from repro.serve.engine import InferenceEngine
+from repro.serve.metrics import ServeMetrics
+from repro.serve.rescheduler import FormatRescheduler
+from repro.serve.shm import Attachment, ModelHandle, attach_model
+
+#: Message verbs on the request hot path; everything else is control
+#: plane (attach / snapshot / shutdown) and may be arbitrarily large
+#: exactly once.
+HOT_VERBS = ("predict", "predict_one")
+
+
+class FleetWorkerError(RuntimeError):
+    """A worker-side exception, re-raised at the front door."""
+
+
+class ShardServer:
+    """Worker-side state: engines, reschedulers, metrics, attachments."""
+
+    def __init__(
+        self, worker_id: int, *, unregister: bool = False
+    ) -> None:
+        self.worker_id = worker_id
+        self.metrics = ServeMetrics(counter=OpCounter())
+        self.engines: Dict[str, InferenceEngine] = {}
+        self.reschedulers: Dict[str, Optional[FormatRescheduler]] = {}
+        self._attachments: List[Attachment] = []
+        self._unregister = unregister
+        self._closed = False
+
+    # -- message handling ------------------------------------------------
+    def handle(self, msg: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        verb = msg[0]
+        if verb == "predict":
+            return self._predict(*msg[1:])
+        if verb == "predict_one":
+            return self._predict_one(*msg[1:])
+        if verb == "attach":
+            return self._attach(*msg[1:])
+        if verb == "snapshot":
+            return self._snapshot()
+        if verb == "shutdown":
+            return ("ok", "shutdown", self.worker_id)
+        raise ValueError(f"unknown fleet message verb {verb!r}")
+
+    def _attach(
+        self,
+        key: str,
+        handle: ModelHandle,
+        fmt0: Optional[str],
+        rcfg: Optional[Dict[str, Any]],
+    ) -> Tuple[Any, ...]:
+        if key in self.engines:
+            raise ValueError(
+                f"worker {self.worker_id} already serves {key!r}"
+            )
+        att = Attachment(unregister=self._unregister)
+        model = attach_model(handle, att)
+        self._attachments.append(att)
+        # All engines on one worker report into the worker's counter,
+        # so one snapshot message captures the whole worker.
+        engine = InferenceEngine(model, counter=self.metrics.counter)
+        resched = (
+            FormatRescheduler(**rcfg) if rcfg is not None else None
+        )
+        start_fmt = fmt0
+        if start_fmt is None and resched is not None:
+            start_fmt = resched.initial_format(model.matrix)
+        if start_fmt is not None:
+            engine.convert_to(start_fmt)
+        self.engines[key] = engine
+        self.reschedulers[key] = resched
+        return ("ok", "attach", key, engine.format)
+
+    def _predict(
+        self,
+        key: str,
+        req_ids: List[int],
+        vectors: List[Any],
+        started_at: float,
+        finished_at: float,
+        queued_at: List[float],
+    ) -> Tuple[Any, ...]:
+        engine = self.engines[key]
+        labels, dec = engine.predict_with_decisions(vectors)
+        self.metrics.record_batch(
+            len(vectors), started_at, finished_at,
+            queued_at=list(queued_at),
+        )
+        event = None
+        resched = self.reschedulers.get(key)
+        if resched is not None:
+            event = resched.after_batch(
+                len(vectors), engine.model.matrix
+            )
+            if event is not None:
+                engine.convert_to(event.to_fmt)
+                self.metrics.record_reschedule()
+        return (
+            "ok", "predict", key, list(req_ids), labels, dec,
+            engine.format, event,
+        )
+
+    def _predict_one(
+        self,
+        key: str,
+        req_id: int,
+        vector: Any,
+        arrived_at: float,
+        finished_at: float,
+    ) -> Tuple[Any, ...]:
+        engine = self.engines[key]
+        label, dec = engine.predict_one_with_decision(vector)
+        self.metrics.record_single(arrived_at, finished_at)
+        self.metrics.record_degraded()
+        return (
+            "ok", "predict_one", key, req_id, label, dec, engine.format,
+        )
+
+    def _snapshot(self) -> Tuple[Any, ...]:
+        formats = {
+            key: engine.format for key, engine in self.engines.items()
+        }
+        return (
+            "ok", "snapshot", self.worker_id, self.metrics.state(),
+            formats,
+        )
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for att in self._attachments:
+            att.close()
+
+
+def fleet_worker_main(
+    conn, worker_id: int, unregister: bool = False
+) -> None:
+    """Child-process entry: serve messages until shutdown or EOF.
+
+    Any per-message exception is shipped back as an ``("err", ...)``
+    reply instead of killing the worker; EOF on the pipe (the parent
+    died or closed us) exits cleanly, closing shm attachments.
+    """
+    server = ShardServer(worker_id, unregister=unregister)
+    try:
+        while True:
+            try:
+                raw = conn.recv_bytes()
+            except (EOFError, OSError):
+                break
+            msg = pickle.loads(raw)
+            try:
+                reply = server.handle(msg)
+            except Exception as exc:
+                reply = (
+                    "err",
+                    f"{type(exc).__name__}: {exc}",
+                    traceback.format_exc(),
+                )
+            conn.send_bytes(
+                pickle.dumps(reply, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+            if msg[0] == "shutdown":
+                break
+    finally:
+        server.close()
+        conn.close()
+
+
+class _TransportStats:
+    """Byte/message accounting split into hot path vs control plane."""
+
+    FIELDS = (
+        "hot_messages", "hot_requests", "hot_bytes_sent",
+        "hot_bytes_received", "control_messages", "control_bytes_sent",
+        "control_bytes_received",
+    )
+
+    def __init__(self) -> None:
+        for f in self.FIELDS:
+            setattr(self, f, 0)
+
+    def account(
+        self, verb: str, n_requests: int, sent: int, received: int
+    ) -> None:
+        if verb in HOT_VERBS:
+            self.hot_messages += 1
+            self.hot_requests += n_requests
+            self.hot_bytes_sent += sent
+            self.hot_bytes_received += received
+        else:
+            self.control_messages += 1
+            self.control_bytes_sent += sent
+            self.control_bytes_received += received
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f: getattr(self, f) for f in self.FIELDS}
+
+
+def _count_requests(msg: Tuple[Any, ...]) -> int:
+    if msg[0] == "predict":
+        return len(msg[2])
+    if msg[0] == "predict_one":
+        return 1
+    return 0
+
+
+class ProcessShard:
+    """Front-door handle to one worker process.
+
+    The RPC is synchronous and the pipe is a shared resource, so each
+    request/reply pair (and the byte accounting) happens under one
+    lock — the lockset the ``REPRO_RACE`` sanitizer checks when
+    multiple door threads share a shard.
+    """
+
+    kind = "process"
+
+    def __init__(self, worker_id: int, ctx) -> None:
+        self.worker_id = worker_id
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        # A spawned worker owns a private resource tracker that must
+        # forget attached segments (see repro.serve.shm); a forked one
+        # shares ours and must not touch its bookkeeping.
+        unregister = ctx.get_start_method() == "spawn"
+        self._conn = parent_conn
+        self._stats = _TransportStats()
+        self._lock = make_lock(f"serve.shard{worker_id}")
+        track_shared(self, ("_stats",))
+        self.process = ctx.Process(
+            target=fleet_worker_main,
+            args=(child_conn, worker_id, unregister),
+            daemon=True,
+            name=f"repro-fleet-worker-{worker_id}",
+        )
+        self.process.start()
+        child_conn.close()
+
+    def request(self, msg: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        payload = pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
+        n_requests = _count_requests(msg)
+        with self._lock:
+            self._conn.send_bytes(payload)
+            raw = self._conn.recv_bytes()
+            self._stats.account(msg[0], n_requests, len(payload), len(raw))
+        reply = pickle.loads(raw)
+        if reply[0] == "err":
+            raise FleetWorkerError(
+                f"worker {self.worker_id}: {reply[1]}\n{reply[2]}"
+            )
+        return reply
+
+    def transport_stats(self) -> Dict[str, int]:
+        with self._lock:
+            return self._stats.as_dict()
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def kill(self) -> None:
+        """SIGKILL the worker (crash-hygiene tests only)."""
+        self.process.kill()
+        self.process.join(timeout=10.0)
+
+    def close(self) -> None:
+        if self.process.is_alive():
+            try:
+                self.request(("shutdown",))
+            except (FleetWorkerError, EOFError, OSError, BrokenPipeError):
+                pass
+        self._conn.close()
+        self.process.join(timeout=10.0)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.kill()
+            self.process.join(timeout=10.0)
+
+
+class LocalShard:
+    """The same server, same wire format, no process.
+
+    Messages still round-trip through pickle so the byte accounting
+    (and anything unpicklable sneaking onto the hot path) behaves
+    exactly as it would across a real process boundary.
+    """
+
+    kind = "local"
+
+    def __init__(self, worker_id: int) -> None:
+        self.worker_id = worker_id
+        self.server = ShardServer(worker_id)
+        self._stats = _TransportStats()
+        self._lock = make_lock(f"serve.shard{worker_id}")
+        track_shared(self, ("_stats",))
+
+    def request(self, msg: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        payload = pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
+        n_requests = _count_requests(msg)
+        with self._lock:
+            try:
+                reply = self.server.handle(pickle.loads(payload))
+            except Exception as exc:
+                raise FleetWorkerError(
+                    f"worker {self.worker_id}: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
+            raw = pickle.dumps(reply, protocol=pickle.HIGHEST_PROTOCOL)
+            self._stats.account(msg[0], n_requests, len(payload), len(raw))
+        return pickle.loads(raw)
+
+    def transport_stats(self) -> Dict[str, int]:
+        with self._lock:
+            return self._stats.as_dict()
+
+    def alive(self) -> bool:
+        return True
+
+    def close(self) -> None:
+        self.server.close()

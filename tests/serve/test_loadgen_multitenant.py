@@ -1,0 +1,162 @@
+"""Bursty/diurnal arrival patterns and the multi-tenant merge."""
+
+import numpy as np
+import pytest
+
+from repro.serve.loadgen import (
+    TenantSpec,
+    bursty,
+    diurnal,
+    multi_tenant,
+    open_loop,
+    query_sampler,
+)
+
+SAMPLER = query_sampler(40, 4)
+
+
+class TestBursty:
+    def test_deterministic_given_seed(self):
+        a = bursty(100, 1000.0, SAMPLER, seed=3)
+        b = bursty(100, 1000.0, SAMPLER, seed=3)
+        assert [r.t for r in a.arrivals] == [r.t for r in b.arrivals]
+        c = bursty(100, 1000.0, SAMPLER, seed=4)
+        assert [r.t for r in a.arrivals] != [r.t for r in c.arrivals]
+
+    def test_arrivals_are_ordered_and_counted(self):
+        wl = bursty(200, 2000.0, SAMPLER, seed=1)
+        times = [r.t for r in wl.arrivals]
+        assert len(wl) == 200
+        assert times == sorted(times)
+        assert [r.req_id for r in wl.arrivals] == list(range(200))
+
+    def test_burst_phase_is_denser(self):
+        """Arrivals concentrate in the first ``duty`` of each period."""
+        wl = bursty(
+            2000, 1000.0, SAMPLER, seed=2,
+            burst_factor=8.0, period_s=0.1, duty=0.25,
+        )
+        in_burst = sum(
+            1 for r in wl.arrivals if (r.t % 0.1) / 0.1 < 0.25
+        )
+        # The burst window holds 25% of the time but (at 8x rate)
+        # ~73% of the arrivals; far more than the uniform share.
+        assert in_burst / len(wl) > 0.5
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            bursty(10, 0.0, SAMPLER, seed=0)
+
+
+class TestDiurnal:
+    def test_deterministic_given_seed(self):
+        a = diurnal(100, 1000.0, SAMPLER, seed=5)
+        b = diurnal(100, 1000.0, SAMPLER, seed=5)
+        assert [r.t for r in a.arrivals] == [r.t for r in b.arrivals]
+
+    def test_peak_phase_is_denser_than_trough(self):
+        wl = diurnal(
+            4000, 1000.0, SAMPLER, seed=6,
+            amplitude=0.9, period_s=0.2, phase=0.0,
+        )
+        # Peak of sin is the first quarter-period; trough the third.
+        peak = sum(
+            1 for r in wl.arrivals if (r.t % 0.2) / 0.2 < 0.25
+        )
+        trough = sum(
+            1 for r in wl.arrivals if 0.5 <= (r.t % 0.2) / 0.2 < 0.75
+        )
+        assert peak > 2 * trough
+
+    def test_amplitude_validation(self):
+        with pytest.raises(ValueError):
+            diurnal(10, 100.0, SAMPLER, amplitude=1.0)
+        with pytest.raises(ValueError):
+            diurnal(10, 100.0, SAMPLER, amplitude=-0.1)
+
+
+class TestMultiTenant:
+    def tenants(self, n=60):
+        return [
+            TenantSpec("t-a", "alpha", n=n, rate_rps=2000.0,
+                       pattern="bursty"),
+            TenantSpec("t-b", "beta", n=n // 2, rate_rps=1000.0,
+                       pattern="diurnal"),
+            TenantSpec("t-c", "alpha", n=n // 3, rate_rps=500.0),
+        ]
+
+    def test_merge_is_time_ordered_with_fresh_req_ids(self):
+        wl = multi_tenant(self.tenants(), SAMPLER, seed=7)
+        times = [r.t for r in wl.arrivals]
+        assert times == sorted(times)
+        assert [r.req_id for r in wl.arrivals] == list(range(len(wl)))
+        assert len(wl) == 60 + 30 + 20
+
+    def test_tenant_and_model_tags_survive_the_merge(self):
+        wl = multi_tenant(self.tenants(), SAMPLER, seed=7)
+        by_tenant = {}
+        for r in wl.arrivals:
+            by_tenant.setdefault(r.tenant, set()).add(r.model)
+        assert by_tenant == {
+            "t-a": {"alpha"}, "t-b": {"beta"}, "t-c": {"alpha"},
+        }
+
+    def test_deterministic_given_seed(self):
+        a = multi_tenant(self.tenants(), SAMPLER, seed=9)
+        b = multi_tenant(self.tenants(), SAMPLER, seed=9)
+        assert [(r.t, r.tenant) for r in a.arrivals] == [
+            (r.t, r.tenant) for r in b.arrivals
+        ]
+
+    def test_tenants_draw_independent_streams(self):
+        """Two tenants with identical specs get different arrivals."""
+        wl = multi_tenant(
+            [
+                TenantSpec("t-1", "m", n=50, rate_rps=1000.0),
+                TenantSpec("t-2", "m", n=50, rate_rps=1000.0),
+            ],
+            SAMPLER,
+            seed=11,
+        )
+        t1 = [r.t for r in wl.arrivals if r.tenant == "t-1"]
+        t2 = [r.t for r in wl.arrivals if r.tenant == "t-2"]
+        assert t1 != t2
+
+    def test_deadlines_propagate(self):
+        wl = multi_tenant(
+            [
+                TenantSpec(
+                    "t-a", "m", n=10, rate_rps=1000.0, deadline_ms=5.0
+                )
+            ],
+            SAMPLER,
+            seed=13,
+        )
+        for r in wl.arrivals:
+            assert r.deadline == pytest.approx(r.t + 5e-3)
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            multi_tenant(
+                [TenantSpec("t", "m", n=5, rate_rps=100.0,
+                            pattern="sawtooth")],
+                SAMPLER,
+                seed=0,
+            )
+
+    def test_empty_tenant_list_rejected(self):
+        with pytest.raises(ValueError):
+            multi_tenant([], SAMPLER, seed=0)
+
+
+class TestBackwardCompat:
+    def test_existing_generators_leave_tags_unset(self):
+        wl = open_loop(10, 1000.0, SAMPLER, seed=1)
+        for r in wl.arrivals:
+            assert r.model is None
+            assert r.tenant is None
+
+    def test_vectors_come_from_the_sampler(self):
+        wl = bursty(5, 1000.0, SAMPLER, seed=1)
+        for r in wl.arrivals:
+            assert r.vector.length == 40

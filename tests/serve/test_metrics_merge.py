@@ -1,0 +1,144 @@
+"""ServeMetrics merge: sharded recording == single-process replay."""
+
+import numpy as np
+import pytest
+
+from repro.perf.counters import OpCounter
+from repro.serve.metrics import ServeMetrics, summarise_latencies
+
+
+def record_session(metrics_for):
+    """Replay one fixed event stream into per-event target metrics.
+
+    ``metrics_for(i)`` names the ServeMetrics that records event ``i``
+    — the identity function of the sharding under test.
+    """
+    rng = np.random.default_rng(42)
+    t = 0.0
+    for i in range(120):
+        m = metrics_for(i)
+        size = int(rng.integers(1, 9))
+        start = t + float(rng.random()) * 1e-3
+        fin = start + 1e-3 + float(rng.random()) * 2e-3
+        queued = [
+            start - float(rng.random()) * 1e-3 for _ in range(size)
+        ]
+        m.record_batch(size, start, fin, queued_at=queued)
+        if i % 7 == 0:
+            m.record_single(start, fin)
+        if i % 11 == 0:
+            m.record_rejected()
+        if i % 13 == 0:
+            m.record_expired()
+        if i % 17 == 0:
+            m.record_degraded()
+        if i % 19 == 0:
+            m.record_reschedule()
+        m.counter.spmm_calls += 1
+        m.counter.spmm_columns += size
+        t = fin
+
+
+def merged_over(n_shards):
+    shards = [ServeMetrics(counter=OpCounter()) for _ in range(n_shards)]
+    record_session(lambda i: shards[i % n_shards])
+    out = ServeMetrics()
+    for s in shards:
+        out.merge(s)
+    return out
+
+
+class TestMergeEqualsSingleReplay:
+    @pytest.mark.parametrize("n_shards", [2, 3, 7])
+    def test_percentiles_are_exactly_single_process(self, n_shards):
+        single = ServeMetrics(counter=OpCounter())
+        record_session(lambda i: single)
+        merged = merged_over(n_shards)
+        want = summarise_latencies(single.latencies)
+        got = summarise_latencies(merged.latencies)
+        # `lower`-method percentiles select actual samples, so the
+        # union merge reproduces them bitwise.
+        assert got.p50 == want.p50
+        assert got.p95 == want.p95
+        assert got.p99 == want.p99
+        assert got.max == want.max
+        assert got.count == want.count
+
+    @pytest.mark.parametrize("n_shards", [2, 5])
+    def test_counts_and_histograms_are_exact(self, n_shards):
+        single = ServeMetrics(counter=OpCounter())
+        record_session(lambda i: single)
+        merged = merged_over(n_shards)
+        for field in (
+            "served", "batches", "rejected", "expired", "degraded",
+            "reschedules",
+        ):
+            assert getattr(merged, field) == getattr(single, field)
+        assert merged.batch_histogram() == single.batch_histogram()
+        assert merged.first_t == single.first_t
+        assert merged.last_t == single.last_t
+        assert merged.counter.spmm_calls == single.counter.spmm_calls
+        assert merged.counter.spmm_columns == single.counter.spmm_columns
+
+    def test_means_agree_to_float_tolerance(self):
+        """Float sums are association-dependent: near, not bitwise."""
+        single = ServeMetrics(counter=OpCounter())
+        record_session(lambda i: single)
+        merged = merged_over(3)
+        want = summarise_latencies(single.latencies).mean
+        got = summarise_latencies(merged.latencies).mean
+        assert got == pytest.approx(want, rel=1e-12)
+        assert merged.throughput == pytest.approx(
+            single.throughput, rel=1e-12
+        )
+
+    def test_merge_order_does_not_change_percentiles(self):
+        shards = [ServeMetrics(counter=OpCounter()) for _ in range(4)]
+        record_session(lambda i: shards[i % 4])
+        fwd = ServeMetrics()
+        for s in shards:
+            fwd.merge(s)
+        rev = ServeMetrics()
+        for s in reversed(shards):
+            rev.merge(s)
+        a = summarise_latencies(fwd.latencies)
+        b = summarise_latencies(rev.latencies)
+        assert (a.p50, a.p95, a.p99, a.max) == (b.p50, b.p95, b.p99, b.max)
+
+
+class TestStateTransport:
+    def test_state_round_trip_is_lossless(self):
+        m = ServeMetrics(counter=OpCounter())
+        record_session(lambda i: m)
+        back = ServeMetrics.from_state(m.state())
+        assert back.latencies == m.latencies
+        assert back.batch_sizes == m.batch_sizes
+        assert back.served == m.served
+        assert back.first_t == m.first_t
+        assert back.last_t == m.last_t
+        assert back.counter.as_dict() == m.counter.as_dict()
+
+    def test_state_is_picklable(self):
+        import pickle
+
+        m = ServeMetrics(counter=OpCounter())
+        m.record_batch(3, 0.0, 1e-3, queued_at=[0.0, 0.0, 0.0])
+        state = pickle.loads(pickle.dumps(m.state()))
+        assert ServeMetrics.from_state(state).served == 3
+
+    def test_merge_empty_sessions(self):
+        a = ServeMetrics()
+        b = ServeMetrics()
+        a.merge(b)
+        assert a.served == 0
+        assert a.elapsed == 0.0
+        assert a.throughput == 0.0
+
+    def test_max_fields_merge_as_max(self):
+        """OpCounter high-water marks take max, not sum, on merge."""
+        a = ServeMetrics(counter=OpCounter())
+        b = ServeMetrics(counter=OpCounter())
+        a.counter.parallel_work_max = 5
+        b.counter.parallel_work_max = 9
+        a.merge(b)
+        assert a.counter.parallel_work_max == 9

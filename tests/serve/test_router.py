@@ -1,0 +1,147 @@
+"""Front-door routing: shard table, least-loaded dispatch, hot spots."""
+
+import pytest
+
+from repro.serve.router import (
+    HotSpot,
+    HotSpotDetector,
+    Router,
+    ShardTable,
+)
+
+
+class TestShardTable:
+    def test_place_and_replicas(self):
+        table = ShardTable(3)
+        assert table.place("m", 2)
+        assert table.place("m", 0)
+        assert not table.place("m", 2)  # already there
+        assert table.replicas("m") == (0, 2)  # sorted
+        assert table.models() == ("m",)
+        assert table.models_on(2) == ("m",)
+        assert table.models_on(1) == ()
+
+    def test_place_rejects_out_of_range(self):
+        table = ShardTable(2)
+        with pytest.raises(ValueError):
+            table.place("m", 2)
+        with pytest.raises(ValueError):
+            table.place("m", -1)
+
+    def test_acquire_picks_least_loaded_ties_low(self):
+        table = ShardTable(3)
+        table.place("m", 0)
+        table.place("m", 2)
+        # All counts zero: tie breaks to the lowest shard id.
+        assert table.acquire("m") == 0
+        # Shard 0 now has one outstanding: 2 is least loaded.
+        assert table.acquire("m") == 2
+        # Tied again at 1 each: back to the lowest id.
+        assert table.acquire("m") == 0
+        assert table.outstanding() == (2, 0, 1)
+
+    def test_release_decrements_and_clamps(self):
+        table = ShardTable(2)
+        table.place("m", 1)
+        table.acquire("m")
+        table.release(1)
+        assert table.outstanding() == (0, 0)
+        table.release(1, 5)  # over-release clamps at zero
+        assert table.outstanding() == (0, 0)
+
+    def test_acquire_unknown_model_raises(self):
+        table = ShardTable(2)
+        with pytest.raises(KeyError):
+            table.acquire("ghost")
+
+    def test_acquire_is_deterministic(self):
+        """Same placement + same dispatch sequence = same routing."""
+
+        def run():
+            table = ShardTable(3)
+            for shard in (0, 1, 2):
+                table.place("m", shard)
+            out = [table.acquire("m") for _ in range(10)]
+            table.release(out[0])
+            out.append(table.acquire("m"))
+            return out
+
+        assert run() == run()
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            ShardTable(0)
+
+
+class TestHotSpotDetector:
+    def test_single_shard_never_fires(self):
+        det = HotSpotDetector(1, window=8, check_every=2, threshold=1.5)
+        assert all(
+            det.observe("m", 0) is None for _ in range(16)
+        )
+
+    def test_skewed_traffic_fires_and_names_dominant_model(self):
+        det = HotSpotDetector(2, window=16, check_every=4, threshold=1.5)
+        hot = None
+        for _ in range(8):
+            hot = det.observe("m", 0) or hot
+        assert isinstance(hot, HotSpot)
+        assert hot.hot_shard == 0
+        assert hot.cold_shard == 1
+        assert hot.model == "m"
+        assert hot.imbalance >= 1.5
+
+    def test_balanced_traffic_stays_quiet(self):
+        det = HotSpotDetector(2, window=16, check_every=4, threshold=1.5)
+        for i in range(32):
+            assert det.observe("m", i % 2) is None
+
+    def test_only_checks_every_n_observations(self):
+        det = HotSpotDetector(2, window=16, check_every=8, threshold=1.5)
+        for i in range(7):
+            assert det.observe("m", 0) is None
+        assert det.observe("m", 0) is not None
+
+    def test_dominant_model_on_hot_shard(self):
+        det = HotSpotDetector(2, window=16, check_every=16, threshold=1.2)
+        hot = None
+        for _ in range(5):
+            det.observe("a", 0)
+        for _ in range(11):  # the 16th observation runs the check
+            hot = det.observe("b", 0) or hot
+        assert hot is not None
+        assert hot.model == "b"
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            HotSpotDetector(0)
+        with pytest.raises(ValueError):
+            HotSpotDetector(4, window=2)
+        with pytest.raises(ValueError):
+            HotSpotDetector(2, check_every=0)
+        with pytest.raises(ValueError):
+            HotSpotDetector(2, threshold=1.0)
+
+
+class TestRouter:
+    def test_dispatch_routes_and_reports(self):
+        table = ShardTable(2)
+        table.place("m", 0)
+        table.place("m", 1)
+        det = HotSpotDetector(2, window=8, check_every=2, threshold=1.5)
+        router = Router(table, det)
+        shard, _ = router.dispatch("m")
+        assert shard == 0
+        shard, _ = router.dispatch("m")
+        assert shard == 1  # least-loaded alternation
+        router.complete(0)
+        router.complete(1)
+        assert table.outstanding() == (0, 0)
+
+    def test_router_without_detector(self):
+        table = ShardTable(1)
+        table.place("m", 0)
+        router = Router(table)
+        shard, hotspot = router.dispatch("m")
+        assert shard == 0
+        assert hotspot is None
