@@ -5,7 +5,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: lint race test test-sanitize test-trace test-race bench bench-sell serve-bench bench-obs bench-fleet check
+.PHONY: lint race test test-sanitize test-trace test-race bench bench-sell serve-bench bench-obs bench-fleet tune tune-smoke check
 
 ## Static analysis: the twelve RDL rules over the whole tree, JSON
 ## mode, non-zero exit on any finding.  See docs/analysis.md.
@@ -69,6 +69,20 @@ bench-obs:
 ## `make bench-fleet QUICK=1` for the CI smoke variant.
 bench-fleet:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench fleet $(if $(QUICK),--smoke)
+
+## Measured-time knob search over the report suite; winners persist
+## to the tuning cache (REPRO_TUNE_CACHE or ~/.cache/repro/tune.json)
+## where the scheduler and kernels consult them.
+tune:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro tune
+
+## Tuning gate (writes BENCH_tune.json): tuned knobs never slower than
+## the analytic defaults on their own measurements, warm-cache format
+## decisions deterministic and served from the persisted cache, cold
+## buckets falling back to the analytic model unchanged.  The cache is
+## pinned to a temp file so the run never touches ~/.cache.
+tune-smoke:
+	REPRO_TUNE_CACHE=$$(mktemp -d)/tune.json PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench tune --smoke
 
 ## Everything CI gates on.
 check: lint race test test-sanitize test-trace test-race

@@ -39,7 +39,7 @@ from repro.analysis.lint import Finding, Rule, _in_package, register
 
 #: Packages where the lock discipline is load-bearing: everything the
 #: serving/parallel path shares across threads.
-CONCURRENT_PACKAGES = ("serve", "parallel", "obs", "core")
+CONCURRENT_PACKAGES = ("serve", "parallel", "obs", "core", "tune")
 
 #: The concurrency rule family — what ``repro race`` selects.
 CONCURRENCY_CODES = ("RDL009", "RDL010", "RDL011", "RDL012")

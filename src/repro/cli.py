@@ -10,7 +10,11 @@ serve     simulate an online serving session (micro-batching + runtime
           layout re-scheduling) and report metrics; ``--workers N``
           serves through the sharded multi-process fleet instead
 bench     run a synthetic benchmark suite (smsv, sell, serve, obs,
-          fleet)
+          fleet, tune)
+tune      measured-time knob search (SELL chunk, sigma window, batch
+          width, partition granularity, workers, SMO row cache);
+          winners persist to ``~/.cache/repro/tune.json`` where the
+          scheduler and kernels consult them
 trace     run any other command with tracing on and export the span
           tree, decision audit log, and metrics
 obs       observability reports (``obs report``: scheduler regret —
@@ -414,6 +418,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         # The no-op-singleton checks are deterministic and the timing
         # gate has 4x headroom over true span cost — safe to gate on.
         rc = 0 if payload["headline"]["pass"] else 1
+    elif args.what == "tune":
+        from repro.tune.bench import (
+            render_summary,
+            run_suite,
+            write_report,
+        )
+
+        payload = run_suite(
+            quick=smoke, repeats=args.repeats, seed=args.bench_seed
+        )
+        out = args.out or "BENCH_tune.json"
+        # All three gate parts are deterministic (incumbent protection
+        # makes "tuned never slower" an invariant of the search, and
+        # the decision checks compare values, not timings) — safe to
+        # gate on.
+        rc = 0 if payload["headline"]["pass"] else 1
     elif args.what == "fleet":
         from repro.serve.bench_fleet import (
             render_summary,
@@ -440,6 +460,104 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(render_summary(payload))
     print(f"report      : {out}")
     return rc
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    """Search the knob families and persist the winners.
+
+    With ``--dataset`` the search runs on that LIBSVM file; otherwise
+    it covers the synthetic report suite (one profile bucket per
+    dataset family).  Winners land in the persisted tuning cache
+    (``REPRO_TUNE_CACHE`` or ``~/.cache/repro/tune.json``) where the
+    scheduler, the parallel kernels, the serving tier and the SMO row
+    cache consult them on every later run.
+    """
+    import json
+
+    from repro.core.autotune import AutoTuner
+    from repro.core.cost_model import ANALYTIC_FORMATS
+    from repro.tune.cache import tune_cache
+    from repro.tune.search import ProbeContext, TuneSearch
+    from repro.tune.space import FORMAT_FAMILY, KNOB_FAMILIES, SPACES
+
+    if args.families:
+        families = []
+        for f in args.families.split(","):
+            f = f.strip()
+            if f not in SPACES:
+                print(
+                    f"error: unknown knob family {f!r}; expected one "
+                    f"of {', '.join(KNOB_FAMILIES)}",
+                    file=sys.stderr,
+                )
+                return 2
+            families.append(f)
+    else:
+        families = list(KNOB_FAMILIES)
+
+    if args.dataset:
+        from repro.data import read_libsvm
+
+        (rows, cols, vals, shape), _y = read_libsvm(
+            args.dataset, n_features=args.n_features
+        )
+        datasets = [(args.dataset, rows, cols, vals, shape)]
+    else:
+        from repro.obs.report import REPORT_DATASETS
+
+        datasets = []
+        for name, build in REPORT_DATASETS:
+            rows, cols, vals, shape = build(1024, 512, args.seed)
+            datasets.append((name, rows, cols, vals, shape))
+
+    cache = tune_cache()
+    data_families = [f for f in families if not SPACES[f].machine_wide]
+    machine_families = [f for f in families if SPACES[f].machine_wide]
+    tuner = AutoTuner(repeats=3, seed=args.seed)
+    payload: dict = {"cache": str(cache.path), "datasets": {}}
+    for index, (name, rows, cols, vals, shape) in enumerate(datasets):
+        ctx = ProbeContext(rows, cols, vals, shape, seed=args.seed)
+        search = TuneSearch(seed=args.seed, budget=args.budget)
+        run = list(data_families)
+        if index == 0:
+            run += machine_families  # machine-wide: tuned once per box
+        results = search.tune(ctx, run)
+        for family, r in results.items():
+            cache.put(
+                family,
+                r.best,
+                profile=ctx.profile,
+                stats={
+                    "median_seconds": r.best_seconds,
+                    "default_seconds": r.default_seconds,
+                    "fidelity": r.fidelity,
+                },
+            )
+        probed = tuner.probe(rows, cols, vals, shape, ANALYTIC_FORMATS)
+        cache.put(
+            FORMAT_FAMILY,
+            {"fmt": probed[0].fmt, "batch_k": 1},
+            profile=ctx.profile,
+            stats={"median_seconds": probed[0].median_seconds},
+        )
+        payload["datasets"][name] = {
+            "bucket": cache.bucket_for(FORMAT_FAMILY, ctx.profile),
+            "format": probed[0].fmt,
+            "families": {f: r.as_dict() for f, r in results.items()},
+            "budget_spent": search.spent,
+        }
+        if not args.json:
+            fams = "  ".join(
+                f"{f} {dict(r.best)}"
+                + (f" x{r.speedup:.2f}" if r.improved else " (=default)")
+                for f, r in results.items()
+            )
+            print(f"{name:12s}: format {probed[0].fmt:5s}  {fams}")
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"cache       : {cache.path} ({len(cache)} entries)")
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -740,12 +858,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "what",
-        choices=("smsv", "sell", "serve", "obs", "fleet"),
+        choices=("smsv", "sell", "serve", "obs", "fleet", "tune"),
         help="which suite to run (smsv: blocked SpMM + fused dual-row; "
         "sell: scheduled SELL-C-sigma vs fixed formats + SMO bitwise "
         "gate; serve: micro-batched serving throughput + re-schedule "
         "demo; obs: disabled-mode tracing overhead gate; fleet: multi-"
-        "worker scaling + zero-copy transport + overload admission)",
+        "worker scaling + zero-copy transport + overload admission; "
+        "tune: measured knob search vs analytic defaults + warm-cache "
+        "decision determinism)",
     )
     p.add_argument(
         "--quick",
@@ -779,6 +899,39 @@ def build_parser() -> argparse.ArgumentParser:
         "ignore it)",
     )
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "tune",
+        help="measured-time knob search; winners persist to the "
+        "tuning cache the scheduler and kernels consult",
+    )
+    p.add_argument(
+        "--budget",
+        type=int,
+        default=256,
+        help="timed-repeat budget per dataset (default 256)",
+    )
+    p.add_argument(
+        "--dataset",
+        default=None,
+        metavar="FILE",
+        help="tune on this LIBSVM file instead of the synthetic "
+        "report suite",
+    )
+    p.add_argument("--n-features", type=int, default=None)
+    p.add_argument(
+        "--families",
+        default=None,
+        metavar="F1,F2",
+        help="comma-separated knob families (default: all)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable results",
+    )
+    p.set_defaults(func=_cmd_tune)
 
     p = sub.add_parser(
         "trace",

@@ -115,17 +115,31 @@ class AutoTuner:
         if m == 0:
             raise ValueError("cannot probe an empty matrix")
         rng = np.random.default_rng(self.seed + 1)
-        probe_ids = [int(i) for i in rng.integers(0, m, size=self.smsv_per_probe)]
+        # Distinct rows, clamped to the matrix: a probe on m <
+        # smsv_per_probe must not time the same row twice and divide by
+        # the nominal count (it would under-report per-SMSV time).
+        n_probe = min(m, self.smsv_per_probe)
+        probe_ids = [int(i) for i in rng.permutation(m)[:n_probe]]
 
         results: List[ProbeResult] = []
+        errors: Dict[str, Exception] = {}
         for name in names:
             cls = format_class(name)
-            t_build = benchmark(
-                lambda: cls.from_coo(srows, scols, svalues, sshape),
-                repeats=1,
-                warmup=0,
-            ).median
-            matrix: MatrixFormat = cls.from_coo(srows, scols, svalues, sshape)
+            try:
+                t_build = benchmark(
+                    lambda: cls.from_coo(srows, scols, svalues, sshape),
+                    repeats=1,
+                    warmup=0,
+                ).median
+                matrix: MatrixFormat = cls.from_coo(
+                    srows, scols, svalues, sshape
+                )
+            except Exception as exc:
+                # A format that cannot represent this matrix (e.g. a
+                # blocked layout on an incompatible shape) loses the
+                # race by forfeit rather than aborting the whole probe.
+                errors[name] = exc
+                continue
 
             def run() -> None:
                 # Row extraction + SMSV: exactly SMO's per-selected-
@@ -138,10 +152,15 @@ class AutoTuner:
             results.append(
                 ProbeResult(
                     fmt=name,
-                    median_seconds=r.median / self.smsv_per_probe,
+                    median_seconds=r.median / len(probe_ids),
                     build_seconds=t_build,
                     probe_rows=m,
                 )
+            )
+        if not results:
+            raise ValueError(
+                f"every candidate format failed to build: "
+                f"{ {k: str(v) for k, v in errors.items()} }"
             )
         return sorted(results)
 

@@ -243,11 +243,19 @@ class CostModel:
         (the same approximation ``csr_cost_from_profile`` uses for
         W-row lockstep groups), capped at the hard bound ``mdim``.
         Slice height C defaults to the SIMD width, matching
-        ``repro.formats.sell.DEFAULT_CHUNK``.
+        ``repro.formats.sell.DEFAULT_CHUNK``; a warm tuning-cache
+        entry for this machine and shape class overrides it, so the
+        model prices the slice height the builders will actually use
+        (``SELLMatrix.from_coo`` consults the same entry).
         """
         if p.m == 0:
             return 0.0
-        c = max(self.calibration.simd_width, 2)
+        from repro.tune.cache import tuned_value
+
+        tuned = tuned_value("sell_chunk", "chunk", profile=p)
+        c = max(
+            tuned if tuned else self.calibration.simd_width, 2
+        )
         slice_max = p.adim + math.sqrt(
             max(p.vdim, 0.0) * 2.0 * math.log(c)
         )

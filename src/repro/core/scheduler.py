@@ -47,6 +47,10 @@ class Decision:
     reason: str
     profile: DatasetProfile
     cached: bool = False
+    #: Provenance of the chosen format: "analytic" (cost model / rules
+    #: / decision cache), "tuned" (persisted tuning cache), or "probe"
+    #: (measured on the spot).
+    source: str = "analytic"
 
 
 def _quantise(x: float) -> float:
@@ -228,8 +232,30 @@ class LayoutScheduler:
         tracer = get_tracer()
         with tracer.span("schedule.decide") as sp:
             profile = profile_from_coo(rows, cols, shape)
-            cached = self.cache.get(profile, self.batch_k)
-            if cached is not None:
+            tuned = self._tuned_format(profile)
+            cached = (
+                None if tuned is not None
+                else self.cache.get(profile, self.batch_k)
+            )
+            if tuned is not None:
+                # Warm tuning-cache key: the measured-best format for
+                # this (machine, profile bucket, batch_k) — no analytic
+                # pricing on the decision path.  Not memoised in the
+                # DecisionCache so the provenance stays visible; the
+                # tuning-cache lookup *is* the memo.
+                decision = Decision(
+                    fmt=tuned,
+                    strategy=self.strategy,
+                    reason=(
+                        "measured-best format from the persisted "
+                        "tuning cache"
+                    ),
+                    profile=profile,
+                    cached=True,
+                    source="tuned",
+                )
+                measured: Dict[str, float] = {}
+            elif cached is not None:
                 decision = Decision(
                     fmt=cached,
                     strategy=self.strategy,
@@ -248,8 +274,25 @@ class LayoutScheduler:
                 sp.set("fmt", decision.fmt)
                 sp.set("cached", decision.cached)
                 sp.set("batch_k", self.batch_k)
+                sp.set("source", decision.source)
             self._audit(decision, measured, rows, cols, values, shape)
         return decision
+
+    def _tuned_format(self, profile: DatasetProfile) -> Optional[str]:
+        """The persisted tuning cache's pick for this profile, if any.
+
+        A warm key must also survive the scheduler's own restrictions:
+        the stored format has to be one this scheduler is allowed to
+        choose (candidate set) — otherwise the key is treated as cold
+        and the configured strategy decides, unchanged.
+        """
+        from repro.tune.cache import tuned_format
+
+        fmt = tuned_format(profile, batch_k=self.batch_k)
+        if fmt is None:
+            return None
+        allowed = self.candidates or FORMAT_NAMES
+        return fmt if fmt in allowed else None
 
     def _decide_uncached(
         self,
@@ -304,6 +347,7 @@ class LayoutScheduler:
                     f"on {results[0].probe_rows} probe rows"
                 ),
                 profile=profile,
+                source="probe",
             )
         else:  # hybrid
             from repro.core.cost_model import ANALYTIC_FORMATS
@@ -354,6 +398,7 @@ class LayoutScheduler:
                         f"{results[0].fmt} measured fastest"
                     ),
                     profile=profile,
+                    source="probe",
                 )
 
         return decision, measured
@@ -424,6 +469,7 @@ class LayoutScheduler:
                 features=profile.as_dict(),
                 predicted=predicted,
                 measured=measured,
+                decision_source=decision.source,
             )
         )
 
@@ -480,6 +526,7 @@ class LayoutScheduler:
                 ),
                 profile=decision.profile,
                 cached=decision.cached,
+                source=decision.source,
             )
             return matrix, decision
         return convert(matrix, decision.fmt), decision

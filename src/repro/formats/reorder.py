@@ -85,6 +85,32 @@ def invert_permutation(perm: np.ndarray) -> np.ndarray:
     return inv
 
 
+def _resolve_sigma(
+    sigma: Optional[int],
+    default_sigma: Optional[int],
+    lengths: np.ndarray,
+    shape: Tuple[int, int],
+) -> Optional[int]:
+    """Sort-window resolution: explicit > class default > tuned > global.
+
+    A warm tuning-cache entry can shrink the window from the global
+    sort (its ``0`` value keeps the global sort).  Any window yields
+    exact results — the permutation transparency above is
+    sigma-independent — so tuning here trades padding for locality
+    without touching values.
+    """
+    if sigma is not None:
+        return sigma
+    if default_sigma is not None:
+        return default_sigma
+    from repro.tune.cache import tuned_for_lengths
+
+    tuned = tuned_for_lengths("sigma", "sigma", lengths, shape)
+    if tuned:  # 0 (and cold keys) keep the global sort
+        return int(tuned)
+    return None
+
+
 class PermutedMatrix(MatrixFormat):
     """Inner matrix with permuted rows, presented in original order.
 
@@ -128,8 +154,7 @@ class PermutedMatrix(MatrixFormat):
         rows, cols, values = validate_coo(rows, cols, values, shape)
         m = shape[0]
         lengths = np.bincount(rows, minlength=m).astype(np.int64)
-        if sigma is None:
-            sigma = cls.default_sigma
+        sigma = _resolve_sigma(sigma, cls.default_sigma, lengths, shape)
         perm = sigma_window_permutation(lengths, sigma)
         inv = invert_permutation(perm)
         stored_rows = inv[rows] if rows.size else rows
@@ -255,8 +280,7 @@ class RSELLMatrix(PermutedMatrix):
         rows, cols, values = validate_coo(rows, cols, values, shape)
         m = shape[0]
         lengths = np.bincount(rows, minlength=m).astype(np.int64)
-        if sigma is None:
-            sigma = cls.default_sigma
+        sigma = _resolve_sigma(sigma, cls.default_sigma, lengths, shape)
         perm = sigma_window_permutation(lengths, sigma)
         inv = invert_permutation(perm)
         stored_rows = inv[rows] if rows.size else rows

@@ -172,8 +172,20 @@ class SELLMatrix(MatrixFormat):
     ) -> "SELLMatrix":
         rows, cols, values = validate_coo(rows, cols, values, shape)
         m = shape[0]
-        C = int(chunk if chunk is not None else cls.default_chunk)
         lengths = np.bincount(rows, minlength=m).astype(np.int64)
+        if chunk is None:
+            # No explicit slice height: a warm tuning-cache entry for
+            # this machine and shape class overrides the static
+            # default.  Row sums are bitwise chunk-independent (the
+            # compress-then-reduceat contract above), so this can only
+            # move time, never values.
+            from repro.tune.cache import tuned_for_lengths
+
+            chunk = tuned_for_lengths(
+                "sell_chunk", "chunk", lengths, shape,
+                default=cls.default_chunk,
+            )
+        C = int(chunk)
         widths = slice_widths_for(lengths, C)
         widths_per_row = (
             np.repeat(widths, C)[:m] if m else np.zeros(0, dtype=np.int64)

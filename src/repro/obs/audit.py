@@ -71,6 +71,11 @@ class DecisionRecord:
     features: Dict[str, float] = field(default_factory=dict)
     predicted: Dict[str, float] = field(default_factory=dict)
     measured: Dict[str, float] = field(default_factory=dict)
+    #: Where the chosen format came from: "analytic" (cost model /
+    #: rules), "tuned" (persisted tuning cache warm key), or "probe"
+    #: (measured on the spot).  Lets the regret report separate the
+    #: model's mistakes from the tuning cache's.
+    decision_source: str = "analytic"
 
     @property
     def predicted_best(self) -> Optional[str]:
@@ -107,6 +112,7 @@ class DecisionRecord:
             "features": dict(self.features),
             "predicted": dict(self.predicted),
             "measured": dict(self.measured),
+            "decision_source": self.decision_source,
         }
 
     @classmethod
@@ -122,6 +128,9 @@ class DecisionRecord:
             features=dict(d.get("features", {})),
             predicted=dict(d.get("predicted", {})),
             measured=dict(d.get("measured", {})),
+            # Records written before provenance tracking default to the
+            # analytic model, which is what they were.
+            decision_source=str(d.get("decision_source", "analytic")),
         )
 
 
@@ -187,6 +196,7 @@ class RegretRow:
     predicted_best: Optional[str]
     measured_best: Optional[str]
     regret: Optional[float]
+    decision_source: str = "analytic"
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -197,6 +207,7 @@ class RegretRow:
             "predicted_best": self.predicted_best,
             "measured_best": self.measured_best,
             "regret": self.regret,
+            "decision_source": self.decision_source,
         }
 
 
@@ -211,23 +222,53 @@ def regret_rows(records: List[DecisionRecord]) -> List[RegretRow]:
             predicted_best=r.predicted_best,
             measured_best=r.measured_best,
             regret=r.regret(),
+            decision_source=r.decision_source,
         )
         for r in records
     ]
 
 
+def regret_by_decision_source(
+    records: List[DecisionRecord],
+) -> Dict[str, Dict[str, Any]]:
+    """Aggregate regret split by where the decision came from.
+
+    Returns ``{decision_source: {"n", "n_with_regret", "mean_regret",
+    "max_regret"}}`` — the comparison the tuning cache has to win: if
+    ``tuned`` decisions carry more regret than ``analytic`` ones, the
+    cache is hurting and should be reset.
+    """
+    out: Dict[str, Dict[str, Any]] = {}
+    for src in sorted({r.decision_source for r in records}):
+        subset = [r for r in records if r.decision_source == src]
+        regrets = [
+            g for g in (r.regret() for r in subset) if g is not None
+        ]
+        out[src] = {
+            "n": len(subset),
+            "n_with_regret": len(regrets),
+            "mean_regret": (
+                sum(regrets) / len(regrets) if regrets else None
+            ),
+            "max_regret": max(regrets) if regrets else None,
+        }
+    return out
+
+
 def render_regret_table(rows: List[RegretRow]) -> str:
     """Fixed-width regret table (what ``repro obs report`` prints)."""
     header = (
-        f"{'dataset':<16s} {'source':<9s} {'k':>3s} {'chosen':<7s} "
-        f"{'predicted':<10s} {'measured':<9s} {'regret':>8s}"
+        f"{'dataset':<16s} {'source':<9s} {'via':<9s} {'k':>3s} "
+        f"{'chosen':<7s} {'predicted':<10s} {'measured':<9s} "
+        f"{'regret':>8s}"
     )
     lines = [header, "-" * len(header)]
     for r in rows:
         regret = "  --  " if r.regret is None else f"{r.regret * 100:.1f}%"
         lines.append(
-            f"{r.dataset:<16s} {r.source:<9s} {r.batch_k:>3d} "
-            f"{r.chosen:<7s} {(r.predicted_best or '--'):<10s} "
+            f"{r.dataset:<16s} {r.source:<9s} {r.decision_source:<9s} "
+            f"{r.batch_k:>3d} {r.chosen:<7s} "
+            f"{(r.predicted_best or '--'):<10s} "
             f"{(r.measured_best or '--'):<9s} {regret:>8s}"
         )
     return "\n".join(lines)

@@ -45,6 +45,7 @@ from repro.features.extract import profile_from_coo
 from repro.formats.base import FORMAT_NAMES
 from repro.obs.audit import (
     DecisionRecord,
+    regret_by_decision_source,
     regret_rows,
     render_regret_table,
 )
@@ -161,6 +162,7 @@ def report_payload(records: List[DecisionRecord]) -> Dict[str, Any]:
             float(np.mean(regrets)) if regrets else None
         ),
         "max_regret": float(max(regrets)) if regrets else None,
+        "by_decision_source": regret_by_decision_source(records),
     }
 
 
@@ -177,4 +179,20 @@ def render_report(records: List[DecisionRecord]) -> str:
             f"mean regret {payload['mean_regret'] * 100:.1f}%, "
             f"max {payload['max_regret'] * 100:.1f}%"
         )
+    by_src = payload["by_decision_source"]
+    if len(by_src) > 1:
+        # Worth a breakdown only when decisions actually came from more
+        # than one place (analytic vs tuned vs probe).
+        for src, agg in by_src.items():
+            if agg["mean_regret"] is None:
+                lines.append(
+                    f"  via {src:<9s}: {agg['n']} decisions, "
+                    f"no measurements"
+                )
+            else:
+                lines.append(
+                    f"  via {src:<9s}: {agg['n']} decisions, mean regret "
+                    f"{agg['mean_regret'] * 100:.1f}%, max "
+                    f"{agg['max_regret'] * 100:.1f}%"
+                )
     return "\n".join(lines)

@@ -34,7 +34,11 @@ from repro.formats.ell import ELLMatrix
 from repro.formats.sell import SELLMatrix
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
-from repro.parallel.partition import balanced_chunks, row_blocks
+from repro.parallel.partition import (
+    balanced_chunks,
+    default_min_rows_per_block,
+    row_blocks,
+)
 from repro.parallel.pool import WorkerPool, default_workers, shared_pool
 from repro.perf.counters import OpCounter
 
@@ -81,14 +85,18 @@ def _blocks_for(
 def _plan_blocks(
     matrix: MatrixFormat,
     pool: Optional[WorkerPool],
-    min_rows_per_block: int,
+    min_rows_per_block: Optional[int],
 ) -> int:
     """Row-block count for the partition, without touching the pool.
 
     Uses the pool's width when one was handed in, otherwise the
     configured default — so the single-block (serial) case is decided
-    *before* any executor exists and never constructs one.
+    *before* any executor exists and never constructs one.  A ``None``
+    granularity resolves through the tuning cache
+    (:func:`~repro.parallel.partition.default_min_rows_per_block`).
     """
+    if min_rows_per_block is None:
+        min_rows_per_block = default_min_rows_per_block()
     workers = pool.n_workers if pool is not None else default_workers()
     return min(workers, max(1, matrix.shape[0] // min_rows_per_block))
 
@@ -148,7 +156,7 @@ def parallel_matvec(
     x: np.ndarray,
     *,
     pool: Optional[WorkerPool] = None,
-    min_rows_per_block: int = 256,
+    min_rows_per_block: Optional[int] = None,
     counter: Optional[OpCounter] = None,
 ) -> np.ndarray:
     """``y = A @ x`` with row blocks on pool threads.
@@ -247,7 +255,7 @@ def parallel_smsv(
     v: SparseVector,
     *,
     pool: Optional[WorkerPool] = None,
-    min_rows_per_block: int = 256,
+    min_rows_per_block: Optional[int] = None,
     counter: Optional[OpCounter] = None,
 ) -> np.ndarray:
     """Parallel sparse-matrix x sparse-vector (scatter + blocked matvec)."""
@@ -265,7 +273,7 @@ def parallel_matmat(
     V: np.ndarray,
     *,
     pool: Optional[WorkerPool] = None,
-    min_rows_per_block: int = 256,
+    min_rows_per_block: Optional[int] = None,
     counter: Optional[OpCounter] = None,
 ) -> np.ndarray:
     """Row-block parallel SpMM: ``Y = A @ V`` for a dense ``(N, k)`` block.
@@ -377,7 +385,7 @@ def parallel_smsv_multi(
     vectors,
     *,
     pool: Optional[WorkerPool] = None,
-    min_rows_per_block: int = 256,
+    min_rows_per_block: Optional[int] = None,
     counter: Optional[OpCounter] = None,
 ) -> np.ndarray:
     """Parallel multi-vector SMSV (scatter the block + blocked SpMM)."""

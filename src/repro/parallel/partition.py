@@ -17,6 +17,26 @@ import numpy as np
 
 from repro.formats.base import VALUE_DTYPE
 
+#: Smallest row block worth a pool dispatch when nothing tuned it.
+DEFAULT_MIN_ROWS_PER_BLOCK = 256
+
+
+def default_min_rows_per_block() -> int:
+    """Partition granularity: tuned machine-wide value, else 256.
+
+    The crossover where pool dispatch overhead amortises is a property
+    of the machine (thread wake latency vs per-row kernel cost), so
+    ``repro tune`` stores it under the machine-wide bucket and every
+    parallel kernel that is not given an explicit granularity resolves
+    through here.
+    """
+    from repro.tune.cache import tuned_value
+
+    tuned = tuned_value("row_blocks", "min_rows_per_block")
+    if tuned is not None:
+        return max(1, int(tuned))
+    return DEFAULT_MIN_ROWS_PER_BLOCK
+
 
 def row_blocks(n_rows: int, n_blocks: int) -> List[Tuple[int, int]]:
     """Split ``range(n_rows)`` into ``n_blocks`` contiguous blocks.

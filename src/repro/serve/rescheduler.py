@@ -123,12 +123,49 @@ class FormatRescheduler:
         )
 
     def initial_format(self, matrix: MatrixFormat) -> str:
-        """The format to start serving in (decided at ``batch_k=1``)."""
+        """The format to start serving in.
+
+        Decided at the tuned expected batch width when the persisted
+        tuning cache is warm for this machine and shape class (the
+        width the machine's serving traffic was measured at), else at
+        ``batch_k=1``.  A warm measured-best *format* entry short-
+        circuits the analytic ranking entirely — provided it stays
+        inside this rescheduler's candidate family, so warm-up can
+        never step outside the bitwise-exact serving formats.
+        """
+        from repro.tune.cache import tuned_format, tuned_value
+
         with self._lock:
             self._profile = extract_profile(matrix)
-            self.scheduler.batch_k = 1
+            k0 = tuned_value(
+                "batch_k", "batch_k", profile=self._profile, default=1
+            )
+            self.scheduler.batch_k = k0
+            fmt = tuned_format(self._profile, batch_k=k0)
+            if fmt is not None and fmt in (self.scheduler.candidates or ()):
+                # Audit the warm-up pick like any other serve decision
+                # so `repro obs report` can split regret by source.
+                audit_log().record(
+                    DecisionRecord(
+                        source="serve",
+                        dataset=current_dataset(),
+                        strategy=self.scheduler.strategy,
+                        batch_k=k0,
+                        chosen=fmt,
+                        reason=(
+                            "warm-up: measured-best serving format "
+                            "from the persisted tuning cache"
+                        ),
+                        cached=True,
+                        features=self._profile.as_dict(),
+                        predicted={},
+                        measured={},
+                        decision_source="tuned",
+                    )
+                )
+                return fmt
             ranked = self.scheduler.cost_model.rank(
-                self._profile, self.scheduler.candidates, batch_k=1
+                self._profile, self.scheduler.candidates, batch_k=k0
             )
             return ranked[0].fmt
 

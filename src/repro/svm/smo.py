@@ -314,6 +314,20 @@ def smo_train(
 
     row_norms = X.row_norms_sq()
     k_diag = kernel.diagonal(row_norms) if working_set == "second" else None
+    if cache_mb is None:
+        # No explicit budget: a warm tuning-cache entry for this shape
+        # class sizes the row cache (LIBSVM -m, measured rather than
+        # guessed).  Cache size only moves recompute time — the rows it
+        # returns are the rows it was handed — so labels are untouched.
+        from repro.tune.cache import tuned_for_lengths
+
+        lengths = getattr(X, "row_lengths", None)
+        if lengths is not None:
+            tuned = tuned_for_lengths(
+                "row_cache_mb", "row_cache_mb", lengths, X.shape
+            )
+            if tuned is not None:
+                cache_mb = float(tuned)
     if cache_mb is not None:
         cache = _RowCache.from_budget_mb(cache_mb, 8 * m)
     else:

@@ -13,6 +13,33 @@ from repro.analysis.race import (
 from repro.formats import FORMAT_NAMES, from_dense
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_tune_cache(tmp_path_factory):
+    """Pin the persisted tuning cache to a per-session temp file.
+
+    The suite's scheduler and kernel expectations are written against
+    the analytic defaults; a developer's real ``~/.cache/repro/
+    tune.json`` must not leak warm entries into them, and tests that
+    tune must not pollute the real cache.  Tests that need their own
+    cache file repoint ``REPRO_TUNE_CACHE`` per-test (the process-wide
+    handle re-resolves the path on every call).
+    """
+    import os
+
+    from repro.tune.cache import reset_tune_cache
+
+    prior = os.environ.get("REPRO_TUNE_CACHE")
+    path = tmp_path_factory.mktemp("tune") / "tune.json"
+    os.environ["REPRO_TUNE_CACHE"] = str(path)
+    reset_tune_cache()
+    yield
+    if prior is None:
+        os.environ.pop("REPRO_TUNE_CACHE", None)
+    else:
+        os.environ["REPRO_TUNE_CACHE"] = prior
+    reset_tune_cache()
+
+
 @pytest.fixture(autouse=True)
 def _race_report_gate():
     """Under ``REPRO_RACE=1`` every test must leave the sanitizer clean.

@@ -99,3 +99,53 @@ class TestDecisionQuality:
 
     def test_speedup_table_empty(self):
         assert AutoTuner.speedup_table([]) == {}
+
+
+class TestProbeFidelity:
+    """Regressions for tiny matrices and failing candidate builds."""
+
+    def test_tiny_matrix_clamps_probe_count(self):
+        # m=2 < smsv_per_probe: the probe must time 2 distinct rows and
+        # divide by 2, not time a repeated row and divide by 4 (which
+        # under-reported per-SMSV cost on tiny matrices).
+        rows, cols, vals, shape = uniform_rows_matrix(2, 8, 3, seed=1)
+        tuner = AutoTuner(repeats=1, smsv_per_probe=4)
+        results = tuner.probe(rows, cols, vals, shape, candidates=["CSR"])
+        assert results[0].probe_rows == 2
+        assert results[0].median_seconds > 0.0
+
+    def test_failing_build_forfeits_not_aborts(self, monkeypatch, tuner):
+        import repro.core.autotune as autotune_mod
+
+        class Exploding:
+            @classmethod
+            def from_coo(cls, *a, **k):
+                raise RuntimeError("cannot represent this matrix")
+
+        real = autotune_mod.format_class
+
+        def patched(name):
+            return Exploding if name == "ELL" else real(name)
+
+        monkeypatch.setattr(autotune_mod, "format_class", patched)
+        rows, cols, vals, shape = uniform_rows_matrix(16, 8, 3, seed=2)
+        results = tuner.probe(
+            rows, cols, vals, shape, candidates=["CSR", "ELL"]
+        )
+        # ELL lost by forfeit; the rest of the race still ran.
+        assert [r.fmt for r in results] == ["CSR"]
+
+    def test_all_candidates_failing_raises(self, monkeypatch, tuner):
+        import repro.core.autotune as autotune_mod
+
+        class Exploding:
+            @classmethod
+            def from_coo(cls, *a, **k):
+                raise RuntimeError("boom")
+
+        monkeypatch.setattr(
+            autotune_mod, "format_class", lambda name: Exploding
+        )
+        rows, cols, vals, shape = uniform_rows_matrix(16, 8, 3, seed=2)
+        with pytest.raises(ValueError, match="failed to build"):
+            tuner.probe(rows, cols, vals, shape, candidates=["CSR", "ELL"])

@@ -1,0 +1,219 @@
+"""Tuning-cache wiring and determinism guards.
+
+Two contracts under test:
+
+1. **Provenance** — a warm tuning-cache key flips the scheduler's (and
+   the serving warm-up's) decision source to ``"tuned"`` and nothing
+   else: cold keys, kill-switch runs, candidate-set violations and
+   batch-width mismatches all fall back to the analytic path,
+   unchanged.
+2. **Value preservation** — every knob the cache feeds (SELL slice
+   height, reorder window, partition granularity, worker count, SVM
+   row-cache budget) only moves *time*.  Warm-cache outputs must be
+   bitwise identical to kill-switch outputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cost_model import ANALYTIC_FORMATS
+from repro.core.scheduler import LayoutScheduler
+from repro.data.synthetic import uniform_rows_matrix
+from repro.features.extract import profile_from_coo
+from repro.formats.csr import CSRMatrix
+from repro.formats.reorder import RSELLMatrix
+from repro.formats.sell import DEFAULT_CHUNK, SELLMatrix
+from repro.obs.audit import audit_log
+from repro.parallel.kernels import parallel_matvec
+from repro.parallel.pool import WorkerPool
+from repro.serve.rescheduler import FormatRescheduler
+from repro.svm.kernels import LinearKernel
+from repro.svm.smo import smo_train
+from repro.tune.cache import reset_tune_cache, tune_cache
+from repro.tune.space import FORMAT_FAMILY
+
+
+@pytest.fixture
+def cache_path(tmp_path, monkeypatch):
+    path = tmp_path / "tune.json"
+    monkeypatch.setenv("REPRO_TUNE_CACHE", str(path))
+    reset_tune_cache()
+    audit_log().clear()
+    yield path
+    audit_log().clear()
+    reset_tune_cache()
+
+
+def _coo(seed=7, m=200, n=80, per_row=6):
+    return uniform_rows_matrix(m, n, per_row, seed=seed)
+
+
+def _warm_format(profile, fmt="ell", batch_k=1):
+    tune_cache().put(
+        FORMAT_FAMILY,
+        {"fmt": fmt, "batch_k": batch_k},
+        profile=profile,
+    )
+
+
+class TestSchedulerWiring:
+    def test_warm_key_decides_with_tuned_provenance(self, cache_path):
+        rows, cols, vals, shape = _coo()
+        _warm_format(profile_from_coo(rows, cols, shape), fmt="ell")
+        sched = LayoutScheduler("cost", candidates=ANALYTIC_FORMATS)
+        d = sched.decide_from_coo(rows, cols, vals, shape)
+        assert d.fmt == "ELL"
+        assert d.source == "tuned"
+        assert d.cached
+        rec = audit_log().records()[-1]
+        assert rec.decision_source == "tuned"
+        assert rec.chosen == "ELL"
+
+    def test_cold_key_stays_analytic(self, cache_path):
+        rows, cols, vals, shape = _coo()
+        d = LayoutScheduler("cost").decide_from_coo(rows, cols, vals, shape)
+        assert d.source == "analytic"
+        assert audit_log().records()[-1].decision_source == "analytic"
+
+    def test_tuned_fmt_outside_candidates_is_ignored(self, cache_path):
+        rows, cols, vals, shape = _coo()
+        _warm_format(profile_from_coo(rows, cols, shape), fmt="ell")
+        sched = LayoutScheduler("cost", candidates=("CSR",))
+        d = sched.decide_from_coo(rows, cols, vals, shape)
+        assert d.fmt == "CSR"
+        assert d.source == "analytic"
+
+    def test_batch_k_mismatch_is_a_cold_key(self, cache_path):
+        rows, cols, vals, shape = _coo()
+        _warm_format(profile_from_coo(rows, cols, shape), batch_k=8)
+        d = LayoutScheduler("cost").decide_from_coo(rows, cols, vals, shape)
+        assert d.source == "analytic"  # scheduler decides at batch_k=1
+
+    def test_kill_switch_restores_analytic_path(
+        self, cache_path, monkeypatch
+    ):
+        rows, cols, vals, shape = _coo()
+        _warm_format(profile_from_coo(rows, cols, shape), fmt="ell")
+        monkeypatch.setenv("REPRO_TUNE", "0")
+        d = LayoutScheduler("cost").decide_from_coo(rows, cols, vals, shape)
+        assert d.source == "analytic"
+
+    def test_warm_decisions_identical_across_schedulers(self, cache_path):
+        rows, cols, vals, shape = _coo()
+        _warm_format(profile_from_coo(rows, cols, shape), fmt="sell")
+
+        def decide():
+            return LayoutScheduler(
+                "cost", candidates=ANALYTIC_FORMATS
+            ).decide_from_coo(rows, cols, vals, shape)
+
+        a, b = decide(), decide()
+        assert (a.fmt, a.source) == (b.fmt, b.source) == ("SELL", "tuned")
+
+    def test_default_candidate_universe_excludes_sell(self, cache_path):
+        # A warm SELL key must not leak into a scheduler whose default
+        # candidate universe is the base FORMAT_NAMES family.
+        rows, cols, vals, shape = _coo()
+        _warm_format(profile_from_coo(rows, cols, shape), fmt="sell")
+        d = LayoutScheduler("cost").decide_from_coo(rows, cols, vals, shape)
+        assert d.source == "analytic"
+        assert d.fmt != "SELL"
+
+    def test_tuned_path_not_memoised_in_decision_cache(self, cache_path):
+        # Provenance contract: the tuning-cache lookup *is* the memo.
+        # Re-routing it through the DecisionCache would re-label later
+        # hits "analytic".
+        rows, cols, vals, shape = _coo()
+        profile = profile_from_coo(rows, cols, shape)
+        _warm_format(profile, fmt="ell")
+        sched = LayoutScheduler("cost")
+        sched.decide_from_coo(rows, cols, vals, shape)
+        assert sched.cache.get(profile, sched.batch_k) is None
+
+
+class TestServeWarmup:
+    def test_warm_cache_sets_initial_format_and_width(self, cache_path):
+        rows, cols, vals, shape = _coo()
+        profile = profile_from_coo(rows, cols, shape)
+        tune_cache().put("batch_k", {"batch_k": 8}, profile=profile)
+        _warm_format(profile, fmt="sell", batch_k=8)
+        resched = FormatRescheduler()
+        matrix = CSRMatrix.from_coo(rows, cols, vals, shape)
+        assert resched.initial_format(matrix) == "SELL"
+        assert resched.scheduler.batch_k == 8
+        rec = audit_log().records(source="serve")[-1]
+        assert rec.decision_source == "tuned"
+        assert rec.batch_k == 8
+
+    def test_warm_fmt_outside_serve_family_is_rejected(self, cache_path):
+        # DEN is a legal scheduler format but not bitwise-exact under
+        # serving swaps; warm-up must fall back to the analytic rank.
+        rows, cols, vals, shape = _coo()
+        profile = profile_from_coo(rows, cols, shape)
+        _warm_format(profile, fmt="den", batch_k=1)
+        resched = FormatRescheduler()
+        matrix = CSRMatrix.from_coo(rows, cols, vals, shape)
+        fmt = resched.initial_format(matrix)
+        assert fmt != "DEN"
+        assert fmt in resched.scheduler.candidates
+        assert audit_log().records(source="serve") == []
+
+
+class TestDeterminismGuards:
+    """Warm-cache outputs are bitwise equal to kill-switch outputs."""
+
+    def test_sell_chunk_only_moves_time(self, cache_path):
+        rows, cols, vals, shape = _coo(seed=11)
+        tune_cache().put(
+            "sell_chunk",
+            {"chunk": 32},
+            profile=profile_from_coo(rows, cols, shape),
+        )
+        warm = SELLMatrix.from_coo(rows, cols, vals, shape)
+        assert warm.chunk == 32  # the tuned slice height was consulted
+        default = SELLMatrix.from_coo(
+            rows, cols, vals, shape, chunk=DEFAULT_CHUNK
+        )
+        x = np.linspace(-1.0, 1.0, shape[1])
+        assert np.array_equal(warm.matvec(x), default.matvec(x))
+
+    def test_sigma_only_moves_time(self, cache_path, monkeypatch):
+        rows, cols, vals, shape = _coo(seed=12)
+        tune_cache().put(
+            "sigma",
+            {"sigma": 16},
+            profile=profile_from_coo(rows, cols, shape),
+        )
+        warm = RSELLMatrix.from_coo(rows, cols, vals, shape)
+        monkeypatch.setenv("REPRO_TUNE", "0")
+        cold = RSELLMatrix.from_coo(rows, cols, vals, shape)
+        x = np.linspace(-1.0, 1.0, shape[1])
+        assert np.array_equal(warm.matvec(x), cold.matvec(x))
+
+    def test_partition_and_workers_only_move_time(self, cache_path):
+        rows, cols, vals, shape = _coo(seed=13)
+        tune_cache().put("row_blocks", {"min_rows_per_block": 128})
+        tune_cache().put("workers", {"workers": 2})
+        matrix = CSRMatrix.from_coo(rows, cols, vals, shape)
+        x = np.linspace(-1.0, 1.0, shape[1])
+        with WorkerPool(2) as pool:
+            warm = parallel_matvec(matrix, x, pool=pool)
+        assert np.array_equal(warm, matrix.matvec(x))
+
+    def test_row_cache_budget_only_moves_time(
+        self, cache_path, monkeypatch
+    ):
+        rows, cols, vals, shape = _coo(seed=14, m=40, n=12, per_row=4)
+        X = CSRMatrix.from_coo(rows, cols, vals, shape)
+        y = np.where(np.arange(shape[0]) % 2 == 0, 1.0, -1.0)
+        tune_cache().put(
+            "row_cache_mb",
+            {"row_cache_mb": 1},
+            profile=profile_from_coo(rows, cols, shape),
+        )
+        warm = smo_train(X, y, LinearKernel(), max_iter=500)
+        monkeypatch.setenv("REPRO_TUNE", "0")
+        cold = smo_train(X, y, LinearKernel(), max_iter=500)
+        assert np.array_equal(warm.alpha, cold.alpha)
+        assert warm.b == cold.b
+        assert warm.iterations == cold.iterations
