@@ -5,7 +5,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: lint race test test-sanitize test-trace test-race bench bench-sell serve-bench bench-obs bench-fleet tune tune-smoke check
+.PHONY: lint race test test-sanitize test-trace test-race bench bench-sell serve-bench bench-obs bench-obs-fleet bench-fleet tune tune-smoke check
 
 ## Static analysis: the twelve RDL rules over the whole tree, JSON
 ## mode, non-zero exit on any finding.  See docs/analysis.md.
@@ -62,6 +62,14 @@ serve-bench:
 ## smoke variant (same gate, smaller matrix).
 bench-obs:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench obs $(if $(QUICK),--quick)
+
+## Fleet observability gate (writes BENCH_obs.json): traced answers
+## bitwise vs untraced, merged timeline covers every worker lane with
+## valid cross-process parents, SLO breach + flight dump fire
+## deterministically.  `make bench-obs-fleet QUICK=1` for the CI
+## smoke variant.
+bench-obs-fleet:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench obs --fleet $(if $(QUICK),--smoke)
 
 ## Fleet benchmark suite (writes BENCH_fleet.json): multi-worker
 ## virtual-throughput scaling, zero-copy transport accounting and the

@@ -700,7 +700,7 @@ class SpanAllocationRule(Rule):
     enabled guard (an enclosing ``if ....enabled:`` block counts).
     """
 
-    _HOT = ("formats", "svm", "parallel", "serve", "core")
+    _HOT = ("formats", "svm", "parallel", "serve", "core", "obs")
     _ALLOC_NODES = (
         ast.JoinedStr,
         ast.Dict,

@@ -147,11 +147,17 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
         tenant_workload,
     )
 
+    from repro.obs import get_registry, trace_enabled
+    from repro.obs.collect import clear_fleet_trace, publish_fleet_trace
+
     models = fleet_models(smoke=True)
     workload = tenant_workload(smoke=True, seed=args.seed)
     admission = AdmissionController(
         capacity=args.capacity, shed_at=args.shed_at
     )
+    traced = trace_enabled()
+    if traced:
+        clear_fleet_trace()
     with ServingFleet(
         models,
         args.workers,
@@ -161,13 +167,20 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
             "candidates": STRONG_BITWISE_FORMATS,
         },
     ) as fleet:
+        if traced:
+            fleet.enable_worker_tracing()
         report = simulate_fleet(
             fleet,
             workload,
             max_batch=args.max_batch,
             max_wait_ms=args.max_wait_ms,
             admission=admission,
+            registry=get_registry() if traced else None,
         )
+        if traced:
+            # Collect before close — worker rings die with the
+            # processes.  The wrapping `repro trace` exports this.
+            publish_fleet_trace(fleet.merged_trace())
     snap = report.metrics.snapshot()
     if args.json:
         snap["workload"] = report.workload
@@ -406,6 +419,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         # Deterministic criteria (modelled speedup + bitwise SMO
         # agreement) — safe to gate on, unlike wall-clock suites.
         rc = 0 if payload["headline"]["pass"] else 1
+    elif args.what == "obs" and args.fleet:
+        from repro.obs.bench_fleet import (
+            render_summary,
+            run_suite,
+            write_report,
+        )
+
+        payload = run_suite(quick=smoke, repeats=args.repeats)
+        out = args.out or "BENCH_obs.json"
+        # Bitwise traced-vs-untraced equality, lane completeness,
+        # parent resolution and the forced SLO breach are all
+        # deterministic — safe to gate on.
+        rc = 0 if payload["headline"]["pass"] else 1
     elif args.what == "obs":
         from repro.obs.bench import (
             render_summary,
@@ -582,26 +608,51 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         )
         return 2
     from repro.obs import audit_log, enable_tracing, get_registry, get_tracer
+    from repro.obs.collect import (
+        clear_fleet_trace,
+        last_fleet_trace,
+        mount_tracer_health,
+    )
     from repro.obs.export import (
         write_audit_jsonl,
         write_chrome_trace,
+        write_merged_chrome_trace,
         write_prometheus,
         write_spans_jsonl,
     )
 
     enable_tracing()
     tracer = get_tracer()
+    clear_fleet_trace()
     rc = main(args.cmd)
     spans = tracer.spans()
+    # A fleet command (serve --workers N) publishes its merged
+    # multi-process timeline on the way out; prefer it — it contains
+    # the door's spans plus every worker's, already re-parented.
+    merged = last_fleet_trace()
     # Exports and the summary go to stderr-adjacent paths so a wrapped
     # `--json` command's stdout stays machine-parseable.
     if args.trace_out:
-        write_spans_jsonl(spans, args.trace_out)
+        if merged is not None:
+            write_spans_jsonl(
+                merged.spans,
+                args.trace_out,
+                dropped={
+                    str(lane): n
+                    for lane, n in sorted(merged.dropped.items())
+                },
+            )
+        else:
+            write_spans_jsonl(spans, args.trace_out, dropped=tracer.dropped)
     if args.chrome:
-        write_chrome_trace(spans, args.chrome)
+        if merged is not None:
+            write_merged_chrome_trace(merged, args.chrome)
+        else:
+            write_chrome_trace(spans, args.chrome)
     if args.audit_out:
         write_audit_jsonl(audit_log().records(), args.audit_out)
     if args.metrics_out:
+        mount_tracer_health(get_registry())
         write_prometheus(get_registry(), args.metrics_out)
     outs = [
         f"{label} -> {path}"
@@ -613,12 +664,22 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         )
         if path
     ]
-    print(
-        f"trace       : {len(spans)} spans, "
-        f"{len(audit_log().records())} audited decisions"
-        + (f" ({'; '.join(outs)})" if outs else ""),
-        file=sys.stderr,
-    )
+    if merged is not None:
+        lanes = merged.worker_lanes()
+        print(
+            f"trace       : {len(merged.spans)} spans across "
+            f"{len(lanes) + 1} processes (door + workers {lanes}), "
+            f"{len(audit_log().records())} audited decisions"
+            + (f" ({'; '.join(outs)})" if outs else ""),
+            file=sys.stderr,
+        )
+    else:
+        print(
+            f"trace       : {len(spans)} spans, "
+            f"{len(audit_log().records())} audited decisions"
+            + (f" ({'; '.join(outs)})" if outs else ""),
+            file=sys.stderr,
+        )
     return rc
 
 
@@ -641,6 +702,68 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
         print(json.dumps(report_payload(records), indent=2, sort_keys=True))
     else:
         print(render_report(records))
+    return 0
+
+
+def _cmd_obs_slo(args: argparse.Namespace) -> int:
+    """Run the synthetic fleet demo under declarative SLOs."""
+    import json
+
+    from repro.obs.flight import FlightRecorder
+    from repro.obs.slo import SLOMonitor, default_slos, render_slo
+    from repro.serve.bench_fleet import fleet_models, tenant_workload
+    from repro.serve.fleet import ServingFleet, simulate_fleet
+
+    flight = FlightRecorder(enabled=True)
+    monitor = SLOMonitor(
+        default_slos(
+            latency_ms=args.latency_ms,
+            saturation_ms=args.saturation_ms,
+        ),
+        flight=flight,
+        dump_path=args.dump,
+    )
+    with ServingFleet(
+        fleet_models(smoke=True),
+        args.workers,
+        backend="local",
+    ) as fleet:
+        report = simulate_fleet(
+            fleet,
+            tenant_workload(smoke=True, seed=args.seed),
+            slo=monitor,
+        )
+    if args.json:
+        payload = monitor.payload()
+        payload["workload"] = report.workload
+        payload["served"] = report.metrics.served
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"fleet       : {args.workers} local worker(s), "
+        f"{report.metrics.served} served"
+    )
+    print(render_slo(monitor))
+    if args.dump and monitor.breaches:
+        print(f"flight dump : {args.dump}")
+    return 0
+
+
+def _cmd_obs_dump(args: argparse.Namespace) -> int:
+    """Render a flight-recorder dump file."""
+    import json
+
+    from repro.obs.flight import read_flight_dump, render_flight
+
+    try:
+        dump = read_flight_dump(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(dump, indent=2, sort_keys=True))
+    else:
+        print(render_flight(dump))
     return 0
 
 
@@ -898,6 +1021,14 @@ def build_parser() -> argparse.ArgumentParser:
         "the pinned seeds the published numbers use; other suites "
         "ignore it)",
     )
+    p.add_argument(
+        "--fleet",
+        action="store_true",
+        help="for the obs suite: the full fleet gate — traced-vs-"
+        "untraced bitwise equality on a multi-process fleet, merged-"
+        "timeline completeness, and the deterministic SLO-breach -> "
+        "flight-dump path (other suites ignore it)",
+    )
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(
@@ -1005,6 +1136,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="machine-readable payload (rows + full decision records)",
     )
     pr.set_defaults(func=_cmd_obs_report)
+    ps = obs_sub.add_parser(
+        "slo",
+        help="serve the synthetic fleet demo under the stock SLOs "
+        "and report burn rates / breaches",
+    )
+    ps.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="fleet width for the demo (default 2, local backend)",
+    )
+    ps.add_argument(
+        "--latency-ms",
+        type=float,
+        default=50.0,
+        help="latency_p99 objective threshold (default 50 ms; set "
+        "low to force a breach)",
+    )
+    ps.add_argument(
+        "--saturation-ms",
+        type=float,
+        default=20.0,
+        help="shard_saturation backlog threshold (default 20 ms)",
+    )
+    ps.add_argument("--seed", type=int, default=0)
+    ps.add_argument(
+        "--dump",
+        default=None,
+        metavar="FILE",
+        help="write a flight dump here on the first breach",
+    )
+    ps.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable statuses + breach history",
+    )
+    ps.set_defaults(func=_cmd_obs_slo)
+    pd = obs_sub.add_parser(
+        "dump",
+        help="render a flight-recorder dump file (crash, SIGUSR1, "
+        "or SLO-breach output)",
+    )
+    pd.add_argument("file", help="path to a flight-*.jsonl dump")
+    pd.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable header + events + spans + metrics",
+    )
+    pd.set_defaults(func=_cmd_obs_dump)
 
     p = sub.add_parser(
         "lint",

@@ -43,6 +43,7 @@ from typing import Any, Dict, Union
 from repro.analysis.race import RaceSanitizer
 from repro.data.synthetic import uniform_rows_matrix
 from repro.formats.csr import CSRMatrix
+from repro.obs.flight import FlightRecorder
 from repro.obs.trace import NOOP_SPAN, Tracer
 
 #: Disabled-mode overhead gate: span cost as a fraction of one SMSV
@@ -95,6 +96,13 @@ def run_overhead_bench(
     race_plain_lock = type(race.make_lock("bench")) is type(
         threading.Lock()
     )
+
+    # Third free-when-disabled contract, the flight recorder: record()
+    # on a disabled ring must be a bare predicate — no clock read, no
+    # lock, nothing retained.
+    flight = FlightRecorder(enabled=False)
+    flight.record("bench")
+    flight_disabled_noop = len(flight) == 0 and flight.dropped == 0
     probe = CSRMatrix.from_coo(rows, cols, values, shape)
     probe_cls = type(probe)
     race_track_identity = (
@@ -123,6 +131,13 @@ def run_overhead_bench(
             if race.enabled:
                 pass  # pragma: no cover - disabled by construction
 
+    # What a disabled flight-recorder call site costs: record() itself
+    # is the guard (first line returns), so the measured unit is one
+    # full call into a disabled ring.
+    def flight_only() -> None:
+        for _ in range(span_iters):
+            flight.record("smo.iteration")
+
     def bare() -> None:
         for _ in range(calls):
             matrix.smsv(v)
@@ -135,11 +150,13 @@ def run_overhead_bench(
     # Warm every path once (allocator, caches) before timing.
     span_only()
     race_guard_only()
+    flight_only()
     bare()
     instrumented()
 
     t_span = []
     t_race = []
+    t_flight = []
     t_bare = []
     t_inst = []
     for _ in range(rounds):
@@ -149,6 +166,9 @@ def run_overhead_bench(
         t0 = clock()
         race_guard_only()
         t_race.append(clock() - t0)
+        t0 = clock()
+        flight_only()
+        t_flight.append(clock() - t0)
         t0 = clock()
         bare()
         t_bare.append(clock() - t0)
@@ -160,12 +180,16 @@ def run_overhead_bench(
     # fastest round is the cleanest estimate of each true cost.
     span_per_call = min(t_span) / span_iters
     race_per_call = min(t_race) / span_iters
+    flight_per_call = min(t_flight) / span_iters
     bare_per_call = min(t_bare) / calls
     overhead = (
         span_per_call / bare_per_call if bare_per_call > 0 else 1.0
     )
     race_overhead = (
         race_per_call / bare_per_call if bare_per_call > 0 else 1.0
+    )
+    flight_overhead = (
+        flight_per_call / bare_per_call if bare_per_call > 0 else 1.0
     )
     insitu_ratio = (
         min(t_inst) / min(t_bare) if min(t_bare) > 0 else 1.0
@@ -184,9 +208,12 @@ def run_overhead_bench(
         "nothing_recorded": bool(nothing_recorded),
         "race_plain_lock": bool(race_plain_lock),
         "race_track_identity": bool(race_track_identity),
+        "flight_disabled_noop": bool(flight_disabled_noop),
         "span_cost_s": span_per_call,
         "race_guard_cost_s": race_per_call,
         "race_overhead_fraction": race_overhead,
+        "flight_cost_s": flight_per_call,
+        "flight_overhead_fraction": flight_overhead,
         "smsv_cost_s": bare_per_call,
         "bare_median_s": statistics.median(t_bare),
         "instrumented_median_s": statistics.median(t_inst),
@@ -199,11 +226,14 @@ def run_overhead_bench(
                 and nothing_recorded
                 and race_plain_lock
                 and race_track_identity
+                and flight_disabled_noop
                 and overhead < threshold
                 and race_overhead < threshold
+                and flight_overhead < threshold
             ),
             "overhead_pct": overhead * 100.0,
             "race_overhead_pct": race_overhead * 100.0,
+            "flight_overhead_pct": flight_overhead * 100.0,
         },
     }
 
@@ -237,6 +267,10 @@ def render_summary(payload: Dict[str, Any]) -> str:
         f"per disabled span",
         f"  race guard  : {payload['race_guard_cost_s'] * 1e9:.0f} ns "
         f"per disabled check",
+        f"  flight ring : "
+        f"{'no-op' if payload['flight_disabled_noop'] else 'RECORDS'}"
+        f" when disabled, {payload['flight_cost_s'] * 1e9:.0f} ns "
+        f"per disabled record",
         f"  kernel cost : {payload['smsv_cost_s'] * 1e6:.1f} us "
         f"per SMSV call",
         f"  in-situ     : {(payload['insitu_ratio'] - 1) * 100:+.2f}% "
@@ -245,6 +279,8 @@ def render_summary(payload: Dict[str, Any]) -> str:
         f"(gate < {payload['threshold'] * 100:.0f}%)",
         f"  race ovhd   : {h['race_overhead_pct']:.3f}% of one kernel "
         f"call (same gate)",
+        f"  flight ovhd : {h['flight_overhead_pct']:.3f}% of one "
+        f"kernel call (same gate)",
         f"  pass        : {h['pass']}",
     ]
     return "\n".join(lines)

@@ -1,0 +1,325 @@
+"""The fleet observability gate (``repro bench obs --fleet``).
+
+Three promises the cross-process observability plane makes, each
+checked end to end on a real multi-process fleet:
+
+1. **Observation never changes the answer**: a fully traced fleet run
+   (door tracer on, every worker's tracer on, flight recorder armed)
+   must produce labels AND decision values bitwise identical to the
+   same run untraced.  Not approximately — ``==`` on floats and
+   :func:`numpy.array_equal` on arrays.
+2. **The merged timeline is complete and coherent**: every worker
+   lane contributes spans, every cross-boundary worker span's parent
+   resolves to a door-side request span, nothing is left unresolved,
+   and the chrome export passes schema validation.
+3. **SLO breach → flight dump is deterministic**: a monitor with an
+   unmeetable latency objective must breach on the virtual clock and
+   leave a parseable flight dump behind, every run.
+
+The disabled-mode overhead gate (:func:`repro.obs.bench.
+run_overhead_bench`) rides along so one ``--fleet`` invocation gates
+the whole plane; ``headline.pass`` requires all of it.  CI's
+``fleet-trace-smoke`` job runs this with ``--smoke`` and gates on the
+deterministic criteria.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from repro.obs.bench import run_overhead_bench
+from repro.obs.export import (
+    merged_to_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.obs.flight import FlightRecorder, read_flight_dump
+from repro.obs.slo import SLOMonitor, SLOSpec
+from repro.obs.trace import (
+    CTX_PARENT_SPAN,
+    DOOR_LANE,
+    get_tracer,
+)
+
+#: Door-side span names a worker span's cross-boundary parent may
+#: resolve to.
+_DOOR_REQUEST_SPANS = ("fleet.request", "fleet.request_one")
+
+
+def _run_session(
+    *,
+    workers: int,
+    backend: str,
+    smoke: bool,
+    seed: int,
+    traced: bool,
+) -> Dict[str, Any]:
+    """One fleet session; returns outputs (+ merged trace if traced)."""
+    from repro.serve.bench_fleet import fleet_models, tenant_workload
+    from repro.serve.fleet import ServingFleet, simulate_fleet
+
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+    if traced:
+        tracer.enable()
+        tracer.clear()
+    else:
+        tracer.disable()
+    try:
+        with ServingFleet(
+            fleet_models(smoke=smoke), workers, backend=backend
+        ) as fleet:
+            if traced:
+                fleet.enable_worker_tracing()
+            report = simulate_fleet(
+                fleet, tenant_workload(smoke=smoke, seed=seed)
+            )
+            merged = fleet.merged_trace() if traced else None
+        return {
+            "responses": dict(report.responses),
+            "decisions": dict(report.decisions),
+            "merged": merged,
+        }
+    finally:
+        if was_enabled:
+            tracer.enable()
+        else:
+            tracer.disable()
+        if traced:
+            tracer.clear()
+
+
+def run_fleet_trace_gate(
+    *,
+    smoke: bool = False,
+    workers: int = 4,
+    backend: str = "process",
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Traced-vs-untraced bitwise equality + merged-timeline checks."""
+    untraced = _run_session(
+        workers=workers, backend=backend, smoke=smoke,
+        seed=seed, traced=False,
+    )
+    traced = _run_session(
+        workers=workers, backend=backend, smoke=smoke,
+        seed=seed, traced=True,
+    )
+
+    labels_identical = untraced["responses"] == traced["responses"]
+    ids = sorted(untraced["decisions"])
+    decisions_identical = ids == sorted(traced["decisions"]) and all(
+        np.array_equal(untraced["decisions"][i], traced["decisions"][i])
+        for i in ids
+    )
+
+    merged = traced["merged"]
+    by_id = {s.span_id: s for s in merged.spans}
+    worker_lanes = merged.worker_lanes()
+    lanes_complete = worker_lanes == list(range(1, workers + 1))
+
+    cross = 0
+    bad_parents = 0
+    for s in merged.spans:
+        if merged.lanes[s.span_id] == DOOR_LANE:
+            continue
+        attrs = dict(s.attrs)
+        if CTX_PARENT_SPAN not in attrs:
+            continue
+        cross += 1
+        parent = by_id.get(s.parent_id)
+        if parent is None or parent.name not in _DOOR_REQUEST_SPANS:
+            bad_parents += 1
+    parents_resolve = cross > 0 and bad_parents == 0
+
+    chrome = merged_to_chrome_trace(merged)
+    try:
+        validate_chrome_trace(chrome)
+        chrome_valid = True
+    except ValueError:
+        chrome_valid = False
+
+    return {
+        "workers": workers,
+        "backend": backend,
+        "n_responses": len(traced["responses"]),
+        "n_spans": len(merged.spans),
+        "worker_lanes": worker_lanes,
+        "lanes_complete": bool(lanes_complete),
+        "cross_boundary_spans": cross,
+        "bad_parents": bad_parents,
+        "parents_resolve": bool(parents_resolve),
+        "unresolved": merged.unresolved,
+        "dropped": {
+            str(lane): n for lane, n in sorted(merged.dropped.items())
+        },
+        "labels_identical": bool(labels_identical),
+        "decisions_identical": bool(decisions_identical),
+        "chrome_valid": bool(chrome_valid),
+        "chrome_events": len(chrome["traceEvents"]),
+        "pass": bool(
+            labels_identical
+            and decisions_identical
+            and lanes_complete
+            and parents_resolve
+            and merged.unresolved == 0
+            and chrome_valid
+        ),
+    }
+
+
+def run_slo_flight_gate(
+    *,
+    smoke: bool = False,
+    seed: int = 0,
+    workdir: Union[str, Path, None] = None,
+) -> Dict[str, Any]:
+    """Deterministic breach: unmeetable SLO → flight dump on disk.
+
+    Runs on the ``local`` backend (the breach mechanics live entirely
+    door-side) with a private flight recorder, so nothing leaks into
+    process-global state.  A 1 ns latency objective makes every
+    request a bad event; with the whole virtual session inside the
+    long window the burn rate is ``1 / error_budget = 100 ≫ 2``, so
+    the breach cannot *not* fire.
+    """
+    from repro.serve.bench_fleet import fleet_models, tenant_workload
+    from repro.serve.fleet import ServingFleet, simulate_fleet
+
+    owns_dir = workdir is None
+    base = Path(
+        tempfile.mkdtemp(prefix="repro-slo-gate-")
+        if owns_dir
+        else workdir
+    )
+    dump_path = base / "flight-slo-breach.jsonl"
+    flight = FlightRecorder(enabled=True)
+    monitor = SLOMonitor(
+        (
+            SLOSpec(
+                "latency_impossible", "latency",
+                objective=0.99, threshold_ms=1e-6,
+                long_window_s=1e9, short_window_s=1e9,
+                burn_factor=2.0, min_events=8,
+            ),
+        ),
+        flight=flight,
+        dump_path=dump_path,
+    )
+    with ServingFleet(
+        fleet_models(smoke=True), 2, backend="local"
+    ) as fleet:
+        simulate_fleet(
+            fleet,
+            tenant_workload(smoke=True, seed=seed),
+            slo=monitor,
+        )
+
+    breaches = len(monitor.breaches)
+    dumped = dump_path.exists()
+    dump_ok = False
+    reason = None
+    if dumped:
+        try:
+            parsed = read_flight_dump(dump_path)
+            reason = parsed["header"].get("reason")
+            dump_ok = (
+                reason == "slo_breach:latency_impossible"
+                and any(
+                    e.get("kind") == "slo_breach"
+                    for e in parsed["events"]
+                )
+            )
+        except ValueError:
+            dump_ok = False
+    if owns_dir:
+        try:
+            if dumped:
+                dump_path.unlink()
+            base.rmdir()
+        except OSError:  # pragma: no cover - cleanup best effort
+            pass
+
+    return {
+        "breaches": breaches,
+        "dump_written": bool(dumped),
+        "dump_reason": reason,
+        "dump_parses": bool(dump_ok),
+        "pass": bool(breaches >= 1 and dumped and dump_ok),
+    }
+
+
+def run_suite(
+    *,
+    quick: bool = False,
+    repeats: Optional[int] = None,
+    seed: int = 0,
+    workers: int = 4,
+    backend: str = "process",
+) -> Dict[str, Any]:
+    """The full ``--fleet`` gate: overhead + trace + SLO/flight."""
+    overhead_kwargs: Dict[str, Any] = {"quick": quick, "seed": seed}
+    if repeats is not None:
+        overhead_kwargs["rounds"] = repeats
+    overhead = run_overhead_bench(**overhead_kwargs)
+    trace = run_fleet_trace_gate(
+        smoke=quick, workers=workers, backend=backend, seed=seed
+    )
+    slo = run_slo_flight_gate(smoke=quick, seed=seed)
+    return {
+        "suite": "obs-fleet",
+        "quick": quick,
+        "overhead": overhead,
+        "fleet_trace": trace,
+        "slo_flight": slo,
+        "headline": {
+            "pass": bool(
+                overhead["headline"]["pass"]
+                and trace["pass"]
+                and slo["pass"]
+            ),
+            "overhead_pct": overhead["headline"]["overhead_pct"],
+            "worker_lanes": trace["worker_lanes"],
+            "breaches": slo["breaches"],
+        },
+    }
+
+
+def render_summary(payload: Dict[str, Any]) -> str:
+    t = payload["fleet_trace"]
+    s = payload["slo_flight"]
+    o = payload["overhead"]["headline"]
+    lines = [
+        "obs fleet gate (traced == untraced, merged timeline, "
+        "SLO flight dump)",
+        f"  fleet       : {t['workers']} x {t['backend']} workers, "
+        f"{t['n_responses']} responses",
+        f"  bitwise     : labels "
+        f"{'identical' if t['labels_identical'] else 'DIVERGED'}, "
+        f"decisions "
+        f"{'identical' if t['decisions_identical'] else 'DIVERGED'}",
+        f"  timeline    : {t['n_spans']} spans, worker lanes "
+        f"{t['worker_lanes']}, {t['cross_boundary_spans']} cross-"
+        f"boundary ({t['bad_parents']} bad parents, "
+        f"{t['unresolved']} unresolved)",
+        f"  chrome      : "
+        f"{'valid' if t['chrome_valid'] else 'INVALID'} "
+        f"({t['chrome_events']} events)",
+        f"  slo breach  : {s['breaches']} fired, dump "
+        f"{'parsed' if s['dump_parses'] else 'MISSING/BAD'} "
+        f"({s['dump_reason']})",
+        f"  overhead    : {o['overhead_pct']:.3f}% "
+        f"(pass={payload['overhead']['headline']['pass']})",
+        f"  pass        : {payload['headline']['pass']}",
+    ]
+    return "\n".join(lines)
+
+
+def write_report(
+    payload: Dict[str, Any], path: Union[str, Path]
+) -> None:
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))

@@ -1,0 +1,248 @@
+"""Cross-process trace collection: ship worker rings home and merge.
+
+The serving fleet (PR 7) put the hot path behind a process boundary,
+which cut the tracer's view in half: the front door records its
+request spans, each worker records its own serve/reschedule spans, and
+nothing joined them.  This module is the joining layer:
+
+* :class:`WorkerTraceBuffer` — one worker's ring-buffer snapshot as it
+  comes back over the control plane (``trace_collect`` verb): spans,
+  drop count, audit records, the worker's pid, and one clock reading
+  for offset estimation.
+* :func:`merge_fleet_trace` — re-ids every span into one namespace,
+  resolves cross-boundary parents from the ``ctx.*`` attributes a
+  :class:`~repro.obs.trace.TraceContext` left on worker spans, aligns
+  clocks, and returns a :class:`MergedTrace` whose lanes map onto
+  chrome://tracing pids (door = lane 0, worker ``w`` = lane ``w + 1``).
+* :func:`fold_worker_audits` — worker-side rescheduler decisions land
+  in the door's audit log so ``repro obs report`` regret covers
+  per-replica mid-stream flips.
+
+A killed or wedged worker simply contributes no buffer: merging is
+total over whatever survived, and a span whose parent fell out of a
+ring (or died with its process) becomes a root rather than an error.
+
+The module also keeps the *last fleet trace* as a process-level
+hand-off point: ``repro serve --workers N`` publishes its merged
+timeline here, and the wrapping ``repro trace`` command exports it —
+the two commands compose without threading a value through argparse.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.audit import AuditLog, DecisionRecord, audit_log
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    CTX_PARENT_LANE,
+    CTX_PARENT_SPAN,
+    DOOR_LANE,
+    SpanRecord,
+    Tracer,
+    get_tracer,
+)
+
+
+@dataclass(frozen=True)
+class WorkerTraceBuffer:
+    """One worker's observability state, as collected over the pipe.
+
+    ``clock_offset`` is (worker clock − door clock) at collect time;
+    subtracting it from worker timestamps puts them on the door's
+    axis.  On one machine both clocks are ``time.perf_counter`` and
+    the offset is indistinguishable from pipe latency, so the fleet
+    zeroes it; injected virtual clocks in tests exercise the general
+    path.
+    """
+
+    worker_id: int
+    pid: int
+    spans: Tuple[SpanRecord, ...]
+    dropped: int = 0
+    clock_offset: float = 0.0
+    audit: Tuple[DecisionRecord, ...] = ()
+
+    @property
+    def lane(self) -> int:
+        return self.worker_id + 1
+
+
+@dataclass
+class MergedTrace:
+    """One coherent multi-process timeline.
+
+    ``spans`` are re-identified into a single id namespace; ``lanes``
+    maps each new span id to its lane (0 = door), ``pids``/``names``
+    label the lanes for the chrome exporter, ``dropped`` carries each
+    ring's drop counter, and ``unresolved`` counts cross-boundary
+    parent links whose door span was not found (ring overflow or a
+    killed worker) — those spans surface as roots.
+    """
+
+    spans: List[SpanRecord]
+    lanes: Dict[int, int]
+    pids: Dict[int, int] = field(default_factory=dict)
+    names: Dict[int, str] = field(default_factory=dict)
+    dropped: Dict[int, int] = field(default_factory=dict)
+    unresolved: int = 0
+
+    def lane_spans(self, lane: int) -> List[SpanRecord]:
+        return [s for s in self.spans if self.lanes[s.span_id] == lane]
+
+    def worker_lanes(self) -> List[int]:
+        """Lanes (other than the door's) that contributed spans."""
+        present = {
+            lane for lane in self.lanes.values() if lane != DOOR_LANE
+        }
+        return sorted(present)
+
+
+def merge_fleet_trace(
+    door_spans: List[SpanRecord],
+    buffers: List[WorkerTraceBuffer],
+    *,
+    door_pid: Optional[int] = None,
+    door_dropped: int = 0,
+) -> MergedTrace:
+    """Merge the door's ring with every collected worker ring.
+
+    Per-lane span ids collide (every tracer counts from 1), so each
+    ``(lane, old_id)`` pair is assigned a fresh id first; parents then
+    resolve in two ways — a ``ctx.parent_span`` attribute names a span
+    in *another* lane (the cross-process link), while a plain
+    ``parent_id`` stays within its own lane.  Either may be missing
+    (dropped from a ring, or the owning process died); the span then
+    becomes a root, keeping the merge total.
+    """
+    door_pid = door_pid if door_pid is not None else os.getpid()
+    ordered: List[Tuple[int, List[SpanRecord]]] = [
+        (DOOR_LANE, list(door_spans))
+    ]
+    pids = {DOOR_LANE: door_pid}
+    names = {DOOR_LANE: f"door (pid {door_pid})"}
+    dropped = {DOOR_LANE: int(door_dropped)}
+    offsets = {DOOR_LANE: 0.0}
+    for buf in sorted(buffers, key=lambda b: b.worker_id):
+        ordered.append((buf.lane, list(buf.spans)))
+        pids[buf.lane] = buf.pid
+        names[buf.lane] = f"worker {buf.worker_id} (pid {buf.pid})"
+        dropped[buf.lane] = int(buf.dropped)
+        offsets[buf.lane] = float(buf.clock_offset)
+
+    ids = itertools.count(1)
+    mapping: Dict[Tuple[int, int], int] = {}
+    for lane, spans in ordered:
+        for s in spans:
+            mapping[(lane, s.span_id)] = next(ids)
+
+    out: List[SpanRecord] = []
+    lanes: Dict[int, int] = {}
+    unresolved = 0
+    for lane, spans in ordered:
+        off = offsets[lane]
+        for s in spans:
+            attrs = dict(s.attrs)
+            parent: Optional[int] = None
+            if CTX_PARENT_SPAN in attrs:
+                key = (
+                    int(attrs.get(CTX_PARENT_LANE, DOOR_LANE)),
+                    int(attrs[CTX_PARENT_SPAN]),
+                )
+                parent = mapping.get(key)
+                if parent is None:
+                    unresolved += 1
+            elif s.parent_id is not None:
+                parent = mapping.get((lane, s.parent_id))
+            new_id = mapping[(lane, s.span_id)]
+            out.append(
+                SpanRecord(
+                    span_id=new_id,
+                    parent_id=parent,
+                    name=s.name,
+                    start=s.start - off,
+                    end=s.end - off,
+                    attrs=s.attrs,
+                )
+            )
+            lanes[new_id] = lane
+    out.sort(key=lambda r: (r.start, r.span_id))
+    return MergedTrace(
+        spans=out,
+        lanes=lanes,
+        pids=pids,
+        names=names,
+        dropped=dropped,
+        unresolved=unresolved,
+    )
+
+
+def fold_worker_audits(
+    buffers: List[WorkerTraceBuffer],
+    log: Optional[AuditLog] = None,
+) -> int:
+    """Land worker-side decision records in the (door's) audit log.
+
+    Worker reschedulers record into their own process's log, which
+    dies with the process; shipping the records back with the trace
+    buffers is what lets ``repro obs report`` score per-replica flips.
+    Records without a dataset label get a ``worker-<id>`` one so rows
+    stay attributable after the fold.
+    """
+    import dataclasses
+
+    log = log if log is not None else audit_log()
+    n = 0
+    for buf in sorted(buffers, key=lambda b: b.worker_id):
+        for rec in buf.audit:
+            if not rec.dataset:
+                rec = dataclasses.replace(
+                    rec, dataset=f"worker-{buf.worker_id}"
+                )
+            log.record(rec)
+            n += 1
+    return n
+
+
+def mount_tracer_health(
+    registry: MetricsRegistry, tracer: Optional[Tracer] = None
+) -> None:
+    """Expose the tracer's ring health as live callback gauges."""
+    t = tracer if tracer is not None else get_tracer()
+    registry.gauge(
+        "repro_obs.tracer_spans",
+        "finished spans currently in the tracer ring",
+        fn=lambda: float(len(t)),
+    )
+    registry.gauge(
+        "repro_obs.tracer_dropped_spans",
+        "spans evicted from the ring since the last clear",
+        fn=lambda: float(t.dropped),
+    )
+
+
+# -- the last fleet trace -------------------------------------------------
+#
+# `repro serve --workers N` runs inside `repro trace`: the inner
+# command owns the fleet (and must collect before closing it), the
+# outer command owns the exports.  One module-level slot hands the
+# merged timeline across that boundary.
+
+_LAST_FLEET_TRACE: Optional[MergedTrace] = None
+
+
+def publish_fleet_trace(merged: MergedTrace) -> None:
+    global _LAST_FLEET_TRACE
+    _LAST_FLEET_TRACE = merged
+
+
+def last_fleet_trace() -> Optional[MergedTrace]:
+    return _LAST_FLEET_TRACE
+
+
+def clear_fleet_trace() -> None:
+    global _LAST_FLEET_TRACE
+    _LAST_FLEET_TRACE = None

@@ -26,7 +26,7 @@ from typing import Any, Dict, List, Union
 
 from repro.obs.audit import DecisionRecord
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.trace import SpanRecord
+from repro.obs.trace import INSTANT_ATTR, SpanRecord
 
 # -- JSON-lines ----------------------------------------------------------
 
@@ -37,9 +37,23 @@ def spans_to_jsonl(spans: List[SpanRecord]) -> str:
 
 
 def write_spans_jsonl(
-    spans: List[SpanRecord], path: Union[str, Path]
+    spans: List[SpanRecord],
+    path: Union[str, Path],
+    *,
+    dropped: Union[int, Dict[str, int], None] = None,
 ) -> None:
+    """Write spans as JSON-lines, optionally prefixed by a meta line.
+
+    ``dropped`` (a count, or a per-lane mapping for fleet traces)
+    records how many spans the ring(s) evicted before this export —
+    without it a truncated trace is indistinguishable from a complete
+    one.  The meta line has no ``span_id`` key, so readers (and old
+    files) stay compatible.
+    """
     text = spans_to_jsonl(spans)
+    if dropped is not None:
+        meta = json.dumps({"meta": {"dropped": dropped}}, sort_keys=True)
+        text = meta + ("\n" + text if text else "")
     Path(path).write_text(text + ("\n" if text else ""))
 
 
@@ -48,8 +62,22 @@ def read_spans_jsonl(path: Union[str, Path]) -> List[SpanRecord]:
     for line in Path(path).read_text().splitlines():
         line = line.strip()
         if line:
-            out.append(SpanRecord.from_dict(json.loads(line)))
+            d = json.loads(line)
+            if "span_id" not in d:
+                continue  # meta line (drop counts), not a span
+            out.append(SpanRecord.from_dict(d))
     return out
+
+
+def read_spans_meta(path: Union[str, Path]) -> Dict[str, Any]:
+    """The meta line of a spans JSONL file (``{}`` when absent)."""
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            d = json.loads(line)
+            if "span_id" not in d and "meta" in d:
+                return d["meta"]
+    return {}
 
 
 def audit_to_jsonl(records: List[DecisionRecord]) -> str:
@@ -123,8 +151,34 @@ def write_prometheus(
 
 # -- chrome://tracing ----------------------------------------------------
 
-#: Phase values this exporter emits (complete events only).
-_CHROME_PHASES = {"X"}
+#: Phase values this exporter emits: complete events, zero-duration
+#: instants (SLO breaches, hot-spots), and process-name metadata.
+_CHROME_PHASES = {"X", "i", "M"}
+
+#: Valid scopes for an instant event's optional ``"s"`` key.
+_INSTANT_SCOPES = {"t", "p", "g"}
+
+
+def _span_event(s: SpanRecord, pid: int) -> Dict[str, Any]:
+    args: Dict[str, Any] = {k: v for k, v in s.attrs}
+    instant = bool(args.pop(INSTANT_ATTR, False))
+    args["span_id"] = s.span_id
+    if s.parent_id is not None:
+        args["parent_id"] = s.parent_id
+    event: Dict[str, Any] = {
+        "name": s.name,
+        "cat": s.name.split(".", 1)[0],
+        "ph": "i" if instant else "X",
+        "ts": s.start * 1e6,
+        "pid": pid,
+        "tid": 1,
+        "args": args,
+    }
+    if instant:
+        event["s"] = "p"  # process-scoped marker line
+    else:
+        event["dur"] = max(s.end - s.start, 0.0) * 1e6
+    return event
 
 
 def spans_to_chrome_trace(
@@ -134,27 +188,52 @@ def spans_to_chrome_trace(
 
     Timestamps and durations are microseconds per the event-format
     spec; span attributes land in ``args`` together with the span and
-    parent ids so the hierarchy survives into the viewer.
+    parent ids so the hierarchy survives into the viewer.  Marker
+    spans from :meth:`~repro.obs.trace.Tracer.instant` become instant
+    events (``ph: "i"``).
+    """
+    events = [_span_event(s, pid) for s in spans]
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def merged_to_chrome_trace(merged: Any) -> Dict[str, Any]:
+    """A fleet :class:`~repro.obs.collect.MergedTrace` as one timeline.
+
+    Each lane becomes a chrome *process* (door = pid lane 0, workers
+    after it), labelled via ``process_name`` metadata events; span
+    timestamps are already clock-aligned and parent ids already
+    resolved by the merge, so the viewer shows one coherent hierarchy
+    across the real process boundaries.
     """
     events: List[Dict[str, Any]] = []
-    for s in spans:
-        args: Dict[str, Any] = {k: v for k, v in s.attrs}
-        args["span_id"] = s.span_id
-        if s.parent_id is not None:
-            args["parent_id"] = s.parent_id
+    for lane in sorted(merged.names):
         events.append(
             {
-                "name": s.name,
-                "cat": s.name.split(".", 1)[0],
-                "ph": "X",
-                "ts": s.start * 1e6,
-                "dur": max(s.end - s.start, 0.0) * 1e6,
-                "pid": pid,
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": lane,
                 "tid": 1,
-                "args": args,
+                "args": {"name": merged.names[lane]},
             }
         )
+    base = min((s.start for s in merged.spans), default=0.0)
+    for s in merged.spans:
+        e = _span_event(s, merged.lanes[s.span_id])
+        # Chrome requires non-negative timestamps; rebase onto the
+        # earliest span so virtual-clock traces starting at 0 and
+        # perf_counter traces both land at the origin.
+        e["ts"] = max(s.start - base, 0.0) * 1e6
+        events.append(e)
     return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_merged_chrome_trace(
+    merged: Any, path: Union[str, Path]
+) -> None:
+    payload = merged_to_chrome_trace(merged)
+    validate_chrome_trace(payload)
+    Path(path).write_text(json.dumps(payload))
 
 
 def write_chrome_trace(
@@ -199,6 +278,17 @@ def validate_chrome_trace(payload: Dict[str, Any]) -> None:
                 raise ValueError(
                     f"event {i} has invalid dur {e['dur']!r}"
                 )
+        if e["ph"] == "i" and "s" in e and e["s"] not in _INSTANT_SCOPES:
+            raise ValueError(
+                f"instant event {i} has invalid scope {e['s']!r}"
+            )
+        if e["ph"] == "M" and e.get("name") not in (
+            "process_name", "process_labels", "process_sort_index",
+            "thread_name", "thread_sort_index",
+        ):
+            raise ValueError(
+                f"metadata event {i} has unknown name {e.get('name')!r}"
+            )
         for key in ("pid", "tid"):
             if not isinstance(e[key], int):
                 raise ValueError(f"event {i} has non-integer {key!r}")

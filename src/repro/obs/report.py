@@ -146,6 +146,22 @@ def run_report(
     return records
 
 
+def tracer_health() -> Dict[str, Any]:
+    """The process tracer's ring state (enabled, held, evicted).
+
+    A non-zero ``dropped`` means the ring wrapped and the oldest spans
+    are gone — the report flags it so "only N spans" is never misread
+    as "only N things happened".  Fleet runs carry the same counter
+    per process in :class:`~repro.obs.collect.MergedTrace.dropped`.
+    """
+    tracer = get_tracer()
+    return {
+        "enabled": bool(tracer.enabled),
+        "spans": len(tracer),
+        "dropped": tracer.dropped,
+    }
+
+
 def report_payload(records: List[DecisionRecord]) -> Dict[str, Any]:
     """JSON-ready rollup: per-row dicts plus aggregate regret."""
     rows = regret_rows(records)
@@ -154,6 +170,7 @@ def report_payload(records: List[DecisionRecord]) -> Dict[str, Any]:
         1 for r in rows if r.predicted_best == r.measured_best
     )
     return {
+        "tracer": tracer_health(),
         "rows": [r.as_dict() for r in rows],
         "records": [r.as_dict() for r in records],
         "n_datasets": len(rows),
@@ -178,6 +195,14 @@ def render_report(records: List[DecisionRecord]) -> str:
             f"{payload['n_agreements']}/{payload['n_datasets']} datasets; "
             f"mean regret {payload['mean_regret'] * 100:.1f}%, "
             f"max {payload['max_regret'] * 100:.1f}%"
+        )
+    health = payload["tracer"]
+    if health["enabled"]:
+        lines.append(
+            f"tracer      : {health['spans']} spans held, "
+            f"{health['dropped']} evicted from the ring"
+            + (" (ring wrapped — oldest spans lost)"
+               if health["dropped"] else "")
         )
     by_src = payload["by_decision_source"]
     if len(by_src) > 1:

@@ -47,6 +47,48 @@ _CURRENT: contextvars.ContextVar[Optional[int]] = contextvars.ContextVar(
     "repro_obs_current_span", default=None
 )
 
+#: Span-attribute keys that carry a cross-process parent link.  A
+#: worker records them (under the ``tracer.enabled`` guard) from the
+#: :class:`TraceContext` the front door shipped with the request;
+#: :func:`repro.obs.collect.merge_fleet_trace` resolves them back into
+#: real ``parent_id`` links when the rings are merged.
+CTX_TRACE_ID = "ctx.trace_id"
+CTX_PARENT_SPAN = "ctx.parent_span"
+CTX_PARENT_LANE = "ctx.parent_lane"
+
+#: Attribute marking a zero-duration marker span recorded by
+#: :meth:`Tracer.instant` (exported as a chrome ``"i"`` instant event).
+INSTANT_ATTR = "instant"
+
+#: Lane number of the front-door process in a merged fleet trace;
+#: worker ``w`` occupies lane ``w + 1``.
+DOOR_LANE = 0
+
+#: Process-wide trace-id allocator (cheap; ids only need to be unique
+#: within the door process that stamps them onto outgoing requests).
+_TRACE_IDS = itertools.count(1)
+
+
+def new_trace_id() -> int:
+    """A fresh trace id for one cross-process request."""
+    return next(_TRACE_IDS)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """A span's identity, shipped across a process boundary.
+
+    The front door opens a request span, wraps its id in a context and
+    appends it to the wire message; the worker stamps the triplet onto
+    its own spans as ``ctx.*`` attributes.  The context is deliberately
+    tiny and picklable — three ints — so carrying it on the hot path
+    costs a few bytes per *batch*, not per row.
+    """
+
+    trace_id: int
+    span_id: int
+    lane: int = DOOR_LANE
+
 
 @dataclass(frozen=True)
 class SpanRecord:
@@ -207,6 +249,36 @@ class Tracer:
             if len(self._spans) == self._spans.maxlen:
                 self.dropped += 1
             self._spans.append(record)
+
+    def instant(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> None:
+        """Record a zero-duration marker (SLO breach, hot-spot, ...).
+
+        Free when disabled — but call sites that build an ``attrs``
+        dict should still sit behind ``if tracer.enabled:`` so the
+        dict is never allocated on a disabled tracer.  The marker
+        carries :data:`INSTANT_ATTR` so exporters emit a chrome
+        instant event (``ph: "i"``) instead of a complete one.
+        """
+        if not self.enabled:
+            return
+        t = self._clock()
+        merged: Dict[str, Any] = {INSTANT_ATTR: True}
+        if attrs:
+            merged.update(attrs)
+        self._record(
+            SpanRecord(
+                span_id=next(self._ids),
+                parent_id=_CURRENT.get(),
+                name=name,
+                start=t,
+                end=t,
+                attrs=tuple(sorted(merged.items())),
+            )
+        )
+
+    def now(self) -> float:
+        """One reading of this tracer's clock (the collect handshake)."""
+        return self._clock()
 
     # -- control ---------------------------------------------------------
     def enable(self) -> None:

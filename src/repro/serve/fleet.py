@@ -39,12 +39,21 @@ from __future__ import annotations
 import atexit
 import heapq
 import multiprocessing
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.collect import (
+    WorkerTraceBuffer,
+    MergedTrace,
+    fold_worker_audits,
+    merge_fleet_trace,
+)
+from repro.obs.flight import flight_recorder
 from repro.obs.metrics import MetricsRegistry, opcounter_shard
+from repro.obs.trace import DOOR_LANE, TraceContext, get_tracer, new_trace_id
 from repro.parallel.partition import greedy_bins
 from repro.perf.counters import OpCounter
 from repro.serve.admission import AdmissionController, Request, Verdict
@@ -229,12 +238,20 @@ class ServingFleet:
         finished_at: float,
         queued_at: List[float],
     ) -> Tuple[List[int], np.ndarray, np.ndarray, str, Optional[RescheduleEvent]]:
-        reply = self.shards[shard].request(
-            (
-                "predict", key, list(req_ids), list(vectors),
-                started_at, finished_at, list(queued_at),
+        tracer = get_tracer()
+        ctx = None
+        with tracer.span("fleet.request") as sp:
+            if tracer.enabled:
+                sp.set("model", key)
+                sp.set("shard", shard)
+                sp.set("k", len(req_ids))
+                ctx = TraceContext(new_trace_id(), sp.span_id, DOOR_LANE)
+            reply = self.shards[shard].request(
+                (
+                    "predict", key, list(req_ids), list(vectors),
+                    started_at, finished_at, list(queued_at), ctx,
+                )
             )
-        )
         _, _, _, ids, labels, dec, fmt, event = reply
         return ids, labels, dec, fmt, event
 
@@ -247,9 +264,19 @@ class ServingFleet:
         arrived_at: float,
         finished_at: float,
     ) -> Tuple[float, np.ndarray, str]:
-        reply = self.shards[shard].request(
-            ("predict_one", key, req_id, vector, arrived_at, finished_at)
-        )
+        tracer = get_tracer()
+        ctx = None
+        with tracer.span("fleet.request_one") as sp:
+            if tracer.enabled:
+                sp.set("model", key)
+                sp.set("shard", shard)
+                ctx = TraceContext(new_trace_id(), sp.span_id, DOOR_LANE)
+            reply = self.shards[shard].request(
+                (
+                    "predict_one", key, req_id, vector,
+                    arrived_at, finished_at, ctx,
+                )
+            )
         _, _, _, _, label, dec, fmt = reply
         return label, dec, fmt
 
@@ -279,6 +306,30 @@ class ServingFleet:
             imbalance=hotspot.imbalance,
         )
         self.rebalances.append(event)
+        # The detector's finding enters the same observability stream
+        # as everything else: a timeline marker plus a flight-recorder
+        # entry (both free when the respective collector is off).
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "fleet.hotspot",
+                {
+                    "model": hotspot.model,
+                    "hot_shard": hotspot.hot_shard,
+                    "cold_shard": hotspot.cold_shard,
+                    "imbalance": hotspot.imbalance,
+                },
+            )
+        fr = flight_recorder()
+        if fr.enabled:
+            fr.record(
+                "rebalance",
+                at=at,
+                model=hotspot.model,
+                hot_shard=hotspot.hot_shard,
+                cold_shard=hotspot.cold_shard,
+                imbalance=hotspot.imbalance,
+            )
         return event
 
     # -- observation -----------------------------------------------------
@@ -323,11 +374,96 @@ class ServingFleet:
                         counter, prefix=f"repro_fleet.worker{wid}.ops"
                     )
                 )
+            from repro.serve.shm import leaked_segments
+
+            # Live callback: the scan runs at export time, so the
+            # gauge reports leaks as of the scrape, not the snapshot.
+            registry.gauge(
+                "repro_fleet.leaked_shm_segments",
+                "repro shm segments present on disk but unowned",
+                fn=lambda: float(len(leaked_segments())),
+            )
         return FleetSnapshot(
             metrics=merged,
             per_worker=per_worker,
             formats=formats,
             transport=transport,
+        )
+
+    # -- distributed tracing ---------------------------------------------
+    def enable_worker_tracing(self) -> None:
+        """Broadcast ``trace_on``: every worker starts recording spans.
+
+        The door's own tracer is *not* touched — callers (the CLI's
+        ``repro trace``, the bench harness) own that switch.  Local
+        shards share the door's tracer and treat the verb as a no-op.
+        """
+        for shard in self.shards:
+            shard.request(("trace_on",))
+
+    def collect_traces(self) -> List[WorkerTraceBuffer]:
+        """Pull every live worker's span ring and audit log home.
+
+        A dead or wedged worker contributes nothing (partial fleet
+        traces are better than none — the killed-worker test pins
+        this).  The clock handshake brackets the worker's reading
+        between two door readings; an offset smaller than the round
+        trip is indistinguishable from pipe latency on a shared
+        monotonic clock and is zeroed, while genuinely different
+        clocks (virtual time in tests) survive.
+        """
+        from repro.serve.worker import FleetWorkerError
+
+        tracer = get_tracer()
+        buffers: List[WorkerTraceBuffer] = []
+        for shard in self.shards:
+            if not shard.alive():
+                continue
+            t0 = tracer.now()
+            try:
+                reply = shard.request(("trace_collect",))
+            except (FleetWorkerError, EOFError, OSError, BrokenPipeError):
+                continue
+            t1 = tracer.now()
+            _, _, wid, pid, worker_now, span_dicts, dropped, audit = reply
+            offset = worker_now - 0.5 * (t0 + t1)
+            if abs(offset) <= (t1 - t0):
+                offset = 0.0
+            from repro.obs.audit import DecisionRecord
+            from repro.obs.trace import SpanRecord
+
+            buffers.append(
+                WorkerTraceBuffer(
+                    worker_id=wid,
+                    pid=pid,
+                    spans=tuple(
+                        SpanRecord.from_dict(d) for d in span_dicts
+                    ),
+                    dropped=dropped,
+                    clock_offset=offset,
+                    audit=tuple(
+                        DecisionRecord.from_dict(d) for d in audit
+                    ),
+                )
+            )
+        return buffers
+
+    def merged_trace(self, *, fold_audit: bool = True) -> MergedTrace:
+        """One coherent timeline: door spans + every worker's ring.
+
+        Collect *before* :meth:`close` — the rings die with the
+        workers.  ``fold_audit`` lands worker-side rescheduler
+        decisions in the door's audit log on the way through.
+        """
+        tracer = get_tracer()
+        buffers = self.collect_traces()
+        if fold_audit:
+            fold_worker_audits(buffers)
+        return merge_fleet_trace(
+            tracer.spans(),
+            buffers,
+            door_pid=os.getpid(),
+            door_dropped=tracer.dropped,
         )
 
     # -- lifecycle -------------------------------------------------------
@@ -396,6 +532,7 @@ def simulate_fleet(
     admission: Optional[AdmissionController] = None,
     service: Optional[ServiceModel] = None,
     registry: Optional[MetricsRegistry] = None,
+    slo: Optional[Any] = None,
 ) -> FleetReport:
     """Serve a workload through the fleet on the virtual clock.
 
@@ -408,6 +545,12 @@ def simulate_fleet(
     order) while latency accounting uses the virtual start/finish
     times; admission slots release at virtual completion, which is
     what makes the overload experiment honest about in-flight bounds.
+
+    ``slo`` is an optional :class:`~repro.obs.slo.SLOMonitor` fed the
+    door's four streams on the virtual clock — request latency,
+    deadline misses, admission rejections, per-shard dispatch backlog
+    — with a final evaluation before the report returns.  Observation
+    only: the monitor cannot change a single scheduling decision.
     """
     service = service if service is not None else ServiceModel()
     door = ServeMetrics()
@@ -449,11 +592,20 @@ def simulate_fleet(
                 admission.release(dropped)
             fleet.router.complete(shard, dropped)
             inflight -= dropped
+            if slo is not None:
+                for _ in range(dropped):
+                    slo.observe_deadline(at, True)
         if not live:
             return
         start = max(at, busy_until[shard])
         fin = start + service.batch(len(live))
         busy_until[shard] = fin
+        if slo is not None:
+            slo.observe_shard(at, shard, start - at)
+            for r in live:
+                slo.observe_latency(fin, fin - r.arrived_at)
+                if r.deadline is not None:
+                    slo.observe_deadline(fin, False)
         ids, labels, dec, fmt, event = fleet.predict_batch(
             key,
             shard,
@@ -500,6 +652,8 @@ def simulate_fleet(
         verdict = (
             admission.admit() if admission is not None else Verdict.ACCEPTED
         )
+        if slo is not None:
+            slo.observe_admission(t, verdict is Verdict.REJECTED)
         if verdict is Verdict.REJECTED:
             door.record_rejected()
             continue
@@ -514,12 +668,18 @@ def simulate_fleet(
                 if admission is not None:
                     admission.release()
                 inflight -= 1
+                if slo is not None:
+                    slo.observe_deadline(t, True)
                 continue
             shard, hotspot = fleet.router.dispatch(key)
             fin = t + service.single()
             label, dec, fmt = fleet.predict_single(
                 key, shard, r.req_id, r.vector, t, fin
             )
+            if slo is not None:
+                slo.observe_latency(fin, fin - r.arrived_at)
+                if r.deadline is not None:
+                    slo.observe_deadline(fin, False)
             responses[r.req_id] = float(label)
             decisions[r.req_id] = dec
             per_shard_served[shard] += 1
@@ -549,6 +709,8 @@ def simulate_fleet(
                 # batcher and does nothing.
                 push(flush_at, _P_FLUSH, "flush", (key, shard))
 
+    if slo is not None:
+        slo.evaluate()
     snapshot = fleet.snapshot(door=door, registry=registry)
     return FleetReport(
         workload=workload.name,

@@ -20,13 +20,24 @@ One code path serves both deployment shapes:
 
 The wire protocol is deliberately dumb — tuples with a verb first:
 
-===============  =====================================================
-``attach``        ``(key, ModelHandle, fmt0 | None, rcfg | None)``
-``predict``       ``(key, req_ids, vectors, started, finished, queued)``
-``predict_one``   ``(key, req_id, vector, arrived, finished)``
-``snapshot``      worker metrics state + per-model formats
-``shutdown``      goodbye (worker closes attachments and exits)
-===============  =====================================================
+=================  ===================================================
+``attach``          ``(key, ModelHandle, fmt0 | None, rcfg | None)``
+``predict``         ``(key, req_ids, vectors, started, finished,
+                    queued[, ctx])``
+``predict_one``     ``(key, req_id, vector, arrived, finished[, ctx])``
+``snapshot``        worker metrics state + per-model formats
+``trace_on``        enable the worker's tracer + flight recorder
+``trace_collect``   ship the span ring, drop count and audit records
+                    back (plus a clock reading for offset estimation)
+``flight_dump``     write the worker's flight-recorder ring to disk
+``shutdown``        goodbye (worker closes attachments and exits)
+=================  ===================================================
+
+``ctx`` is an optional :class:`~repro.obs.trace.TraceContext` — the
+front door's open request span — that the worker stamps onto its own
+spans so :func:`~repro.obs.collect.merge_fleet_trace` can re-parent
+them across the process boundary.  Its absence (older callers, or
+tracing off) costs nothing.
 
 Timestamps ride in from the front door (virtual or monotonic — the
 door owns the clock), so worker metrics merge into an exact fleet
@@ -35,11 +46,21 @@ view regardless of which clock the simulation ran on.
 
 from __future__ import annotations
 
+import os
 import pickle
 import traceback
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.analysis.race import make_lock, track_shared
+from repro.obs.audit import audit_log
+from repro.obs.flight import flight_recorder, install_signal_dump
+from repro.obs.trace import (
+    CTX_PARENT_LANE,
+    CTX_PARENT_SPAN,
+    CTX_TRACE_ID,
+    TraceContext,
+    get_tracer,
+)
 from repro.perf.counters import OpCounter
 from repro.serve.engine import InferenceEngine
 from repro.serve.metrics import ServeMetrics
@@ -57,12 +78,29 @@ class FleetWorkerError(RuntimeError):
 
 
 class ShardServer:
-    """Worker-side state: engines, reschedulers, metrics, attachments."""
+    """Worker-side state: engines, reschedulers, metrics, attachments.
+
+    ``remote=True`` marks a server running in its *own* process (via
+    :func:`fleet_worker_main`): it owns that process's global tracer
+    and audit log, so ``trace_on`` flips them and ``trace_collect``
+    ships them home.  A local (in-door-process) server shares the
+    door's globals — the door reads them directly, and collecting
+    from the shard would double-count, so local collect is empty.
+    """
 
     def __init__(
-        self, worker_id: int, *, unregister: bool = False
+        self,
+        worker_id: int,
+        *,
+        unregister: bool = False,
+        remote: bool = False,
     ) -> None:
         self.worker_id = worker_id
+        self.remote = remote
+        # The process tracer, shared with the engine and rescheduler
+        # instrumentation, so every layer's spans land in one ring
+        # with one id space and correct contextvar nesting.
+        self.tracer = get_tracer()
         self.metrics = ServeMetrics(counter=OpCounter())
         self.engines: Dict[str, InferenceEngine] = {}
         self.reschedulers: Dict[str, Optional[FormatRescheduler]] = {}
@@ -81,6 +119,12 @@ class ShardServer:
             return self._attach(*msg[1:])
         if verb == "snapshot":
             return self._snapshot()
+        if verb == "trace_on":
+            return self._trace_on()
+        if verb == "trace_collect":
+            return self._trace_collect()
+        if verb == "flight_dump":
+            return self._flight_dump(*msg[1:])
         if verb == "shutdown":
             return ("ok", "shutdown", self.worker_id)
         raise ValueError(f"unknown fleet message verb {verb!r}")
@@ -122,26 +166,37 @@ class ShardServer:
         started_at: float,
         finished_at: float,
         queued_at: List[float],
+        ctx: Optional[TraceContext] = None,
     ) -> Tuple[Any, ...]:
-        engine = self.engines[key]
-        labels, dec = engine.predict_with_decisions(vectors)
-        self.metrics.record_batch(
-            len(vectors), started_at, finished_at,
-            queued_at=list(queued_at),
-        )
-        event = None
-        resched = self.reschedulers.get(key)
-        if resched is not None:
-            event = resched.after_batch(
-                len(vectors), engine.model.matrix
+        tracer = self.tracer
+        with tracer.span("fleet.worker.predict") as sp:
+            if tracer.enabled:
+                sp.set("worker", self.worker_id)
+                sp.set("model", key)
+                sp.set("k", len(vectors))
+                if ctx is not None:
+                    sp.set(CTX_TRACE_ID, ctx.trace_id)
+                    sp.set(CTX_PARENT_SPAN, ctx.span_id)
+                    sp.set(CTX_PARENT_LANE, ctx.lane)
+            engine = self.engines[key]
+            labels, dec = engine.predict_with_decisions(vectors)
+            self.metrics.record_batch(
+                len(vectors), started_at, finished_at,
+                queued_at=list(queued_at),
             )
-            if event is not None:
-                engine.convert_to(event.to_fmt)
-                self.metrics.record_reschedule()
-        return (
-            "ok", "predict", key, list(req_ids), labels, dec,
-            engine.format, event,
-        )
+            event = None
+            resched = self.reschedulers.get(key)
+            if resched is not None:
+                event = resched.after_batch(
+                    len(vectors), engine.model.matrix
+                )
+                if event is not None:
+                    engine.convert_to(event.to_fmt)
+                    self.metrics.record_reschedule()
+            return (
+                "ok", "predict", key, list(req_ids), labels, dec,
+                engine.format, event,
+            )
 
     def _predict_one(
         self,
@@ -150,14 +205,25 @@ class ShardServer:
         vector: Any,
         arrived_at: float,
         finished_at: float,
+        ctx: Optional[TraceContext] = None,
     ) -> Tuple[Any, ...]:
-        engine = self.engines[key]
-        label, dec = engine.predict_one_with_decision(vector)
-        self.metrics.record_single(arrived_at, finished_at)
-        self.metrics.record_degraded()
-        return (
-            "ok", "predict_one", key, req_id, label, dec, engine.format,
-        )
+        tracer = self.tracer
+        with tracer.span("fleet.worker.predict_one") as sp:
+            if tracer.enabled:
+                sp.set("worker", self.worker_id)
+                sp.set("model", key)
+                if ctx is not None:
+                    sp.set(CTX_TRACE_ID, ctx.trace_id)
+                    sp.set(CTX_PARENT_SPAN, ctx.span_id)
+                    sp.set(CTX_PARENT_LANE, ctx.lane)
+            engine = self.engines[key]
+            label, dec = engine.predict_one_with_decision(vector)
+            self.metrics.record_single(arrived_at, finished_at)
+            self.metrics.record_degraded()
+            return (
+                "ok", "predict_one", key, req_id, label, dec,
+                engine.format,
+            )
 
     def _snapshot(self) -> Tuple[Any, ...]:
         formats = {
@@ -167,6 +233,35 @@ class ShardServer:
             "ok", "snapshot", self.worker_id, self.metrics.state(),
             formats,
         )
+
+    # -- observability control plane -------------------------------------
+    def _trace_on(self) -> Tuple[Any, ...]:
+        if self.remote:
+            # A remote worker owns its process's tracer and flight
+            # recorder; a local shard shares the door's, which the
+            # door flips itself.
+            self.tracer.enable()
+            flight_recorder().enable()
+        return ("ok", "trace_on", self.worker_id, self.tracer.enabled)
+
+    def _trace_collect(self) -> Tuple[Any, ...]:
+        spans: List[Dict[str, Any]] = []
+        audit: List[Dict[str, Any]] = []
+        dropped = 0
+        if self.remote:
+            spans = [s.as_dict() for s in self.tracer.spans()]
+            audit = [r.as_dict() for r in audit_log().records()]
+            dropped = self.tracer.dropped
+        return (
+            "ok", "trace_collect", self.worker_id, os.getpid(),
+            self.tracer.now(), spans, dropped, audit,
+        )
+
+    def _flight_dump(
+        self, reason: str = "request", path: Optional[str] = None
+    ) -> Tuple[Any, ...]:
+        out = flight_recorder().dump(path, reason=reason)
+        return ("ok", "flight_dump", self.worker_id, str(out))
 
     def close(self) -> None:
         if self._closed:
@@ -183,9 +278,14 @@ def fleet_worker_main(
 
     Any per-message exception is shipped back as an ``("err", ...)``
     reply instead of killing the worker; EOF on the pipe (the parent
-    died or closed us) exits cleanly, closing shm attachments.
+    died or closed us) exits cleanly, closing shm attachments.  An
+    exception that *does* escape the loop (a broken reply pipe, a
+    corrupted message) dumps the worker's flight recorder before the
+    process dies, so the post-mortem has the recent history.
     """
-    server = ShardServer(worker_id, unregister=unregister)
+    server = ShardServer(worker_id, unregister=unregister, remote=True)
+    install_signal_dump()  # SIGUSR1 -> flight dump, best effort
+    fr = flight_recorder()
     try:
         while True:
             try:
@@ -196,6 +296,13 @@ def fleet_worker_main(
             try:
                 reply = server.handle(msg)
             except Exception as exc:
+                if fr.enabled:
+                    fr.record(
+                        "worker_error",
+                        worker=worker_id,
+                        verb=str(msg[0]),
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
                 reply = (
                     "err",
                     f"{type(exc).__name__}: {exc}",
@@ -206,6 +313,11 @@ def fleet_worker_main(
             )
             if msg[0] == "shutdown":
                 break
+    except BaseException:  # pragma: no cover - crash path
+        if fr.enabled:
+            fr.record("worker_crash", worker=worker_id)
+            fr.dump(reason="worker_crash")
+        raise
     finally:
         server.close()
         conn.close()

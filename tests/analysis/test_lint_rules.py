@@ -624,14 +624,26 @@ class TestSpanAllocation:
         """
         assert lint(src, "src/repro/serve/fake.py", "RDL008") == []
 
-    def test_outside_hot_packages_out_of_scope(self):
-        # repro.obs itself (and the CLI) may pay for convenience.
+    def test_obs_itself_is_in_scope(self):
+        # The observability plane runs on serving hot paths (flight
+        # recorder, SLO monitor), so repro.obs holds itself to the
+        # same allocation discipline.
         src = """
         def report(records):
             with tracer.span(f"obs.report.{len(records)}") as sp:
                 sp.set("n", len(records))
         """
-        assert lint(src, "src/repro/obs/fake.py", "RDL008") == []
+        findings = lint(src, "src/repro/obs/fake.py", "RDL008")
+        assert len(findings) == 2
+
+    def test_outside_hot_packages_out_of_scope(self):
+        # The CLI may pay for convenience.
+        src = """
+        def report(records):
+            with tracer.span(f"obs.report.{len(records)}") as sp:
+                sp.set("n", len(records))
+        """
+        assert lint(src, "src/repro/cli.py", "RDL008") == []
 
     def test_instrumented_tree_self_check(self):
         # The real instrumented packages must satisfy their own rule.

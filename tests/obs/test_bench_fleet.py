@@ -1,0 +1,77 @@
+"""The ``repro bench obs --fleet`` gate: deterministic criteria."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.bench_fleet import (
+    render_summary,
+    run_fleet_trace_gate,
+    run_slo_flight_gate,
+    run_suite,
+    write_report,
+)
+from repro.obs.trace import get_tracer
+
+
+@pytest.fixture(scope="module")
+def trace_gate():
+    """One smoke trace gate shared across the module (spawns a fleet
+    twice — traced and untraced)."""
+    return run_fleet_trace_gate(smoke=True, workers=2)
+
+
+class TestFleetTraceGate:
+    def test_traced_outputs_bitwise_identical(self, trace_gate):
+        assert trace_gate["labels_identical"] is True
+        assert trace_gate["decisions_identical"] is True
+
+    def test_every_worker_lane_present_with_valid_parents(
+        self, trace_gate
+    ):
+        assert trace_gate["worker_lanes"] == [1, 2]
+        assert trace_gate["lanes_complete"] is True
+        assert trace_gate["cross_boundary_spans"] > 0
+        assert trace_gate["bad_parents"] == 0
+        assert trace_gate["unresolved"] == 0
+
+    def test_chrome_export_validates(self, trace_gate):
+        assert trace_gate["chrome_valid"] is True
+        assert trace_gate["chrome_events"] >= trace_gate["n_spans"]
+
+    def test_gate_passes_and_restores_tracer(self, trace_gate):
+        assert trace_gate["pass"] is True
+        # The gate flips the global tracer around its two sessions;
+        # whatever state the suite started in must survive.
+        assert len(get_tracer()) == 0 or get_tracer().enabled
+
+
+class TestSLOFlightGate:
+    def test_breach_and_dump_are_deterministic(self, tmp_path):
+        result = run_slo_flight_gate(smoke=True, workdir=tmp_path)
+        assert result["breaches"] >= 1
+        assert result["dump_written"] is True
+        assert result["dump_reason"] == "slo_breach:latency_impossible"
+        assert result["dump_parses"] is True
+        assert result["pass"] is True
+        assert (tmp_path / "flight-slo-breach.jsonl").exists()
+
+
+class TestSuite:
+    def test_suite_combines_all_three_gates(self, tmp_path):
+        payload = run_suite(quick=True, repeats=2, workers=2)
+        assert payload["suite"] == "obs-fleet"
+        assert set(payload) >= {
+            "overhead", "fleet_trace", "slo_flight", "headline"
+        }
+        if payload["headline"]["pass"]:
+            assert payload["fleet_trace"]["pass"]
+            assert payload["slo_flight"]["pass"]
+            assert payload["overhead"]["headline"]["pass"]
+        text = render_summary(payload)
+        assert "bitwise" in text and "slo breach" in text
+        out = tmp_path / "BENCH_obs.json"
+        write_report(payload, out)
+        assert json.loads(out.read_text())["suite"] == "obs-fleet"

@@ -1,0 +1,338 @@
+"""Fleet trace merging: re-identification, re-parenting, lanes.
+
+These tests drive :func:`repro.obs.collect.merge_fleet_trace` and the
+chrome exporter with hand-built rings — no processes — so every edge
+(id collisions, clock offsets, killed workers, unresolvable parents)
+is pinned deterministically.  The end-to-end process-fleet path is
+covered in ``tests/serve/test_fleet_trace.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.audit import AuditLog, DecisionRecord
+from repro.obs.collect import (
+    MergedTrace,
+    WorkerTraceBuffer,
+    clear_fleet_trace,
+    fold_worker_audits,
+    last_fleet_trace,
+    merge_fleet_trace,
+    mount_tracer_health,
+    publish_fleet_trace,
+)
+from repro.obs.export import (
+    merged_to_chrome_trace,
+    validate_chrome_trace,
+    write_merged_chrome_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    CTX_PARENT_LANE,
+    CTX_PARENT_SPAN,
+    CTX_TRACE_ID,
+    DOOR_LANE,
+    SpanRecord,
+    TraceContext,
+    Tracer,
+    new_trace_id,
+)
+
+
+def _span(span_id, name, start, end, parent_id=None, attrs=()):
+    return SpanRecord(
+        span_id=span_id,
+        parent_id=parent_id,
+        name=name,
+        start=start,
+        end=end,
+        attrs=tuple(sorted(attrs)),
+    )
+
+
+def _worker_span(span_id, name, start, end, door_span, **extra):
+    """A worker-side span carrying a cross-process parent link."""
+    attrs = [
+        (CTX_TRACE_ID, 1),
+        (CTX_PARENT_SPAN, door_span),
+        (CTX_PARENT_LANE, DOOR_LANE),
+    ] + list(extra.items())
+    return _span(span_id, name, start, end, attrs=attrs)
+
+
+def two_worker_fixture():
+    """Door with two requests, two workers each serving one of them.
+
+    Every ring numbers its spans from 1 — the id-collision case the
+    merge exists to solve.
+    """
+    door = [
+        _span(1, "fleet.request", 0.0, 5.0),
+        _span(2, "fleet.request", 1.0, 6.0),
+        _span(3, "door.internal", 2.0, 3.0, parent_id=1),
+    ]
+    buffers = [
+        WorkerTraceBuffer(
+            worker_id=0,
+            pid=100,
+            spans=(
+                _worker_span(1, "fleet.worker.predict", 0.5, 4.5, 1),
+                _span(2, "serve.batch", 1.0, 2.0, parent_id=1),
+            ),
+        ),
+        WorkerTraceBuffer(
+            worker_id=1,
+            pid=101,
+            spans=(
+                _worker_span(1, "fleet.worker.predict", 1.5, 5.5, 2),
+            ),
+            dropped=3,
+        ),
+    ]
+    return door, buffers
+
+
+class TestMergeFleetTrace:
+    def test_reids_into_one_namespace(self):
+        door, buffers = two_worker_fixture()
+        merged = merge_fleet_trace(door, buffers, door_pid=99)
+        ids = [s.span_id for s in merged.spans]
+        assert len(ids) == len(set(ids)) == 6
+        assert sorted(merged.lanes[i] for i in ids) == [0, 0, 0, 1, 1, 2]
+
+    def test_cross_boundary_parents_resolve_to_door_spans(self):
+        door, buffers = two_worker_fixture()
+        merged = merge_fleet_trace(door, buffers, door_pid=99)
+        by_id = {s.span_id: s for s in merged.spans}
+        workers = [
+            s for s in merged.spans
+            if s.name == "fleet.worker.predict"
+        ]
+        assert len(workers) == 2
+        for w in workers:
+            parent = by_id[w.parent_id]
+            assert parent.name == "fleet.request"
+            assert merged.lanes[parent.span_id] == DOOR_LANE
+        assert merged.unresolved == 0
+
+    def test_local_parents_stay_within_their_lane(self):
+        door, buffers = two_worker_fixture()
+        merged = merge_fleet_trace(door, buffers, door_pid=99)
+        batch = next(
+            s for s in merged.spans if s.name == "serve.batch"
+        )
+        parent_lane = merged.lanes[batch.parent_id]
+        assert parent_lane == merged.lanes[batch.span_id] == 1
+        internal = next(
+            s for s in merged.spans if s.name == "door.internal"
+        )
+        assert merged.lanes[internal.parent_id] == DOOR_LANE
+
+    def test_lane_metadata_and_drop_counts(self):
+        door, buffers = two_worker_fixture()
+        merged = merge_fleet_trace(
+            door, buffers, door_pid=99, door_dropped=7
+        )
+        assert merged.names[DOOR_LANE] == "door (pid 99)"
+        assert merged.names[1] == "worker 0 (pid 100)"
+        assert merged.names[2] == "worker 1 (pid 101)"
+        assert merged.pids == {0: 99, 1: 100, 2: 101}
+        assert merged.dropped == {0: 7, 1: 0, 2: 3}
+        assert merged.worker_lanes() == [1, 2]
+
+    def test_clock_offset_rebases_worker_timestamps(self):
+        door = [_span(1, "fleet.request", 0.0, 5.0)]
+        buffers = [
+            WorkerTraceBuffer(
+                worker_id=0,
+                pid=100,
+                spans=(
+                    _worker_span(
+                        1, "fleet.worker.predict", 1000.5, 1004.5, 1
+                    ),
+                ),
+                clock_offset=1000.0,
+            )
+        ]
+        merged = merge_fleet_trace(door, buffers, door_pid=99)
+        w = next(
+            s for s in merged.spans
+            if s.name == "fleet.worker.predict"
+        )
+        assert w.start == pytest.approx(0.5)
+        assert w.end == pytest.approx(4.5)
+
+    def test_killed_worker_partial_buffer_keeps_merge_total(self):
+        # Worker 1 died before collection: its buffer is simply
+        # absent.  Worker 0's spans referencing a door span that was
+        # itself evicted become roots, counted as unresolved.
+        door = [_span(5, "fleet.request", 1.0, 2.0)]
+        buffers = [
+            WorkerTraceBuffer(
+                worker_id=0,
+                pid=100,
+                spans=(
+                    _worker_span(1, "fleet.worker.predict", 1.1, 1.9, 5),
+                    # Parent span 4 was dropped from the door's ring.
+                    _worker_span(2, "fleet.worker.predict", 0.2, 0.9, 4),
+                ),
+            ),
+        ]
+        merged = merge_fleet_trace(door, buffers, door_pid=99)
+        assert len(merged.spans) == 3
+        assert merged.worker_lanes() == [1]
+        orphan = next(s for s in merged.spans if s.start == 0.2)
+        assert orphan.parent_id is None
+        assert merged.unresolved == 1
+        resolved = next(s for s in merged.spans if s.start == 1.1)
+        assert resolved.parent_id is not None
+
+    def test_spans_sorted_by_rebased_start(self):
+        door, buffers = two_worker_fixture()
+        merged = merge_fleet_trace(door, buffers, door_pid=99)
+        starts = [s.start for s in merged.spans]
+        assert starts == sorted(starts)
+
+    def test_round_trips_through_real_tracer_context(self):
+        # The constants and TraceContext as the serving tier uses
+        # them: a door tracer opens the request span, the worker
+        # tracer records the ctx triplet under its own guard.
+        door_tracer = Tracer(enabled=True)
+        with door_tracer.span("fleet.request") as sp:
+            ctx = TraceContext(new_trace_id(), sp.span_id, DOOR_LANE)
+        worker_tracer = Tracer(enabled=True)
+        with worker_tracer.span("fleet.worker.predict") as sp:
+            sp.set(CTX_TRACE_ID, ctx.trace_id)
+            sp.set(CTX_PARENT_SPAN, ctx.span_id)
+            sp.set(CTX_PARENT_LANE, ctx.lane)
+        merged = merge_fleet_trace(
+            door_tracer.spans(),
+            [
+                WorkerTraceBuffer(
+                    worker_id=0, pid=1, spans=tuple(worker_tracer.spans())
+                )
+            ],
+            door_pid=0,
+        )
+        by_id = {s.span_id: s for s in merged.spans}
+        w = next(
+            s for s in merged.spans
+            if s.name == "fleet.worker.predict"
+        )
+        assert by_id[w.parent_id].name == "fleet.request"
+        assert merged.unresolved == 0
+
+
+class TestChromeFleetExport:
+    def test_schema_validates(self):
+        door, buffers = two_worker_fixture()
+        merged = merge_fleet_trace(door, buffers, door_pid=99)
+        payload = merged_to_chrome_trace(merged)
+        validate_chrome_trace(payload)  # must not raise
+
+    def test_one_pid_per_lane_with_unique_names(self):
+        door, buffers = two_worker_fixture()
+        merged = merge_fleet_trace(door, buffers, door_pid=99)
+        payload = merged_to_chrome_trace(merged)
+        events = payload["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        meta_pids = [e["pid"] for e in meta]
+        assert sorted(meta_pids) == [0, 1, 2]
+        assert len(set(e["args"]["name"] for e in meta)) == 3
+        span_events = [e for e in events if e["ph"] != "M"]
+        assert {e["pid"] for e in span_events} == {0, 1, 2}
+        assert all(e["tid"] == 1 for e in span_events)
+
+    def test_timestamps_rebased_non_negative(self):
+        door = [_span(1, "fleet.request", 100.0, 105.0)]
+        merged = merge_fleet_trace(door, [], door_pid=99)
+        payload = merged_to_chrome_trace(merged)
+        xs = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert xs[0]["ts"] == pytest.approx(0.0)
+        assert all(e["ts"] >= 0.0 for e in xs)
+
+    def test_killed_worker_trace_still_exports(self, tmp_path):
+        door = [_span(5, "fleet.request", 1.0, 2.0)]
+        buffers = [
+            WorkerTraceBuffer(
+                worker_id=0,
+                pid=100,
+                spans=(
+                    _worker_span(2, "fleet.worker.predict", 0.2, 0.9, 4),
+                ),
+            ),
+        ]
+        merged = merge_fleet_trace(door, buffers, door_pid=99)
+        path = tmp_path / "chrome.json"
+        write_merged_chrome_trace(merged, path)
+        reloaded = json.loads(path.read_text())
+        validate_chrome_trace(reloaded)
+        assert {e["pid"] for e in reloaded["traceEvents"]} == {0, 1}
+
+
+class TestFoldWorkerAudits:
+    def _record(self, dataset=""):
+        return DecisionRecord(
+            source="serve",
+            dataset=dataset,
+            strategy="measured",
+            batch_k=8,
+            chosen="SELL",
+            reason="test",
+            cached=False,
+        )
+
+    def test_folds_into_given_log_in_worker_order(self):
+        log = AuditLog()
+        buffers = [
+            WorkerTraceBuffer(
+                worker_id=1, pid=2, spans=(),
+                audit=(self._record("alpha"),),
+            ),
+            WorkerTraceBuffer(
+                worker_id=0, pid=1, spans=(),
+                audit=(self._record("beta"),),
+            ),
+        ]
+        n = fold_worker_audits(buffers, log)
+        assert n == 2
+        assert [r.dataset for r in log.records()] == ["beta", "alpha"]
+
+    def test_unlabelled_records_get_worker_dataset(self):
+        log = AuditLog()
+        buffers = [
+            WorkerTraceBuffer(
+                worker_id=3, pid=1, spans=(), audit=(self._record(),)
+            )
+        ]
+        fold_worker_audits(buffers, log)
+        assert log.records()[0].dataset == "worker-3"
+
+
+class TestTracerHealthGauges:
+    def test_mounted_gauges_track_the_ring_live(self):
+        tracer = Tracer(enabled=True, max_spans=2)
+        registry = MetricsRegistry()
+        mount_tracer_health(registry, tracer)
+        as_dict = registry.as_dict()
+        assert as_dict["repro_obs.tracer_spans"] == 0.0
+        for _ in range(3):
+            with tracer.span("s"):
+                pass
+        as_dict = registry.as_dict()
+        assert as_dict["repro_obs.tracer_spans"] == 2.0
+        assert as_dict["repro_obs.tracer_dropped_spans"] == 1.0
+
+
+class TestFleetTraceSlot:
+    def test_publish_read_clear(self):
+        clear_fleet_trace()
+        assert last_fleet_trace() is None
+        merged = MergedTrace(spans=[], lanes={})
+        publish_fleet_trace(merged)
+        assert last_fleet_trace() is merged
+        clear_fleet_trace()
+        assert last_fleet_trace() is None

@@ -198,3 +198,48 @@ class TestChromeTrace:
         payload = spans_to_chrome_trace([rec])
         validate_chrome_trace(payload)
         assert payload["traceEvents"][0]["dur"] == 0.0
+
+
+class TestJsonlDroppedMeta:
+    def test_int_meta_line_round_trips(self, tmp_path):
+        spans = _make_spans()
+        path = tmp_path / "spans.jsonl"
+        write_spans_jsonl(spans, path, dropped=5)
+        from repro.obs.export import read_spans_meta
+
+        assert read_spans_meta(path) == {"dropped": 5}
+        # Old readers skip the meta line entirely.
+        assert read_spans_jsonl(path) == spans
+
+    def test_per_lane_dict_meta(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        write_spans_jsonl([], path, dropped={"0": 0, "1": 3})
+        from repro.obs.export import read_spans_meta
+
+        assert read_spans_meta(path) == {"dropped": {"0": 0, "1": 3}}
+
+    def test_no_meta_line_without_dropped(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        write_spans_jsonl(_make_spans(), path)
+        from repro.obs.export import read_spans_meta
+
+        assert read_spans_meta(path) == {}
+        first = json.loads(path.read_text().splitlines()[0])
+        assert "span_id" in first
+
+
+class TestChromeInstantEvents:
+    def test_instant_spans_export_as_i_phase(self):
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer(enabled=True)
+        tracer.instant("fleet.hotspot", {"model": "alpha"})
+        payload = spans_to_chrome_trace(tracer.spans())
+        validate_chrome_trace(payload)
+        (event,) = payload["traceEvents"]
+        assert event["ph"] == "i"
+        assert event["s"] == "p"
+        assert "dur" not in event
+        assert event["args"]["model"] == "alpha"
+        # The marker attribute itself is not re-exported as an arg.
+        assert "instant" not in event["args"]

@@ -1,0 +1,187 @@
+"""Flight recorder: free when disabled, bounded, dump round trips."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+
+import pytest
+
+from repro.obs.flight import (
+    FlightRecorder,
+    disable_flight,
+    enable_flight,
+    flight_recorder,
+    install_signal_dump,
+    read_flight_dump,
+    render_flight,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+class TestDisabledIsFree:
+    def test_record_on_disabled_ring_keeps_nothing(self):
+        clock_calls = []
+
+        def clock():
+            clock_calls.append(1)
+            return 0.0
+
+        rec = FlightRecorder(enabled=False, clock=clock)
+        rec.record("anything", detail="ignored")
+        assert len(rec) == 0
+        assert rec.dropped == 0
+        assert not clock_calls  # the clock was never read
+
+    def test_global_recorder_toggles(self):
+        rec = flight_recorder()
+        prev = rec.enabled
+        try:
+            assert enable_flight() is rec and rec.enabled
+            assert disable_flight() is rec and not rec.enabled
+        finally:
+            rec.enabled = prev
+
+
+class TestRing:
+    def test_bounded_with_drop_counter(self):
+        rec = FlightRecorder(capacity=3, enabled=True)
+        for i in range(5):
+            rec.record("e", i=i)
+        assert len(rec) == 3
+        assert rec.dropped == 2
+        assert [e["i"] for e in rec.events()] == [2, 3, 4]
+
+    def test_clear_resets_everything(self):
+        rec = FlightRecorder(capacity=2, enabled=True)
+        for i in range(4):
+            rec.record("e", i=i)
+        rec.clear()
+        assert len(rec) == 0 and rec.dropped == 0
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_events_carry_clock_and_kind(self):
+        t = [0.0]
+
+        def clock():
+            t[0] += 1.0
+            return t[0]
+
+        rec = FlightRecorder(enabled=True, clock=clock)
+        rec.record("rebalance", model="alpha")
+        (event,) = rec.events()
+        assert event["kind"] == "rebalance"
+        assert event["t"] == 1.0
+        assert event["model"] == "alpha"
+
+
+class TestDumpRoundTrip:
+    def test_dump_and_read(self, tmp_path):
+        rec = FlightRecorder(enabled=True)
+        rec.record("worker_error", worker=2, error="boom")
+        tracer = Tracer(enabled=True)
+        with tracer.span("serve.batch"):
+            pass
+        registry = MetricsRegistry()
+        registry.gauge("g", "help").set(4.0)
+        path = tmp_path / "flight.jsonl"
+        out = rec.dump(
+            path, reason="test", tracer=tracer, registry=registry
+        )
+        assert out == path
+        dump = read_flight_dump(path)
+        assert dump["header"]["reason"] == "test"
+        assert dump["header"]["pid"] == os.getpid()
+        assert dump["header"]["n_events"] == 1
+        assert dump["events"][0]["error"] == "boom"
+        assert [s["name"] for s in dump["spans"]] == ["serve.batch"]
+        assert dump["metrics"]["g"] == 4.0
+
+    def test_span_tail_limits_spans(self, tmp_path):
+        rec = FlightRecorder(enabled=True)
+        tracer = Tracer(enabled=True)
+        for _ in range(10):
+            with tracer.span("s"):
+                pass
+        path = rec.dump(
+            tmp_path / "f.jsonl",
+            tracer=tracer,
+            registry=MetricsRegistry(),
+            span_tail=3,
+        )
+        assert read_flight_dump(path)["header"]["n_spans"] == 3
+
+    def test_disabled_recorder_still_dumps_header(self, tmp_path):
+        rec = FlightRecorder(enabled=False)
+        path = rec.dump(
+            tmp_path / "f.jsonl",
+            reason="manual",
+            tracer=Tracer(enabled=False),
+            registry=MetricsRegistry(),
+        )
+        dump = read_flight_dump(path)
+        assert dump["header"]["n_events"] == 0
+        assert dump["events"] == []
+
+    def test_default_path_honors_flight_dir(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FLIGHT_DIR", str(tmp_path))
+        rec = FlightRecorder(enabled=True)
+        out = rec.dump(
+            tracer=Tracer(enabled=False), registry=MetricsRegistry()
+        )
+        assert out.parent == tmp_path
+        assert out.name.startswith("flight-")
+
+    def test_read_rejects_non_dump_file(self, tmp_path):
+        path = tmp_path / "not-a-dump.jsonl"
+        path.write_text(json.dumps({"event": {"kind": "x"}}) + "\n")
+        with pytest.raises(ValueError):
+            read_flight_dump(path)
+
+    def test_render_mentions_reason_and_events(self, tmp_path):
+        rec = FlightRecorder(enabled=True)
+        rec.record("slo_breach", slo="lat")
+        path = rec.dump(
+            tmp_path / "f.jsonl",
+            reason="slo_breach:lat",
+            tracer=Tracer(enabled=False),
+            registry=MetricsRegistry(),
+        )
+        text = render_flight(read_flight_dump(path))
+        assert "slo_breach:lat" in text
+        assert "slo=lat" in text
+
+
+class TestSignalDump:
+    def test_installs_and_dumps_on_signal(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FLIGHT_DIR", str(tmp_path))
+        rec = FlightRecorder(enabled=True)
+        rec.record("before_signal")
+        prev = signal.getsignal(signal.SIGUSR1)
+        try:
+            assert install_signal_dump(recorder=rec) is True
+            os.kill(os.getpid(), signal.SIGUSR1)
+            dumps = sorted(tmp_path.glob("flight-*.jsonl"))
+            assert dumps
+            parsed = read_flight_dump(dumps[-1])
+            assert parsed["header"]["reason"].startswith("signal")
+            assert parsed["events"][0]["kind"] == "before_signal"
+        finally:
+            signal.signal(signal.SIGUSR1, prev)
+
+    def test_install_fails_gracefully_off_main_thread(self):
+        results = []
+        t = threading.Thread(
+            target=lambda: results.append(install_signal_dump())
+        )
+        t.start()
+        t.join()
+        assert results == [False]

@@ -204,3 +204,48 @@ class TestGlobalTracer:
             assert tracer.span("x") is NOOP_SPAN
         finally:
             tracer.enabled = prev
+
+
+class TestInstantEvents:
+    def test_instant_records_zero_duration_marker(self):
+        clock = FakeClock()
+        tracer = Tracer(enabled=True, clock=clock)
+        tracer.instant("fleet.hotspot", {"model": "alpha"})
+        (rec,) = tracer.spans()
+        assert rec.start == rec.end
+        attrs = dict(rec.attrs)
+        assert attrs["instant"] is True
+        assert attrs["model"] == "alpha"
+
+    def test_instant_nests_under_the_open_span(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer") as sp:
+            tracer.instant("marker")
+        marker = next(
+            s for s in tracer.spans() if s.name == "marker"
+        )
+        assert marker.parent_id == sp.span_id
+
+    def test_disabled_instant_is_free(self):
+        clock = FakeClock()
+        tracer = Tracer(enabled=False, clock=clock)
+        before = clock.t
+        tracer.instant("marker", {"never": "computed"})
+        assert len(tracer) == 0
+        assert clock.t == before  # clock untouched
+
+
+class TestTraceContext:
+    def test_now_reads_the_injected_clock(self):
+        clock = FakeClock()
+        tracer = Tracer(enabled=True, clock=clock)
+        first = tracer.now()
+        assert tracer.now() > first
+
+    def test_trace_ids_are_unique_and_increasing(self):
+        from repro.obs.trace import TraceContext, new_trace_id
+
+        a, b = new_trace_id(), new_trace_id()
+        assert b > a
+        ctx = TraceContext(trace_id=a, span_id=7)
+        assert ctx.lane == 0  # door lane by default

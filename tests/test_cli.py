@@ -299,3 +299,122 @@ class TestObservabilityCLI:
         assert payload["n_datasets"] == 5
         rows = {r["dataset"]: r for r in payload["rows"]}
         assert rows["dense"]["regret"] == 0.0
+
+
+class TestFleetObservabilityCLI:
+    @pytest.fixture(autouse=True)
+    def _restore_obs_state(self):
+        from repro.obs.audit import audit_log
+        from repro.obs.collect import clear_fleet_trace
+        from repro.obs.trace import get_tracer
+
+        tracer = get_tracer()
+        prev = tracer.enabled
+        tracer.clear()
+        audit_log().clear()
+        clear_fleet_trace()
+        yield
+        tracer.clear()
+        audit_log().clear()
+        clear_fleet_trace()
+        tracer.enabled = prev
+
+    def test_trace_serve_fleet_exports_merged_timeline(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        spans = tmp_path / "spans.jsonl"
+        chrome = tmp_path / "chrome.json"
+        metrics = tmp_path / "metrics.prom"
+        assert (
+            main(
+                [
+                    "trace",
+                    "--trace-out", str(spans),
+                    "--chrome", str(chrome),
+                    "--metrics-out", str(metrics),
+                    "serve", "--workers", "2", "--backend", "process",
+                ]
+            )
+            == 0
+        )
+        from repro.obs.export import (
+            read_spans_meta,
+            validate_chrome_trace,
+        )
+
+        payload = json.loads(chrome.read_text())
+        validate_chrome_trace(payload)
+        pids = {e["pid"] for e in payload["traceEvents"]}
+        assert pids == {0, 1, 2}  # door lane + one per worker
+        meta = read_spans_meta(spans)
+        assert set(meta["dropped"]) == {"0", "1", "2"}
+        prom = metrics.read_text()
+        assert "repro_obs_tracer_spans" in prom
+        assert "repro_fleet_served" in prom
+        err = capsys.readouterr().err
+        assert "3 processes" in err
+
+    def test_obs_slo_reports_breaches(self, tmp_path, capsys):
+        dump = tmp_path / "flight.jsonl"
+        assert (
+            main(
+                [
+                    "obs", "slo", "--latency-ms", "0.0001",
+                    "--dump", str(dump),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "BREACHED" in out
+        assert "latency_p99" in out
+        assert dump.exists()
+
+    def test_obs_slo_json_payload(self, capsys):
+        import json
+
+        assert main(["obs", "slo", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {s["name"] for s in payload["specs"]} == {
+            "latency_p99", "deadline_miss", "rejection",
+            "shard_saturation",
+        }
+        assert payload["served"] > 0
+
+    def test_obs_dump_renders_flight_file(self, tmp_path, capsys):
+        from repro.obs.flight import FlightRecorder
+
+        rec = FlightRecorder(enabled=True)
+        rec.record("rebalance", model="alpha")
+        path = tmp_path / "flight.jsonl"
+        rec.dump(path, reason="manual")
+        assert main(["obs", "dump", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "manual" in out and "rebalance" in out
+
+    def test_obs_dump_rejects_bad_file(self, tmp_path, capsys):
+        missing = tmp_path / "nope.jsonl"
+        assert main(["obs", "dump", str(missing)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bench_obs_fleet_smoke(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_obs.json"
+        assert (
+            main(
+                [
+                    "bench", "obs", "--fleet", "--smoke",
+                    "--repeats", "3", "--out", str(out),
+                ]
+            )
+            == 0
+        )
+        blob = json.loads(out.read_text())
+        assert blob["suite"] == "obs-fleet"
+        assert blob["headline"]["pass"] is True
+        assert blob["fleet_trace"]["labels_identical"] is True
+        stdout = capsys.readouterr().out
+        assert "bitwise" in stdout
